@@ -1,0 +1,1 @@
+bench/bench_util.ml: Access Array Bytes Dtype Executor Filename List Planner Printf Random Raw_core Raw_db Raw_formats Raw_storage Raw_vector Seq Sys Unix

@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Array Bench_util Catalog Config List Planner Printf Raw_core Raw_db Raw_formats Shred_pool Template_cache

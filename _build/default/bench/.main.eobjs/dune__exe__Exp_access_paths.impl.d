@@ -1,0 +1,1 @@
+bench/exp_access_paths.ml: Access Array Bench_util Dtype Float List Option Printf Raw_core Raw_db Raw_formats Raw_storage Raw_vector Scan_csv Schema String

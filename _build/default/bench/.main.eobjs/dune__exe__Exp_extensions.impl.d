@@ -1,0 +1,1 @@
+bench/exp_extensions.ml: Access Bench_util List Planner Printf Raw_core Raw_db Raw_formats Raw_storage

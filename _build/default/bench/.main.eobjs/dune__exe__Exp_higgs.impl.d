@@ -1,0 +1,1 @@
+bench/exp_higgs.ml: Array Bench_util Chunk Column Config Dtype Executor Expr Float Hashtbl Kernels Logical Printf Raw_core Raw_db Raw_engine Raw_formats Raw_storage Raw_vector Value

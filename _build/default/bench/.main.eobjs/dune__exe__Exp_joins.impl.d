@@ -1,0 +1,1 @@
+bench/exp_joins.ml: Access Bench_util Catalog Config Expr List Logical Planner Printf Raw_core Raw_db Raw_engine Raw_storage Raw_vector

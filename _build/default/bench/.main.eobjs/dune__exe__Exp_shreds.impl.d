@@ -1,0 +1,1 @@
+bench/exp_shreds.ml: Access Bench_util List Option Planner Printf Raw_core Raw_db

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_util Exp_ablations Exp_access_paths Exp_extensions Exp_higgs Exp_joins Exp_shreds List Micro Printf String Sys Unix

@@ -1,0 +1,153 @@
+(* E11-E12: paper §5.3.2 — column shreds and joins.
+
+   file1 = the 30-column CSV; file2 = the same rows shuffled. The probe
+   (pipelined) side is file1; file2 builds the hash table. The projected
+   aggregate column comes from file1 (E11, pipelined) or file2 (E12,
+   pipeline-breaking); the join-policy knob moves its creation point.
+
+   The logical plans are built by hand so that the file2 selection sits
+   below the join (the binder would place WHERE above it). *)
+
+open Raw_core
+open Raw_engine
+open Bench_util
+
+(* join config: smaller pages + bounded residency so that the shuffled
+   late-scan access pattern of E12 re-faults pages, the cache/TLB effect
+   the paper measures with perf *)
+let join_config =
+  {
+    Config.default with
+    mmap =
+      {
+        Raw_storage.Mmap_file.Config.page_size = 16384;
+        (* softer per-page cost: re-faults here model TLB/LLC misses on a
+           memory-resident file, not disk reads *)
+        io_seconds_per_page = 0.00001;
+        residency_capacity = Some 128 (* 2 MiB window *);
+      };
+  }
+
+let join_db () =
+  let db = Raw_db.create ~config:join_config () in
+  Raw_db.register_csv db ~name:"f1" ~path:(q30_csv ()) ~columns:(colnames 30) ();
+  Raw_db.register_csv db ~name:"f2" ~path:(q30_shuffled_csv ())
+    ~columns:(colnames 30) ();
+  db
+
+(* SELECT MAX(<projected>) FROM f1 JOIN f2 ON f1.col0 = f2.col0
+   WHERE f2.col1 < X  — with the filter below the join (build side). *)
+let join_plan ~project_side x =
+  let left =
+    Logical.Scan
+      { table = "f1";
+        columns = (if project_side = `Probe then [ 0; 10 ] else [ 0 ]) }
+  in
+  let right_cols = if project_side = `Build then [ 0; 1; 10 ] else [ 0; 1 ] in
+  let right =
+    Logical.Filter
+      ( Expr.(col 1 < int x),
+        Logical.Scan { table = "f2"; columns = right_cols } )
+  in
+  let join = Logical.Join { left; right; left_key = 0; right_key = 0 } in
+  (* output positions: probe columns then build columns *)
+  let proj_pos =
+    match project_side with
+    | `Probe -> 1 (* f1.col0, f1.col10 | ... *)
+    | `Build -> 3 (* f1.col0 | f2.col0, f2.col1, f2.col10 *)
+  in
+  Logical.Aggregate
+    {
+      keys = [];
+      aggs = [ { Logical.op = Raw_vector.Kernels.Max; expr = Expr.col proj_pos;
+                 name = "max_col10" } ];
+      input = join;
+    }
+
+(* Cache f1.col0 (and f1's posmap), f2.col0/col1 — the paper's "loaded by
+   previous queries" setup that isolates the projected column's cost. *)
+let prep db o =
+  Raw_db.forget_data_state db;
+  ignore (run db o "SELECT MAX(col0) FROM f1");
+  ignore (run db o "SELECT MAX(col0) FROM f2");
+  ignore (run db o "SELECT MAX(col1) FROM f2")
+
+let join_selectivities = [ 0.01; 0.1; 0.2; 0.4; 0.6; 0.8; 1.0 ]
+
+let run_join_sweep ~project_side variants =
+  let db = join_db () in
+  ignore (run db (opts ()) "SELECT MAX(col0) FROM f1");
+  (* steady state: compile each variant's templates once, off the record *)
+  List.iter
+    (fun (_, o) ->
+      prep db o;
+      ignore (Raw_db.run_plan ~options:o db (join_plan ~project_side (sel_to_x 0.5))))
+    variants;
+  List.map
+    (fun sel ->
+      let x = sel_to_x sel in
+      let values =
+        List.map
+          (fun (_, o) ->
+            min_of (fun () ->
+                prep db o;
+                total (Raw_db.run_plan ~options:o db (join_plan ~project_side x))))
+          variants
+      in
+      (sel, values))
+    join_selectivities
+
+let e11 () =
+  header
+    "E11 / Figure 11 — join, projected column on the pipelined (probe) side"
+    "Paper: Late (shreds) <= Early (full), converging as selectivity grows;\n\
+     probe order is preserved so late reads stay near-sequential.";
+  let variants =
+    [
+      ("Early", opts ~shreds:Planner.Shreds ~join_policy:Planner.Early ());
+      ("Late", opts ~shreds:Planner.Shreds ~join_policy:Planner.Late ());
+      ("DBMS", opts ~access:Access.Dbms ());
+    ]
+  in
+  print_sweep ~col_names:(List.map fst variants)
+    (run_join_sweep ~project_side:`Probe variants)
+
+let e12 () =
+  header
+    "E12 / Figure 12 — join, projected column on the pipeline-breaking (build) side"
+    "Paper: the hash join shuffles build-side rows, so Late degrades with\n\
+     selectivity (random raw-file accesses re-fault pages) and eventually\n\
+     loses to Early; Intermediate sits between.";
+  let variants =
+    [
+      ("Early", opts ~shreds:Planner.Shreds ~join_policy:Planner.Early ());
+      ("Intermed",
+       opts ~shreds:Planner.Shreds ~join_policy:Planner.Intermediate ());
+      ("Late", opts ~shreds:Planner.Shreds ~join_policy:Planner.Late ());
+      ("DBMS", opts ~access:Access.Dbms ());
+    ]
+  in
+  print_sweep ~col_names:(List.map fst variants)
+    (run_join_sweep ~project_side:`Build variants);
+  (* the perf-counter analogue: page re-faults under the bounded residency *)
+  Printf.printf
+    "\npage faults at 60%% selectivity (proxy for the paper's DTLB/LLC misses):\n";
+  let db = join_db () in
+  List.iter
+    (fun (name, o) ->
+      prep db o;
+      let r = Raw_db.run_plan ~options:o db (join_plan ~project_side:`Build (sel_to_x 0.6)) in
+      let faults =
+        List.fold_left
+          (fun acc t ->
+            match (Catalog.get (Raw_db.catalog db) t).Catalog.file with
+            | Some f -> acc + Raw_storage.Mmap_file.faults f
+            | None -> acc)
+          0 [ "f1"; "f2" ]
+      in
+      ignore r;
+      Printf.printf "  %-10s %8d faults\n" name faults)
+    [
+      ("Early", opts ~shreds:Planner.Shreds ~join_policy:Planner.Early ());
+      ("Late", opts ~shreds:Planner.Shreds ~join_policy:Planner.Late ());
+    ]

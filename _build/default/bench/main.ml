@@ -1,0 +1,56 @@
+(* Benchmark harness: one experiment per table/figure of the paper (see
+   DESIGN.md §3 for the index and EXPERIMENTS.md for paper-vs-measured).
+
+   Usage:
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe e2 e6      # selected experiments
+     dune exec bench/main.exe micro      # bechamel microbenchmarks only
+     RAW_BENCH_SCALE=small dune exec bench/main.exe   # quicker run *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("e1", "Figure 1a — CSV cold first query", Exp_access_paths.e1);
+    ("e2", "Figure 1b — CSV warm Q2 sweep", Exp_access_paths.e2);
+    ("e3", "Figure 2  — binary warm Q2 sweep", Exp_access_paths.e3);
+    ("e4", "Figure 3  — cost breakdown (ablation)", Exp_access_paths.e4);
+    ("e5", "Table 2   — 120-column first query", Exp_shreds.e5);
+    ("e6", "Figure 5  — full vs shreds, CSV", Exp_shreds.e6);
+    ("e7", "Figure 6  — full vs shreds, binary", Exp_shreds.e7);
+    ("e8", "Figure 7  — 120-col CSV float sweep", Exp_shreds.e8);
+    ("e9", "Figure 8  — 120-col binary float sweep", Exp_shreds.e9);
+    ("e10", "Figure 9  — multi-column shreds", Exp_shreds.e10);
+    ("e11", "Figure 11 — join, pipelined side", Exp_joins.e11);
+    ("e12", "Figure 12 — join, pipeline-breaking side", Exp_joins.e12);
+    ("e13", "Table 3   — Higgs: hand-written vs RAW", Exp_higgs.e13);
+    ("e14", "§4.2      — compile amortization", Exp_ablations.e14);
+    ("e15", "ablation  — posmap granularity", Exp_ablations.e15);
+    ("e16", "ablation  — shred pool capacity", Exp_ablations.e16);
+    ("e17", "ablation  — vector size", Exp_ablations.e17);
+    ("e18", "§8 f.work — adaptive cost model", Exp_extensions.e18);
+    ("e19", "§4.1      — embedded-index access path", Exp_extensions.e19);
+    ("micro", "bechamel — scan kernel microbenchmarks", Micro.benchmark);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as ids) -> ids
+    | _ -> List.map (fun (id, _, _) -> id) experiments
+  in
+  Printf.printf
+    "RAW benchmark harness — reproduction of 'Adaptive Query Processing on \
+     RAW Data' (VLDB 2014)\n";
+  Printf.printf "scale: q30=%d rows, q120=%d rows, hep=%d events (RAW_BENCH_SCALE)\n"
+    Bench_util.scale.q30_rows Bench_util.scale.q120_rows
+    Bench_util.scale.hep_events;
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun id ->
+      match List.find_opt (fun (i, _, _) -> i = id) experiments with
+      | Some (_, _, f) -> f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; available: %s\n" id
+          (String.concat ", " (List.map (fun (i, _, _) -> i) experiments));
+        exit 1)
+    requested;
+  Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. t0)

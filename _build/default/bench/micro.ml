@@ -1,0 +1,103 @@
+(* Bechamel microbenchmarks of the scan kernels: the per-table/figure
+   experiments above measure whole queries; these isolate the inner loops
+   (field parsing, JIT vs interpreted row decoding, selection-vector
+   aggregation, binary point reads). *)
+
+open Bechamel
+open Toolkit
+open Raw_vector
+open Bench_util
+
+let small_rows = 2_000
+
+let small_csv =
+  lazy
+    (let path = Filename.concat data_dir "micro.csv" in
+     if not (Sys.file_exists path) then
+       Raw_formats.Csv.generate ~path ~n_rows:small_rows
+         ~dtypes:(Array.make 10 Dtype.Int) ~seed:5005 ();
+     Raw_storage.Mmap_file.open_file path)
+
+let small_fwb =
+  lazy
+    (let path = Filename.concat data_dir "micro.fwb" in
+     if not (Sys.file_exists path) then
+       Raw_formats.Fwb.generate ~path ~n_rows:small_rows
+         ~dtypes:(Array.make 10 Dtype.Int) ~seed:5005 ();
+     Raw_storage.Mmap_file.open_file path)
+
+let schema10 = Schema.of_pairs (colnames 10)
+
+let test_parse_int =
+  Test.make ~name:"csv.parse_int"
+    (Staged.stage (fun () ->
+         ignore (Raw_formats.Csv.parse_int (Bytes.of_string "123456789") 0 9)))
+
+let scan mode =
+  let file = Lazy.force small_csv in
+  fun () ->
+    ignore
+      (Raw_core.Scan_csv.seq_scan ~mode ~file ~sep:',' ~schema:schema10
+         ~needed:[ 0; 4; 9 ] ~tracked:[] ())
+
+let test_scan_interp =
+  Test.make ~name:"csv.seq_scan interpreted"
+    (Staged.stage (scan Raw_core.Scan_csv.Interpreted))
+
+let test_scan_jit =
+  Test.make ~name:"csv.seq_scan jit" (Staged.stage (scan Raw_core.Scan_csv.Jit))
+
+let test_fwb_scan =
+  Test.make ~name:"fwb.seq_scan jit"
+    (Staged.stage (fun () ->
+         let file = Lazy.force small_fwb in
+         ignore
+           (Raw_core.Scan_fwb.seq_scan ~mode:Raw_core.Scan_csv.Jit ~file
+              ~layout:(Raw_formats.Fwb.layout (Array.make 10 Dtype.Int))
+              ~schema:schema10 ~needed:[ 0; 4; 9 ] ())))
+
+let test_sel_aggregate =
+  let col = Column.of_int_array (Array.init 100_000 (fun i -> i * 37 mod 1000)) in
+  let sel =
+    Some (Sel.of_array_unchecked (Array.init 50_000 (fun i -> 2 * i)))
+  in
+  Test.make ~name:"kernels.aggregate max w/ selvector"
+    (Staged.stage (fun () -> ignore (Kernels.aggregate Kernels.Max col sel)))
+
+let test_filter =
+  let col = Column.of_int_array (Array.init 100_000 (fun i -> i * 37 mod 1000)) in
+  Test.make ~name:"kernels.filter_const lt"
+    (Staged.stage (fun () ->
+         ignore (Kernels.filter_const Kernels.Lt col (Value.Int 500) None)))
+
+let benchmark () =
+  let tests =
+    [
+      test_parse_int; test_scan_interp; test_scan_jit; test_fwb_scan;
+      test_sel_aggregate; test_filter;
+    ]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.75) ~kde:(Some 500) () in
+  header "MICRO — bechamel microbenchmarks of the scan kernels"
+    "Per-iteration wall time (monotonic clock). The JIT/interpreted gap on\n\
+     seq_scan is the closure-specialization effect isolated from planning.";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ])
+      in
+      let ols =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false
+             ~predictors:[| Measure.run |])
+          instance results
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+            Printf.printf "  %-40s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        ols)
+    tests

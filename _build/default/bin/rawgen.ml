@@ -1,0 +1,168 @@
+(* rawgen — deterministic synthetic data files for RAW.
+
+   Examples:
+     rawgen csv out.csv --rows 100000 --schema int,int,float
+     rawgen csv out.csv --rows 100000 --repeat int:30
+     rawgen fwb out.fwb --rows 100000 --repeat int:30
+     rawgen hep out.hep --events 50000 --runs 64 *)
+
+open Cmdliner
+open Raw_vector
+
+let parse_dtypes ~schema ~repeat =
+  match schema, repeat with
+  | Some s, None ->
+    String.split_on_char ',' s
+    |> List.map (fun ty ->
+           match Dtype.of_string (String.trim ty) with
+           | Some dt -> dt
+           | None -> failwith ("unknown type " ^ ty))
+    |> Array.of_list
+  | None, Some r ->
+    (match String.split_on_char ':' r with
+     | [ ty; n ] ->
+       (match Dtype.of_string ty, int_of_string_opt n with
+        | Some dt, Some n when n > 0 -> Array.make n dt
+        | _ -> failwith ("bad --repeat " ^ r))
+     | _ -> failwith ("bad --repeat (want TYPE:COUNT): " ^ r))
+  | Some _, Some _ -> failwith "--schema and --repeat are mutually exclusive"
+  | None, None -> failwith "one of --schema or --repeat is required"
+
+let gen_csv path rows schema repeat sep seed =
+  let dtypes = parse_dtypes ~schema ~repeat in
+  Raw_formats.Csv.generate ~path ~sep ~n_rows:rows ~dtypes ~seed ();
+  Printf.printf "wrote %s: %d rows x %d columns (csv)\n" path rows
+    (Array.length dtypes)
+
+let parse_named_fields spec =
+  (* "id:int,user.name:string" *)
+  String.split_on_char ',' spec
+  |> List.map (fun field ->
+         match String.rindex_opt field ':' with
+         | Some i ->
+           let name = String.trim (String.sub field 0 i) in
+           let ty = String.sub field (i + 1) (String.length field - i - 1) in
+           (match Dtype.of_string ty with
+            | Some dt -> (name, dt)
+            | None -> failwith ("unknown type " ^ ty))
+         | None -> failwith ("bad field (want name:type): " ^ field))
+
+let gen_jsonl path rows fields missing seed =
+  let fields = parse_named_fields fields in
+  Raw_formats.Jsonl.generate ~path ~n_rows:rows ~fields
+    ~missing_probability:missing ~seed ();
+  Printf.printf "wrote %s: %d rows x %d fields (jsonl)\n" path rows
+    (List.length fields)
+
+let gen_fwb path rows schema repeat seed =
+  let dtypes = parse_dtypes ~schema ~repeat in
+  Raw_formats.Fwb.generate ~path ~n_rows:rows ~dtypes ~seed ();
+  Printf.printf "wrote %s: %d rows x %d columns (fwb, %d bytes/row)\n" path rows
+    (Array.length dtypes)
+    (Raw_formats.Fwb.row_size (Raw_formats.Fwb.layout dtypes))
+
+let gen_hep path events runs mean seed =
+  Raw_formats.Hep.generate ~path ~n_events:events ~n_runs:runs
+    ~mean_particles:mean ~seed ();
+  Printf.printf "wrote %s: %d events, %d runs (hep)\n" path events runs
+
+let wrap f =
+  try
+    f ();
+    0
+  with Failure msg | Sys_error msg ->
+    Printf.eprintf "rawgen: %s\n" msg;
+    2
+
+let path_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH")
+
+let rows_arg =
+  Arg.(value & opt int 10_000 & info [ "rows" ] ~docv:"N" ~doc:"Row count.")
+
+let schema_arg =
+  Arg.(value & opt (some string) None
+       & info [ "schema" ] ~docv:"T1,T2,..." ~doc:"Column types, e.g. int,float.")
+
+let repeat_arg =
+  Arg.(value & opt (some string) None
+       & info [ "repeat" ] ~docv:"TYPE:N" ~doc:"N columns of one type, e.g. int:30.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let sep_arg =
+  Arg.(value & opt char ',' & info [ "sep" ] ~docv:"CHAR" ~doc:"Separator.")
+
+let csv_cmd =
+  Cmd.v (Cmd.info "csv" ~doc:"generate a CSV file")
+    Term.(
+      const (fun path rows schema repeat sep seed ->
+          wrap (fun () -> gen_csv path rows schema repeat sep seed))
+      $ path_arg $ rows_arg $ schema_arg $ repeat_arg $ sep_arg $ seed_arg)
+
+let fwb_cmd =
+  Cmd.v (Cmd.info "fwb" ~doc:"generate a fixed-width binary file")
+    Term.(
+      const (fun path rows schema repeat seed ->
+          wrap (fun () -> gen_fwb path rows schema repeat seed))
+      $ path_arg $ rows_arg $ schema_arg $ repeat_arg $ seed_arg)
+
+let fields_arg =
+  Arg.(required & opt (some string) None
+       & info [ "fields" ] ~docv:"N1:T1,N2:T2,..."
+           ~doc:"Named fields; dotted names nest (user.id:int).")
+
+let missing_arg =
+  Arg.(value & opt float 0.
+       & info [ "missing" ] ~docv:"P" ~doc:"Probability a field is absent.")
+
+let jsonl_cmd =
+  Cmd.v (Cmd.info "jsonl" ~doc:"generate a JSON-lines file")
+    Term.(
+      const (fun path rows fields missing seed ->
+          wrap (fun () -> gen_jsonl path rows fields missing seed))
+      $ path_arg $ rows_arg $ fields_arg $ missing_arg $ seed_arg)
+
+let gen_ibx path rows schema repeat indexed seed =
+  let dtypes = parse_dtypes ~schema ~repeat in
+  Raw_formats.Ibx.generate ~path ~n_rows:rows ~dtypes ~indexed_field:indexed
+    ~seed ();
+  Printf.printf "wrote %s: %d rows x %d columns (ibx, B+-tree on field %d)\n"
+    path rows (Array.length dtypes) indexed
+
+let indexed_arg =
+  Arg.(value & opt int 0
+       & info [ "indexed-field" ] ~docv:"I"
+           ~doc:"Column carrying the embedded B+-tree (must be int).")
+
+let ibx_cmd =
+  Cmd.v (Cmd.info "ibx" ~doc:"generate an indexed binary file")
+    Term.(
+      const (fun path rows schema repeat indexed seed ->
+          wrap (fun () -> gen_ibx path rows schema repeat indexed seed))
+      $ path_arg $ rows_arg $ schema_arg $ repeat_arg $ indexed_arg $ seed_arg)
+
+let events_arg =
+  Arg.(value & opt int 10_000 & info [ "events" ] ~docv:"N" ~doc:"Event count.")
+
+let runs_arg =
+  Arg.(value & opt int 64 & info [ "runs" ] ~docv:"N" ~doc:"Distinct run numbers.")
+
+let mean_arg =
+  Arg.(value & opt float 3.0
+       & info [ "mean-particles" ] ~docv:"M"
+           ~doc:"Mean collection size per event.")
+
+let hep_cmd =
+  Cmd.v (Cmd.info "hep" ~doc:"generate a HEP nested-event file")
+    Term.(
+      const (fun path events runs mean seed ->
+          wrap (fun () -> gen_hep path events runs mean seed))
+      $ path_arg $ events_arg $ runs_arg $ mean_arg $ seed_arg)
+
+let () =
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "rawgen" ~doc:"generate synthetic raw data files")
+          [ csv_cmd; jsonl_cmd; fwb_cmd; ibx_cmd; hep_cmd ]))

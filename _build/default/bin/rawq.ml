@@ -1,0 +1,250 @@
+(* rawq — query raw files with SQL, no loading required.
+
+   Examples:
+     rawq --csv "t=data.csv@a:int,b:float" "SELECT MAX(b) FROM t WHERE a < 10"
+     rawq --fwb "b=data.fwb@a:int,x:float" --mode insitu "SELECT COUNT(*) FROM b"
+     rawq --hep "atlas=events.hep" "SELECT COUNT(*) FROM atlas_muons WHERE pt > 25"
+     rawq --csv "t=data.csv@a:int" --repl *)
+
+open Cmdliner
+open Raw_vector
+open Raw_core
+
+let parse_schema spec =
+  (* "a:int,b:float,c:string" *)
+  String.split_on_char ',' spec
+  |> List.map (fun field ->
+         match String.split_on_char ':' (String.trim field) with
+         | [ name; ty ] ->
+           (match Dtype.of_string ty with
+            | Some dt -> (name, dt)
+            | None -> failwith (Printf.sprintf "unknown type %S in schema" ty))
+         | _ -> failwith (Printf.sprintf "bad schema field %S (want name:type)" field))
+
+let parse_table_spec spec =
+  (* "name=path@schema" (schema optional for HEP) *)
+  match String.index_opt spec '=' with
+  | None -> failwith (Printf.sprintf "bad table spec %S (want name=path[@schema])" spec)
+  | Some eq ->
+    let name = String.sub spec 0 eq in
+    let rest = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    (match String.index_opt rest '@' with
+     | None -> (name, rest, None)
+     | Some at ->
+       ( name,
+         String.sub rest 0 at,
+         Some (String.sub rest (at + 1) (String.length rest - at - 1)) ))
+
+let register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep =
+  let need_schema what = function
+    | Some s -> parse_schema s
+    | None -> failwith (what ^ " tables need a schema: name=path@a:int,b:float")
+  in
+  List.iter
+    (fun spec ->
+      let name, path, schema = parse_table_spec spec in
+      Raw_db.register_csv db ~name ~path ~sep
+        ~columns:(need_schema "CSV" schema) ())
+    csv;
+  List.iter
+    (fun spec ->
+      let name, path, schema = parse_table_spec spec in
+      Raw_db.register_jsonl db ~name ~path ~columns:(need_schema "JSONL" schema))
+    jsonl;
+  List.iter
+    (fun spec ->
+      (* name=path#array.path@fields *)
+      let name, rest, schema = parse_table_spec spec in
+      match String.index_opt rest '#' with
+      | None -> failwith "JSONL child tables need name=path#array.path@fields"
+      | Some h ->
+        Raw_db.register_jsonl_array db ~name
+          ~path:(String.sub rest 0 h)
+          ~array_path:(String.sub rest (h + 1) (String.length rest - h - 1))
+          ~columns:(need_schema "JSONL array" schema))
+    jsonl_array;
+  List.iter
+    (fun spec ->
+      let name, path, schema = parse_table_spec spec in
+      Raw_db.register_fwb db ~name ~path ~columns:(need_schema "FWB" schema))
+    fwb;
+  List.iter
+    (fun spec ->
+      let name, path, schema = parse_table_spec spec in
+      Raw_db.register_ibx db ~name ~path ~columns:(need_schema "IBX" schema))
+    ibx;
+  List.iter
+    (fun spec ->
+      let name, path, _ = parse_table_spec spec in
+      Raw_db.register_hep db ~name_prefix:name ~path)
+    hep
+
+let run_query db ~stats sql =
+  match Raw_db.query db sql with
+  | report ->
+    Format.printf "%a@." Executor.pp_report report;
+    if stats then begin
+      Format.printf "-- per-query counters:@.";
+      List.iter
+        (fun (k, v) -> Format.printf "--   %-32s %12.0f@." k v)
+        report.counters
+    end;
+    true
+  | exception Sql_binder.Bind_error msg ->
+    Format.eprintf "bind error: %s@." msg;
+    false
+  | exception Raw_sql.Parser.Error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    false
+
+let repl db ~stats =
+  Format.printf "rawq — adaptive query processing on raw data. \\q quits, \\tables lists, \\explain <sql> traces the plan.@.";
+  Format.printf "tables: %s@." (String.concat ", " (Raw_db.tables db));
+  let rec loop () =
+    Format.printf "raw> @?";
+    match input_line stdin with
+    | exception End_of_file -> ()
+    | "\\q" | "\\quit" | "exit" -> ()
+    | line when String.length line > 9 && String.sub line 0 9 = "\\explain " ->
+      (match Raw_db.explain db (String.sub line 9 (String.length line - 9)) with
+       | trace -> List.iter (fun l -> Format.printf "  %s@." l) trace
+       | exception Sql_binder.Bind_error msg -> Format.eprintf "bind error: %s@." msg
+       | exception Raw_sql.Parser.Error msg -> Format.eprintf "parse error: %s@." msg);
+      loop ()
+    | "\\tables" ->
+      List.iter
+        (fun t ->
+          Format.printf "%s %a@." t Schema.pp (Raw_db.describe db t))
+        (Raw_db.tables db);
+      loop ()
+    | "" -> loop ()
+    | line ->
+      ignore (run_query db ~stats line);
+      loop ()
+  in
+  loop ()
+
+let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
+    repl_flag stats query =
+  try
+    let options =
+      {
+        Planner.access =
+          (match mode with
+           | "dbms" -> Access.Dbms
+           | "external" -> Access.External
+           | "insitu" -> Access.In_situ
+           | "jit" -> Access.Jit
+           | m -> failwith ("unknown mode " ^ m));
+        shreds =
+          (match shreds with
+           | "full" -> Planner.Full_columns
+           | "shreds" -> Planner.Shreds
+           | "multi" -> Planner.Multi_shreds
+           | s -> failwith ("unknown shred strategy " ^ s));
+        join_policy =
+          (match join_policy with
+           | "early" -> Planner.Early
+           | "intermediate" -> Planner.Intermediate
+           | "late" -> Planner.Late
+           | j -> failwith ("unknown join policy " ^ j));
+        tracked = `Every every;
+        use_indexes = true;
+      }
+    in
+    let db = Raw_db.create ~options () in
+    register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
+    match query with
+    | Some q when not repl_flag -> if run_query db ~stats q then 0 else 1
+    | _ ->
+      repl db ~stats;
+      0
+  with Failure msg | Sys_error msg ->
+    Format.eprintf "rawq: %s@." msg;
+    2
+
+let csv_arg =
+  Arg.(value & opt_all string []
+       & info [ "csv" ] ~docv:"NAME=PATH@SCHEMA"
+           ~doc:"Register a CSV file (SCHEMA is name:type,... with types \
+                 int, float, bool, string).")
+
+let jsonl_arg =
+  Arg.(value & opt_all string []
+       & info [ "jsonl" ] ~docv:"NAME=PATH@SCHEMA"
+           ~doc:"Register a JSON-lines file (column names may be dotted \
+                 paths into the objects, e.g. user.id:int).")
+
+let jsonl_array_arg =
+  Arg.(value & opt_all string []
+       & info [ "jsonl-array" ] ~docv:"NAME=PATH#ARRAY@SCHEMA"
+           ~doc:"Register a flattened child table over an array of objects                  inside each JSONL row (ARRAY is the dotted path to the                  array; a 'parent' row-id column is added automatically).")
+
+let fwb_arg =
+  Arg.(value & opt_all string []
+       & info [ "fwb" ] ~docv:"NAME=PATH@SCHEMA"
+           ~doc:"Register a fixed-width binary file.")
+
+let ibx_arg =
+  Arg.(value & opt_all string []
+       & info [ "ibx" ] ~docv:"NAME=PATH@SCHEMA"
+           ~doc:"Register an indexed binary file (embedded B+-tree used for                  range predicates on the indexed column).")
+
+let hep_arg =
+  Arg.(value & opt_all string []
+       & info [ "hep" ] ~docv:"PREFIX=PATH"
+           ~doc:"Register a HEP event file as PREFIX_events, PREFIX_muons, \
+                 PREFIX_electrons, PREFIX_jets.")
+
+let sep_arg =
+  Arg.(value & opt (some char) None
+       & info [ "sep" ] ~docv:"CHAR" ~doc:"CSV field separator (default ,).")
+
+let mode_arg =
+  Arg.(value & opt string "jit"
+       & info [ "mode" ] ~docv:"MODE"
+           ~doc:"Access-path strategy: jit (default), insitu, external, dbms.")
+
+let shreds_arg =
+  Arg.(value & opt string "shreds"
+       & info [ "shreds" ] ~docv:"S"
+           ~doc:"Column materialization: shreds (default), full, multi.")
+
+let join_arg =
+  Arg.(value & opt string "late"
+       & info [ "join" ] ~docv:"J"
+           ~doc:"Join materialization point: late (default), intermediate, early.")
+
+let every_arg =
+  Arg.(value & opt int 10
+       & info [ "posmap-every" ] ~docv:"K"
+           ~doc:"Positional map tracks every K-th CSV column (default 10).")
+
+let repl_arg =
+  Arg.(value & flag & info [ "repl" ] ~doc:"Start an interactive prompt.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-query work counters.")
+
+let query_arg =
+  Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
+
+let cmd =
+  let doc = "query raw CSV / binary / HEP files in place, adaptively" in
+  Cmd.v
+    (Cmd.info "rawq" ~doc
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P "An implementation of RAW (Karpathiotakis et al., VLDB 2014): \
+               queries run directly over raw files through JIT access paths \
+               and column shreds, with positional maps and result caches \
+               built adaptively as a side effect of the queries themselves.";
+         ])
+    Term.(
+      const main $ csv_arg $ jsonl_arg $ jsonl_array_arg $ fwb_arg $ ibx_arg $ hep_arg
+      $ (const (Option.value ~default:',') $ sep_arg)
+      $ mode_arg $ shreds_arg $ join_arg $ every_arg $ repl_arg $ stats_arg
+      $ query_arg)
+
+let () = exit (Cmd.eval' cmd)

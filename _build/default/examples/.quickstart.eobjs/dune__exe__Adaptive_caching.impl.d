@@ -1,0 +1,1 @@
+examples/adaptive_caching.ml: Access Array Catalog Dtype Filename Format List Planner Printf Raw_core Raw_db Raw_formats Raw_vector Shred_pool Sys Template_cache Unix

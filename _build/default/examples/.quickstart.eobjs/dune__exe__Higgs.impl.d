@@ -1,0 +1,1 @@
+examples/higgs.ml: Dtype Executor Expr Filename Format Kernels Logical Printf Raw_core Raw_db Raw_engine Raw_formats Raw_vector Seq Sys Unix

@@ -1,0 +1,1 @@
+examples/json_logs.ml: Char Dtype Executor Filename Format Printf Random Raw_core Raw_db Raw_formats Raw_vector Seq Sys Unix Value

@@ -1,0 +1,1 @@
+examples/multiformat_join.ml: Dtype Executor Filename Format Printf Random Raw_core Raw_db Raw_formats Raw_vector Seq Sys Unix Value

@@ -1,0 +1,1 @@
+examples/multiformat_join.mli:

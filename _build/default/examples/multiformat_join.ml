@@ -1,0 +1,69 @@
+(* Heterogeneous sources: join a CSV file with a binary file in one query.
+
+     dune exec examples/multiformat_join.exe
+
+   The paper's core claim is format transparency: "joins reading and
+   processing data from different sources transparently" (§1). Here a
+   sensor inventory lives in CSV (the hand-maintained file) while the
+   telemetry log is a packed fixed-width binary file (the machine-written
+   one); a single SQL query spans both, with a JIT access path generated
+   per file format. *)
+
+open Raw_vector
+open Raw_core
+
+let () =
+  let dir = Filename.temp_file "raw_multiformat" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+
+  (* inventory: sensor id, zone, calibration offset — CSV *)
+  let inventory = Filename.concat dir "sensors.csv" in
+  Raw_formats.Csv.write_file ~path:inventory ~header:None
+    ~rows:
+      (Seq.init 200 (fun i ->
+           [ string_of_int i; string_of_int (i mod 8);
+             Printf.sprintf "%.3f" (float_of_int (i mod 5) /. 10.) ]))
+    ();
+
+  (* telemetry: sensor id, reading — fixed-width binary *)
+  let telemetry = Filename.concat dir "telemetry.fwb" in
+  let st = Random.State.make [| 99 |] in
+  let layout = Raw_formats.Fwb.layout [| Dtype.Int; Dtype.Float |] in
+  Raw_formats.Fwb.write_file ~path:telemetry layout
+    (Seq.init 100_000 (fun _ ->
+         [|
+           Value.Int (Random.State.int st 200);
+           Value.Float (15.0 +. Random.State.float st 20.0);
+         |]));
+
+  let db = Raw_db.create () in
+  Raw_db.register_csv db ~name:"sensors" ~path:inventory
+    ~columns:
+      [ ("sensor_id", Dtype.Int); ("zone", Dtype.Int); ("offset", Dtype.Float) ]
+    ();
+  Raw_db.register_fwb db ~name:"telemetry" ~path:telemetry
+    ~columns:[ ("sensor_id", Dtype.Int); ("reading", Dtype.Float) ];
+
+  let show q =
+    Format.printf "@.sql> %s@." q;
+    Format.printf "%a@." Executor.pp_report (Raw_db.query db q)
+  in
+  (* one query, two file formats: the planner generates a CSV access path
+     for [sensors] and a computed-offset binary access path for [telemetry] *)
+  show
+    "SELECT COUNT(*) FROM telemetry JOIN sensors ON telemetry.sensor_id = \
+     sensors.sensor_id WHERE sensors.zone = 3";
+  show
+    "SELECT MAX(telemetry.reading) FROM telemetry JOIN sensors ON \
+     telemetry.sensor_id = sensors.sensor_id WHERE sensors.zone = 3 AND \
+     telemetry.reading > 30.0";
+  show
+    "SELECT zone, COUNT(*) AS n, AVG(reading) AS mean FROM telemetry JOIN \
+     sensors ON telemetry.sensor_id = sensors.sensor_id GROUP BY zone ORDER \
+     BY zone";
+  print_newline ();
+  print_endline
+    "Both files stayed in their original formats on disk; each got its own";
+  print_endline
+    "generated scan operator (csv tokenizer vs computed binary offsets)."

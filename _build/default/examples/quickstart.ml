@@ -1,0 +1,61 @@
+(* Quickstart: query a CSV file in place — no loading step.
+
+     dune exec examples/quickstart.exe
+
+   Generates a small CSV of web-shop orders, registers it under a table
+   name, and runs SQL directly against the raw file. Watch the timing
+   line: the first query pays (simulated) cold I/O and JIT compilation;
+   repeats are served from the adaptive caches. *)
+
+open Raw_vector
+open Raw_core
+
+let () =
+  let dir = Filename.temp_file "raw_quickstart" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "orders.csv" in
+
+  (* some realistic-looking rows: order id, customer id, amount, discounted *)
+  let st = Random.State.make [| 2024 |] in
+  Raw_formats.Csv.write_file ~path ~header:None
+    ~rows:
+      (Seq.init 50_000 (fun i ->
+           [
+             string_of_int i;
+             string_of_int (Random.State.int st 5_000);
+             Printf.sprintf "%.2f" (Random.State.float st 500.);
+             (if Random.State.bool st then "1" else "0");
+           ]))
+    ();
+
+  (* point RAW at the raw file: just a name and a schema *)
+  let db = Raw_db.create () in
+  Raw_db.register_csv db ~name:"orders" ~path
+    ~columns:
+      [
+        ("order_id", Dtype.Int);
+        ("customer_id", Dtype.Int);
+        ("amount", Dtype.Float);
+        ("discounted", Dtype.Bool);
+      ]
+    ();
+
+  let show q =
+    Format.printf "@.sql> %s@." q;
+    Format.printf "%a@." Executor.pp_report (Raw_db.query db q)
+  in
+  show "SELECT COUNT(*) FROM orders";
+  show "SELECT MAX(amount) FROM orders WHERE customer_id < 100";
+  (* the second query over the same columns hits the shred pool *)
+  show "SELECT AVG(amount) FROM orders WHERE customer_id < 100";
+  show
+    "SELECT customer_id, SUM(amount) AS total FROM orders WHERE amount > 400.0 \
+     GROUP BY customer_id ORDER BY total DESC LIMIT 5";
+  print_newline ();
+  print_endline
+    "Note how queries after the first stop paying io(sim) and compile(sim):";
+  print_endline
+    "positional maps, cached column shreds and compiled access-path templates";
+  print_endline
+    "are all built as side effects of earlier queries (paper sections 3-5)."

@@ -1,0 +1,1 @@
+lib/core/access.mli: Catalog Column Operator Raw_engine Raw_vector Scan_csv

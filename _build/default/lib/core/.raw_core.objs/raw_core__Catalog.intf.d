@@ -1,0 +1,1 @@
+lib/core/catalog.mli: Column Config Format_kind Fwb Hep Ibx Mmap_file Posmap Raw_formats Raw_storage Raw_vector Schema Shred_pool Table_stats Template_cache

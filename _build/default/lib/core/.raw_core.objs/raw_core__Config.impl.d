@@ -1,0 +1,1 @@
+lib/core/config.ml: Mmap_file Raw_storage

@@ -1,0 +1,1 @@
+lib/core/config.mli: Mmap_file Raw_storage

@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Expr Float Kernels List Raw_engine Raw_vector Table_stats Value

@@ -1,0 +1,1 @@
+lib/core/cost_model.mli: Raw_engine Table_stats

@@ -1,0 +1,1 @@
+lib/core/executor.ml: Array Catalog Chunk Column Format Io_stats List Logical Mmap_file Operator Planner Raw_engine Raw_storage Raw_vector Schema String Template_cache Timing Value

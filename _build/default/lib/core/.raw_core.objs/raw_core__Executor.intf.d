@@ -1,0 +1,1 @@
+lib/core/executor.mli: Catalog Chunk Format Logical Planner Raw_vector Schema

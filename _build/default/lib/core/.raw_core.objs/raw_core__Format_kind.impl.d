@@ -1,0 +1,1 @@
+lib/core/format_kind.ml: Format Hep Printf Raw_formats Raw_vector

@@ -1,0 +1,1 @@
+lib/core/format_kind.mli: Format Hep Raw_formats Raw_vector

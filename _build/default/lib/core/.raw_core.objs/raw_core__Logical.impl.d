@@ -1,0 +1,1 @@
+lib/core/logical.ml: Catalog Dtype Expr Format Hashtbl Kernels List Printf Raw_engine Raw_vector Schema String

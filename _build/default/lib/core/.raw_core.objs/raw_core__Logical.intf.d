@@ -1,0 +1,1 @@
+lib/core/logical.mli: Catalog Expr Format Kernels Raw_engine Raw_vector Schema

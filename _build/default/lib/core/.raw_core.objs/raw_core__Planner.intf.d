@@ -1,0 +1,1 @@
+lib/core/planner.mli: Access Catalog Logical Operator Raw_engine Raw_vector Schema

@@ -1,0 +1,1 @@
+lib/core/raw_db.ml: Catalog Chunk Column Dtype Executor Format_kind Option Planner Raw_engine Raw_vector Schema Sql_binder

@@ -1,0 +1,1 @@
+lib/core/raw_db.mli: Catalog Chunk Config Dtype Executor Hep Logical Planner Raw_formats Raw_vector Schema Value

@@ -1,0 +1,1 @@
+lib/core/scan_csv.ml: Array Builder Csv Dtype Io_stats List Mmap_file Option Posmap Printf Raw_formats Raw_storage Raw_vector Schema Stdlib String

@@ -1,0 +1,1 @@
+lib/core/scan_csv.mli: Column Mmap_file Posmap Raw_formats Raw_storage Raw_vector Schema

@@ -1,0 +1,1 @@
+lib/core/scan_fwb.ml: Array Builder Column Dtype Fwb Io_stats List Printf Raw_formats Raw_storage Raw_vector Scan_csv Schema String Value

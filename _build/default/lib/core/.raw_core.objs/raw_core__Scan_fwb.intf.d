@@ -1,0 +1,1 @@
+lib/core/scan_fwb.mli: Column Fwb Mmap_file Raw_formats Raw_storage Raw_vector Scan_csv Schema

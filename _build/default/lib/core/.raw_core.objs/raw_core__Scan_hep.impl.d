@@ -1,0 +1,1 @@
+lib/core/scan_hep.ml: Array Builder Column Dtype Format_kind Hep Io_stats List Printf Raw_formats Raw_storage Raw_vector Scan_csv Schema String

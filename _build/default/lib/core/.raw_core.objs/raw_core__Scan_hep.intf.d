@@ -1,0 +1,1 @@
+lib/core/scan_hep.mli: Column Hep Raw_formats Raw_vector Scan_csv

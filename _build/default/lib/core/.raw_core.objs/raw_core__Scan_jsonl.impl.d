@@ -1,0 +1,1 @@
+lib/core/scan_jsonl.ml: Array Buffer_int Builder Bytes Column Csv Dtype Io_stats Jsonl List Mmap_file Printf Raw_formats Raw_storage Raw_vector Scan_csv Schema String

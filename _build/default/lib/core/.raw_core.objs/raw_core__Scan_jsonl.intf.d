@@ -1,0 +1,1 @@
+lib/core/scan_jsonl.mli: Column Mmap_file Raw_storage Raw_vector Scan_csv Schema

@@ -1,0 +1,1 @@
+lib/core/shred_pool.ml: Array Bytes Column Dtype List Lru Raw_storage Raw_vector

@@ -1,0 +1,1 @@
+lib/core/shred_pool.mli: Column Dtype Raw_vector

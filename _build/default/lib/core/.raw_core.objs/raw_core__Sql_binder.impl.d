@@ -1,0 +1,1 @@
+lib/core/sql_binder.ml: Ast Catalog Expr Fun Hashtbl Kernels List Logical Option Parser Printf Raw_engine Raw_sql Raw_vector Schema Stdlib String Value

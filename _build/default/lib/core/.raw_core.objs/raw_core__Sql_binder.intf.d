@@ -1,0 +1,1 @@
+lib/core/sql_binder.mli: Catalog Logical Raw_sql

@@ -1,0 +1,1 @@
+lib/core/table_stats.ml: Array Column Dtype Float Hashtbl Kernels Raw_vector

@@ -1,0 +1,1 @@
+lib/core/table_stats.mli: Column Kernels Raw_vector

@@ -1,0 +1,331 @@
+open Raw_vector
+open Raw_storage
+open Raw_engine
+open Raw_formats
+
+type mode = Dbms | External | In_situ | Jit
+
+let mode_to_string = function
+  | Dbms -> "dbms"
+  | External -> "external"
+  | In_situ -> "insitu"
+  | Jit -> "jit"
+
+let scan_mode = function
+  | Jit -> Scan_csv.Jit
+  | Dbms -> Scan_csv.Jit (* loading uses the fast kernels; queries never rescan *)
+  | External | In_situ -> Scan_csv.Interpreted
+
+(* Charge the template cache for a generated kernel shape (Jit mode only). *)
+let charge_template cat ~mode key =
+  match mode with
+  | Jit -> Template_cache.get (Catalog.templates cat) ~key (fun () -> ())
+  | Dbms | External | In_situ -> ()
+
+let all_schema_cols (entry : Catalog.entry) =
+  List.init (Schema.arity entry.schema) (fun i -> i)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-column scans (no positional map involved / posmap building)   *)
+(* ------------------------------------------------------------------ *)
+
+(* Full-table read of [cols]; CSV also builds a positional map over
+   [tracked] when the entry has none yet. Complete columns feed the
+   statistics store as a side effect. *)
+let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
+  let smode = scan_mode mode in
+  let observe columns =
+    List.iteri
+      (fun k c ->
+        Table_stats.observe (Catalog.stats cat) ~table:entry.name ~col:c
+          columns.(k))
+      cols;
+    columns
+  in
+  observe
+  @@
+  match entry.format with
+  | Format_kind.Csv { sep } ->
+    let build_pm = entry.posmap = None && tracked <> [] && mode <> External in
+    let tracked = if build_pm then tracked else [] in
+    charge_template cat ~mode
+      (Scan_csv.template_key ~phase:"seq" ~table:entry.name ~sep ~needed:cols
+         ~tracked);
+    let columns, pm =
+      Scan_csv.seq_scan ~mode:smode ~file:(Catalog.file cat entry) ~sep
+        ~schema:entry.schema ~needed:cols ~tracked ()
+    in
+    (match pm with Some pm -> Catalog.set_posmap entry pm | None -> ());
+    columns
+  | Format_kind.Jsonl ->
+    charge_template cat ~mode
+      (Scan_jsonl.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
+    let columns, starts =
+      Scan_jsonl.seq_scan ~mode:smode ~file:(Catalog.file cat entry)
+        ~schema:entry.schema ~needed:cols ()
+    in
+    if mode <> External && entry.row_starts = None then
+      entry.row_starts <- Some starts;
+    columns
+  | Format_kind.Jsonl_array _ ->
+    charge_template cat ~mode
+      (Scan_jsonl.template_key ~phase:"arr-seq" ~table:entry.name ~needed:cols);
+    Scan_jsonl.scan_array ~mode:smode ~file:(Catalog.file cat entry)
+      ~schema:entry.schema ~index:(Catalog.jarr_index cat entry) ~needed:cols
+      ~rowids:None
+  | Format_kind.Fwb ->
+    charge_template cat ~mode
+      (Scan_fwb.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
+    Scan_fwb.seq_scan ~mode:smode ~file:(Catalog.file cat entry)
+      ~layout:(Catalog.fwb_layout entry) ~schema:entry.schema ~needed:cols ()
+  | Format_kind.Ibx ->
+    (* the data region is FWB; its layout comes from the footer *)
+    let meta = Catalog.ibx_meta cat entry in
+    charge_template cat ~mode
+      (Scan_fwb.template_key ~phase:"ibx-seq" ~table:entry.name ~needed:cols);
+    Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
+      ~layout:meta.Ibx.layout ~schema:entry.schema ~cols
+      ~rowids:(Array.init meta.Ibx.n_rows (fun i -> i))
+  | Format_kind.Hep_events ->
+    charge_template cat ~mode
+      (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
+    Scan_hep.scan_events ~mode:smode ~reader:(Catalog.hep_reader cat entry)
+      ~needed:cols ~rowids:None
+  | Format_kind.Hep_particles coll ->
+    charge_template cat ~mode
+      (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
+    Scan_hep.scan_particles ~mode:smode ~reader:(Catalog.hep_reader cat entry)
+      ~coll ~index:(Catalog.hep_index cat entry) ~needed:cols ~rowids:None
+
+(* Point fetch of [cols] at [rowids] straight from the raw file. CSV
+   requires a positional map that can reach the columns. *)
+let raw_fetch cat ~mode ~(entry : Catalog.entry) ~cols ~rowids =
+  let smode = scan_mode mode in
+  match entry.format with
+  | Format_kind.Csv { sep } ->
+    let posmap =
+      match entry.posmap with
+      | Some pm -> pm
+      | None -> failwith "Access.raw_fetch: CSV fetch without positional map"
+    in
+    charge_template cat ~mode
+      (Scan_csv.template_key ~phase:"fetch" ~table:entry.name ~sep ~needed:cols
+         ~tracked:(Array.to_list (Posmap.tracked posmap)));
+    Scan_csv.fetch ~mode:smode ~file:(Catalog.file cat entry) ~sep
+      ~schema:entry.schema ~posmap ~cols ~rowids
+  | Format_kind.Jsonl ->
+    let row_starts =
+      match entry.row_starts with
+      | Some s -> s
+      | None -> failwith "Access.raw_fetch: JSONL fetch without row index"
+    in
+    charge_template cat ~mode
+      (Scan_jsonl.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
+    Scan_jsonl.fetch ~mode:smode ~file:(Catalog.file cat entry)
+      ~schema:entry.schema ~row_starts ~cols ~rowids
+  | Format_kind.Jsonl_array _ ->
+    charge_template cat ~mode
+      (Scan_jsonl.template_key ~phase:"arr-fetch" ~table:entry.name ~needed:cols);
+    Scan_jsonl.scan_array ~mode:smode ~file:(Catalog.file cat entry)
+      ~schema:entry.schema ~index:(Catalog.jarr_index cat entry) ~needed:cols
+      ~rowids:(Some rowids)
+  | Format_kind.Fwb ->
+    charge_template cat ~mode
+      (Scan_fwb.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
+    Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
+      ~layout:(Catalog.fwb_layout entry) ~schema:entry.schema ~cols ~rowids
+  | Format_kind.Ibx ->
+    let meta = Catalog.ibx_meta cat entry in
+    charge_template cat ~mode
+      (Scan_fwb.template_key ~phase:"ibx-fetch" ~table:entry.name ~needed:cols);
+    Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
+      ~layout:meta.Ibx.layout ~schema:entry.schema ~cols ~rowids
+  | Format_kind.Hep_events ->
+    charge_template cat ~mode
+      (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
+    Scan_hep.scan_events ~mode:smode ~reader:(Catalog.hep_reader cat entry)
+      ~needed:cols ~rowids:(Some rowids)
+  | Format_kind.Hep_particles coll ->
+    charge_template cat ~mode
+      (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
+    Scan_hep.scan_particles ~mode:smode ~reader:(Catalog.hep_reader cat entry)
+      ~coll ~index:(Catalog.hep_index cat entry) ~needed:cols ~rowids:(Some rowids)
+
+(* Can a CSV positional fetch reach these columns? Non-CSV formats always
+   compute positions. *)
+let fetchable (entry : Catalog.entry) cols =
+  match entry.format with
+  | Format_kind.Csv _ ->
+    (match entry.posmap with
+     | None -> false
+     | Some posmap -> Scan_csv.can_fetch ~schema:entry.schema ~posmap ~cols)
+  | Format_kind.Jsonl -> entry.row_starts <> None
+  | Format_kind.Jsonl_array _ | Format_kind.Fwb | Format_kind.Ibx
+  | Format_kind.Hep_events | Format_kind.Hep_particles _ ->
+    true
+
+(* ------------------------------------------------------------------ *)
+(* DBMS mode                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let ensure_loaded cat (entry : Catalog.entry) =
+  match entry.loaded with
+  | Some _ -> ()
+  | None ->
+    let cols = all_schema_cols entry in
+    let columns = full_scan cat ~mode:Dbms ~entry ~tracked:[] ~cols in
+    Io_stats.add "dbms.columns_loaded" (Array.length columns);
+    entry.loaded <- Some columns
+
+(* ------------------------------------------------------------------ *)
+(* fetch_columns                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
+  match mode with
+  | Dbms ->
+    ensure_loaded cat entry;
+    let loaded = Option.get entry.loaded in
+    Io_stats.add "dbms.values_gathered" (Array.length rowids * List.length cols);
+    Array.of_list (List.map (fun c -> Column.gather loaded.(c) rowids) cols)
+  | External ->
+    (* the external-table operator re-converts the whole file every time *)
+    let full = full_scan cat ~mode ~entry ~tracked:[] ~cols:(all_schema_cols entry) in
+    Array.of_list
+      (List.map (fun c -> Column.gather full.(c) rowids) cols)
+  | In_situ | Jit ->
+    let pool = Catalog.shreds cat in
+    let n_rows = Catalog.n_rows cat entry in
+    let results : (int, Column.t) Hashtbl.t = Hashtbl.create 8 in
+    (* 1. serve what the shred pool subsumes *)
+    let uncovered =
+      List.filter
+        (fun c ->
+          let key = { Shred_pool.table = entry.name; column = c } in
+          match Shred_pool.find pool key with
+          | Some shred when Shred_pool.subsumes shred rowids ->
+            Shred_pool.record_hit pool;
+            Io_stats.add "pool.values_gathered" (Array.length rowids);
+            Hashtbl.replace results c (Column.gather shred rowids);
+            false
+          | _ ->
+            Shred_pool.record_miss pool;
+            true)
+        cols
+    in
+    (* 2. split the rest by how the raw file can be reached *)
+    let reachable, unreachable = List.partition (fun c -> fetchable entry [ c ]) uncovered in
+    (* 2a. columns with no way to navigate point-wise: full scan, pool the
+       complete columns *)
+    if unreachable <> [] then begin
+      let full = full_scan cat ~mode ~entry ~tracked ~cols:unreachable in
+      List.iteri
+        (fun k c ->
+          let key = { Shred_pool.table = entry.name; column = c } in
+          Shred_pool.put pool key full.(k);
+          Hashtbl.replace results c (Column.gather full.(k) rowids))
+        unreachable
+    end;
+    (* 2b. point-fetch missing rows, filling pooled shreds in place;
+       columns sharing a missing-row signature fetch together (one pass
+       per row over the file) *)
+    if reachable <> [] then begin
+      let with_missing =
+        List.map
+          (fun c ->
+            let key = { Shred_pool.table = entry.name; column = c } in
+            let shred =
+              Shred_pool.ensure pool key ~n_rows ~dtype:(Schema.dtype entry.schema c)
+            in
+            (c, shred, Shred_pool.missing shred rowids))
+          reachable
+      in
+      let groups : (int array * (int * Column.t) list ref) list ref = ref [] in
+      List.iter
+        (fun (c, shred, missing) ->
+          match List.find_opt (fun (m, _) -> m = missing) !groups with
+          | Some (_, l) -> l := (c, shred) :: !l
+          | None -> groups := (missing, ref [ (c, shred) ]) :: !groups)
+        with_missing;
+      List.iter
+        (fun (missing, members) ->
+          let members = List.rev !members in
+          let cols = List.map fst members in
+          if Array.length missing > 0 then begin
+            let packed = raw_fetch cat ~mode ~entry ~cols ~rowids:missing in
+            List.iteri
+              (fun k (_, shred) -> Column.scatter shred missing packed.(k))
+              members
+          end;
+          List.iter
+            (fun (c, shred) ->
+              Io_stats.add "pool.values_gathered" (Array.length rowids);
+              Hashtbl.replace results c (Column.gather shred rowids))
+            members)
+        (List.rev !groups)
+    end;
+    Array.of_list (List.map (fun c -> Hashtbl.find results c) cols)
+
+(* ------------------------------------------------------------------ *)
+(* Operators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let base_scan cat (entry : Catalog.entry) =
+  let n = Catalog.n_rows cat entry in
+  let chunk_rows = (Catalog.config cat).chunk_rows in
+  let next_start = ref 0 in
+  Operator.of_fn ()
+    ~next:(fun () ->
+      if !next_start >= n then None
+      else begin
+        let start = !next_start in
+        let len = min chunk_rows (n - start) in
+        next_start := start + len;
+        Some
+          (Chunk.of_columns
+             [ Column.of_int_array (Array.init len (fun i -> start + i)) ])
+      end)
+
+let late_scan cat ~mode ~entry ~tracked ~cols ~rowid_pos input =
+  Operator.map_chunks
+    (fun chunk ->
+      let rowids = Column.int_array (Chunk.column chunk rowid_pos) in
+      let new_cols = fetch_columns cat ~mode ~entry ~tracked ~cols ~rowids in
+      Array.fold_left Chunk.append_column chunk new_cols)
+    input
+
+(* ------------------------------------------------------------------ *)
+(* Index-based access (paper: exploit indexes embedded in the format)  *)
+(* ------------------------------------------------------------------ *)
+
+let index_range cat ~mode (entry : Catalog.entry) ~col ~lo ~hi =
+  match entry.format with
+  | Format_kind.Ibx ->
+    let meta = Catalog.ibx_meta cat entry in
+    let src = (Schema.field entry.schema col).Schema.source_index in
+    if src <> meta.Ibx.indexed_field then None
+    else begin
+      charge_template cat ~mode
+        (Printf.sprintf "ibx-index|%s|field=%d" entry.name src);
+      Io_stats.add "ibx.index_nodes"
+        (Ibx.index_nodes_visited (Catalog.file cat entry) meta ~lo ~hi);
+      Some (Ibx.lookup_range (Catalog.file cat entry) meta ~lo ~hi)
+    end
+  | Format_kind.Csv _ | Format_kind.Jsonl | Format_kind.Jsonl_array _
+  | Format_kind.Fwb | Format_kind.Hep_events | Format_kind.Hep_particles _ ->
+    None
+
+let rowid_scan cat rowids =
+  let chunk_rows = (Catalog.config cat).Config.chunk_rows in
+  let n = Array.length rowids in
+  let next_start = ref 0 in
+  Operator.of_fn ()
+    ~next:(fun () ->
+      if !next_start >= n then None
+      else begin
+        let start = !next_start in
+        let len = min chunk_rows (n - start) in
+        next_start := start + len;
+        Some
+          (Chunk.of_columns [ Column.of_int_array (Array.sub rowids start len) ])
+      end)

@@ -1,0 +1,88 @@
+(** Access-path selection and execution (paper §2, §3, §4).
+
+    One function, {!fetch_columns}, hides the full decision tree the paper
+    describes for turning "give me these columns for these rows" into raw
+    file accesses: DBMS-loaded columns, cached column shreds, positional-map
+    navigation, or a full sequential scan — chosen per query from catalog
+    state, exactly the adaptive behaviour under study. The four competing
+    strategies of the evaluation are the [mode] values. *)
+
+open Raw_vector
+open Raw_engine
+
+type mode =
+  | Dbms
+      (** load everything up front into engine columns; queries touch only
+          loaded data *)
+  | External
+      (** external tables: re-convert the whole file on every query, no
+          auxiliary structures *)
+  | In_situ
+      (** NoDB: general-purpose interpreted scan operators + positional
+          maps + result caching *)
+  | Jit  (** RAW: generated access paths + positional maps + shred pool *)
+
+val mode_to_string : mode -> string
+val scan_mode : mode -> Scan_csv.mode
+
+val base_scan : Catalog.t -> Catalog.entry -> Operator.t
+(** The bottom of every physical plan over a raw file: streams a single
+    row-id column (0..n-1) in chunks, touching nothing but table
+    cardinality metadata. Real data reads happen in the scan operators
+    attached above by the planner. *)
+
+val ensure_loaded : Catalog.t -> Catalog.entry -> unit
+(** DBMS mode: load every schema column into memory (idempotent). *)
+
+val fetch_columns :
+  Catalog.t ->
+  mode:mode ->
+  entry:Catalog.entry ->
+  tracked:int list ->
+  cols:int list ->
+  rowids:int array ->
+  Column.t array
+(** Values of [cols] (schema indexes) at [rowids], in request order — packed
+    columns of length [Array.length rowids].
+
+    Strategy per mode (paper §3 "Physical Plan Creation" step: "based on the
+    fields required, we specify how each field will be retrieved"):
+    - [Dbms]: gather from loaded columns (loading first if needed).
+    - [External]: full interpreted re-scan of {e all} schema columns, then
+      gather; nothing is cached.
+    - [In_situ]/[Jit]: per column — use a subsuming pooled shred if one
+      exists; otherwise fetch the missing rows via the positional map
+      (building it, tracked at [tracked], through a full scan when absent)
+      and fill the pooled shred in place. [Jit] composes generated kernels
+      (charging the template cache on first use); [In_situ] runs the
+      general-purpose interpreted kernels. *)
+
+val index_range :
+  Catalog.t ->
+  mode:mode ->
+  Catalog.entry ->
+  col:int ->
+  lo:int ->
+  hi:int ->
+  int array option
+(** Row ids whose value in schema column [col] lies in [lo, hi] (inclusive),
+    via an index embedded in the file — [None] when the format has no index
+    on that column. Ascending; index node reads are page-accounted and
+    counted under [ibx.index_nodes]. *)
+
+val rowid_scan : Catalog.t -> int array -> Raw_engine.Operator.t
+(** Stream an explicit row-id set in chunks (the bottom of an index-driven
+    plan). *)
+
+val late_scan :
+  Catalog.t ->
+  mode:mode ->
+  entry:Catalog.entry ->
+  tracked:int list ->
+  cols:int list ->
+  rowid_pos:int ->
+  Operator.t ->
+  Operator.t
+(** Wraps an operator with a generated scan pushed up the plan (column
+    shreds, §5): for each chunk, reads row ids from column [rowid_pos],
+    fetches [cols] for exactly those rows, and appends the new columns. *)

@@ -1,0 +1,250 @@
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+type entry = {
+  name : string;
+  path : string;
+  format : Format_kind.t;
+  schema : Schema.t;
+  mutable file : Mmap_file.t option;
+  mutable hep : Hep.Reader.t option;
+  mutable posmap : Posmap.t option;
+  mutable loaded : Column.t array option;
+  mutable n_rows : int option;
+  mutable hep_index : (int array * int array) option;
+  mutable row_starts : int array option;
+  mutable jarr_index : (int array * int array) option;
+  mutable ibx : Ibx.meta option;
+}
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  config : Config.t;
+  shreds : Shred_pool.t;
+  templates : Template_cache.t;
+  stats : Table_stats.t;
+  hep_readers : (string, Hep.Reader.t) Hashtbl.t;
+      (* one reader (and mapped file) per path, shared by the four views *)
+}
+
+let create ?(config = Config.default) () =
+  {
+    entries = Hashtbl.create 16;
+    config;
+    shreds = Shred_pool.create ~capacity:config.shred_pool_columns;
+    templates = Template_cache.create ~compile_seconds:config.compile_seconds;
+    stats = Table_stats.create ();
+    hep_readers = Hashtbl.create 4;
+  }
+
+let config t = t.config
+let shreds t = t.shreds
+let templates t = t.templates
+let stats t = t.stats
+
+let register t ~name ~path ~format ~schema =
+  if Hashtbl.mem t.entries name then
+    invalid_arg ("Catalog.register: duplicate table " ^ name);
+  (match format with
+   | Format_kind.Fwb | Format_kind.Ibx ->
+     List.iter
+       (fun (f : Schema.field) ->
+         if Dtype.equal f.dtype Dtype.String then
+           invalid_arg "Catalog.register: FWB tables cannot have String columns")
+       (Schema.fields schema)
+   | Format_kind.Hep_events | Format_kind.Hep_particles _ ->
+     if Schema.arity schema > 0 then
+       invalid_arg "Catalog.register: HEP schemas are fixed; use register_hep"
+   | Format_kind.Csv _ | Format_kind.Jsonl | Format_kind.Jsonl_array _ -> ());
+  let schema =
+    match format with
+    | Format_kind.Hep_events -> Format_kind.hep_event_schema
+    | Format_kind.Hep_particles _ -> Format_kind.hep_particle_schema
+    | _ -> schema
+  in
+  Hashtbl.replace t.entries name
+    {
+      name;
+      path;
+      format;
+      schema;
+      file = None;
+      hep = None;
+      posmap = None;
+      loaded = None;
+      n_rows = None;
+      hep_index = None;
+      row_starts = None;
+      jarr_index = None;
+      ibx = None;
+    }
+
+let register_hep t ~name_prefix ~path =
+  let empty = Schema.make [] in
+  register t ~name:(name_prefix ^ "_events") ~path ~format:Format_kind.Hep_events
+    ~schema:empty;
+  List.iter
+    (fun (coll, suffix) ->
+      register t
+        ~name:(name_prefix ^ suffix)
+        ~path
+        ~format:(Format_kind.Hep_particles coll)
+        ~schema:empty)
+    [ (Hep.Muons, "_muons"); (Hep.Electrons, "_electrons"); (Hep.Jets, "_jets") ]
+
+let find t name = Hashtbl.find_opt t.entries name
+
+let get t name =
+  match find t name with
+  | Some e -> e
+  | None -> raise Not_found
+
+let mem t name = Hashtbl.mem t.entries name
+
+let tables t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.entries [] |> List.sort String.compare
+
+let file t entry =
+  match entry.file with
+  | Some f -> f
+  | None ->
+    let f = Mmap_file.open_file ~config:t.config.mmap entry.path in
+    entry.file <- Some f;
+    f
+
+let hep_reader t entry =
+  match entry.hep with
+  | Some r -> r
+  | None ->
+    let r =
+      match Hashtbl.find_opt t.hep_readers entry.path with
+      | Some r -> r
+      | None ->
+        let r =
+          Hep.Reader.open_file ~config:t.config.mmap
+            ~object_cache_capacity:t.config.hep_object_cache entry.path
+        in
+        Hashtbl.replace t.hep_readers entry.path r;
+        r
+    in
+    entry.hep <- Some r;
+    (* share the underlying mapped file so page accounting is unified *)
+    entry.file <- Some (Hep.Reader.file r);
+    r
+
+let dtypes_of_schema schema =
+  Array.of_list
+    (List.map (fun (f : Schema.field) -> f.dtype) (Schema.fields schema))
+
+let fwb_layout entry =
+  match entry.format with
+  | Format_kind.Fwb -> Fwb.layout (dtypes_of_schema entry.schema)
+  | _ -> invalid_arg "Catalog.fwb_layout: not an FWB table"
+
+let ibx_meta t entry =
+  match entry.ibx with
+  | Some m -> m
+  | None ->
+    (match entry.format with
+     | Format_kind.Ibx ->
+       let m =
+         Ibx.read_meta (file t entry) ~dtypes:(dtypes_of_schema entry.schema)
+       in
+       entry.ibx <- Some m;
+       entry.n_rows <- Some m.Ibx.n_rows;
+       m
+     | _ -> invalid_arg "Catalog.ibx_meta: not an IBX table")
+
+let build_hep_index t entry coll =
+  let r = hep_reader t entry in
+  let n_events = Hep.Reader.n_events r in
+  let entries = Buffer_int.create () in
+  let items = Buffer_int.create () in
+  for e = 0 to n_events - 1 do
+    let len = Hep.Reader.collection_length r e coll in
+    for i = 0 to len - 1 do
+      Buffer_int.add entries e;
+      Buffer_int.add items i
+    done
+  done;
+  (Buffer_int.contents entries, Buffer_int.contents items)
+
+let hep_index t entry =
+  match entry.hep_index with
+  | Some idx -> idx
+  | None ->
+    (match entry.format with
+     | Format_kind.Hep_particles coll ->
+       let idx = build_hep_index t entry coll in
+       entry.hep_index <- Some idx;
+       entry.n_rows <- Some (Array.length (fst idx));
+       idx
+     | _ -> invalid_arg "Catalog.hep_index: not a HEP particle table")
+
+let jsonl_row_starts t entry =
+  match entry.row_starts with
+  | Some starts -> starts
+  | None ->
+    let starts = Jsonl.row_starts (file t entry) in
+    entry.row_starts <- Some starts;
+    starts
+
+let jarr_index t entry =
+  match entry.jarr_index with
+  | Some idx -> idx
+  | None ->
+    (match entry.format with
+     | Format_kind.Jsonl_array { array_path } ->
+       let idx =
+         Scan_jsonl.array_index ~file:(file t entry)
+           ~row_starts:(jsonl_row_starts t entry)
+           ~array_path:(String.split_on_char '.' array_path)
+       in
+       entry.jarr_index <- Some idx;
+       entry.n_rows <- Some (Array.length (fst idx));
+       idx
+     | _ -> invalid_arg "Catalog.jarr_index: not a JSONL child table")
+
+let n_rows t entry =
+  match entry.n_rows with
+  | Some n -> n
+  | None ->
+    let n =
+      match entry.format with
+      | Format_kind.Csv _ -> Csv.count_rows (file t entry)
+      | Format_kind.Jsonl -> Array.length (jsonl_row_starts t entry)
+      | Format_kind.Jsonl_array _ -> Array.length (fst (jarr_index t entry))
+      | Format_kind.Fwb -> Fwb.n_rows (fwb_layout entry) (file t entry)
+      | Format_kind.Ibx -> (ibx_meta t entry).Ibx.n_rows
+      | Format_kind.Hep_events -> Hep.Reader.n_events (hep_reader t entry)
+      | Format_kind.Hep_particles _ -> Array.length (fst (hep_index t entry))
+    in
+    entry.n_rows <- Some n;
+    n
+
+let set_posmap entry pm = entry.posmap <- Some pm
+
+let drop_file_caches t =
+  Hashtbl.iter
+    (fun _ e ->
+      match e.file with Some f -> Mmap_file.drop_cache f | None -> ())
+    t.entries
+
+let forget_data_state t =
+  Hashtbl.iter
+    (fun _ e ->
+      e.posmap <- None;
+      e.loaded <- None;
+      e.row_starts <- None;
+      e.jarr_index <- None;
+      match e.hep with
+      | Some r -> Hep.Reader.clear_object_cache r
+      | None -> ())
+    t.entries;
+  Shred_pool.clear t.shreds
+
+let forget_adaptive_state t =
+  forget_data_state t;
+  Table_stats.clear t.stats;
+  Template_cache.clear t.templates

@@ -1,0 +1,101 @@
+(** The RAW catalog (paper §3).
+
+    Each raw file exposed to RAW gets a table name; the catalog records the
+    filename, the (possibly partial) schema and the file format, plus the
+    per-file auxiliary state RAW accumulates adaptively: the memory-mapped
+    file handle, the positional map, DBMS-loaded columns, and (for HEP
+    particle tables) the flattened row-id index. The catalog also owns the
+    engine-wide caches: the shred pool and the template cache. *)
+
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+type entry = {
+  name : string;
+  path : string;
+  format : Format_kind.t;
+  schema : Schema.t;
+  mutable file : Mmap_file.t option;
+  mutable hep : Hep.Reader.t option;
+  mutable posmap : Posmap.t option;
+  mutable loaded : Column.t array option;
+      (** DBMS-mode fully-loaded columns, schema order *)
+  mutable n_rows : int option;
+  mutable hep_index : (int array * int array) option;
+      (** particle tables: dense row id -> (entry, item) *)
+  mutable row_starts : int array option;
+      (** JSONL: byte offset of each row — the structure index *)
+  mutable jarr_index : (int array * int array) option;
+      (** JSONL child tables: dense row id -> (parent row, element offset) *)
+  mutable ibx : Ibx.meta option;  (** IBX footer + index metadata *)
+}
+
+type t
+
+val create : ?config:Config.t -> unit -> t
+val config : t -> Config.t
+val shreds : t -> Shred_pool.t
+val templates : t -> Template_cache.t
+
+val stats : t -> Table_stats.t
+(** Column statistics accumulated as a side effect of full-column scans
+    (see {!Table_stats}); feeds the {!Cost_model}. *)
+
+val register : t -> name:string -> path:string -> format:Format_kind.t ->
+  schema:Schema.t -> unit
+(** Raises [Invalid_argument] on duplicate name, on a [String] column in an
+    FWB table, or when a HEP format is given a schema (HEP schemas are
+    fixed; pass the empty schema via {!register_hep} instead). *)
+
+val register_hep : t -> name_prefix:string -> path:string -> unit
+(** Registers the four relational views of one HEP file:
+    [<prefix>_events], [<prefix>_muons], [<prefix>_electrons],
+    [<prefix>_jets]. *)
+
+val find : t -> string -> entry option
+val get : t -> string -> entry
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val tables : t -> string list
+
+(** {1 Lazily-established per-file state} *)
+
+val file : t -> entry -> Mmap_file.t
+val hep_reader : t -> entry -> Hep.Reader.t
+val n_rows : t -> entry -> int
+(** Counts rows on first call (CSV: newline scan; FWB: size/row_size; HEP
+    events: header; HEP particles: collection-length scan building the
+    row-id index). *)
+
+val hep_index : t -> entry -> int array * int array
+
+val jarr_index : t -> entry -> int array * int array
+(** JSONL child tables: builds (and caches) the element index. Raises
+    [Invalid_argument] for other formats. *)
+
+val fwb_layout : entry -> Fwb.layout
+(** Raises [Invalid_argument] if the entry is not FWB. *)
+
+val ibx_meta : t -> entry -> Ibx.meta
+(** Reads and caches the footer. Raises [Invalid_argument] if the entry is
+    not IBX, [Failure] if the file is malformed. *)
+
+val set_posmap : entry -> Posmap.t -> unit
+
+(** {1 Cache control (benchmarks need clean slates)} *)
+
+val drop_file_caches : t -> unit
+(** Simulated page caches of all registered files become cold. *)
+
+val forget_data_state : t -> unit
+(** Drops positional maps, DBMS-loaded columns, the shred pool and the HEP
+    object caches, but keeps compiled templates — the state of a session
+    whose data caches were reset while the generated-library cache (which
+    only depends on query/file shapes, paper §4.2) stays warm. Benchmarks
+    use this between measurements of the same query shape. *)
+
+val forget_adaptive_state : t -> unit
+(** {!forget_data_state} plus the template cache — as if no query had ever
+    run. Keeps files registered. *)

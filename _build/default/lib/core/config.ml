@@ -1,0 +1,20 @@
+open Raw_storage
+
+type t = {
+  mmap : Mmap_file.Config.t;
+  chunk_rows : int;
+  compile_seconds : float;
+  posmap_every : int;
+  shred_pool_columns : int;
+  hep_object_cache : int;
+}
+
+let default =
+  {
+    mmap = Mmap_file.Config.default;
+    chunk_rows = 4096;
+    compile_seconds = 0.01;
+    posmap_every = 10;
+    shred_pool_columns = 256;
+    hep_object_cache = 4096;
+  }

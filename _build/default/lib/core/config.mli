@@ -1,0 +1,25 @@
+(** Engine configuration: cost-model constants and cache sizes.
+
+    The paper's absolute numbers come from a specific machine (Table 1) and
+    multi-GB files; we reproduce shapes at laptop scale, so the two
+    simulated costs (I/O per page, JIT compilation per template) are
+    explicit, documented knobs rather than hidden machine properties. *)
+
+open Raw_storage
+
+type t = {
+  mmap : Mmap_file.Config.t;
+      (** page size and simulated per-page I/O latency *)
+  chunk_rows : int;  (** vector size exchanged between operators *)
+  compile_seconds : float;
+      (** simulated latency of compiling one JIT access-path template. The
+          paper measures ~2 s with GCC against ~170 s cold queries (~1%);
+          the default 0.01 s keeps the same order of proportion at laptop
+          scale. *)
+  posmap_every : int;
+      (** default positional-map granularity: track every k-th column *)
+  shred_pool_columns : int;  (** LRU capacity of the column-shred pool *)
+  hep_object_cache : int;  (** LRU capacity of the HEP object cache *)
+}
+
+val default : t

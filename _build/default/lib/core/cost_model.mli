@@ -1,0 +1,49 @@
+(** A cost model for the column-materialization strategies.
+
+    The paper leaves "developing a comprehensive cost model for our methods
+    to enable their integration with existing query optimizers" as future
+    work (§8); this is that integration for the choice its Section 5
+    shows is selectivity-dependent: full columns vs column shreds vs
+    multi-column shreds.
+
+    Costs are abstract per-value units — only the {e ordering} of the
+    estimates matters. The shapes follow the paper's measurements:
+
+    - full columns read every requested column for all rows in one
+      sequential pass;
+    - shreds read filter columns first and remaining columns only for
+      qualifying rows, paying a positional-jump overhead per row and one
+      pass per column (Figure 5/9);
+    - multi-column shreds share one jump per row across the remaining
+      columns (Figure 9). *)
+
+val estimate_selectivity :
+  Table_stats.t ->
+  table:string ->
+  columns:int list ->
+  Raw_engine.Expr.t list ->
+  float
+(** Combined selectivity of the conjuncts over a scan's output (positional
+    exprs; [columns] maps positions to schema columns). Unknown conjunct
+    shapes or missing statistics contribute the default 0.5. *)
+
+type strategy_costs = {
+  full : float;
+  shreds : float;
+  multi_shreds : float;
+}
+
+val selection_costs :
+  n_rows:int ->
+  n_filter_cols:int ->
+  n_post_cols:int ->
+  selectivity:float ->
+  textual:bool ->
+  strategy_costs
+(** [textual] distinguishes parse-heavy formats (CSV/JSON) from computed-
+    offset binary ones (conversion cost and jump overhead differ). *)
+
+val choose :
+  strategy_costs -> [ `Full_columns | `Shreds | `Multi_shreds ]
+(** The cheapest strategy (ties resolve toward shreds, the engine
+    default). *)

@@ -1,0 +1,92 @@
+open Raw_vector
+open Raw_storage
+open Raw_engine
+
+type report = {
+  chunk : Chunk.t;
+  schema : Schema.t;
+  cpu_seconds : float;
+  io_seconds : float;
+  compile_seconds : float;
+  total_seconds : float;
+  counters : (string * float) list;
+}
+
+let entry_files cat logical =
+  (* tables may share a file (the four HEP views); dedupe by identity *)
+  List.fold_left
+    (fun acc t ->
+      let entry = Catalog.get cat t in
+      match entry.Catalog.file with
+      | Some f -> if List.memq f acc then acc else f :: acc
+      | None -> acc)
+    [] (Logical.tables logical)
+
+let io_of_files cat logical =
+  List.fold_left
+    (fun acc f -> acc +. Mmap_file.simulated_io_seconds f)
+    0. (entry_files cat logical)
+
+let run ?(options = Planner.default) cat logical =
+  (* baseline for per-query deltas *)
+  let before = Io_stats.snapshot () in
+  List.iter Mmap_file.reset_counters (entry_files cat logical);
+  ignore (Template_cache.take_charged_seconds (Catalog.templates cat));
+  let (chunk, schema), cpu_seconds =
+    Timing.time (fun () ->
+        let op, schema = Planner.plan cat options logical in
+        (Operator.to_chunk op, schema))
+  in
+  (* an exhausted operator yields the 0-column empty chunk; give empty
+     results their proper schema-shaped arity *)
+  let chunk =
+    if Chunk.n_rows chunk = 0 && Chunk.n_cols chunk <> Schema.arity schema then
+      Chunk.create
+        (Array.of_list
+           (List.map
+              (fun (f : Schema.field) -> Column.of_values f.dtype [])
+              (Schema.fields schema)))
+    else chunk
+  in
+  let io_seconds = io_of_files cat logical in
+  let compile_seconds =
+    Template_cache.take_charged_seconds (Catalog.templates cat)
+  in
+  let after = Io_stats.snapshot () in
+  let counters =
+    List.filter_map
+      (fun (k, v) ->
+        let v0 =
+          match List.assoc_opt k before with Some x -> x | None -> 0.
+        in
+        if v -. v0 <> 0. then Some (k, v -. v0) else None)
+      after
+  in
+  {
+    chunk;
+    schema;
+    cpu_seconds;
+    io_seconds;
+    compile_seconds;
+    total_seconds = cpu_seconds +. io_seconds +. compile_seconds;
+    counters;
+  }
+
+let pp_result ppf r =
+  let names = List.map (fun (f : Schema.field) -> f.name) (Schema.fields r.schema) in
+  Format.fprintf ppf "@[<v>%s@," (String.concat " | " names);
+  let n = Chunk.n_rows r.chunk in
+  for i = 0 to min (n - 1) 49 do
+    Format.fprintf ppf "%s@,"
+      (String.concat " | "
+         (List.map Value.to_string (Chunk.row r.chunk i)))
+  done;
+  if n > 50 then Format.fprintf ppf "... (%d rows total)@," n;
+  Format.fprintf ppf "@]"
+
+let pp_report ppf r =
+  pp_result ppf r;
+  Format.fprintf ppf
+    "-- %d row(s); total %.4fs = cpu %.4fs + io(sim) %.4fs + compile(sim) %.4fs"
+    (Chunk.n_rows r.chunk) r.total_seconds r.cpu_seconds r.io_seconds
+    r.compile_seconds

@@ -1,0 +1,28 @@
+(** Query execution with the paper's cost accounting.
+
+    A query's reported time decomposes into measured CPU wall time plus the
+    two simulated components of the cost model (DESIGN.md §1): page-fault
+    I/O charged by {!Raw_storage.Mmap_file} and JIT compilation charged by
+    {!Template_cache}. The per-query counter delta exposes the work metrics
+    (fields tokenized, values converted, pool hits...) the breakdown and
+    ablation experiments report. *)
+
+open Raw_vector
+
+type report = {
+  chunk : Chunk.t;  (** full materialized result *)
+  schema : Schema.t;
+  cpu_seconds : float;  (** measured *)
+  io_seconds : float;  (** simulated cold-page I/O *)
+  compile_seconds : float;  (** simulated JIT compilation *)
+  total_seconds : float;  (** sum of the three *)
+  counters : (string * float) list;  (** per-query {!Raw_storage.Io_stats} delta *)
+}
+
+val run : ?options:Planner.options -> Catalog.t -> Logical.t -> report
+
+val pp_report : Format.formatter -> report -> unit
+(** Result rows (with header) followed by the timing line. *)
+
+val pp_result : Format.formatter -> report -> unit
+(** Result rows only. *)

@@ -1,0 +1,132 @@
+open Raw_vector
+open Raw_engine
+
+type agg_spec = { op : Kernels.agg; expr : Expr.t; name : string }
+
+type t =
+  | Scan of { table : string; columns : int list }
+  | Filter of Expr.t * t
+  | Project of (Expr.t * string) list * t
+  | Join of { left : t; right : t; left_key : int; right_key : int }
+  | Aggregate of { keys : int list; aggs : agg_spec list; input : t }
+  | Order_by of (int * [ `Asc | `Desc ]) list * t
+  | Limit of int * t
+
+let uniquify fields =
+  let seen = Hashtbl.create 16 in
+  List.map
+    (fun (f : Schema.field) ->
+      match Hashtbl.find_opt seen f.name with
+      | None ->
+        Hashtbl.replace seen f.name 1;
+        f
+      | Some k ->
+        (* find a suffix that collides neither with earlier output names nor
+           with literal "name#k" fields (stacked joins produce those) *)
+        let rec fresh k =
+          let candidate = Printf.sprintf "%s#%d" f.name k in
+          if Hashtbl.mem seen candidate then fresh (k + 1) else (k, candidate)
+        in
+        let k, name = fresh (k + 1) in
+        Hashtbl.replace seen f.name k;
+        Hashtbl.replace seen name 1;
+        { f with name })
+    fields
+
+let rec output_schema cat = function
+  | Scan { table; columns } ->
+    let entry = Catalog.get cat table in
+    Schema.make
+      (List.mapi
+         (fun pos i ->
+           let f = Schema.field entry.schema i in
+           { f with Schema.source_index = pos })
+         columns)
+  | Filter (_, child) -> output_schema cat child
+  | Project (items, child) ->
+    let child_schema = output_schema cat child in
+    let coltype i =
+      if i < 0 || i >= Schema.arity child_schema then
+        invalid_arg "Logical.output_schema: column index out of range"
+      else Schema.dtype child_schema i
+    in
+    Schema.make
+      (List.mapi
+         (fun pos (e, name) ->
+           { Schema.name; dtype = Expr.infer coltype e; source_index = pos })
+         items)
+  | Join { left; right; _ } ->
+    let ls = output_schema cat left and rs = output_schema cat right in
+    let fields = Schema.fields ls @ Schema.fields rs in
+    Schema.make
+      (List.mapi (fun pos f -> { f with Schema.source_index = pos })
+         (uniquify fields))
+  | Aggregate { keys; aggs; input } ->
+    let child_schema = output_schema cat input in
+    let coltype i = Schema.dtype child_schema i in
+    let key_fields = List.map (fun i -> Schema.field child_schema i) keys in
+    let agg_fields =
+      List.map
+        (fun { op; expr; name } ->
+          let dtype =
+            match op with
+            | Kernels.Count | Kernels.Count_distinct -> Dtype.Int
+            | Kernels.Avg -> Dtype.Float
+            | Kernels.Max | Kernels.Min | Kernels.Sum -> Expr.infer coltype expr
+          in
+          { Schema.name; dtype; source_index = 0 })
+        aggs
+    in
+    Schema.make
+      (List.mapi (fun pos f -> { f with Schema.source_index = pos })
+         (uniquify (key_fields @ agg_fields)))
+  | Order_by (_, child) | Limit (_, child) -> output_schema cat child
+
+let tables plan =
+  let rec go acc = function
+    | Scan { table; _ } -> table :: acc
+    | Filter (_, c) | Project (_, c) | Order_by (_, c) | Limit (_, c) ->
+      go acc c
+    | Join { left; right; _ } -> go (go acc left) right
+    | Aggregate { input; _ } -> go acc input
+  in
+  List.sort_uniq String.compare (go [] plan)
+
+let rec pp ppf = function
+  | Scan { table; columns } ->
+    Format.fprintf ppf "Scan(%s: %a)" table
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f ",")
+         Format.pp_print_int)
+      columns
+  | Filter (e, c) -> Format.fprintf ppf "@[<v2>Filter %a@,%a@]" Expr.pp e pp c
+  | Project (items, c) ->
+    Format.fprintf ppf "@[<v2>Project %a@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f ", ")
+         (fun f (e, n) -> Format.fprintf f "%a AS %s" Expr.pp e n))
+      items pp c
+  | Join { left; right; left_key; right_key } ->
+    Format.fprintf ppf "@[<v2>Join l.$%d = r.$%d@,%a@,%a@]" left_key right_key
+      pp left pp right
+  | Aggregate { keys; aggs; input } ->
+    Format.fprintf ppf "@[<v2>Aggregate keys=[%a] aggs=[%a]@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f ",")
+         Format.pp_print_int)
+      keys
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f ", ")
+         (fun f { op; expr; name } ->
+           Format.fprintf f "%s(%a) AS %s" (Kernels.agg_to_string op) Expr.pp
+             expr name))
+      aggs pp input
+  | Order_by (specs, c) ->
+    Format.fprintf ppf "@[<v2>OrderBy %a@,%a@]"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f ", ")
+         (fun f (i, d) ->
+           Format.fprintf f "$%d %s" i
+             (match d with `Asc -> "ASC" | `Desc -> "DESC")))
+      specs pp c
+  | Limit (n, c) -> Format.fprintf ppf "@[<v2>Limit %d@,%a@]" n pp c

@@ -1,0 +1,68 @@
+open Raw_vector
+
+type t = { catalog : Catalog.t; mutable options : Planner.options }
+
+let create ?config ?(options = Planner.default) () =
+  { catalog = Catalog.create ?config (); options }
+
+let catalog t = t.catalog
+let options t = t.options
+let set_options t o = t.options <- o
+
+let register_csv t ~name ~path ?(sep = ',') ~columns () =
+  Catalog.register t.catalog ~name ~path
+    ~format:(Format_kind.Csv { sep })
+    ~schema:(Schema.of_pairs columns)
+
+let register_jsonl t ~name ~path ~columns =
+  Catalog.register t.catalog ~name ~path ~format:Format_kind.Jsonl
+    ~schema:(Schema.of_pairs columns)
+
+let register_fwb t ~name ~path ~columns =
+  Catalog.register t.catalog ~name ~path ~format:Format_kind.Fwb
+    ~schema:(Schema.of_pairs columns)
+
+let register_jsonl_array t ~name ~path ~array_path ~columns =
+  Catalog.register t.catalog ~name ~path
+    ~format:(Format_kind.Jsonl_array { array_path })
+    ~schema:(Schema.of_pairs (("parent", Dtype.Int) :: columns))
+
+let register_ibx t ~name ~path ~columns =
+  Catalog.register t.catalog ~name ~path ~format:Format_kind.Ibx
+    ~schema:(Schema.of_pairs columns)
+
+let register_hep t ~name_prefix ~path =
+  Catalog.register_hep t.catalog ~name_prefix ~path
+
+let run_plan ?options t logical =
+  let options = Option.value options ~default:t.options in
+  Executor.run ~options t.catalog logical
+
+let query ?options t sql =
+  run_plan ?options t (Sql_binder.bind_string t.catalog sql)
+
+let explain ?options t q =
+  let options = Option.value options ~default:t.options in
+  let logical = Sql_binder.bind_string t.catalog q in
+  let op, _schema, trace = Planner.plan_with_trace t.catalog options logical in
+  Raw_engine.Operator.close op;
+  trace
+
+let sql t q = (query t q).Executor.chunk
+
+let scalar t q =
+  let c = sql t q in
+  if Chunk.n_rows c = 0 || Chunk.n_cols c = 0 then
+    invalid_arg "Raw_db.scalar: empty result";
+  Column.get (Chunk.column c 0) 0
+
+let describe t name = (Catalog.get t.catalog name).Catalog.schema
+let tables t = Catalog.tables t.catalog
+
+let hep_reader t name =
+  let entry = Catalog.get t.catalog name in
+  Catalog.hep_reader t.catalog entry
+
+let drop_file_caches t = Catalog.drop_file_caches t.catalog
+let forget_data_state t = Catalog.forget_data_state t.catalog
+let forget_adaptive_state t = Catalog.forget_adaptive_state t.catalog

@@ -1,0 +1,91 @@
+(** RAW: the user-facing façade.
+
+    Register raw files under table names, then query them with SQL or with
+    logical plans; the engine adapts to the files (JIT access paths,
+    positional maps, column shreds) across queries. See README.md for a
+    tour. *)
+
+open Raw_vector
+open Raw_formats
+
+type t
+
+val create : ?config:Config.t -> ?options:Planner.options -> unit -> t
+val catalog : t -> Catalog.t
+val options : t -> Planner.options
+val set_options : t -> Planner.options -> unit
+
+(** {1 Registration} *)
+
+val register_csv :
+  t -> name:string -> path:string -> ?sep:char ->
+  columns:(string * Dtype.t) list -> unit -> unit
+
+val register_jsonl :
+  t -> name:string -> path:string -> columns:(string * Dtype.t) list -> unit
+(** Column names are dotted paths into the objects (e.g. ["user.id"]) —
+    a partial schema over hierarchical data. Absent fields read as NULL. *)
+
+val register_fwb :
+  t -> name:string -> path:string -> columns:(string * Dtype.t) list -> unit
+
+val register_jsonl_array :
+  t -> name:string -> path:string -> array_path:string ->
+  columns:(string * Dtype.t) list -> unit
+(** Flattened child table over an array of objects inside each JSONL row
+    ([array_path] is the dotted path to the array). The table's first
+    column is always [parent] (the parent row id); [columns] are dotted
+    paths within each element. Pairs with a {!register_jsonl} of the same
+    file for parent/child joins, like the HEP particle tables. *)
+
+val register_ibx :
+  t -> name:string -> path:string -> columns:(string * Dtype.t) list -> unit
+(** Indexed binary file ({!Raw_formats.Ibx}); the embedded B+-tree is used
+    automatically for range predicates on the indexed column when
+    {!Planner.options.use_indexes} is on. *)
+
+val register_hep : t -> name_prefix:string -> path:string -> unit
+(** Registers [<prefix>_events], [<prefix>_muons], [<prefix>_electrons],
+    [<prefix>_jets] over one HEP file. *)
+
+(** {1 Querying} *)
+
+val query : ?options:Planner.options -> t -> string -> Executor.report
+(** Run a SQL string. Raises {!Sql_binder.Bind_error} or
+    {!Raw_sql.Parser.Error} on bad input. *)
+
+val run_plan : ?options:Planner.options -> t -> Logical.t -> Executor.report
+
+val explain : ?options:Planner.options -> t -> string -> string list
+(** The planner's decision trace for a SQL query (strategy, eager vs
+    deferred scans, index use, late-scan attachment points) without
+    executing the plan. Eager modes perform their bottom reads during
+    planning. *)
+
+val sql : t -> string -> Chunk.t
+(** Convenience: {!query} and return just the rows. *)
+
+val scalar : t -> string -> Value.t
+(** Convenience for single-value queries: the first column of the first row.
+    Raises [Invalid_argument] if the result is empty. *)
+
+(** {1 Introspection & maintenance} *)
+
+val describe : t -> string -> Schema.t
+(** Raises [Not_found]. *)
+
+val tables : t -> string list
+
+val hep_reader : t -> string -> Hep.Reader.t
+(** Direct access to the HEP library for a registered [<prefix>_events]
+    table — what the hand-written analysis baseline uses. *)
+
+val drop_file_caches : t -> unit
+(** Make all files cold (see {!Raw_storage.Mmap_file}). *)
+
+val forget_data_state : t -> unit
+(** Forget positional maps, shreds and loaded columns, but keep compiled
+    templates (see {!Catalog.forget_data_state}). *)
+
+val forget_adaptive_state : t -> unit
+(** Forget positional maps, shreds, templates and loaded columns. *)

@@ -1,0 +1,395 @@
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+type mode = Interpreted | Jit
+
+let mode_to_string = function Interpreted -> "interp" | Jit -> "jit"
+
+let template_key ~phase ~table ~sep ~needed ~tracked =
+  Printf.sprintf "csv|%s|%s|sep=%C|needed=%s|tracked=%s" phase table sep
+    (String.concat "," (List.map string_of_int needed))
+    (String.concat "," (List.map string_of_int tracked))
+
+(* Map schema indexes to (source ordinal, schema index), ascending source. *)
+let by_source schema needed =
+  List.map (fun i -> ((Schema.field schema i).Schema.source_index, i)) needed
+  |> List.sort Stdlib.compare
+
+let builder_for schema i = Builder.create ~capacity:1024 (Schema.dtype schema i)
+
+(* Reorder the built columns (ascending-source order) back to the caller's
+   requested order. *)
+let reorder needed by_src cols =
+  let assoc = List.map2 (fun (_, si) c -> (si, c)) by_src (Array.to_list cols) in
+  Array.of_list (List.map (fun i -> List.assoc i assoc) needed)
+
+(* ------------------------------------------------------------------ *)
+(* Sequential scan                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let seq_scan_interpreted ~file ~sep ~schema ~needed ~tracked () =
+  let buf = Mmap_file.bytes file in
+  let cur = Csv.Cursor.create ~sep file in
+  let srcs = by_source schema needed in
+  let max_needed_src = List.fold_left (fun a (s, _) -> max a s) (-1) srcs in
+  let max_tracked = List.fold_left max (-1) tracked in
+  let last = max max_needed_src max_tracked in
+  (* general-purpose operator state: per-column lookup tables consulted at
+     runtime for every field — the interpretation overhead under study *)
+  let builder_of_src = Array.make (last + 1) None in
+  List.iter
+    (fun (s, i) -> builder_of_src.(s) <- Some (Schema.dtype schema i, builder_for schema i))
+    srcs;
+  let tracked_mask = Array.make (last + 1) false in
+  List.iter (fun c -> if c <= last then tracked_mask.(c) <- true) tracked;
+  let pm = if tracked = [] then None else Some (Posmap.Build.create ~tracked) in
+  let tokenized = ref 0 and converted = ref 0 in
+  while not (Csv.Cursor.at_eof cur) do
+    for col = 0 to last do
+      let track = tracked_mask.(col) in
+      match builder_of_src.(col) with
+      | Some (dt, b) ->
+        let p, l = Csv.Cursor.next_field cur in
+        incr tokenized;
+        if track then
+          Option.iter (fun pm -> Posmap.Build.record pm ~col ~pos:p ~len:l) pm;
+        (* per-field data type dispatch against the catalog *)
+        (match dt with
+         | Dtype.Int -> Builder.add_int b (Csv.parse_int buf p l)
+         | Dtype.Float -> Builder.add_float b (Csv.parse_float buf p l)
+         | Dtype.Bool -> Builder.add_bool b (Csv.parse_bool buf p l)
+         | Dtype.String -> Builder.add_string b (Csv.parse_string buf p l));
+        incr converted
+      | None ->
+        if track then begin
+          let p, l = Csv.Cursor.next_field cur in
+          incr tokenized;
+          Option.iter (fun pm -> Posmap.Build.record pm ~col ~pos:p ~len:l) pm
+        end
+        else begin
+          Csv.Cursor.skip_field cur;
+          incr tokenized
+        end
+    done;
+    Csv.Cursor.skip_line cur;
+    Option.iter Posmap.Build.end_row pm
+  done;
+  Io_stats.add "csv.fields_tokenized" !tokenized;
+  Io_stats.add "csv.values_converted" !converted;
+  Io_stats.add "scan.values_built" !converted;
+  let cols =
+    Array.of_list (List.map (fun (_, i) ->
+        match builder_of_src.((Schema.field schema i).Schema.source_index) with
+        | Some (_, b) -> Builder.to_column b
+        | None -> assert false)
+      srcs)
+  in
+  (reorder needed srcs cols, Option.map Posmap.Build.finish pm)
+
+(* JIT kernel: the per-row work is composed once, outside the loop, as a
+   chain of monomorphic closures — unrolled columns, baked-in conversions,
+   no lookups on the critical path. *)
+let seq_scan_jit ~file ~sep ~schema ~needed ~tracked () =
+  let buf = Mmap_file.bytes file in
+  let cur = Csv.Cursor.create ~sep file in
+  let srcs = by_source schema needed in
+  let max_needed_src = List.fold_left (fun a (s, _) -> max a s) (-1) srcs in
+  let max_tracked = List.fold_left max (-1) tracked in
+  let last = max max_needed_src max_tracked in
+  let pm = if tracked = [] then None else Some (Posmap.Build.create ~tracked) in
+  let builders = List.map (fun (_, i) -> builder_for schema i) srcs in
+  let tracked_set = List.sort_uniq Stdlib.compare tracked in
+  (* one action per interesting column; runs of untouched columns fuse into
+     a single skip action *)
+  let actions = ref [] in
+  let emit a = actions := a :: !actions in
+  let fields_per_row = ref 0 in
+  let pending_skip = ref 0 in
+  let flush_skip () =
+    if !pending_skip > 0 then begin
+      let n = !pending_skip in
+      pending_skip := 0;
+      fields_per_row := !fields_per_row + n;
+      if n = 1 then emit (fun () -> Csv.Cursor.skip_field cur)
+      else emit (fun () -> Csv.Cursor.skip_fields cur n)
+    end
+  in
+  let record_fn col =
+    match pm with
+    | Some pm -> Some (fun p l -> Posmap.Build.record pm ~col ~pos:p ~len:l)
+    | None -> None
+  in
+  let parse_action b dt record =
+    (* the data-type conversion is selected here, at "compile" time *)
+    match (dt : Dtype.t), record with
+    | Int, None ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        Builder.add_int b (Csv.parse_int buf p l)
+    | Int, Some r ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        r p l;
+        Builder.add_int b (Csv.parse_int buf p l)
+    | Float, None ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        Builder.add_float b (Csv.parse_float buf p l)
+    | Float, Some r ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        r p l;
+        Builder.add_float b (Csv.parse_float buf p l)
+    | Bool, None ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        Builder.add_bool b (Csv.parse_bool buf p l)
+    | Bool, Some r ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        r p l;
+        Builder.add_bool b (Csv.parse_bool buf p l)
+    | String, None ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        Builder.add_string b (Csv.parse_string buf p l)
+    | String, Some r ->
+      fun () ->
+        let p, l = Csv.Cursor.next_field cur in
+        r p l;
+        Builder.add_string b (Csv.parse_string buf p l)
+  in
+  let record_only_action r = fun () ->
+    let p, l = Csv.Cursor.next_field cur in
+    r p l
+  in
+  let rec build col srcs builders =
+    if col > last then ()
+    else begin
+      let tracked_here = List.mem col tracked_set in
+      match srcs, builders with
+      | (s, i) :: srcs', b :: builders' when s = col ->
+        flush_skip ();
+        incr fields_per_row;
+        emit
+          (parse_action b (Schema.dtype schema i)
+             (if tracked_here then record_fn col else None));
+        build (col + 1) srcs' builders'
+      | _ ->
+        if tracked_here then begin
+          flush_skip ();
+          incr fields_per_row;
+          match record_fn col with
+          | Some r -> emit (record_only_action r)
+          | None -> ()
+        end
+        else incr pending_skip;
+        build (col + 1) srcs builders
+    end
+  in
+  build 0 srcs builders;
+  (* trailing skips are subsumed by skip_line *)
+  pending_skip := 0;
+  (match pm with
+   | Some pm ->
+     emit (fun () ->
+         Csv.Cursor.skip_line cur;
+         Posmap.Build.end_row pm)
+   | None -> emit (fun () -> Csv.Cursor.skip_line cur));
+  (* compose the action list into one closure chain: the "generated" row
+     function *)
+  let rec compose = function
+    | [] -> fun () -> ()
+    | [ f ] -> f
+    | f :: rest ->
+      let g = compose rest in
+      fun () ->
+        f ();
+        g ()
+  in
+  let row_fn = compose (List.rev !actions) in
+  let n_rows = ref 0 in
+  while not (Csv.Cursor.at_eof cur) do
+    row_fn ();
+    incr n_rows
+  done;
+  let n_needed = List.length needed in
+  Io_stats.add "csv.fields_tokenized" (!n_rows * !fields_per_row);
+  Io_stats.add "csv.values_converted" (!n_rows * n_needed);
+  Io_stats.add "scan.values_built" (!n_rows * n_needed);
+  let cols = Array.of_list (List.map Builder.to_column builders) in
+  (reorder needed srcs cols, Option.map Posmap.Build.finish pm)
+
+let seq_scan ~mode =
+  match mode with
+  | Interpreted -> seq_scan_interpreted
+  | Jit -> seq_scan_jit
+
+(* ------------------------------------------------------------------ *)
+(* Positional fetch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let first_source schema cols =
+  match by_source schema cols with
+  | (s, _) :: _ -> s
+  | [] -> invalid_arg "Scan_csv.fetch: no columns"
+
+let can_fetch ~schema ~posmap ~cols =
+  match cols with
+  | [] -> false
+  | _ ->
+    Option.is_some (Posmap.nearest_at_or_before posmap (first_source schema cols))
+
+let fetch_interpreted ~file ~sep ~schema ~posmap ~cols ~rowids =
+  let buf = Mmap_file.bytes file in
+  let cur = Csv.Cursor.create ~sep file in
+  let srcs = by_source schema cols in
+  let first = first_source schema cols in
+  let builders = List.map (fun (_, i) -> builder_for schema i) srcs in
+  let tokenized = ref 0 and converted = ref 0 in
+  let n = Array.length rowids in
+  for k = 0 to n - 1 do
+    let r = rowids.(k) in
+    (* runtime decisions, per value: consult the positional map, find the
+       navigation strategy, dispatch on the data type *)
+    match Posmap.nearest_at_or_before posmap first with
+    | None -> failwith "Scan_csv.fetch: positional map cannot reach column"
+    | Some (tcol, positions) ->
+      Csv.Cursor.seek cur positions.(r);
+      let at = ref tcol in
+      List.iter2
+        (fun (s, i) b ->
+          while !at < s do
+            Csv.Cursor.skip_field cur;
+            incr tokenized;
+            incr at
+          done;
+          let p, l = Csv.Cursor.next_field cur in
+          incr tokenized;
+          incr at;
+          (match Schema.dtype schema i with
+           | Dtype.Int -> Builder.add_int b (Csv.parse_int buf p l)
+           | Dtype.Float -> Builder.add_float b (Csv.parse_float buf p l)
+           | Dtype.Bool -> Builder.add_bool b (Csv.parse_bool buf p l)
+           | Dtype.String -> Builder.add_string b (Csv.parse_string buf p l));
+          incr converted)
+        srcs builders
+  done;
+  Io_stats.add "csv.fields_tokenized" !tokenized;
+  Io_stats.add "csv.values_converted" !converted;
+  Io_stats.add "scan.values_built" !converted;
+  reorder cols srcs (Array.of_list (List.map Builder.to_column builders))
+
+let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
+  let buf = Mmap_file.bytes file in
+  let cur = Csv.Cursor.create ~sep file in
+  let srcs = by_source schema cols in
+  let first = first_source schema cols in
+  let builders = List.map (fun (_, i) -> builder_for schema i) srcs in
+  let tcol, positions =
+    match Posmap.nearest_at_or_before posmap first with
+    | Some x -> x
+    | None -> failwith "Scan_csv.fetch: positional map cannot reach column"
+  in
+  let lens = if tcol = first then Posmap.lengths posmap tcol else None in
+  (* compile a per-row fetch closure: gaps and conversions baked in *)
+  let fields_per_row = ref 0 in
+  let steps =
+    let rec go at srcs builders acc =
+      match srcs, builders with
+      | [], [] -> List.rev acc
+      | (s, i) :: srcs', b :: builders' ->
+        let gap = s - at in
+        fields_per_row := !fields_per_row + gap + 1;
+        let parse =
+          match Schema.dtype schema i with
+          | Dtype.Int ->
+            fun () ->
+              let p, l = Csv.Cursor.next_field cur in
+              Builder.add_int b (Csv.parse_int buf p l)
+          | Dtype.Float ->
+            fun () ->
+              let p, l = Csv.Cursor.next_field cur in
+              Builder.add_float b (Csv.parse_float buf p l)
+          | Dtype.Bool ->
+            fun () ->
+              let p, l = Csv.Cursor.next_field cur in
+              Builder.add_bool b (Csv.parse_bool buf p l)
+          | Dtype.String ->
+            fun () ->
+              let p, l = Csv.Cursor.next_field cur in
+              Builder.add_string b (Csv.parse_string buf p l)
+        in
+        let step =
+          if gap = 0 then parse
+          else
+            fun () ->
+              Csv.Cursor.skip_fields cur gap;
+              parse ()
+        in
+        go (s + 1) srcs' builders' (step :: acc)
+      | _ -> assert false
+    in
+    go tcol srcs builders []
+  in
+  let rec compose = function
+    | [] -> fun () -> ()
+    | [ f ] -> f
+    | f :: rest ->
+      let g = compose rest in
+      fun () ->
+        f ();
+        g ()
+  in
+  let row_fn = compose steps in
+  let n = Array.length rowids in
+  (* fully-direct path: a single tracked column with recorded lengths needs
+     no tokenizing at all — the paper's "custom atoi" case *)
+  (match lens, srcs, builders with
+   | Some lens, [ (_, i) ], [ b ] when tcol = first ->
+     (match Schema.dtype schema i with
+      | Dtype.Int ->
+        for k = 0 to n - 1 do
+          let r = rowids.(k) in
+          let p = positions.(r) in
+          Mmap_file.touch file p lens.(r);
+          Builder.add_int b (Csv.parse_int buf p lens.(r))
+        done
+      | Dtype.Float ->
+        for k = 0 to n - 1 do
+          let r = rowids.(k) in
+          let p = positions.(r) in
+          Mmap_file.touch file p lens.(r);
+          Builder.add_float b (Csv.parse_float buf p lens.(r))
+        done
+      | Dtype.Bool ->
+        for k = 0 to n - 1 do
+          let r = rowids.(k) in
+          let p = positions.(r) in
+          Mmap_file.touch file p lens.(r);
+          Builder.add_bool b (Csv.parse_bool buf p lens.(r))
+        done
+      | Dtype.String ->
+        for k = 0 to n - 1 do
+          let r = rowids.(k) in
+          let p = positions.(r) in
+          Mmap_file.touch file p lens.(r);
+          Builder.add_string b (Csv.parse_string buf p lens.(r))
+        done);
+     Io_stats.add "csv.fields_tokenized" n
+   | _ ->
+     for k = 0 to n - 1 do
+       Csv.Cursor.seek cur positions.(rowids.(k));
+       row_fn ()
+     done;
+     Io_stats.add "csv.fields_tokenized" (n * !fields_per_row));
+  let n_cols = List.length cols in
+  Io_stats.add "csv.values_converted" (n * n_cols);
+  Io_stats.add "scan.values_built" (n * n_cols);
+  reorder cols srcs (Array.of_list (List.map Builder.to_column builders))
+
+let fetch ~mode =
+  match mode with
+  | Interpreted -> fetch_interpreted
+  | Jit -> fetch_jit

@@ -1,0 +1,67 @@
+(** CSV scan kernels: the general-purpose (in-situ) and JIT access paths
+    (paper §4.1).
+
+    Both kinds do the same logical work; they differ in where decisions
+    live:
+
+    - {b Interpreted} kernels are the NoDB-style general-purpose operator:
+      one loop over source columns per row, with per-column runtime checks
+      ("is this column tracked by the positional map?", "is it requested?")
+      and a per-field data-type dispatch against the schema — the branches
+      the paper blames for in-situ overhead.
+    - {b Jit} kernels are composed at query time from monomorphic per-field
+      closures: the column loop is unrolled, the data-type conversion is
+      baked in, and tracked-position recording appears only where a tracked
+      column actually sits. This is the closure-specialization analogue of
+      the paper's generated C++ (see DESIGN.md §1).
+
+    Kernels report work through {!Raw_storage.Io_stats} counters
+    [csv.fields_tokenized], [csv.values_converted], [scan.values_built]. *)
+
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+type mode = Interpreted | Jit
+
+val mode_to_string : mode -> string
+
+val seq_scan :
+  mode:mode ->
+  file:Mmap_file.t ->
+  sep:char ->
+  schema:Schema.t ->
+  needed:int list ->
+  tracked:int list ->
+  unit ->
+  Column.t array * Posmap.t option
+(** Full sequential scan. [needed] are schema indexes (result columns follow
+    their order); [tracked] are source-column ordinals to record into a
+    fresh positional map ([[]] = build none). Field lengths are recorded for
+    tracked columns, enabling the length-aware parse in {!fetch}. *)
+
+val fetch :
+  mode:mode ->
+  file:Mmap_file.t ->
+  sep:char ->
+  schema:Schema.t ->
+  posmap:Posmap.t ->
+  cols:int list ->
+  rowids:int array ->
+  Column.t array
+(** Positional fetch of one or more schema columns for the given row ids
+    (ascending columns; any row order — callers choose, and pay the
+    locality consequences, paper §5.3.2). For each row the kernel jumps to
+    the tracked column at or before the first requested column and parses
+    incrementally; multiple requested columns share one pass over the row
+    (multi-column shreds, §5.3.1). Raises [Failure] if the positional map
+    tracks nothing at or before the first column. *)
+
+val can_fetch : schema:Schema.t -> posmap:Posmap.t -> cols:int list -> bool
+(** Whether {!fetch} would succeed (some tracked column at or before the
+    first requested column's source ordinal). [cols] are schema indexes. *)
+
+val template_key :
+  phase:string -> table:string -> sep:char -> needed:int list ->
+  tracked:int list -> string
+(** Cache key for a generated kernel: file identity + kernel shape. *)

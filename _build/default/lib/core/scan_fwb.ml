@@ -1,0 +1,124 @@
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+let template_key ~phase ~table ~needed =
+  Printf.sprintf "fwb|%s|%s|needed=%s" phase table
+    (String.concat "," (List.map string_of_int needed))
+
+let source_of schema i = (Schema.field schema i).Schema.source_index
+
+let count_values n_rows n_cols =
+  Io_stats.add "fwb.values_read" (n_rows * n_cols);
+  Io_stats.add "scan.values_built" (n_rows * n_cols)
+
+let read_dispatch file (dt : Dtype.t) pos : Value.t =
+  (* general-purpose read: dtype dispatched per value *)
+  match dt with
+  | Int -> Value.Int (Fwb.read_int file pos)
+  | Float -> Value.Float (Fwb.read_float file pos)
+  | Bool -> Value.Bool (Fwb.read_bool file pos)
+  | String -> invalid_arg "Scan_fwb: String column in FWB"
+
+let seq_scan_interpreted ~file ~layout ~schema ~needed () =
+  let n = Fwb.n_rows layout file in
+  let builders = List.map (fun i -> Builder.create ~capacity:n (Schema.dtype schema i)) needed in
+  for row = 0 to n - 1 do
+    List.iter2
+      (fun i b ->
+        (* runtime: layout lookup, then per-value dispatch *)
+        let pos = Fwb.offset_of layout ~row ~field:(source_of schema i) in
+        Builder.add_value b (read_dispatch file (Schema.dtype schema i) pos))
+      needed builders
+  done;
+  count_values n (List.length needed);
+  Array.of_list (List.map Builder.to_column builders)
+
+let seq_scan_jit ~file ~layout ~schema ~needed () =
+  let n = Fwb.n_rows layout file in
+  let rs = Fwb.row_size layout in
+  let cols =
+    List.map
+      (fun i ->
+        let off0 = Fwb.field_offset layout (source_of schema i) in
+        (* offsets and conversion baked into a monomorphic column loop *)
+        match Schema.dtype schema i with
+        | Dtype.Int ->
+          let a = Array.make n 0 in
+          for row = 0 to n - 1 do
+            a.(row) <- Fwb.read_int file (off0 + (row * rs))
+          done;
+          Column.of_int_array a
+        | Dtype.Float ->
+          let a = Array.make n 0. in
+          for row = 0 to n - 1 do
+            a.(row) <- Fwb.read_float file (off0 + (row * rs))
+          done;
+          Column.of_float_array a
+        | Dtype.Bool ->
+          let a = Array.make n false in
+          for row = 0 to n - 1 do
+            a.(row) <- Fwb.read_bool file (off0 + (row * rs))
+          done;
+          Column.of_bool_array a
+        | Dtype.String -> invalid_arg "Scan_fwb: String column in FWB")
+      needed
+  in
+  count_values n (List.length needed);
+  Array.of_list cols
+
+let seq_scan ~mode =
+  match (mode : Scan_csv.mode) with
+  | Interpreted -> seq_scan_interpreted
+  | Jit -> seq_scan_jit
+
+let fetch_interpreted ~file ~layout ~schema ~cols ~rowids =
+  let n = Array.length rowids in
+  let builders = List.map (fun i -> Builder.create ~capacity:n (Schema.dtype schema i)) cols in
+  for k = 0 to n - 1 do
+    let row = rowids.(k) in
+    List.iter2
+      (fun i b ->
+        let pos = Fwb.offset_of layout ~row ~field:(source_of schema i) in
+        Builder.add_value b (read_dispatch file (Schema.dtype schema i) pos))
+      cols builders
+  done;
+  count_values n (List.length cols);
+  Array.of_list (List.map Builder.to_column builders)
+
+let fetch_jit ~file ~layout ~schema ~cols ~rowids =
+  let n = Array.length rowids in
+  let rs = Fwb.row_size layout in
+  let out =
+    List.map
+      (fun i ->
+        let off0 = Fwb.field_offset layout (source_of schema i) in
+        match Schema.dtype schema i with
+        | Dtype.Int ->
+          let a = Array.make n 0 in
+          for k = 0 to n - 1 do
+            a.(k) <- Fwb.read_int file (off0 + (rowids.(k) * rs))
+          done;
+          Column.of_int_array a
+        | Dtype.Float ->
+          let a = Array.make n 0. in
+          for k = 0 to n - 1 do
+            a.(k) <- Fwb.read_float file (off0 + (rowids.(k) * rs))
+          done;
+          Column.of_float_array a
+        | Dtype.Bool ->
+          let a = Array.make n false in
+          for k = 0 to n - 1 do
+            a.(k) <- Fwb.read_bool file (off0 + (rowids.(k) * rs))
+          done;
+          Column.of_bool_array a
+        | Dtype.String -> invalid_arg "Scan_fwb: String column in FWB")
+      cols
+  in
+  count_values n (List.length cols);
+  Array.of_list out
+
+let fetch ~mode =
+  match (mode : Scan_csv.mode) with
+  | Interpreted -> fetch_interpreted
+  | Jit -> fetch_jit

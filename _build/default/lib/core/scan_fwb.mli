@@ -1,0 +1,40 @@
+(** Fixed-width binary scan kernels (paper §4.1-4.2).
+
+    For this format the location of every data element is known in advance,
+    so no positional map exists in either kernel. The difference under
+    study:
+
+    - {b Interpreted}: row-major loop; for every value, the field offset is
+      obtained through the layout at runtime and the read is dispatched on
+      the data type — the general-purpose operator.
+    - {b Jit}: the paper's "inject the binary offsets into the code":
+      per-column closures with base offset and stride baked in, each a
+      monomorphic tight loop. *)
+
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+val seq_scan :
+  mode:Scan_csv.mode ->
+  file:Mmap_file.t ->
+  layout:Fwb.layout ->
+  schema:Schema.t ->
+  needed:int list ->
+  unit ->
+  Column.t array
+(** Read [needed] (schema indexes) for all rows; result follows [needed]
+    order. *)
+
+val fetch :
+  mode:Scan_csv.mode ->
+  file:Mmap_file.t ->
+  layout:Fwb.layout ->
+  schema:Schema.t ->
+  cols:int list ->
+  rowids:int array ->
+  Column.t array
+(** Point reads at computed offsets for the given row ids. *)
+
+val template_key :
+  phase:string -> table:string -> needed:int list -> string

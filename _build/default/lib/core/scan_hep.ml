@@ -1,0 +1,115 @@
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+let template_key ~phase ~table ~needed =
+  Printf.sprintf "hep|%s|%s|needed=%s" phase table
+    (String.concat "," (List.map string_of_int needed))
+
+let count n_rows n_cols =
+  Io_stats.add "hep.fields_read" (n_rows * n_cols);
+  Io_stats.add "scan.values_built" (n_rows * n_cols)
+
+let entry_ids reader = function
+  | Some ids -> ids
+  | None -> Array.init (Hep.Reader.n_events reader) (fun i -> i)
+
+let scan_events ~mode ~reader ~needed ~rowids =
+  let ids = entry_ids reader rowids in
+  let n = Array.length ids in
+  let out =
+    match (mode : Scan_csv.mode) with
+    | Jit ->
+      (* per-field reader selected once; monomorphic loops *)
+      List.map
+        (fun col ->
+          let read =
+            match col with
+            | 0 -> Hep.Reader.read_event_id reader
+            | 1 -> Hep.Reader.read_run_number reader
+            | _ -> invalid_arg "Scan_hep.scan_events: bad column"
+          in
+          let a = Array.make n 0 in
+          for k = 0 to n - 1 do
+            a.(k) <- read ids.(k)
+          done;
+          Column.of_int_array a)
+        needed
+    | Interpreted ->
+      (* general-purpose: field dispatched per value *)
+      List.map
+        (fun col ->
+          let b = Builder.create ~capacity:n Dtype.Int in
+          for k = 0 to n - 1 do
+            let v =
+              match col with
+              | 0 -> Hep.Reader.read_event_id reader ids.(k)
+              | 1 -> Hep.Reader.read_run_number reader ids.(k)
+              | _ -> invalid_arg "Scan_hep.scan_events: bad column"
+            in
+            Builder.add_int b v
+          done;
+          Builder.to_column b)
+        needed
+  in
+  count n (List.length needed);
+  Array.of_list out
+
+let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowids =
+  let ids =
+    match rowids with
+    | Some ids -> ids
+    | None -> Array.init (Array.length entry_of) (fun i -> i)
+  in
+  let n = Array.length ids in
+  let pfield_col col : Hep.pfield =
+    match col with
+    | 1 -> Hep.Pt
+    | 2 -> Hep.Eta
+    | 3 -> Hep.Phi
+    | _ -> invalid_arg "Scan_hep.scan_particles: bad column"
+  in
+  let out =
+    match (mode : Scan_csv.mode) with
+    | Jit ->
+      List.map
+        (fun col ->
+          if col = 0 then begin
+            let a = Array.make n 0 in
+            for k = 0 to n - 1 do
+              a.(k) <- Hep.Reader.read_event_id reader entry_of.(ids.(k))
+            done;
+            Column.of_int_array a
+          end
+          else begin
+            let f = pfield_col col in
+            let a = Array.make n 0. in
+            for k = 0 to n - 1 do
+              let r = ids.(k) in
+              a.(k) <-
+                Hep.Reader.read_particle_field reader ~entry:entry_of.(r) coll
+                  ~item:item_of.(r) f
+            done;
+            Column.of_float_array a
+          end)
+        needed
+    | Interpreted ->
+      List.map
+        (fun col ->
+          let dt = Schema.dtype Format_kind.hep_particle_schema col in
+          let b = Builder.create ~capacity:n dt in
+          for k = 0 to n - 1 do
+            let r = ids.(k) in
+            match col with
+            | 0 ->
+              Builder.add_int b (Hep.Reader.read_event_id reader entry_of.(r))
+            | c ->
+              Builder.add_float b
+                (Hep.Reader.read_particle_field reader ~entry:entry_of.(r) coll
+                   ~item:item_of.(r) (pfield_col c))
+          done;
+          Builder.to_column b)
+        needed
+  in
+  count n (List.length needed);
+  Array.of_list out

@@ -1,0 +1,37 @@
+(** HEP scan kernels (paper §6).
+
+    RAW's generated access paths for ROOT "emit code that calls the ROOT
+    I/O API instead of interpreting bytes" — here, calls into
+    {!Raw_formats.Hep.Reader}'s field-level API. Entry-id addressability is
+    what the paper maps to index-based scans: fetching a subset of entries
+    touches only those entries' bytes.
+
+    Particle tables are the flattened relational view (one row per
+    particle, with its event id); dense row ids map to (entry, item) pairs
+    through the index built by {!Catalog.hep_index}. *)
+
+open Raw_vector
+open Raw_formats
+
+val scan_events :
+  mode:Scan_csv.mode ->
+  reader:Hep.Reader.t ->
+  needed:int list ->
+  rowids:int array option ->
+  Column.t array
+(** [needed] indexes {!Format_kind.hep_event_schema}; [rowids] = entry ids
+    ([None] = all entries). *)
+
+val scan_particles :
+  mode:Scan_csv.mode ->
+  reader:Hep.Reader.t ->
+  coll:Hep.coll ->
+  index:int array * int array ->
+  needed:int list ->
+  rowids:int array option ->
+  Column.t array
+(** [needed] indexes {!Format_kind.hep_particle_schema}; [rowids] are dense
+    particle row ids ([None] = all). *)
+
+val template_key :
+  phase:string -> table:string -> needed:int list -> string

@@ -1,0 +1,177 @@
+open Raw_vector
+open Raw_storage
+open Raw_formats
+
+let template_key ~phase ~table ~needed =
+  Printf.sprintf "jsonl|%s|%s|needed=%s" phase table
+    (String.concat "," (List.map string_of_int needed))
+
+let path_of schema i = String.split_on_char '.' (Schema.name schema i)
+
+(* JIT: one monomorphic emitter closure per wanted path, conversion baked
+   in. *)
+let jit_emitters buf schema needed builders =
+  List.map2
+    (fun i b ->
+      match Schema.dtype schema i with
+      | Dtype.Int -> (
+          fun (kind : Jsonl.Extract.kind) s l ->
+            match kind with
+            | Scalar -> Builder.add_int b (Csv.parse_int buf s l)
+            | Nul -> Builder.add_null b
+            | Quoted _ -> failwith "Scan_jsonl: string value in Int column")
+      | Dtype.Float -> (
+          fun kind s l ->
+            match kind with
+            | Scalar -> Builder.add_float b (Csv.parse_float buf s l)
+            | Nul -> Builder.add_null b
+            | Quoted _ -> failwith "Scan_jsonl: string value in Float column")
+      | Dtype.Bool -> (
+          fun kind s l ->
+            match kind with
+            | Scalar -> Builder.add_bool b (Csv.parse_bool buf s l)
+            | Nul -> Builder.add_null b
+            | Quoted _ -> failwith "Scan_jsonl: string value in Bool column")
+      | Dtype.String -> (
+          fun kind s l ->
+            match kind with
+            | Quoted false -> Builder.add_string b (Bytes.sub_string buf s l)
+            | Quoted true -> Builder.add_string b (Jsonl.unescape buf s l)
+            | Nul -> Builder.add_null b
+            | Scalar -> Builder.add_string b (Bytes.sub_string buf s l)))
+    needed builders
+
+(* Interpreted: the payload is the slot index; every emitted value looks up
+   the schema and dispatches — the general-purpose operator's behaviour. *)
+let interp_emit buf schema needed builders =
+  let slots = Array.of_list needed in
+  let bs = Array.of_list builders in
+  fun slot (kind : Jsonl.Extract.kind) s l ->
+    let b = bs.(slot) in
+    match Schema.dtype schema slots.(slot), kind with
+    | _, Nul -> Builder.add_null b
+    | Dtype.Int, Scalar -> Builder.add_int b (Csv.parse_int buf s l)
+    | Dtype.Float, Scalar -> Builder.add_float b (Csv.parse_float buf s l)
+    | Dtype.Bool, Scalar -> Builder.add_bool b (Csv.parse_bool buf s l)
+    | Dtype.String, Quoted false -> Builder.add_string b (Bytes.sub_string buf s l)
+    | Dtype.String, Quoted true -> Builder.add_string b (Jsonl.unescape buf s l)
+    | Dtype.String, Scalar -> Builder.add_string b (Bytes.sub_string buf s l)
+    | _, Quoted _ -> failwith "Scan_jsonl: string value in non-string column"
+
+let make_kernel ~mode ~file ~schema ~needed =
+  let buf = Mmap_file.bytes file in
+  let builders =
+    List.map (fun i -> Builder.create ~capacity:1024 (Schema.dtype schema i)) needed
+  in
+  let paths = List.map (fun i -> path_of schema i) needed in
+  let run_row =
+    match (mode : Scan_csv.mode) with
+    | Jit ->
+      let emitters = jit_emitters buf schema needed builders in
+      let trie =
+        Jsonl.Extract.compile (List.map2 (fun p e -> (p, e)) paths emitters)
+      in
+      fun pos -> Jsonl.Extract.run buf ~pos ~wanted:trie ~emit:(fun f k s l -> f k s l)
+    | Interpreted ->
+      let emit = interp_emit buf schema needed builders in
+      let trie =
+        Jsonl.Extract.compile (List.mapi (fun slot p -> (p, slot)) paths)
+      in
+      fun pos -> Jsonl.Extract.run buf ~pos ~wanted:trie ~emit
+  in
+  let n_rows = ref 0 in
+  let row_at pos =
+    let next = run_row pos in
+    Mmap_file.touch file pos (next - pos);
+    incr n_rows;
+    (* absent fields become NULL *)
+    List.iter
+      (fun b -> if Builder.length b < !n_rows then Builder.add_null b)
+      builders;
+    next
+  in
+  (builders, row_at, n_rows)
+
+let finish builders needed n_rows n_cols_touched =
+  Io_stats.add "jsonl.values_extracted" (n_rows * n_cols_touched);
+  Io_stats.add "scan.values_built" (n_rows * List.length needed);
+  Array.of_list (List.map Builder.to_column builders)
+
+let seq_scan ~mode ~file ~schema ~needed () =
+  let builders, row_at, n_rows = make_kernel ~mode ~file ~schema ~needed in
+  let buf = Mmap_file.bytes file in
+  let len = Mmap_file.length file in
+  let starts = Buffer_int.create () in
+  let pos = ref 0 in
+  let skip_ws p =
+    let i = ref p in
+    while
+      !i < len
+      && (match Bytes.unsafe_get buf !i with
+          | ' ' | '\t' | '\n' | '\r' -> true
+          | _ -> false)
+    do
+      incr i
+    done;
+    !i
+  in
+  pos := skip_ws !pos;
+  while !pos < len do
+    Buffer_int.add starts !pos;
+    pos := skip_ws (row_at !pos)
+  done;
+  (finish builders needed !n_rows (List.length needed), Buffer_int.contents starts)
+
+let fetch ~mode ~file ~schema ~row_starts ~cols ~rowids =
+  let builders, row_at, _ = make_kernel ~mode ~file ~schema ~needed:cols in
+  Array.iter (fun r -> ignore (row_at row_starts.(r))) rowids;
+  finish builders cols (Array.length rowids) (List.length cols)
+
+(* ------------------------------------------------------------------ *)
+(* Flattened child tables over arrays of objects                       *)
+(* ------------------------------------------------------------------ *)
+
+let array_index ~file ~row_starts ~array_path =
+  let buf = Mmap_file.bytes file in
+  let parents = Buffer_int.create () in
+  let positions = Buffer_int.create () in
+  Array.iteri
+    (fun row start ->
+      let stop =
+        Jsonl.Extract.iter_array_objects buf ~pos:start ~path:array_path
+          ~f:(fun pos ->
+            Buffer_int.add parents row;
+            Buffer_int.add positions pos)
+      in
+      Mmap_file.touch file start (stop - start))
+    row_starts;
+  (Buffer_int.contents parents, Buffer_int.contents positions)
+
+let scan_array ~mode ~file ~schema ~index:(parents, positions) ~needed ~rowids =
+  let ids =
+    match rowids with
+    | Some ids -> ids
+    | None -> Array.init (Array.length parents) (fun i -> i)
+  in
+  (* schema column 0 is the parent row id; element fields start at 1 *)
+  let elem_cols = List.filter (fun c -> c > 0) needed in
+  let builders, row_at, _ =
+    make_kernel ~mode ~file ~schema ~needed:elem_cols
+  in
+  Array.iter (fun r -> ignore (row_at positions.(r))) ids;
+  let elem_columns =
+    finish builders elem_cols (Array.length ids) (List.length elem_cols)
+  in
+  Array.of_list
+    (List.map
+       (fun c ->
+         if c = 0 then
+           Column.of_int_array (Array.map (fun r -> parents.(r)) ids)
+         else
+           let rec find k = function
+             | [] -> assert false
+             | c' :: _ when c' = c -> elem_columns.(k)
+             | _ :: rest -> find (k + 1) rest
+           in
+           find 0 elem_cols)
+       needed)

@@ -1,0 +1,61 @@
+(** JSONL scan kernels: JIT access paths over hierarchical textual data.
+
+    Schema field names are dotted paths into the objects ("user.id").
+    Unlike CSV, a column's location inside a row is not positionally
+    stable, so the kernels match keys; what JIT specialization buys here is
+    the per-path emitter — data-type conversion and builder dispatch are
+    baked into one closure per wanted path, where the interpreted kernel
+    re-dispatches on the schema for every value. Absent fields yield NULL.
+
+    The positional-map analogue indexes row starts; {!fetch} jumps straight
+    to the requested rows. *)
+
+open Raw_vector
+open Raw_storage
+
+val seq_scan :
+  mode:Scan_csv.mode ->
+  file:Mmap_file.t ->
+  schema:Schema.t ->
+  needed:int list ->
+  unit ->
+  Column.t array * int array
+(** Full scan; also returns the row-start offsets discovered on the way
+    (the structure index cached by the catalog). *)
+
+val fetch :
+  mode:Scan_csv.mode ->
+  file:Mmap_file.t ->
+  schema:Schema.t ->
+  row_starts:int array ->
+  cols:int list ->
+  rowids:int array ->
+  Column.t array
+
+val template_key :
+  phase:string -> table:string -> needed:int list -> string
+
+(** {1 Flattened child tables over JSON arrays}
+
+    A path to an array of objects becomes a relational child table: one row
+    per element, with schema column 0 = parent row id and the remaining
+    columns = dotted paths {e within} the element (paper §4.1's
+    flatten-the-nesting option, the JSON analogue of the HEP particle
+    tables). *)
+
+val array_index :
+  file:Mmap_file.t ->
+  row_starts:int array ->
+  array_path:string list ->
+  int array * int array
+(** [(parents, positions)]: for each element (dense child row id), its
+    parent row id and the byte offset of its object. *)
+
+val scan_array :
+  mode:Scan_csv.mode ->
+  file:Mmap_file.t ->
+  schema:Schema.t ->
+  index:int array * int array ->
+  needed:int list ->
+  rowids:int array option ->
+  Column.t array

@@ -1,0 +1,16 @@
+(** Name resolution: SQL AST → logical plan.
+
+    Resolves table and column references against the catalog, splits
+    aggregate from scalar computation, and emits the canonical plan shape
+    [Limit (Order_by (Project (Filter_having (Aggregate (Filter_where
+    (Join* (Scan...)))))))] with positional expressions. *)
+
+exception Bind_error of string
+
+val bind : Catalog.t -> Raw_sql.Ast.query -> Logical.t
+(** Raises {!Bind_error} on unknown tables/columns, ambiguous unqualified
+    names, ungrouped scalar references in aggregate queries, non-column
+    join keys, or aggregates nested in WHERE. *)
+
+val bind_string : Catalog.t -> string -> Logical.t
+(** Parse then bind. Raises {!Bind_error} or {!Raw_sql.Parser.Error}. *)

@@ -1,0 +1,49 @@
+type t = {
+  compile_seconds : float;
+  table : (string, Obj.t) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable charged : float;
+  mutable pending_charge : float;
+}
+
+let create ~compile_seconds =
+  {
+    compile_seconds;
+    table = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+    charged = 0.;
+    pending_charge = 0.;
+  }
+
+let get t ~key compile =
+  match Hashtbl.find_opt t.table key with
+  | Some artifact ->
+    t.hits <- t.hits + 1;
+    Obj.obj artifact
+  | None ->
+    t.misses <- t.misses + 1;
+    t.charged <- t.charged +. t.compile_seconds;
+    t.pending_charge <- t.pending_charge +. t.compile_seconds;
+    let artifact = compile () in
+    Hashtbl.replace t.table key (Obj.repr artifact);
+    artifact
+
+let hits t = t.hits
+let misses t = t.misses
+let charged_seconds t = t.charged
+
+let take_charged_seconds t =
+  let c = t.pending_charge in
+  t.pending_charge <- 0.;
+  c
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.charged <- 0.;
+  t.pending_charge <- 0.
+
+let size t = Hashtbl.length t.table

@@ -1,0 +1,32 @@
+(** The template cache (paper §3, §4.2 "Discussion").
+
+    Generating an access path costs compilation time. RAW "maintains a cache
+    of libraries generated as a side-effect of previous queries, reusing
+    them when applicable", so only the first query with a given (file,
+    format, fields, phase) shape pays the compiler. Here "compilation" is
+    closure composition — real but cheap — so the cache additionally charges
+    a configurable simulated compile latency on each miss, making the
+    paper's first-query overhead visible and its amortization measurable. *)
+
+type t
+
+val create : compile_seconds:float -> t
+
+val get : t -> key:string -> (unit -> 'a) -> 'a
+(** [get t ~key compile] returns the cached artifact for [key], or runs
+    [compile], caches, charges the simulated latency, and returns it.
+    Artifacts are stored dynamically; a key must always be requested at one
+    type (guaranteed by construction: keys embed the kernel shape). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val charged_seconds : t -> float
+(** Total simulated compile latency charged since creation/reset. *)
+
+val take_charged_seconds : t -> float
+(** Returns the charge accumulated since the last take and zeroes it; the
+    executor calls this once per query to attribute compile cost. *)
+
+val clear : t -> unit
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/engine/expr.ml: Array Chunk Column Dtype Format Hashtbl Kernels List Option Printf Raw_vector Sel Stdlib Value

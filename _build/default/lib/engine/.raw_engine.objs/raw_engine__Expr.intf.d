@@ -1,0 +1,1 @@
+lib/engine/expr.mli: Chunk Column Dtype Format Kernels Raw_vector Sel Value

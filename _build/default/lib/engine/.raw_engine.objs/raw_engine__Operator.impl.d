@@ -1,0 +1,1 @@
+lib/engine/operator.ml: Array Chunk Column Dtype Expr Hashtbl Kernels Lazy List Option Raw_vector Sel Stdlib Value

@@ -1,0 +1,1 @@
+lib/engine/operator.mli: Chunk Expr Kernels Raw_vector

@@ -1,0 +1,183 @@
+open Raw_vector
+
+type t =
+  | Col of int
+  | Const of Value.t
+  | Cmp of Kernels.cmp * t * t
+  | Arith of Kernels.arith * t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+
+let col i = Col i
+let int i = Const (Value.Int i)
+let float f = Const (Value.Float f)
+let string s = Const (Value.String s)
+let bool b = Const (Value.Bool b)
+
+let ( < ) a b = Cmp (Kernels.Lt, a, b)
+let ( <= ) a b = Cmp (Kernels.Le, a, b)
+let ( > ) a b = Cmp (Kernels.Gt, a, b)
+let ( >= ) a b = Cmp (Kernels.Ge, a, b)
+let ( = ) a b = Cmp (Kernels.Eq, a, b)
+let ( <> ) a b = Cmp (Kernels.Ne, a, b)
+let ( && ) a b = And (a, b)
+let ( || ) a b = Or (a, b)
+let not_ a = Not a
+let ( + ) a b = Arith (Kernels.Add, a, b)
+let ( - ) a b = Arith (Kernels.Sub, a, b)
+let ( * ) a b = Arith (Kernels.Mul, a, b)
+let ( / ) a b = Arith (Kernels.Div, a, b)
+
+let columns_used e =
+  let rec go acc = function
+    | Col i -> i :: acc
+    | Const _ -> acc
+    | Cmp (_, a, b) | Arith (_, a, b) | And (a, b) | Or (a, b) ->
+      go (go acc a) b
+    | Not a -> go acc a
+  in
+  List.sort_uniq Stdlib.compare (go [] e)
+
+let rec remap f = function
+  | Col i -> Col (f i)
+  | Const v -> Const v
+  | Cmp (op, a, b) -> Cmp (op, remap f a, remap f b)
+  | Arith (op, a, b) -> Arith (op, remap f a, remap f b)
+  | And (a, b) -> And (remap f a, remap f b)
+  | Or (a, b) -> Or (remap f a, remap f b)
+  | Not a -> Not (remap f a)
+
+let flip_cmp (op : Kernels.cmp) : Kernels.cmp =
+  match op with
+  | Lt -> Gt
+  | Le -> Ge
+  | Gt -> Lt
+  | Ge -> Le
+  | Eq -> Eq
+  | Ne -> Ne
+
+let cmp_values (op : Kernels.cmp) a b =
+  let c = Value.compare a b in
+  match op with
+  | Lt -> Stdlib.(c < 0)
+  | Le -> Stdlib.(c <= 0)
+  | Gt -> Stdlib.(c > 0)
+  | Ge -> Stdlib.(c >= 0)
+  | Eq -> Stdlib.(c = 0)
+  | Ne -> Stdlib.(c <> 0)
+
+let rec eval e chunk =
+  let n = Chunk.n_rows chunk in
+  match e with
+  | Col i -> Chunk.column chunk i
+  | Const v ->
+    let dt = Option.value (Value.dtype v) ~default:Dtype.Int in
+    Column.const dt v n
+  | Arith (op, a, b) ->
+    (match a, b with
+     | _, Const v -> Kernels.arith_const op (eval a chunk) v
+     | Const _, _ ->
+       Kernels.arith_col op (eval a chunk) (eval b chunk)
+     | _, _ -> Kernels.arith_col op (eval a chunk) (eval b chunk))
+  | Cmp (op, a, b) ->
+    let ca = eval a chunk and cb = eval b chunk in
+    let out = Array.make n false in
+    for i = 0 to Stdlib.( - ) n 1 do
+      out.(i) <- cmp_values op (Column.get ca i) (Column.get cb i)
+    done;
+    Column.of_bool_array out
+  | And (a, b) ->
+    let ba = Column.bool_array (eval a chunk)
+    and bb = Column.bool_array (eval b chunk) in
+    Column.of_bool_array (Array.map2 Stdlib.( && ) ba bb)
+  | Or (a, b) ->
+    let ba = Column.bool_array (eval a chunk)
+    and bb = Column.bool_array (eval b chunk) in
+    Column.of_bool_array (Array.map2 Stdlib.( || ) ba bb)
+  | Not a ->
+    Column.of_bool_array (Array.map Stdlib.not (Column.bool_array (eval a chunk)))
+
+let merge_sels a b =
+  (* union of two ascending index arrays *)
+  let aa = Sel.to_array a and bb = Sel.to_array b in
+  let na = Array.length aa and nb = Array.length bb in
+  let out = Array.make (Stdlib.( + ) na nb) 0 in
+  let i = ref 0 and j = ref 0 and k = ref 0 in
+  while Stdlib.( && ) Stdlib.(!i < na) Stdlib.(!j < nb) do
+    let x = aa.(!i) and y = bb.(!j) in
+    if Stdlib.(x < y) then begin out.(!k) <- x; incr i end
+    else if Stdlib.(x > y) then begin out.(!k) <- y; incr j end
+    else begin out.(!k) <- x; incr i; incr j end;
+    incr k
+  done;
+  while Stdlib.(!i < na) do out.(!k) <- aa.(!i); incr i; incr k done;
+  while Stdlib.(!j < nb) do out.(!k) <- bb.(!j); incr j; incr k done;
+  Sel.of_array_unchecked (Array.sub out 0 !k)
+
+let rec eval_filter e chunk sel =
+  match e with
+  | Cmp (op, Col i, Const v) ->
+    Kernels.filter_const op (Chunk.column chunk i) v sel
+  | Cmp (op, Const v, Col i) ->
+    Kernels.filter_const (flip_cmp op) (Chunk.column chunk i) v sel
+  | Cmp (op, Col i, Col j) ->
+    Kernels.filter_col op (Chunk.column chunk i) (Chunk.column chunk j) sel
+  | And (a, b) ->
+    let sa = eval_filter a chunk sel in
+    eval_filter b chunk (Some sa)
+  | Or (a, b) ->
+    merge_sels (eval_filter a chunk sel) (eval_filter b chunk sel)
+  | Not a ->
+    let inner = eval_filter a chunk sel in
+    let candidates =
+      match sel with
+      | Some s -> Sel.to_array s
+      | None -> Array.init (Chunk.n_rows chunk) (fun i -> i)
+    in
+    let inner_set = Hashtbl.create (Sel.length inner) in
+    Sel.iter (fun i -> Hashtbl.replace inner_set i ()) inner;
+    Sel.of_array_unchecked
+      (Array.of_list
+         (List.filter
+            (fun i -> Stdlib.not (Hashtbl.mem inner_set i))
+            (Array.to_list candidates)))
+  | Const (Value.Bool true) ->
+    (match sel with Some s -> s | None -> Sel.all (Chunk.n_rows chunk))
+  | Const (Value.Bool false) -> Sel.empty
+  | e ->
+    (* generic fallback: evaluate to a boolean column *)
+    let mask = Column.bool_array (eval e chunk) in
+    let keep i = mask.(i) in
+    (match sel with
+     | None -> Sel.of_bool_mask mask
+     | Some s ->
+       Sel.of_array_unchecked
+         (Array.of_list (List.filter keep (Array.to_list (Sel.to_array s)))))
+
+let rec infer coltype = function
+  | Col i -> coltype i
+  | Const v ->
+    (match Value.dtype v with
+     | Some dt -> dt
+     | None -> invalid_arg "Expr.infer: NULL constant has no type")
+  | Cmp _ | And _ | Or _ | Not _ -> Dtype.Bool
+  | Arith (op, a, b) ->
+    (match infer coltype a, infer coltype b with
+     | Dtype.Int, Dtype.Int -> Dtype.Int
+     | (Dtype.Int | Dtype.Float), (Dtype.Int | Dtype.Float) -> Dtype.Float
+     | _ ->
+       invalid_arg
+         (Printf.sprintf "Expr.infer: arithmetic %s on non-numeric operands"
+            (Kernels.arith_to_string op)))
+
+let rec pp ppf = function
+  | Col i -> Format.fprintf ppf "$%d" i
+  | Const v -> Value.pp ppf v
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (Kernels.cmp_to_string op) pp b
+  | Arith (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp a (Kernels.arith_to_string op) pp b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp a pp b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp a pp b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp a

@@ -1,0 +1,91 @@
+(** Vectorized Volcano-style operators (paper §2.1, §3).
+
+    Operators exchange {!Raw_vector.Chunk.t} batches through [next]; a
+    [None] signals exhaustion. The set mirrors what RAW needs from
+    Supersonic: filter, project, aggregate (scalar and grouped), hash join
+    with a pipelined probe side, and the {!Placeholder} attach point that
+    lets the planner insert generated scan operators anywhere in a plan. *)
+
+open Raw_vector
+
+type t
+
+val next : t -> Chunk.t option
+val close : t -> unit
+
+(** {1 Sources} *)
+
+val of_chunks : Chunk.t list -> t
+val of_fn : next:(unit -> Chunk.t option) -> ?close:(unit -> unit) -> unit -> t
+val empty : t
+
+(** {1 Transformations} *)
+
+val filter : Expr.t -> t -> t
+(** Evaluates the predicate per chunk and materializes qualifying rows. *)
+
+val project : Expr.t list -> t -> t
+
+val map_chunks : (Chunk.t -> Chunk.t) -> t -> t
+(** Applies a chunk transformation; this is how generated late-scan
+    operators (column shreds) are spliced into a plan. *)
+
+val limit : int -> t -> t
+val union_all : t list -> t
+
+(** {1 Aggregation} *)
+
+val aggregate : (Kernels.agg * Expr.t) list -> t -> t
+(** Scalar aggregation: consumes the input, emits a single 1-row chunk.
+    With an empty input, [COUNT] yields 0 and other aggregates NULL. *)
+
+val group_by : keys:Expr.t list -> aggs:(Kernels.agg * Expr.t) list -> t -> t
+(** Hash group-by; output columns are keys then aggregates. Group order is
+    unspecified (sort downstream for stable output). *)
+
+(** {1 Join} *)
+
+val hash_join :
+  build:t -> probe:t -> build_key:Expr.t -> probe_key:Expr.t -> t
+(** Inner equi-join. The build side is consumed and hashed [open]-time; the
+    probe side streams, preserving probe-side row order in the output — the
+    property the paper's "pipelined vs pipeline-breaking" experiment (§5.3.2)
+    depends on. Output columns: probe columns then build columns. NULL keys
+    never match. *)
+
+(** {1 Sort} *)
+
+val sort : by:(int * [ `Asc | `Desc ]) list -> t -> t
+(** Materializing stable sort by column indices. *)
+
+(** {1 Placeholder} *)
+
+module Placeholder : sig
+  (** The paper extends Supersonic with a generic placeholder operator that
+      can sit anywhere in a physical plan and later receive a generated
+      scan operator (§3 "Physical Plan Creation"). *)
+
+  type op := t
+  type t
+
+  val create : unit -> t * op
+  (** The handle and the operator to place in the plan. Pulling from the
+      operator before {!attach} raises [Failure]. *)
+
+  val attach : t -> op -> unit
+  (** Raises [Failure] if already attached. *)
+
+  val is_attached : t -> bool
+end
+
+(** {1 Consumers} *)
+
+val collect : t -> Chunk.t list
+val to_chunk : t -> Chunk.t
+(** Concatenation of all output; the empty chunk for an empty operator. *)
+
+val row_count : t -> int
+val iter : (Chunk.t -> unit) -> t -> unit
+
+val default_chunk_rows : int
+(** Batch granularity used by scan operators (4096). *)

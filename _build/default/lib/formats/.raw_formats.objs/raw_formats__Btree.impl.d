@@ -1,0 +1,1 @@
+lib/formats/btree.ml: Array Buffer Buffer_int Bytes Char Int64 Mmap_file Raw_storage

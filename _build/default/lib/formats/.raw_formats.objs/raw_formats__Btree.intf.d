@@ -1,0 +1,1 @@
+lib/formats/btree.mli: Bytes Mmap_file Raw_storage

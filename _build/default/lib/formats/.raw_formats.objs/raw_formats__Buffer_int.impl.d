@@ -1,0 +1,1 @@
+lib/formats/buffer_int.ml: Array

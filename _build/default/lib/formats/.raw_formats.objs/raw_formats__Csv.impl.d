@@ -1,0 +1,1 @@
+lib/formats/csv.ml: Array Bytes Char Dtype Fun Mmap_file Printf Random Raw_storage Raw_vector Seq String Value

@@ -1,0 +1,1 @@
+lib/formats/fwb.ml: Array Bytes Dtype Float Fun Int64 Mmap_file Printf Random Raw_storage Raw_vector Seq Value

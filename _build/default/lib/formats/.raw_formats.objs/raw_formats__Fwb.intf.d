@@ -1,0 +1,1 @@
+lib/formats/fwb.mli: Dtype Mmap_file Raw_storage Raw_vector Seq Value

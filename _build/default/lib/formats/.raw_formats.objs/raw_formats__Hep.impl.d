@@ -1,0 +1,1 @@
+lib/formats/hep.ml: Array Buffer_int Bytes Float Fun Int32 Int64 Lru Mmap_file Printf Random Raw_storage Seq

@@ -1,0 +1,1 @@
+lib/formats/hep.mli: Mmap_file Raw_storage Seq

@@ -1,0 +1,1 @@
+lib/formats/ibx.ml: Array Btree Bytes Dtype Fun Fwb Int32 Int64 Mmap_file Raw_storage Raw_vector Stdlib Value

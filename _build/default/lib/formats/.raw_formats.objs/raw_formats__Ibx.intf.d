@@ -1,0 +1,1 @@
+lib/formats/ibx.mli: Btree Dtype Fwb Mmap_file Raw_storage Raw_vector Seq Value

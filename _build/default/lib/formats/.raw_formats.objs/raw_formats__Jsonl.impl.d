@@ -1,0 +1,1 @@
+lib/formats/jsonl.ml: Array Buffer Buffer_int Bytes Char Dtype Float Fun Hashtbl List Mmap_file Printf Random Raw_storage Raw_vector Seq String Value

@@ -1,0 +1,1 @@
+lib/formats/jsonl.mli: Bytes Dtype Mmap_file Raw_storage Raw_vector Seq Value

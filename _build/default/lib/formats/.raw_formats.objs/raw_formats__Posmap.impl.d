@@ -1,0 +1,1 @@
+lib/formats/posmap.ml: Array Buffer_int List Option Printf Stdlib

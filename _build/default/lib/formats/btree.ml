@@ -1,0 +1,157 @@
+open Raw_storage
+
+type meta = { root_off : int; n_entries : int; height : int; fanout : int }
+
+let leaf_header = 1 + 2 + 8
+let internal_header = 1 + 2
+let entry_size = 16
+
+let serialize ?(fanout = 64) entries =
+  if fanout < 2 then invalid_arg "Btree.serialize: fanout must be >= 2";
+  let n = Array.length entries in
+  for i = 1 to n - 1 do
+    if fst entries.(i - 1) > fst entries.(i) then
+      invalid_arg "Btree.serialize: keys must be ascending"
+  done;
+  let buf = Buffer.create (n * 24) in
+  let w8 x = Buffer.add_char buf (Char.chr (x land 0xff)) in
+  let w16 x =
+    Buffer.add_char buf (Char.chr (x land 0xff));
+    Buffer.add_char buf (Char.chr ((x lsr 8) land 0xff))
+  in
+  let w64 x =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int x);
+    Buffer.add_bytes buf b
+  in
+  (* ---- leaves ---- *)
+  let n_leaves = max 1 ((n + fanout - 1) / fanout) in
+  let leaf_offs = Array.make n_leaves 0 in
+  let leaf_minkeys = Array.make n_leaves 0 in
+  for l = 0 to n_leaves - 1 do
+    let start = l * fanout in
+    let count = min fanout (n - start) in
+    let count = max count 0 in
+    leaf_offs.(l) <- Buffer.length buf;
+    leaf_minkeys.(l) <- (if count > 0 then fst entries.(start) else 0);
+    w8 0;
+    w16 count;
+    w64 (-1) (* next-leaf pointer, patched below *);
+    for k = start to start + count - 1 do
+      let key, row = entries.(k) in
+      w64 key;
+      w64 row
+    done
+  done;
+  (* patch the next-leaf chain now that every leaf's offset is known *)
+  let fixed = Buffer.to_bytes buf in
+  for l = 0 to n_leaves - 2 do
+    Bytes.set_int64_le fixed (leaf_offs.(l) + 3) (Int64.of_int leaf_offs.(l + 1))
+  done;
+  let buf = Buffer.create (Bytes.length fixed * 2) in
+  Buffer.add_bytes buf fixed;
+  let w8 x = Buffer.add_char buf (Char.chr (x land 0xff)) in
+  let w16 x =
+    Buffer.add_char buf (Char.chr (x land 0xff));
+    Buffer.add_char buf (Char.chr ((x lsr 8) land 0xff))
+  in
+  let w64 x =
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 (Int64.of_int x);
+    Buffer.add_bytes buf b
+  in
+  (* ---- internal levels ---- *)
+  let rec build_level child_offs child_minkeys height =
+    let n_children = Array.length child_offs in
+    if n_children = 1 then (child_offs.(0), height)
+    else begin
+      let n_nodes = (n_children + fanout - 1) / fanout in
+      let offs = Array.make n_nodes 0 in
+      let minkeys = Array.make n_nodes 0 in
+      for m = 0 to n_nodes - 1 do
+        let start = m * fanout in
+        let count = min fanout (n_children - start) in
+        offs.(m) <- Buffer.length buf;
+        minkeys.(m) <- child_minkeys.(start);
+        w8 1;
+        w16 count;
+        for c = start to start + count - 1 do
+          w64 child_minkeys.(c);
+          w64 child_offs.(c)
+        done
+      done;
+      build_level offs minkeys (height + 1)
+    end
+  in
+  let root_off, height = build_level leaf_offs leaf_minkeys 1 in
+  (Buffer.to_bytes buf, { root_off; n_entries = n; height; fanout })
+
+(* ---------------- reading ---------------- *)
+
+let read_u8 file base off =
+  Mmap_file.touch file (base + off) 1;
+  Char.code (Bytes.get (Mmap_file.bytes file) (base + off))
+
+let read_u16 file base off =
+  Mmap_file.touch file (base + off) 2;
+  let b = Mmap_file.bytes file in
+  Char.code (Bytes.get b (base + off))
+  lor (Char.code (Bytes.get b (base + off + 1)) lsl 8)
+
+let read_i64 file base off =
+  Mmap_file.touch file (base + off) 8;
+  Int64.to_int (Bytes.get_int64_le (Mmap_file.bytes file) (base + off))
+
+(* Descend to a leaf at or before the first key >= lo. The separator test
+   is strict (min_key < lo): with duplicate keys straddling node
+   boundaries, an equal separator does not prove the previous child holds
+   no qualifying entries. Undershooting is safe — the leaf chain scans
+   right, skipping keys below lo. *)
+let rec descend file base off lo visited =
+  incr visited;
+  let tag = read_u8 file base off in
+  if tag = 0 then off
+  else begin
+    let count = read_u16 file base (off + 1) in
+    let chosen = ref (read_i64 file base (off + internal_header + 8)) in
+    let continue_ = ref true in
+    let c = ref 1 in
+    while !continue_ && !c < count do
+      let minkey = read_i64 file base (off + internal_header + (!c * entry_size)) in
+      if minkey < lo then begin
+        chosen := read_i64 file base (off + internal_header + (!c * entry_size) + 8);
+        incr c
+      end
+      else continue_ := false
+    done;
+    descend file base !chosen lo visited
+  end
+
+let scan_leaves file base meta ~lo ~hi ~on_row =
+  if meta.n_entries > 0 then begin
+    let visited = ref 0 in
+    let leaf = ref (descend file base meta.root_off lo visited) in
+    let continue_ = ref true in
+    while !continue_ && !leaf >= 0 do
+      incr visited;
+      let count = read_u16 file base (!leaf + 1) in
+      let next = read_i64 file base (!leaf + 3) in
+      for k = 0 to count - 1 do
+        let key = read_i64 file base (!leaf + leaf_header + (k * entry_size)) in
+        if key > hi then continue_ := false
+        else if key >= lo then
+          on_row (read_i64 file base (!leaf + leaf_header + (k * entry_size) + 8))
+      done;
+      if !continue_ then leaf := next
+    done;
+    !visited
+  end
+  else 0
+
+let range file ~base meta ~lo ~hi =
+  let out = Buffer_int.create () in
+  ignore (scan_leaves file base meta ~lo ~hi ~on_row:(fun r -> Buffer_int.add out r));
+  Buffer_int.contents out
+
+let nodes_visited file ~base meta ~lo ~hi =
+  scan_leaves file base meta ~lo ~hi ~on_row:(fun _ -> ())

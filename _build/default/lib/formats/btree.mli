@@ -1,0 +1,40 @@
+(** Static serialized B+-trees over integer keys.
+
+    The paper points out that formats like HDF and shapefile embed indexes
+    (B-trees, R-trees) that generated access paths can exploit (§4.1). This
+    is the index substrate for {!Ibx}: a bulk-loaded, read-only B+-tree
+    serialized into the file itself. Leaves hold (key, row-id) entries and
+    chain left-to-right; internal nodes hold (min-key, child-offset)
+    separators. Lookups descend root→leaf touching only the nodes on the
+    path — the point of an index under paged storage.
+
+    Node layout (little-endian):
+    {v
+    leaf:     u8 0 | u16 count | i64 next_leaf_off (or -1) | count * (key i64, row i64)
+    internal: u8 1 | u16 count | count * (min_key i64, child_off i64)
+    v}
+    Offsets are relative to the tree region's base. *)
+
+open Raw_storage
+
+type meta = {
+  root_off : int;
+  n_entries : int;
+  height : int;  (** 1 = root is a leaf *)
+  fanout : int;
+}
+
+val serialize : ?fanout:int -> (int * int) array -> Bytes.t * meta
+(** Bulk-load from (key, row-id) pairs sorted ascending by key (checked;
+    duplicate keys allowed). Default fanout 64. Raises [Invalid_argument]
+    if unsorted. *)
+
+val range :
+  Mmap_file.t -> base:int -> meta -> lo:int -> hi:int -> int array
+(** Row ids of every entry with [lo <= key <= hi], in ascending key order
+    (ties in insertion order). Page touches are accounted on the nodes
+    actually visited. *)
+
+val nodes_visited : Mmap_file.t -> base:int -> meta -> lo:int -> hi:int -> int
+(** Like {!range} but returns only the number of nodes read (for tests and
+    benchmarks of index effectiveness). *)

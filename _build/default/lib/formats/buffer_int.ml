@@ -1,0 +1,21 @@
+type t = { mutable a : int array; mutable n : int }
+
+let create ?(capacity = 64) () = { a = Array.make (max capacity 1) 0; n = 0 }
+
+let add t x =
+  if t.n >= Array.length t.a then begin
+    let a = Array.make (2 * Array.length t.a) 0 in
+    Array.blit t.a 0 a 0 t.n;
+    t.a <- a
+  end;
+  t.a.(t.n) <- x;
+  t.n <- t.n + 1
+
+let length t = t.n
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Buffer_int.get";
+  t.a.(i)
+
+let contents t = Array.sub t.a 0 t.n
+let clear t = t.n <- 0

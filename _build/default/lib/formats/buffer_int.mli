@@ -1,0 +1,11 @@
+(** Growable int buffers (positional maps store millions of offsets; this
+    avoids boxing and intermediate lists). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val add : t -> int -> unit
+val length : t -> int
+val get : t -> int -> int
+val contents : t -> int array
+val clear : t -> unit

@@ -1,0 +1,197 @@
+open Raw_vector
+open Raw_storage
+
+(* ---------- generation ---------- *)
+
+let write_file ~path ?(sep = ',') ~header ~rows () =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let sep_s = String.make 1 sep in
+      let put fields = output_string oc (String.concat sep_s fields); output_char oc '\n' in
+      (match header with Some h -> put h | None -> ());
+      Seq.iter put rows)
+
+let render_value (v : Value.t) =
+  match v with
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.3f" f
+  | Bool b -> if b then "1" else "0"
+  | String s -> s
+  | Null -> ""
+
+let generate ~path ?(sep = ',') ~n_rows ~dtypes ~seed () =
+  let st = Random.State.make [| seed |] in
+  let words = [| "alpha"; "bravo"; "charlie"; "delta"; "echo"; "foxtrot" |] in
+  let render dt =
+    match (dt : Dtype.t) with
+    | Int -> string_of_int (Random.State.int st 1_000_000_000)
+    | Float -> Printf.sprintf "%.3f" (Random.State.float st 1e9)
+    | Bool -> if Random.State.bool st then "1" else "0"
+    | String ->
+      words.(Random.State.int st (Array.length words))
+      ^ string_of_int (Random.State.int st 1000)
+  in
+  let rows =
+    Seq.init n_rows (fun _ -> Array.to_list (Array.map render dtypes))
+  in
+  write_file ~path ~sep ~header:None ~rows ()
+
+(* ---------- fast parsers ---------- *)
+
+let parse_int buf pos len =
+  if len = 0 then failwith "Csv.parse_int: empty field";
+  let stop = pos + len in
+  let neg = Bytes.unsafe_get buf pos = '-' in
+  let i0 = if neg || Bytes.unsafe_get buf pos = '+' then pos + 1 else pos in
+  if i0 >= stop then failwith "Csv.parse_int: no digits";
+  let acc = ref 0 in
+  for i = i0 to stop - 1 do
+    let c = Char.code (Bytes.unsafe_get buf i) - Char.code '0' in
+    if c < 0 || c > 9 then failwith "Csv.parse_int: bad digit";
+    acc := (!acc * 10) + c
+  done;
+  if neg then - !acc else !acc
+
+let pow10 = [| 1.; 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; 1e11;
+               1e12; 1e13; 1e14; 1e15 |]
+
+let parse_float_slow buf pos len = float_of_string (Bytes.sub_string buf pos len)
+
+let parse_float buf pos len =
+  if len = 0 then failwith "Csv.parse_float: empty field";
+  let stop = pos + len in
+  let neg = Bytes.unsafe_get buf pos = '-' in
+  let i = ref (if neg || Bytes.unsafe_get buf pos = '+' then pos + 1 else pos) in
+  let mantissa = ref 0. in
+  let ok = ref (!i < stop) in
+  (* integer part *)
+  let continue_ = ref true in
+  while !continue_ && !i < stop do
+    let c = Bytes.unsafe_get buf !i in
+    if c >= '0' && c <= '9' then begin
+      mantissa := (!mantissa *. 10.) +. float_of_int (Char.code c - 48);
+      incr i
+    end
+    else continue_ := false
+  done;
+  (* fraction *)
+  if !i < stop && Bytes.unsafe_get buf !i = '.' then begin
+    incr i;
+    let frac_digits = ref 0 in
+    let continue_ = ref true in
+    while !continue_ && !i < stop do
+      let c = Bytes.unsafe_get buf !i in
+      if c >= '0' && c <= '9' then begin
+        mantissa := (!mantissa *. 10.) +. float_of_int (Char.code c - 48);
+        incr frac_digits;
+        incr i
+      end
+      else continue_ := false
+    done;
+    if !frac_digits < Array.length pow10 then
+      mantissa := !mantissa /. pow10.(!frac_digits)
+    else ok := false
+  end;
+  (* exponent or anything unexpected: fall back *)
+  if not !ok || !i < stop then parse_float_slow buf pos len
+  else if neg then -. !mantissa
+  else !mantissa
+
+let parse_bool buf pos len =
+  if len = 1 then
+    match Bytes.get buf pos with
+    | '1' | 't' | 'T' -> true
+    | '0' | 'f' | 'F' -> false
+    | _ -> failwith "Csv.parse_bool"
+  else
+    match String.lowercase_ascii (Bytes.sub_string buf pos len) with
+    | "true" -> true
+    | "false" -> false
+    | _ -> failwith "Csv.parse_bool"
+
+let parse_string buf pos len = Bytes.sub_string buf pos len
+
+(* ---------- navigation ---------- *)
+
+module Cursor = struct
+  type t = {
+    file : Mmap_file.t;
+    buf : Bytes.t;
+    len : int;
+    sep : char;
+    mutable pos : int;
+  }
+
+  let create ?(sep = ',') file =
+    { file; buf = Mmap_file.bytes file; len = Mmap_file.length file; sep; pos = 0 }
+
+  let file t = t.file
+  let sep t = t.sep
+  let pos t = t.pos
+  let seek t p = t.pos <- p
+  let at_eof t = t.pos >= t.len
+
+  let next_field t =
+    if t.pos >= t.len then failwith "Csv.Cursor.next_field: at EOF";
+    if Bytes.unsafe_get t.buf t.pos = '\n' then
+      failwith "Csv.Cursor.next_field: at end of line";
+    let start = t.pos in
+    let sep = t.sep in
+    let i = ref t.pos in
+    let continue_ = ref true in
+    while !continue_ && !i < t.len do
+      let c = Bytes.unsafe_get t.buf !i in
+      if c = sep || c = '\n' then continue_ := false else incr i
+    done;
+    let stop = !i in
+    Mmap_file.touch t.file start (stop - start + 1);
+    (* advance past the separator, stay on the newline *)
+    if stop < t.len && Bytes.unsafe_get t.buf stop = sep then t.pos <- stop + 1
+    else t.pos <- stop;
+    (start, stop - start)
+
+  (* allocation-free variant of [next_field] for fields we never parse *)
+  let skip_field t =
+    if t.pos >= t.len then failwith "Csv.Cursor.skip_field: at EOF";
+    if Bytes.unsafe_get t.buf t.pos = '\n' then
+      failwith "Csv.Cursor.skip_field: at end of line";
+    let start = t.pos in
+    let sep = t.sep in
+    let i = ref t.pos in
+    let continue_ = ref true in
+    while !continue_ && !i < t.len do
+      let c = Bytes.unsafe_get t.buf !i in
+      if c = sep || c = '\n' then continue_ := false else incr i
+    done;
+    let stop = !i in
+    Mmap_file.touch t.file start (stop - start + 1);
+    if stop < t.len && Bytes.unsafe_get t.buf stop = sep then t.pos <- stop + 1
+    else t.pos <- stop
+
+  let skip_fields t n = for _ = 1 to n do skip_field t done
+
+  let at_end_of_line t =
+    t.pos >= t.len || Bytes.unsafe_get t.buf t.pos = '\n'
+
+  let skip_line t =
+    let start = t.pos in
+    let i = ref t.pos in
+    let continue_ = ref true in
+    while !continue_ && !i < t.len do
+      if Bytes.unsafe_get t.buf !i = '\n' then continue_ := false else incr i
+    done;
+    t.pos <- min (!i + 1) t.len;
+    Mmap_file.touch t.file start (t.pos - start)
+end
+
+let count_rows file =
+  let buf = Mmap_file.bytes file in
+  let len = Mmap_file.length file in
+  let n = ref 0 in
+  for i = 0 to len - 1 do
+    if Bytes.unsafe_get buf i = '\n' then incr n
+  done;
+  if len > 0 && Bytes.get buf (len - 1) <> '\n' then incr n;
+  !n

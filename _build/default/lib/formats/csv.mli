@@ -1,0 +1,80 @@
+(** CSV: the paper's representative textual format (§4.2).
+
+    Field locations are data-dependent — column N of each row is found only
+    by tokenizing — which is exactly why positional maps ({!Posmap}) exist.
+    This module provides the byte-level machinery every CSV access path
+    builds on: a navigation cursor over a memory-mapped file, fast typed
+    field parsers (the paper's "custom version of atoi"), and a generator
+    for the synthetic workloads. *)
+
+open Raw_vector
+open Raw_storage
+
+(** {1 Generation} *)
+
+val write_file : path:string -> ?sep:char -> header:string list option ->
+  rows:string list Seq.t -> unit -> unit
+(** Writes rows of pre-rendered fields. *)
+
+val generate :
+  path:string ->
+  ?sep:char ->
+  n_rows:int ->
+  dtypes:Dtype.t array ->
+  seed:int ->
+  unit ->
+  unit
+(** Deterministic synthetic file: integers uniform in [0, 10^9) (as in the
+    paper), floats uniform in [0, 10^9) with 3 decimals, bools, and short
+    strings. *)
+
+val render_value : Value.t -> string
+
+(** {1 Fast field parsers}
+
+    Each parses the byte range [pos, pos+len) of [buf]; they are the
+    data-type conversion functions a JIT access path bakes into the scan
+    operator. [parse_int] raises [Failure] on malformed input;
+    [parse_float] falls back to [float_of_string] for unusual syntax. *)
+
+val parse_int : Bytes.t -> int -> int -> int
+val parse_float : Bytes.t -> int -> int -> float
+val parse_bool : Bytes.t -> int -> int -> bool
+val parse_string : Bytes.t -> int -> int -> string
+
+(** {1 Navigation} *)
+
+module Cursor : sig
+  (** A byte cursor over a memory-mapped CSV file. All reads are accounted
+      to the file's simulated page cache. *)
+
+  type t
+
+  val create : ?sep:char -> Mmap_file.t -> t
+  (** Positioned at offset 0. *)
+
+  val file : t -> Mmap_file.t
+  val sep : t -> char
+  val pos : t -> int
+  val seek : t -> int -> unit
+  val at_eof : t -> bool
+
+  val next_field : t -> int * int
+  (** [(start, len)] of the field beginning at the cursor. Advances past the
+      trailing separator if there is one, otherwise leaves the cursor on the
+      newline/EOF. Raises [Failure] at EOF or on a newline (caller must
+      [skip_line] between rows). *)
+
+  val skip_field : t -> unit
+  (** Like {!next_field} without returning the span (cheaper: no length
+      bookkeeping by callers). *)
+
+  val skip_fields : t -> int -> unit
+  val at_end_of_line : t -> bool
+
+  val skip_line : t -> unit
+  (** Advance past the next ['\n'] (or to EOF). *)
+end
+
+val count_rows : Mmap_file.t -> int
+(** Number of newline-terminated rows (a final unterminated row counts). *)

@@ -1,0 +1,245 @@
+open Raw_storage
+
+type particle = { pt : float; eta : float; phi : float }
+
+type event = {
+  event_id : int;
+  run_number : int;
+  aux : float array;
+  muons : particle array;
+  electrons : particle array;
+  jets : particle array;
+}
+
+type coll = Muons | Electrons | Jets
+type pfield = Pt | Eta | Phi
+
+let coll_to_string = function
+  | Muons -> "muons"
+  | Electrons -> "electrons"
+  | Jets -> "jets"
+
+let pfield_to_string = function Pt -> "pt" | Eta -> "eta" | Phi -> "phi"
+
+let magic = "HEPF"
+let header_size = 4 + 4 + 8 + 8
+let particle_size = 24 (* 3 f64 *)
+let event_fixed_size = 8 + 8 + 4 + 4 + 4 + 4 (* ids, counts, n_aux *)
+
+(* ---------- writing ---------- *)
+
+let write_file ~path events =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let b8 = Bytes.create 8 in
+      let w64 x = Bytes.set_int64_le b8 0 (Int64.of_int x); output_bytes oc b8 in
+      let w32 x = Bytes.set_int32_le b8 0 (Int32.of_int x); output oc b8 0 4 in
+      let wf x = Bytes.set_int64_le b8 0 (Int64.bits_of_float x); output_bytes oc b8 in
+      (* header placeholder *)
+      output_string oc magic;
+      w32 1;
+      w64 0; (* n_events, patched below *)
+      w64 0; (* index_off, patched below *)
+      let offsets = Buffer_int.create () in
+      let n = ref 0 in
+      let write_particles ps = Array.iter (fun p -> wf p.pt; wf p.eta; wf p.phi) ps in
+      Seq.iter
+        (fun e ->
+          Buffer_int.add offsets (pos_out oc);
+          incr n;
+          w64 e.event_id;
+          w64 e.run_number;
+          w32 (Array.length e.muons);
+          w32 (Array.length e.electrons);
+          w32 (Array.length e.jets);
+          w32 (Array.length e.aux);
+          Array.iter wf e.aux;
+          write_particles e.muons;
+          write_particles e.electrons;
+          write_particles e.jets)
+        events;
+      let index_off = pos_out oc in
+      for i = 0 to !n - 1 do
+        w64 (Buffer_int.get offsets i)
+      done;
+      (* patch header *)
+      seek_out oc 8;
+      w64 !n;
+      w64 index_off)
+
+let generate ~path ~n_events ?(n_runs = 64) ?(mean_particles = 3.0)
+    ?(n_aux = 24) ~seed () =
+  let st = Random.State.make [| seed |] in
+  (* geometric count with the requested mean *)
+  let p = 1.0 /. (1.0 +. mean_particles) in
+  let geom () =
+    let rec go n = if Random.State.float st 1.0 < p then n else go (n + 1) in
+    go 0
+  in
+  let particle () =
+    {
+      pt = -25.0 *. log (1.0 -. Random.State.float st 1.0);
+      eta = Random.State.float st 5.0 -. 2.5;
+      phi = Random.State.float st (2.0 *. Float.pi) -. Float.pi;
+    }
+  in
+  let particles () = Array.init (geom ()) (fun _ -> particle ()) in
+  let events =
+    Seq.init n_events (fun i ->
+        {
+          event_id = i;
+          run_number = Random.State.int st n_runs;
+          aux = Array.init n_aux (fun _ -> Random.State.float st 1.0);
+          muons = particles ();
+          electrons = particles ();
+          jets = particles ();
+        })
+  in
+  write_file ~path events
+
+(* ---------- reading ---------- *)
+
+module Reader = struct
+  type t = {
+    file : Mmap_file.t;
+    buf : Bytes.t;
+    n_events : int;
+    index_off : int;
+    cache : (int, event) Lru.t;
+    mutable cache_hits : int;
+    mutable cache_misses : int;
+  }
+
+  let read_i64 t pos =
+    Mmap_file.touch t.file pos 8;
+    Int64.to_int (Bytes.get_int64_le t.buf pos)
+
+  let read_i32 t pos =
+    Mmap_file.touch t.file pos 4;
+    Int32.to_int (Bytes.get_int32_le t.buf pos)
+
+  let read_f64 t pos =
+    Mmap_file.touch t.file pos 8;
+    Int64.float_of_bits (Bytes.get_int64_le t.buf pos)
+
+  let open_file ?config ?(object_cache_capacity = 4096) path =
+    let file = Mmap_file.open_file ?config path in
+    let buf = Mmap_file.bytes file in
+    if Mmap_file.length file < header_size
+       || Bytes.sub_string buf 0 4 <> magic
+    then failwith ("Hep.Reader.open_file: not a HEP file: " ^ path);
+    let t =
+      {
+        file;
+        buf;
+        n_events = 0;
+        index_off = 0;
+        cache = Lru.create ~capacity:object_cache_capacity ();
+        cache_hits = 0;
+        cache_misses = 0;
+      }
+    in
+    let n_events = read_i64 t 8 in
+    let index_off = read_i64 t 16 in
+    { t with n_events; index_off }
+
+  let file t = t.file
+  let n_events t = t.n_events
+
+  let check_entry t entry =
+    if entry < 0 || entry >= t.n_events then
+      invalid_arg (Printf.sprintf "Hep.Reader: entry %d out of range" entry)
+
+  let event_offset t entry =
+    check_entry t entry;
+    read_i64 t (t.index_off + (8 * entry))
+
+  let read_event_id t entry = read_i64 t (event_offset t entry)
+  let read_run_number t entry = read_i64 t (event_offset t entry + 8)
+
+  (* (start offset of collection, length); collections sit after the aux
+     payload, which the field API skips without reading *)
+  let collection_span t off coll =
+    let n_mu = read_i32 t (off + 16) in
+    let n_aux = read_i32 t (off + 28) in
+    let base = off + event_fixed_size + (n_aux * 8) in
+    match coll with
+    | Muons -> (base, n_mu)
+    | Electrons ->
+      let n_el = read_i32 t (off + 20) in
+      (base + (n_mu * particle_size), n_el)
+    | Jets ->
+      let n_el = read_i32 t (off + 20) in
+      let n_jet = read_i32 t (off + 24) in
+      (base + ((n_mu + n_el) * particle_size), n_jet)
+
+  let collection_length t entry coll =
+    let off = event_offset t entry in
+    match coll with
+    | Muons -> read_i32 t (off + 16)
+    | Electrons -> read_i32 t (off + 20)
+    | Jets -> read_i32 t (off + 24)
+
+  let pfield_off = function Pt -> 0 | Eta -> 8 | Phi -> 16
+
+  let read_particle_field t ~entry coll ~item f =
+    let off = event_offset t entry in
+    let start, len = collection_span t off coll in
+    if item < 0 || item >= len then
+      invalid_arg
+        (Printf.sprintf "Hep.Reader.read_particle_field: item %d/%d" item len);
+    read_f64 t (start + (item * particle_size) + pfield_off f)
+
+  let read_particles t start n =
+    Array.init n (fun i ->
+        let base = start + (i * particle_size) in
+        { pt = read_f64 t base; eta = read_f64 t (base + 8);
+          phi = read_f64 t (base + 16) })
+
+  let deserialize t entry =
+    let off = event_offset t entry in
+    let event_id = read_i64 t off in
+    let run_number = read_i64 t (off + 8) in
+    let n_mu = read_i32 t (off + 16) in
+    let n_el = read_i32 t (off + 20) in
+    let n_jet = read_i32 t (off + 24) in
+    let n_aux = read_i32 t (off + 28) in
+    (* the object API materializes the whole event, aux payload included —
+       what a C++ analysis pays on every getEntry *)
+    let aux =
+      Array.init n_aux (fun k -> read_f64 t (off + event_fixed_size + (k * 8)))
+    in
+    let mu_start = off + event_fixed_size + (n_aux * 8) in
+    let el_start = mu_start + (n_mu * particle_size) in
+    let jet_start = el_start + (n_el * particle_size) in
+    {
+      event_id;
+      run_number;
+      aux;
+      muons = read_particles t mu_start n_mu;
+      electrons = read_particles t el_start n_el;
+      jets = read_particles t jet_start n_jet;
+    }
+
+  let get_entry t entry =
+    check_entry t entry;
+    match Lru.find t.cache entry with
+    | Some e ->
+      t.cache_hits <- t.cache_hits + 1;
+      e
+    | None ->
+      t.cache_misses <- t.cache_misses + 1;
+      let e = deserialize t entry in
+      ignore (Lru.add t.cache entry e);
+      e
+
+  let object_cache_hits t = t.cache_hits
+  let object_cache_misses t = t.cache_misses
+
+  let clear_object_cache t =
+    Lru.clear t.cache;
+    t.cache_hits <- 0;
+    t.cache_misses <- 0
+end

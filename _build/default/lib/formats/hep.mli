@@ -1,0 +1,95 @@
+(** HEP — a ROOT-substitute nested event format (paper §6).
+
+    The ATLAS use case stores {e events}, each containing variable-length
+    collections of muons, electrons and jets. ROOT itself is proprietary-
+    complex; what the paper actually relies on is (i) objects addressable by
+    entry id through a library API ([getEntry], [readROOTField(name, id)]),
+    (ii) an internal object cache ("buffer pool") serving repeated accesses,
+    and (iii) enough layout knowledge to read a single field of a single
+    entry without deserializing the world. This format reproduces exactly
+    those properties with a compact binary layout:
+
+    {v
+    header : magic "HEPF" | version i32 | n_events i64 | index_off i64
+    event  : event_id i64 | run_number i64 | n_mu i32 | n_el i32 | n_jet i32
+             | n_aux i32 | aux n_aux*f64
+             | muons n_mu*(pt,eta,phi f64) | electrons ... | jets ...
+    index  : n_events * i64 (absolute offset of each event record)
+    v}
+
+    RAW models a HEP file as four relational tables (event, muon, electron,
+    jet) joined on event id; the entry-id-addressable layout is what maps to
+    the paper's "index-based scan" access abstraction. *)
+
+open Raw_storage
+
+type particle = { pt : float; eta : float; phi : float }
+
+type event = {
+  event_id : int;
+  run_number : int;
+  aux : float array;
+      (** auxiliary payload: stands in for the thousands of fields a real
+          ROOT event carries that an analysis never touches (the paper's
+          "ignore the rest 6 to 12 thousand fields in the file", §3). The
+          object API deserializes them; the field API never reads them. *)
+  muons : particle array;
+  electrons : particle array;
+  jets : particle array;
+}
+
+type coll = Muons | Electrons | Jets
+type pfield = Pt | Eta | Phi
+
+val coll_to_string : coll -> string
+val pfield_to_string : pfield -> string
+
+(** {1 Writing} *)
+
+val write_file : path:string -> event Seq.t -> unit
+
+val generate :
+  path:string ->
+  n_events:int ->
+  ?n_runs:int ->
+  ?mean_particles:float ->
+  ?n_aux:int ->
+  seed:int ->
+  unit ->
+  unit
+(** Synthetic collision events: sequential event ids, run numbers uniform in
+    [0, n_runs), geometric collection sizes with the given mean, exponential
+    pt, uniform eta in [-2.5, 2.5] and phi in [-pi, pi]. Deterministic. *)
+
+(** {1 Reading} *)
+
+module Reader : sig
+  type t
+
+  val open_file :
+    ?config:Mmap_file.Config.t -> ?object_cache_capacity:int -> string -> t
+  (** [object_cache_capacity] bounds the LRU cache of deserialized events
+      (the ROOT "buffer pool" stand-in; default 4096 events). Raises
+      [Failure] on a malformed file. *)
+
+  val file : t -> Mmap_file.t
+  val n_events : t -> int
+
+  val get_entry : t -> int -> event
+  (** Full-object deserialization through the object cache — what the
+      hand-written C++ analysis uses. *)
+
+  val object_cache_hits : t -> int
+  val object_cache_misses : t -> int
+  val clear_object_cache : t -> unit
+
+  (** {2 Field-level API}
+
+      Point reads used by RAW's generated access paths; they bypass the
+      object cache and touch only the bytes of the requested field. *)
+
+  val read_event_id : t -> int -> int
+  val read_run_number : t -> int -> int
+  val collection_length : t -> int -> coll -> int
+  val read_particle_field : t -> entry:int -> coll -> item:int -> pfield -> float
+end

@@ -1,0 +1,90 @@
+open Raw_vector
+open Raw_storage
+
+let magic = "IBX1"
+let footer_size = 4 + 4 + 4 + 8 + 8 + 8 + 8 + 4
+
+type meta = {
+  layout : Fwb.layout;
+  indexed_field : int;
+  n_rows : int;
+  tree_off : int;
+  btree : Btree.meta;
+}
+
+let write_file ~path ~dtypes ~indexed_field rows =
+  if indexed_field < 0 || indexed_field >= Array.length dtypes then
+    invalid_arg "Ibx.write_file: indexed_field out of range";
+  if not (Dtype.equal dtypes.(indexed_field) Dtype.Int) then
+    invalid_arg "Ibx.write_file: indexed column must be Int";
+  let layout = Fwb.layout dtypes in
+  let rows = Array.of_seq rows in
+  (* data section *)
+  Fwb.write_file ~path layout (Array.to_seq rows);
+  let tree_off = Array.length rows * Fwb.row_size layout in
+  (* index *)
+  let pairs =
+    Array.mapi (fun row r -> (Value.as_int r.(indexed_field), row)) rows
+  in
+  Array.sort (fun (a, ra) (b, rb) ->
+      if a <> b then Stdlib.compare a b else Stdlib.compare ra rb)
+    pairs;
+  let tree, bmeta = Btree.serialize pairs in
+  let oc = open_out_gen [ Open_binary; Open_append ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_bytes oc tree;
+      let b = Bytes.create 8 in
+      let w32 x = Bytes.set_int32_le b 0 (Int32.of_int x); output oc b 0 4 in
+      let w64 x = Bytes.set_int64_le b 0 (Int64.of_int x); output_bytes oc b in
+      w32 indexed_field;
+      w32 bmeta.Btree.fanout;
+      w32 bmeta.Btree.height;
+      w64 bmeta.Btree.root_off;
+      w64 bmeta.Btree.n_entries;
+      w64 tree_off;
+      w64 (Array.length rows);
+      output_string oc magic)
+
+let generate ~path ~n_rows ~dtypes ~indexed_field ~seed () =
+  write_file ~path ~dtypes ~indexed_field
+    (Fwb.row_values ~path ~n_rows ~dtypes ~seed)
+
+let read_meta file ~dtypes =
+  let len = Mmap_file.length file in
+  if len < footer_size then failwith "Ibx.read_meta: file too small";
+  let buf = Mmap_file.bytes file in
+  if Bytes.sub_string buf (len - 4) 4 <> magic then
+    failwith "Ibx.read_meta: bad magic";
+  let fbase = len - footer_size in
+  let r32 off = Int32.to_int (Bytes.get_int32_le buf (fbase + off)) in
+  let r64 off = Int64.to_int (Bytes.get_int64_le buf (fbase + off)) in
+  Mmap_file.touch file fbase footer_size;
+  let indexed_field = r32 0 in
+  let fanout = r32 4 in
+  let height = r32 8 in
+  let root_off = r64 12 in
+  let n_entries = r64 20 in
+  let tree_off = r64 28 in
+  let n_rows = r64 36 in
+  let layout = Fwb.layout dtypes in
+  if n_rows * Fwb.row_size layout <> tree_off then
+    failwith "Ibx.read_meta: schema row size disagrees with the file";
+  if indexed_field < 0 || indexed_field >= Array.length dtypes then
+    failwith "Ibx.read_meta: corrupt indexed field";
+  {
+    layout;
+    indexed_field;
+    n_rows;
+    tree_off;
+    btree = { Btree.root_off; n_entries; height; fanout };
+  }
+
+let lookup_range file meta ~lo ~hi =
+  let rows = Btree.range file ~base:meta.tree_off meta.btree ~lo ~hi in
+  Array.sort Stdlib.compare rows;
+  rows
+
+let index_nodes_visited file meta ~lo ~hi =
+  Btree.nodes_visited file ~base:meta.tree_off meta.btree ~lo ~hi

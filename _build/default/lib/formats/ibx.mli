@@ -1,0 +1,57 @@
+(** IBX — an indexed fixed-width binary format.
+
+    The paper observes that some raw formats ship with embedded indexes
+    (HDF's B-trees, shapefile's R-trees) which JIT access paths should
+    exploit rather than scan around (§4.1). IBX models that class: FWB row
+    data followed by a bulk-loaded B+-tree over one integer column, plus a
+    footer:
+
+    {v
+    [ rows (Fwb layout) ][ B+-tree region ][ footer ]
+    footer: indexed_field i32 | fanout i32 | height i32 | root_off i64
+          | n_entries i64 | tree_off i64 | n_rows i64 | magic "IBX1"
+    v}
+
+    Data access reuses the {!Fwb} point readers (rows start at offset 0);
+    {!lookup_range} turns an indexed-column range predicate into the
+    qualifying row ids, touching only the index pages on the path. *)
+
+open Raw_vector
+open Raw_storage
+
+type meta = {
+  layout : Fwb.layout;
+  indexed_field : int;  (** source ordinal of the indexed column *)
+  n_rows : int;
+  tree_off : int;
+  btree : Btree.meta;
+}
+
+val write_file :
+  path:string ->
+  dtypes:Dtype.t array ->
+  indexed_field:int ->
+  Value.t array Seq.t ->
+  unit
+(** Raises [Invalid_argument] if the indexed field is not [Int] or any
+    column is [String]. The sequence is materialized to build the index. *)
+
+val generate :
+  path:string ->
+  n_rows:int ->
+  dtypes:Dtype.t array ->
+  indexed_field:int ->
+  seed:int ->
+  unit ->
+  unit
+(** Same value stream as {!Fwb.generate} for equal seeds/dtypes. *)
+
+val read_meta : Mmap_file.t -> dtypes:Dtype.t array -> meta
+(** Validates the footer. Raises [Failure] on a malformed file or if the
+    declared schema disagrees with the stored row size. *)
+
+val lookup_range : Mmap_file.t -> meta -> lo:int -> hi:int -> int array
+(** Row ids with [lo <= key <= hi], ascending (sorted for the engine's
+    selection-vector invariant). *)
+
+val index_nodes_visited : Mmap_file.t -> meta -> lo:int -> hi:int -> int

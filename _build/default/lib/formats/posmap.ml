@@ -1,0 +1,89 @@
+type t = {
+  tracked : int array; (* ascending *)
+  pos : int array array; (* pos.(k) = offsets of tracked.(k), length n_rows *)
+  len : int array array;
+  n_rows : int;
+}
+
+let tracked t = t.tracked
+let n_rows t = t.n_rows
+
+let slot t col =
+  let rec go i =
+    if i >= Array.length t.tracked then None
+    else if t.tracked.(i) = col then Some i
+    else if t.tracked.(i) > col then None
+    else go (i + 1)
+  in
+  go 0
+
+let is_tracked t col = Option.is_some (slot t col)
+
+let positions t col =
+  match slot t col with
+  | Some k -> t.pos.(k)
+  | None -> invalid_arg (Printf.sprintf "Posmap.positions: column %d untracked" col)
+
+let lengths t col =
+  match slot t col with
+  | Some k -> Some t.len.(k)
+  | None -> None
+
+let position t ~row ~col = (positions t col).(row)
+
+let nearest_at_or_before t col =
+  let best = ref None in
+  Array.iteri
+    (fun k c -> if c <= col then best := Some (c, t.pos.(k)))
+    t.tracked;
+  !best
+
+let every_k ~k ~n_cols =
+  if k <= 0 then invalid_arg "Posmap.every_k: k must be positive";
+  let rec go c acc = if c >= n_cols then List.rev acc else go (c + k) (c :: acc) in
+  go 0 []
+
+module Build = struct
+  type map = t
+
+  type t = {
+    tracked : int array;
+    pos_bufs : Buffer_int.t array;
+    len_bufs : Buffer_int.t array;
+    mutable in_row : int; (* how many tracked cols recorded in current row *)
+  }
+
+  let create ~tracked =
+    let tracked =
+      List.sort_uniq Stdlib.compare tracked |> Array.of_list
+    in
+    {
+      tracked;
+      pos_bufs = Array.map (fun _ -> Buffer_int.create ()) tracked;
+      len_bufs = Array.map (fun _ -> Buffer_int.create ()) tracked;
+      in_row = 0;
+    }
+
+  let tracked t = t.tracked
+
+  let record t ~col ~pos ~len =
+    let k = t.in_row in
+    if k >= Array.length t.tracked || t.tracked.(k) <> col then
+      invalid_arg
+        (Printf.sprintf "Posmap.Build.record: column %d out of order" col);
+    Buffer_int.add t.pos_bufs.(k) pos;
+    Buffer_int.add t.len_bufs.(k) len;
+    t.in_row <- k + 1
+
+  let end_row t =
+    if t.in_row <> Array.length t.tracked then
+      invalid_arg "Posmap.Build.end_row: missing tracked columns";
+    t.in_row <- 0
+
+  let finish t =
+    if t.in_row <> 0 then invalid_arg "Posmap.Build.finish: unfinished row";
+    let pos = Array.map Buffer_int.contents t.pos_bufs in
+    let len = Array.map Buffer_int.contents t.len_bufs in
+    let n_rows = if Array.length pos = 0 then 0 else Array.length pos.(0) in
+    { tracked = t.tracked; pos; len; n_rows }
+end

@@ -1,0 +1,61 @@
+(** Positional maps (paper §2.3, after NoDB).
+
+    A positional map indexes the {e structure} of a textual file, not its
+    data: for a configurable subset of columns it stores, per row, the byte
+    offset where the column's field begins. A later query for a tracked
+    column jumps straight to the data; a query for an untracked column jumps
+    to the nearest tracked column at or before it and parses incrementally
+    from there (the paper's "Column 7" experiments).
+
+    Maps are built as a side effect of a first scan and cached per file by
+    {!Raw_core.Catalog}. They also store the field length for tracked
+    columns, enabling the length-aware [atoi] the paper mentions. *)
+
+type t
+
+val tracked : t -> int array
+(** Tracked source-column ordinals, ascending. *)
+
+val n_rows : t -> int
+
+val is_tracked : t -> int -> bool
+
+val positions : t -> int -> int array
+(** [positions t col] — byte offset of [col]'s field for every row. Raises
+    [Invalid_argument] if [col] is not tracked. *)
+
+val lengths : t -> int -> int array option
+(** Field lengths for a tracked column, when recorded. *)
+
+val position : t -> row:int -> col:int -> int
+(** Raises [Invalid_argument] if untracked. *)
+
+val nearest_at_or_before : t -> int -> (int * int array) option
+(** [nearest_at_or_before t col] = [(tracked_col, positions)] with the
+    greatest [tracked_col <= col], or [None] if every tracked column lies
+    after [col]. *)
+
+val every_k : k:int -> n_cols:int -> int list
+(** The paper's tracking heuristic: columns [0, k, 2k, ...] — "populate the
+    positional map every k columns". *)
+
+(** {1 Construction} *)
+
+module Build : sig
+  type map = t
+  type t
+
+  val create : tracked:int list -> t
+  (** Sorted and deduplicated automatically. *)
+
+  val tracked : t -> int array
+
+  val record : t -> col:int -> pos:int -> len:int -> unit
+  (** Record the field of the current row. Calls must go column-ascending
+      within a row; every tracked column must be recorded before
+      {!end_row}. *)
+
+  val end_row : t -> unit
+  val finish : t -> map
+  (** Raises [Invalid_argument] if a row is half-recorded. *)
+end

@@ -1,0 +1,1 @@
+lib/sql/ast.ml: Buffer Format Kernels List Option Raw_vector String Value

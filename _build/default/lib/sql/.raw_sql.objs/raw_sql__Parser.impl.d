@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Kernels Lexer List Option Printf Raw_vector String Value

@@ -1,0 +1,111 @@
+(** Abstract syntax for the SQL subset RAW accepts.
+
+    The paper motivates RAW with declarative querying over raw files
+    ("physicists would write queries in a declarative query language such
+    as SQL", §6); this subset covers the paper's workload: single-table
+    selections with aggregates, inner equi-joins, grouping with HAVING,
+    ordering and limits. *)
+
+open Raw_vector
+
+type col_ref = { table : string option; column : string }
+
+type expr =
+  | Lit of Value.t
+  | Ref of col_ref
+  | Cmp of Kernels.cmp * expr * expr
+  | Arith of Kernels.arith * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+  | Agg of Kernels.agg * expr
+  | Count_star
+
+type select_item = { expr : expr; alias : string option }
+
+type table_ref = { table : string; alias : string option }
+
+type join = { rel : table_ref; on_left : expr; on_right : expr }
+
+type order = { column : string; dir : [ `Asc | `Desc ] }
+
+type query = {
+  select : [ `Star | `Items of select_item list ];
+  distinct : bool;
+  from : table_ref;
+  joins : join list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order list;
+  limit : int option;
+}
+
+let quote_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '\'';
+  String.iter
+    (fun c ->
+      if c = '\'' then Buffer.add_string b "''" else Buffer.add_char b c)
+    s;
+  Buffer.add_char b '\'';
+  Buffer.contents b
+
+let rec pp_expr ppf = function
+  | Lit (Value.String s) -> Format.pp_print_string ppf (quote_string s)
+  | Lit (Value.Bool b) -> Format.pp_print_string ppf (if b then "TRUE" else "FALSE")
+  | Lit v -> Value.pp ppf v
+  | Ref { table = None; column } -> Format.pp_print_string ppf column
+  | Ref { table = Some t; column } -> Format.fprintf ppf "%s.%s" t column
+  | Cmp (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (Kernels.cmp_to_string op) pp_expr b
+  | Arith (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (Kernels.arith_to_string op)
+      pp_expr b
+  | And (a, b) -> Format.fprintf ppf "(%a AND %a)" pp_expr a pp_expr b
+  | Or (a, b) -> Format.fprintf ppf "(%a OR %a)" pp_expr a pp_expr b
+  | Not a -> Format.fprintf ppf "(NOT %a)" pp_expr a
+  | Agg (op, e) -> Format.fprintf ppf "%s(%a)" (Kernels.agg_to_string op) pp_expr e
+  | Count_star -> Format.pp_print_string ppf "COUNT(*)"
+
+let pp_query ppf q =
+  let pp_items ppf = function
+    | `Star -> Format.pp_print_string ppf "*"
+    | `Items items ->
+      Format.pp_print_list
+        ~pp_sep:(fun f () -> Format.fprintf f ", ")
+        (fun f { expr; alias } ->
+          match alias with
+          | None -> pp_expr f expr
+          | Some a -> Format.fprintf f "%a AS %s" pp_expr expr a)
+        ppf items
+  in
+  Format.fprintf ppf "SELECT %s%a FROM %s"
+    (if q.distinct then "DISTINCT " else "")
+    pp_items q.select q.from.table;
+  Option.iter (fun a -> Format.fprintf ppf " AS %s" a) q.from.alias;
+  List.iter
+    (fun j ->
+      Format.fprintf ppf " JOIN %s" j.rel.table;
+      Option.iter (fun a -> Format.fprintf ppf " AS %s" a) j.rel.alias;
+      Format.fprintf ppf " ON %a = %a" pp_expr j.on_left pp_expr j.on_right)
+    q.joins;
+  Option.iter (fun w -> Format.fprintf ppf " WHERE %a" pp_expr w) q.where;
+  (match q.group_by with
+   | [] -> ()
+   | gs ->
+     Format.fprintf ppf " GROUP BY %a"
+       (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ", ") pp_expr)
+       gs);
+  Option.iter (fun h -> Format.fprintf ppf " HAVING %a" pp_expr h) q.having;
+  (match q.order_by with
+   | [] -> ()
+   | os ->
+     Format.fprintf ppf " ORDER BY %a"
+       (Format.pp_print_list
+          ~pp_sep:(fun f () -> Format.fprintf f ", ")
+          (fun f { column; dir } ->
+            Format.fprintf f "%s %s" column
+              (match dir with `Asc -> "ASC" | `Desc -> "DESC")))
+       os);
+  Option.iter (fun n -> Format.fprintf ppf " LIMIT %d" n) q.limit

@@ -1,0 +1,155 @@
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string * int
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "JOIN"; "INNER"; "ON"; "GROUP"; "BY"; "HAVING";
+    "ORDER"; "LIMIT"; "AS"; "AND"; "OR"; "NOT"; "ASC"; "DESC"; "MAX"; "MIN";
+    "BETWEEN"; "IN"; "DISTINCT";
+    "SUM"; "COUNT"; "AVG"; "TRUE"; "FALSE"; "NULL";
+  ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if is_keyword word then emit (KW (String.uppercase_ascii word))
+      else emit (IDENT word)
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        incr i
+      done;
+      let is_float =
+        !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1]
+      in
+      if is_float then begin
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        (* optional exponent *)
+        if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end;
+        emit (FLOAT (float_of_string (String.sub src start (!i - start))))
+      end
+      else emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '\'' then begin
+      let b = Buffer.create 16 in
+      incr i;
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then raise (Error ("unterminated string literal", !i));
+        if src.[!i] = '\'' then
+          if !i + 1 < n && src.[!i + 1] = '\'' then begin
+            Buffer.add_char b '\'';
+            i := !i + 2
+          end
+          else begin
+            closed := true;
+            incr i
+          end
+        else begin
+          Buffer.add_char b src.[!i];
+          incr i
+        end
+      done;
+      emit (STRING (Buffer.contents b))
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<=" -> emit LE; i := !i + 2
+      | ">=" -> emit GE; i := !i + 2
+      | "<>" -> emit NEQ; i := !i + 2
+      | "!=" -> emit NEQ; i := !i + 2
+      | _ ->
+        (match c with
+         | '(' -> emit LPAREN
+         | ')' -> emit RPAREN
+         | ',' -> emit COMMA
+         | '.' -> emit DOT
+         | '*' -> emit STAR
+         | '+' -> emit PLUS
+         | '-' -> emit MINUS
+         | '/' -> emit SLASH
+         | '%' -> emit PERCENT
+         | '=' -> emit EQ
+         | '<' -> emit LT
+         | '>' -> emit GT
+         | c -> raise (Error (Printf.sprintf "unexpected character %C" c, !i)));
+        incr i
+    end
+  done;
+  emit EOF;
+  Array.of_list (List.rev !tokens)
+
+let token_to_string = function
+  | IDENT s -> s
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> "'" ^ s ^ "'"
+  | KW k -> k
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,34 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** uppercased keyword *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string * int
+(** message, byte position *)
+
+val tokenize : string -> token array
+(** Ends with [EOF]. Keywords are recognized case-insensitively; everything
+    else alphanumeric is [IDENT] (original case preserved). String literals
+    use single quotes with [''] escaping. *)
+
+val token_to_string : token -> string

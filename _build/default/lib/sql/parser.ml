@@ -1,0 +1,319 @@
+open Raw_vector
+
+exception Error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let peek st = st.tokens.(st.pos)
+let advance st = st.pos <- st.pos + 1
+
+let fail st msg =
+  raise
+    (Error
+       (Printf.sprintf "%s at token %d (%s)" msg st.pos
+          (Lexer.token_to_string (peek st))))
+
+let expect st tok msg =
+  if peek st = tok then advance st else fail st ("expected " ^ msg)
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let accept_kw st kw = accept st (Lexer.KW kw)
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+    advance st;
+    s
+  | _ -> fail st "expected identifier"
+
+let agg_of_kw = function
+  | "MAX" -> Some Kernels.Max
+  | "MIN" -> Some Kernels.Min
+  | "SUM" -> Some Kernels.Sum
+  | "COUNT" -> Some Kernels.Count
+  | "AVG" -> Some Kernels.Avg
+  | _ -> None
+
+(* expression precedence: OR < AND < NOT < comparison < additive <
+   multiplicative < unary < primary *)
+
+let rec parse_or st =
+  let left = parse_and st in
+  if accept_kw st "OR" then Ast.Or (left, parse_or st) else left
+
+and parse_and st =
+  let left = parse_not st in
+  if accept_kw st "AND" then Ast.And (left, parse_and st) else left
+
+and parse_not st =
+  if accept_kw st "NOT" then Ast.Not (parse_not st) else parse_cmp st
+
+and parse_cmp st =
+  let left = parse_add st in
+  (* BETWEEN / IN / NOT IN desugar to comparisons and disjunctions *)
+  if accept_kw st "BETWEEN" then begin
+    let lo = parse_add st in
+    expect st (Lexer.KW "AND") "AND in BETWEEN";
+    let hi = parse_add st in
+    Ast.And (Ast.Cmp (Kernels.Ge, left, lo), Ast.Cmp (Kernels.Le, left, hi))
+  end
+  else if accept_kw st "IN" then parse_in_list st left ~negated:false
+  else if peek st = Lexer.KW "NOT" then begin
+    (* postfix NOT must be "NOT IN" *)
+    advance st;
+    expect st (Lexer.KW "IN") "IN after NOT";
+    parse_in_list st left ~negated:true
+  end
+  else
+    let op =
+      match peek st with
+      | Lexer.EQ -> Some Kernels.Eq
+      | Lexer.NEQ -> Some Kernels.Ne
+      | Lexer.LT -> Some Kernels.Lt
+      | Lexer.LE -> Some Kernels.Le
+      | Lexer.GT -> Some Kernels.Gt
+      | Lexer.GE -> Some Kernels.Ge
+      | _ -> None
+    in
+    match op with
+    | None -> left
+    | Some op ->
+      advance st;
+      Ast.Cmp (op, left, parse_add st)
+
+and parse_in_list st left ~negated =
+  expect st Lexer.LPAREN "( after IN";
+  let items = ref [ parse_add st ] in
+  while accept st Lexer.COMMA do
+    items := parse_add st :: !items
+  done;
+  expect st Lexer.RPAREN ")";
+  let disjunction =
+    match List.rev !items with
+    | [] -> assert false
+    | first :: rest ->
+      List.fold_left
+        (fun acc item -> Ast.Or (acc, Ast.Cmp (Kernels.Eq, left, item)))
+        (Ast.Cmp (Kernels.Eq, left, first))
+        rest
+  in
+  if negated then Ast.Not disjunction else disjunction
+
+and parse_add st =
+  let left = ref (parse_mul st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.PLUS ->
+      advance st;
+      left := Ast.Arith (Kernels.Add, !left, parse_mul st)
+    | Lexer.MINUS ->
+      advance st;
+      left := Ast.Arith (Kernels.Sub, !left, parse_mul st)
+    | _ -> continue_ := false
+  done;
+  !left
+
+and parse_mul st =
+  let left = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.STAR ->
+      advance st;
+      left := Ast.Arith (Kernels.Mul, !left, parse_unary st)
+    | Lexer.SLASH ->
+      advance st;
+      left := Ast.Arith (Kernels.Div, !left, parse_unary st)
+    | Lexer.PERCENT ->
+      advance st;
+      left := Ast.Arith (Kernels.Mod, !left, parse_unary st)
+    | _ -> continue_ := false
+  done;
+  !left
+
+and parse_unary st =
+  if accept st Lexer.MINUS then
+    match parse_unary st with
+    | Ast.Lit (Value.Int i) -> Ast.Lit (Value.Int (-i))
+    | Ast.Lit (Value.Float f) -> Ast.Lit (Value.Float (-.f))
+    | e -> Ast.Arith (Kernels.Sub, Ast.Lit (Value.Int 0), e)
+  else parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i ->
+    advance st;
+    Ast.Lit (Value.Int i)
+  | Lexer.FLOAT f ->
+    advance st;
+    Ast.Lit (Value.Float f)
+  | Lexer.STRING s ->
+    advance st;
+    Ast.Lit (Value.String s)
+  | Lexer.KW "TRUE" ->
+    advance st;
+    Ast.Lit (Value.Bool true)
+  | Lexer.KW "FALSE" ->
+    advance st;
+    Ast.Lit (Value.Bool false)
+  | Lexer.KW "NULL" ->
+    advance st;
+    Ast.Lit Value.Null
+  | Lexer.LPAREN ->
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RPAREN ")";
+    e
+  | Lexer.KW kw when Option.is_some (agg_of_kw kw) ->
+    let agg = Option.get (agg_of_kw kw) in
+    advance st;
+    expect st Lexer.LPAREN "( after aggregate";
+    if agg = Kernels.Count && accept st Lexer.STAR then begin
+      expect st Lexer.RPAREN ")";
+      Ast.Count_star
+    end
+    else begin
+      let agg =
+        if agg = Kernels.Count && accept_kw st "DISTINCT" then
+          Kernels.Count_distinct
+        else agg
+      in
+      let e = parse_or st in
+      expect st Lexer.RPAREN ")";
+      Ast.Agg (agg, e)
+    end
+  | Lexer.IDENT _ ->
+    let first = ident st in
+    if accept st Lexer.DOT then begin
+      (* "a.b" is a qualified column; deeper chains ("a.b.c") keep the tail
+         joined — dotted JSON paths, disambiguated by the binder *)
+      let rec segments acc =
+        let s = ident st in
+        if accept st Lexer.DOT then segments (s :: acc) else List.rev (s :: acc)
+      in
+      let column = String.concat "." (segments []) in
+      Ast.Ref { table = Some first; column }
+    end
+    else Ast.Ref { table = None; column = first }
+  | _ -> fail st "expected expression"
+
+let parse_select_items st =
+  if accept st Lexer.STAR then `Star
+  else begin
+    let item () =
+      let e = parse_or st in
+      let alias = if accept_kw st "AS" then Some (ident st) else None in
+      { Ast.expr = e; alias }
+    in
+    let items = ref [ item () ] in
+    while accept st Lexer.COMMA do
+      items := item () :: !items
+    done;
+    `Items (List.rev !items)
+  end
+
+let parse_table_ref st =
+  let table = ident st in
+  let alias =
+    if accept_kw st "AS" then Some (ident st)
+    else
+      match peek st with
+      | Lexer.IDENT _ -> Some (ident st)
+      | _ -> None
+  in
+  { Ast.table; alias }
+
+let parse_query st =
+  expect st (Lexer.KW "SELECT") "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  let select = parse_select_items st in
+  expect st (Lexer.KW "FROM") "FROM";
+  let from = parse_table_ref st in
+  let joins = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let has_join =
+      if accept_kw st "INNER" then begin
+        expect st (Lexer.KW "JOIN") "JOIN";
+        true
+      end
+      else accept_kw st "JOIN"
+    in
+    if has_join then begin
+      let rel = parse_table_ref st in
+      expect st (Lexer.KW "ON") "ON";
+      let on_left = parse_add st in
+      expect st Lexer.EQ "= in join condition";
+      let on_right = parse_add st in
+      joins := { Ast.rel; on_left; on_right } :: !joins
+    end
+    else continue_ := false
+  done;
+  let where = if accept_kw st "WHERE" then Some (parse_or st) else None in
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect st (Lexer.KW "BY") "BY";
+      let es = ref [ parse_or st ] in
+      while accept st Lexer.COMMA do
+        es := parse_or st :: !es
+      done;
+      List.rev !es
+    end
+    else []
+  in
+  let having = if accept_kw st "HAVING" then Some (parse_or st) else None in
+  let order_by =
+    if accept_kw st "ORDER" then begin
+      expect st (Lexer.KW "BY") "BY";
+      let one () =
+        let column = ident st in
+        let dir =
+          if accept_kw st "DESC" then `Desc
+          else begin
+            ignore (accept_kw st "ASC");
+            `Asc
+          end
+        in
+        { Ast.column; dir }
+      in
+      let os = ref [ one () ] in
+      while accept st Lexer.COMMA do
+        os := one () :: !os
+      done;
+      List.rev !os
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "LIMIT" then
+      match peek st with
+      | Lexer.INT n ->
+        advance st;
+        Some n
+      | _ -> fail st "expected integer after LIMIT"
+    else None
+  in
+  expect st Lexer.EOF "end of query";
+  { Ast.select; distinct; from; joins = List.rev !joins; where; group_by;
+    having; order_by; limit }
+
+let with_lexer src f =
+  match Lexer.tokenize src with
+  | tokens -> f { tokens; pos = 0 }
+  | exception Lexer.Error (msg, pos) ->
+    raise (Error (Printf.sprintf "lex error: %s at byte %d" msg pos))
+
+let parse src = with_lexer src parse_query
+
+let parse_expr src =
+  with_lexer src (fun st ->
+      let e = parse_or st in
+      expect st Lexer.EOF "end of expression";
+      e)

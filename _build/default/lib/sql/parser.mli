@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Error of string
+(** Parse error with a human-readable message including position info. *)
+
+val parse : string -> Ast.query
+(** Raises {!Error} (wraps lexer errors too). *)
+
+val parse_expr : string -> Ast.expr
+(** Parses a standalone expression (used by tests and the CLI). *)

@@ -1,0 +1,1 @@
+lib/storage/mmap_file.ml: Bytes Fun List Lru

@@ -1,0 +1,1 @@
+lib/storage/mmap_file.mli: Bytes

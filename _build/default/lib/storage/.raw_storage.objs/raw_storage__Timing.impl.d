@@ -1,0 +1,1 @@
+lib/storage/timing.ml: Unix

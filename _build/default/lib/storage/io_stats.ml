@@ -1,0 +1,42 @@
+let table : (string, float ref) Hashtbl.t = Hashtbl.create 64
+
+let cell name =
+  match Hashtbl.find_opt table name with
+  | Some r -> r
+  | None ->
+    let r = ref 0. in
+    Hashtbl.replace table name r;
+    r
+
+let incr name =
+  let r = cell name in
+  r := !r +. 1.
+
+let add name n =
+  let r = cell name in
+  r := !r +. float_of_int n
+
+let add_float name x =
+  let r = cell name in
+  r := !r +. x
+
+let get name = int_of_float (match Hashtbl.find_opt table name with Some r -> !r | None -> 0.)
+let get_float name = match Hashtbl.find_opt table name with Some r -> !r | None -> 0.
+
+let reset name =
+  match Hashtbl.find_opt table name with
+  | Some r -> r := 0.
+  | None -> ()
+
+let reset_all () = Hashtbl.iter (fun _ r -> r := 0.) table
+
+let snapshot () =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp_snapshot ppf () =
+  List.iter
+    (fun (k, v) ->
+      if Float.is_integer v then Format.fprintf ppf "%-32s %12.0f@." k v
+      else Format.fprintf ppf "%-32s %12.4f@." k v)
+    (snapshot ())

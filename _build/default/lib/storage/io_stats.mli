@@ -1,0 +1,18 @@
+(** Global named counters.
+
+    A lightweight metrics registry: scan operators and caches bump counters
+    (pages touched, fields parsed, conversions, cache hits...) and the
+    benchmark harness snapshots them between queries. *)
+
+val incr : string -> unit
+val add : string -> int -> unit
+val add_float : string -> float -> unit
+val get : string -> int
+val get_float : string -> float
+val reset : string -> unit
+val reset_all : unit -> unit
+
+val snapshot : unit -> (string * float) list
+(** Sorted by counter name; integer counters appear as floats. *)
+
+val pp_snapshot : Format.formatter -> unit -> unit

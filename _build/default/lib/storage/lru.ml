@@ -1,0 +1,115 @@
+(* Doubly-linked list threaded through a hashtable. [head] is the
+   most-recently used node, [tail] the least-recently used. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int option;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+}
+
+let create ?capacity () =
+  (match capacity with
+   | Some c when c < 0 -> invalid_arg "Lru.create: negative capacity"
+   | _ -> ());
+  { capacity; table = Hashtbl.create 64; head = None; tail = None }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some n -> n.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match node.prev with
+  | None -> () (* already at front *)
+  | Some _ ->
+    unlink t node;
+    push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+    touch t node;
+    Some node.value
+
+let peek t k = Option.map (fun n -> n.value) (Hashtbl.find_opt t.table k)
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key;
+    Some (node.key, node.value)
+
+let add t k v =
+  match t.capacity with
+  | Some 0 -> [ (k, v) ]
+  | _ ->
+    (match Hashtbl.find_opt t.table k with
+     | Some node ->
+       node.value <- v;
+       touch t node;
+       []
+     | None ->
+       let node = { key = k; value = v; prev = None; next = None } in
+       Hashtbl.replace t.table k node;
+       push_front t node;
+       (match t.capacity with
+        | Some cap when Hashtbl.length t.table > cap ->
+          (match evict_lru t with None -> [] | Some e -> [ e ])
+        | _ -> []))
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let fold f t acc =
+  (* head-first = MRU-first *)
+  let rec go node acc =
+    match node with
+    | None -> acc
+    | Some n -> go n.next (f n.key n.value acc)
+  in
+  go t.head acc
+
+let keys t =
+  let rec go node acc =
+    match node with
+    | None -> List.rev acc
+    | Some n -> go n.next (n.key :: acc)
+  in
+  go t.head []

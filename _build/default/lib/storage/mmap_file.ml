@@ -1,0 +1,118 @@
+module Config = struct
+  type t = {
+    page_size : int;
+    io_seconds_per_page : float;
+    residency_capacity : int option;
+  }
+
+  let default =
+    { page_size = 65536; io_seconds_per_page = 0.0006; residency_capacity = None }
+end
+
+type residency =
+  | Bitmap of Bytes.t
+  | Bounded of (int, unit) Lru.t
+
+type t = {
+  name : string;
+  data : Bytes.t;
+  config : Config.t;
+  n_pages : int;
+  mutable residency : residency;
+  mutable resident : int;
+  mutable faults : int;
+  mutable hits : int;
+  mutable last_page : int; (* fast path: page we most recently hit *)
+}
+
+let make_residency config n_pages =
+  match config.Config.residency_capacity with
+  | None -> Bitmap (Bytes.make (max n_pages 1) '\000')
+  | Some cap -> Bounded (Lru.create ~capacity:cap ())
+
+let of_bytes ?(config = Config.default) ~name data =
+  if config.Config.page_size <= 0 then
+    invalid_arg "Mmap_file: page_size must be positive";
+  let n_pages =
+    (Bytes.length data + config.Config.page_size - 1) / config.Config.page_size
+  in
+  {
+    name;
+    data;
+    config;
+    n_pages;
+    residency = make_residency config n_pages;
+    resident = 0;
+    faults = 0;
+    hits = 0;
+    last_page = -1;
+  }
+
+let open_file ?config path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let data = Bytes.create len in
+      really_input ic data 0 len;
+      of_bytes ?config ~name:path data)
+
+let name t = t.name
+let length t = Bytes.length t.data
+let bytes t = t.data
+let config t = t.config
+
+let touch_page t p =
+  if p = t.last_page then t.hits <- t.hits + 1
+  else begin
+    t.last_page <- p;
+    match t.residency with
+    | Bitmap b ->
+      if Bytes.unsafe_get b p <> '\000' then t.hits <- t.hits + 1
+      else begin
+        Bytes.unsafe_set b p '\001';
+        t.resident <- t.resident + 1;
+        t.faults <- t.faults + 1
+      end
+    | Bounded lru ->
+      (match Lru.find lru p with
+       | Some () -> t.hits <- t.hits + 1
+       | None ->
+         t.faults <- t.faults + 1;
+         let evicted = Lru.add lru p () in
+         t.resident <- t.resident + 1 - List.length evicted)
+  end
+
+let touch t pos len =
+  if len > 0 && t.n_pages > 0 then begin
+    let last = Bytes.length t.data - 1 in
+    let lo = min (max pos 0) last in
+    let hi = min (max (pos + len - 1) 0) last in
+    let ps = t.config.Config.page_size in
+    let p0 = lo / ps and p1 = hi / ps in
+    if p0 = p1 then touch_page t p0
+    else
+      for p = p0 to p1 do
+        touch_page t p
+      done
+  end
+
+let faults t = t.faults
+let hits t = t.hits
+let resident_pages t = t.resident
+
+let simulated_io_seconds t =
+  float_of_int t.faults *. t.config.Config.io_seconds_per_page
+
+let reset_counters t =
+  t.faults <- 0;
+  t.hits <- 0
+
+let drop_cache t =
+  (match t.residency with
+   | Bitmap b -> Bytes.fill b 0 (Bytes.length b) '\000'
+   | Bounded lru -> Lru.clear lru);
+  t.resident <- 0;
+  t.last_page <- -1;
+  reset_counters t

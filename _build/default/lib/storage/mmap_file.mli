@@ -1,0 +1,64 @@
+(** Memory-mapped raw files with simulated page-cache accounting.
+
+    The paper memory-maps raw files and relies on the OS page cache; cold
+    and warm runs differ only in whether pages are already resident. At
+    laptop scale we cannot (and should not) drop the real OS cache, so this
+    module loads the file into memory once and then *simulates* the page
+    cache deterministically: scan operators declare the byte ranges they
+    read via {!touch}; a first touch of a page is a fault charged with a
+    configurable I/O latency, later touches are hits. {!drop_cache} makes
+    the next run "cold".
+
+    The simulated I/O seconds are reported alongside measured CPU time by
+    the benchmark harness, reproducing the paper's "I/O masks the
+    difference in the first query" effect without a 28 GB file. *)
+
+module Config : sig
+  type t = {
+    page_size : int;  (** bytes per simulated page (default 64 KiB) *)
+    io_seconds_per_page : float;
+        (** charged per page fault (default 0.6 ms ≈ 100 MB/s disk) *)
+    residency_capacity : int option;
+        (** max resident pages; [None] = unbounded (default) *)
+  }
+
+  val default : t
+end
+
+type t
+
+val open_file : ?config:Config.t -> string -> t
+(** Reads the whole file. Raises [Sys_error] if unreadable. *)
+
+val of_bytes : ?config:Config.t -> name:string -> Bytes.t -> t
+(** In-memory file, mainly for tests. *)
+
+val name : t -> string
+val length : t -> int
+
+val bytes : t -> Bytes.t
+(** The raw contents. Parsers read this directly (zero-copy) and are
+    responsible for calling {!touch} on the ranges they consume. Treat as
+    read-only. *)
+
+val touch : t -> int -> int -> unit
+(** [touch t pos len] records an access to bytes [pos, pos+len). Cheap when
+    the range stays within the most recently touched page. Out-of-range
+    positions are clamped. *)
+
+val faults : t -> int
+val hits : t -> int
+val resident_pages : t -> int
+
+val simulated_io_seconds : t -> float
+(** [faults * io_seconds_per_page], accumulated since the last
+    {!reset_counters}. *)
+
+val drop_cache : t -> unit
+(** Evict all resident pages (next run is cold). Also resets the counters. *)
+
+val reset_counters : t -> unit
+(** Zero the fault/hit counters but keep pages resident (start of a warm
+    measurement). *)
+
+val config : t -> Config.t

@@ -1,0 +1,23 @@
+let now () = Unix.gettimeofday ()
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, now () -. t0)
+
+module Span = struct
+  type t = { name : string; mutable total : float }
+
+  let create name = { name; total = 0. }
+  let name t = t.name
+  let add t s = t.total <- t.total +. s
+
+  let measure t f =
+    let t0 = now () in
+    let r = f () in
+    t.total <- t.total +. (now () -. t0);
+    r
+
+  let total t = t.total
+  let reset t = t.total <- 0.
+end

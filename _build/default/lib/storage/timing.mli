@@ -1,0 +1,22 @@
+(** Wall-clock timing and phase accumulators used by the executor and the
+    benchmark harness. *)
+
+val now : unit -> float
+(** Seconds, monotonic-enough wall clock. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** Result and elapsed seconds. *)
+
+(** A named accumulator of elapsed time; the executor keeps one per
+    execution phase (parse / convert / build / io / compile) to reproduce
+    the paper's Figure 3 breakdown. *)
+module Span : sig
+  type t
+
+  val create : string -> t
+  val name : t -> string
+  val add : t -> float -> unit
+  val measure : t -> (unit -> 'a) -> 'a
+  val total : t -> float
+  val reset : t -> unit
+end

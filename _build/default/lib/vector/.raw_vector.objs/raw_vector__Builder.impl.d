@@ -1,0 +1,1 @@
+lib/vector/builder.ml: Array Bytes Column Dtype Option Value

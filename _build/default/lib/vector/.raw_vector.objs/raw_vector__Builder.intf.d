@@ -1,0 +1,1 @@
+lib/vector/builder.mli: Column Dtype Value

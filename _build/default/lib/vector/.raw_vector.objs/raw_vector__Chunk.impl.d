@@ -1,0 +1,1 @@
+lib/vector/chunk.ml: Array Column Format List Sel Value

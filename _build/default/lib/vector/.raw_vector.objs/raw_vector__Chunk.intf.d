@@ -1,0 +1,1 @@
+lib/vector/chunk.mli: Column Format Sel Value

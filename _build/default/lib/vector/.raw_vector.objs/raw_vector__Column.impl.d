@@ -1,0 +1,1 @@
+lib/vector/column.ml: Array Bytes Dtype Format List Option Value

@@ -1,0 +1,1 @@
+lib/vector/column.mli: Bytes Dtype Format Value

@@ -1,0 +1,1 @@
+lib/vector/dtype.ml: Format String

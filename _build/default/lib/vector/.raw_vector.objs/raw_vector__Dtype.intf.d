@@ -1,0 +1,1 @@
+lib/vector/dtype.mli: Format

@@ -1,0 +1,1 @@
+lib/vector/kernels.ml: Array Bytes Column Dtype Float Hashtbl Int64 Option Printf Sel Stdlib String Value

@@ -1,0 +1,1 @@
+lib/vector/kernels.mli: Column Sel Value

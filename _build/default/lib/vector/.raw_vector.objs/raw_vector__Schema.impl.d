@@ -1,0 +1,1 @@
+lib/vector/schema.ml: Array Dtype Format Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/vector/schema.mli: Dtype Format

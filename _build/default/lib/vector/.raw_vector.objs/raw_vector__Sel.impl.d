@@ -1,0 +1,1 @@
+lib/vector/sel.ml: Array Format

@@ -1,0 +1,1 @@
+lib/vector/value.ml: Dtype Format Printf Stdlib String

@@ -1,0 +1,138 @@
+type buf =
+  | IB of int array ref
+  | FB of float array ref
+  | BB of bool array ref
+  | SB of string array ref
+
+type t = {
+  buf : buf;
+  mutable n : int;
+  mutable nulls : Bytes.t option; (* allocated lazily, grows with buf *)
+}
+
+let initial_capacity = 64
+
+let create ?(capacity = initial_capacity) dt =
+  let capacity = max capacity 1 in
+  let buf =
+    match dt with
+    | Dtype.Int -> IB (ref (Array.make capacity 0))
+    | Dtype.Float -> FB (ref (Array.make capacity 0.))
+    | Dtype.Bool -> BB (ref (Array.make capacity false))
+    | Dtype.String -> SB (ref (Array.make capacity ""))
+  in
+  { buf; n = 0; nulls = None }
+
+let dtype t =
+  match t.buf with
+  | IB _ -> Dtype.Int
+  | FB _ -> Dtype.Float
+  | BB _ -> Dtype.Bool
+  | SB _ -> Dtype.String
+
+let length t = t.n
+
+let capacity t =
+  match t.buf with
+  | IB r -> Array.length !r
+  | FB r -> Array.length !r
+  | BB r -> Array.length !r
+  | SB r -> Array.length !r
+
+let grow t =
+  let cap = capacity t in
+  let cap' = cap * 2 in
+  (match t.buf with
+   | IB r ->
+     let a = Array.make cap' 0 in
+     Array.blit !r 0 a 0 cap;
+     r := a
+   | FB r ->
+     let a = Array.make cap' 0. in
+     Array.blit !r 0 a 0 cap;
+     r := a
+   | BB r ->
+     let a = Array.make cap' false in
+     Array.blit !r 0 a 0 cap;
+     r := a
+   | SB r ->
+     let a = Array.make cap' "" in
+     Array.blit !r 0 a 0 cap;
+     r := a);
+  match t.nulls with
+  | None -> ()
+  | Some b ->
+    let b' = Bytes.make cap' '\001' in
+    Bytes.blit b 0 b' 0 (Bytes.length b);
+    t.nulls <- Some b'
+
+let ensure t =
+  if t.n >= capacity t then grow t
+
+let add_int t x =
+  ensure t;
+  match t.buf with
+  | IB r ->
+    !r.(t.n) <- x;
+    t.n <- t.n + 1
+  | _ -> invalid_arg "Builder.add_int: not an Int builder"
+
+let add_float t x =
+  ensure t;
+  match t.buf with
+  | FB r ->
+    !r.(t.n) <- x;
+    t.n <- t.n + 1
+  | _ -> invalid_arg "Builder.add_float: not a Float builder"
+
+let add_bool t x =
+  ensure t;
+  match t.buf with
+  | BB r ->
+    !r.(t.n) <- x;
+    t.n <- t.n + 1
+  | _ -> invalid_arg "Builder.add_bool: not a Bool builder"
+
+let add_string t x =
+  ensure t;
+  match t.buf with
+  | SB r ->
+    !r.(t.n) <- x;
+    t.n <- t.n + 1
+  | _ -> invalid_arg "Builder.add_string: not a String builder"
+
+let add_null t =
+  ensure t;
+  let nulls =
+    match t.nulls with
+    | Some b -> b
+    | None ->
+      let b = Bytes.make (capacity t) '\001' in
+      t.nulls <- Some b;
+      b
+  in
+  Bytes.set nulls t.n '\000';
+  t.n <- t.n + 1
+
+let add_value t (v : Value.t) =
+  match v with
+  | Int x -> add_int t x
+  | Float x -> add_float t x
+  | Bool x -> add_bool t x
+  | String x -> add_string t x
+  | Null -> add_null t
+
+let to_column t =
+  let data =
+    match t.buf with
+    | IB r -> Column.Int_data (Array.sub !r 0 t.n)
+    | FB r -> Column.Float_data (Array.sub !r 0 t.n)
+    | BB r -> Column.Bool_data (Array.sub !r 0 t.n)
+    | SB r -> Column.String_data (Array.sub !r 0 t.n)
+  in
+  let valid = Option.map (fun b -> Bytes.sub b 0 t.n) t.nulls in
+  Column.make ?valid data
+
+let clear t =
+  t.n <- 0;
+  t.nulls <- None

@@ -1,0 +1,26 @@
+(** Growable column builders.
+
+    Scan operators populate columns value-by-value while traversing a raw
+    file; builders amortize the growth. The typed [add_*] functions are the
+    hot path and avoid boxing through {!Value.t}. *)
+
+type t
+
+val create : ?capacity:int -> Dtype.t -> t
+val dtype : t -> Dtype.t
+val length : t -> int
+
+val add_int : t -> int -> unit
+(** Raises [Invalid_argument] if the builder is not [Int]. Likewise below. *)
+
+val add_float : t -> float -> unit
+val add_bool : t -> bool -> unit
+val add_string : t -> string -> unit
+val add_null : t -> unit
+val add_value : t -> Value.t -> unit
+
+val to_column : t -> Column.t
+(** Freezes the builder contents into a column (copies; the builder remains
+    usable). *)
+
+val clear : t -> unit

@@ -1,0 +1,59 @@
+type t = { cols : Column.t array; n : int }
+
+let create cols =
+  let n = if Array.length cols = 0 then 0 else Column.length cols.(0) in
+  Array.iter
+    (fun c ->
+      if Column.length c <> n then
+        invalid_arg "Chunk.create: column length mismatch")
+    cols;
+  { cols; n }
+
+let of_columns cols = create (Array.of_list cols)
+let n_rows t = t.n
+let n_cols t = Array.length t.cols
+let column t i = t.cols.(i)
+let columns t = t.cols
+let append_column t c = create (Array.append t.cols [| c |])
+let project t idxs = create (Array.of_list (List.map (fun i -> t.cols.(i)) idxs))
+let row t i = Array.to_list (Array.map (fun c -> Column.get c i) t.cols)
+
+let empty = { cols = [||]; n = 0 }
+
+let concat = function
+  | [] -> empty
+  | [ c ] -> c
+  | first :: _ as chunks ->
+    let arity = n_cols first in
+    List.iter
+      (fun c ->
+        if n_cols c <> arity then invalid_arg "Chunk.concat: arity mismatch")
+      chunks;
+    let cols =
+      Array.init arity (fun i ->
+          Column.concat (List.map (fun c -> c.cols.(i)) chunks))
+    in
+    create cols
+
+let take t sel =
+  let idx = Sel.to_array sel in
+  create (Array.map (fun c -> Column.gather c idx) t.cols)
+
+let slice t pos len = create (Array.map (fun c -> Column.slice c pos len) t.cols)
+
+let equal a b =
+  a.n = b.n
+  && n_cols a = n_cols b
+  && Array.for_all2 Column.equal a.cols b.cols
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>chunk %d rows x %d cols" t.n (n_cols t);
+  for i = 0 to min (t.n - 1) 9 do
+    Format.fprintf ppf "@,| %a"
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.fprintf f " | ")
+         Value.pp)
+      (row t i)
+  done;
+  if t.n > 10 then Format.fprintf ppf "@,| ... (%d more)" (t.n - 10);
+  Format.fprintf ppf "@]"

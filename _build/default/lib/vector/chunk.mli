@@ -1,0 +1,31 @@
+(** Chunks: batches of equal-length columns flowing between operators.
+
+    The engine is vectorized (paper §3): operators exchange chunks of a few
+    thousand rows, not tuples. A chunk optionally carries named columns via
+    a schema maintained by the planner; the chunk itself is positional. *)
+
+type t
+
+val create : Column.t array -> t
+(** Raises [Invalid_argument] if the columns have different lengths. An empty
+    column array produces a 0-row, 0-column chunk. *)
+
+val of_columns : Column.t list -> t
+val n_rows : t -> int
+val n_cols : t -> int
+val column : t -> int -> Column.t
+val columns : t -> Column.t array
+val append_column : t -> Column.t -> t
+val project : t -> int list -> t
+val row : t -> int -> Value.t list
+val concat : t list -> t
+(** Vertical concatenation. Raises on arity/type mismatch; the empty list
+    yields the empty chunk. *)
+
+val take : t -> Sel.t -> t
+(** Materializes a selection: gathers every column. *)
+
+val slice : t -> int -> int -> t
+val empty : t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+(** Typed columns: the unit of data the engine operates on.
+
+    A column is a monomorphic array plus an optional validity bitmap. The
+    bitmap serves two purposes: SQL NULLs, and — central to column shreds
+    (paper §5) — marking rows of a cached shred that were *never loaded from
+    the raw file* because a previous filter eliminated them. *)
+
+type data =
+  | Int_data of int array
+  | Float_data of float array
+  | Bool_data of bool array
+  | String_data of string array
+
+type t
+
+val make : ?valid:Bytes.t -> data -> t
+(** [valid] holds one byte per row, [1] = valid. If omitted, all rows are
+    valid. Raises [Invalid_argument] if the bitmap length mismatches. *)
+
+val data : t -> data
+val length : t -> int
+val dtype : t -> Dtype.t
+
+(** {1 Constructors} *)
+
+val of_int_array : int array -> t
+val of_float_array : float array -> t
+val of_bool_array : bool array -> t
+val of_string_array : string array -> t
+val of_values : Dtype.t -> Value.t list -> t
+val const : Dtype.t -> Value.t -> int -> t
+
+(** {1 Access} *)
+
+val get : t -> int -> Value.t
+(** Dynamically-typed access; [Null] when the row is invalid. Bounds-checked.
+    For hot paths use the typed arrays via {!data} instead. *)
+
+val is_valid : t -> int -> bool
+val all_valid : t -> bool
+val valid_count : t -> int
+
+val int_array : t -> int array
+(** Raises [Invalid_argument] if the column is not [Int]. Likewise below. *)
+
+val float_array : t -> float array
+val bool_array : t -> bool array
+val string_array : t -> string array
+
+(** {1 Mutation}
+
+    Columns are mostly write-once, but the shred pool ({!Raw_core.Shreds})
+    fills previously-unloaded rows of a cached column in place when a later
+    query needs them. *)
+
+val set : t -> int -> Value.t -> unit
+(** Writes the value and marks the row valid. Raises on type mismatch.
+    Raises [Invalid_argument] if the column has no validity bitmap and the
+    value is [Null]. *)
+
+val invalidate_all : t -> t
+(** Returns a column sharing the data but with a fresh all-invalid bitmap. *)
+
+val to_values : t -> Value.t list
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val slice : t -> int -> int -> t
+(** [slice c pos len] copies rows [pos..pos+len-1]. *)
+
+val concat : t list -> t
+(** Vertical concatenation by typed blits. Raises [Invalid_argument] on an
+    empty list or mismatched types. *)
+
+val gather : t -> int array -> t
+(** [gather c idx] builds the packed column [ [|c.(idx.(0)); ...|] ]. *)
+
+val scatter : t -> int array -> t -> unit
+(** [scatter dst idx src] writes [src.(k)] into [dst.(idx.(k))] and marks
+    those rows valid — the typed bulk form of {!set} used to fill pooled
+    shreds. Raises [Invalid_argument] on type mismatch or if
+    [length src <> Array.length idx]. *)

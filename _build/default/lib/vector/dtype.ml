@@ -1,0 +1,24 @@
+type t = Int | Float | Bool | String
+
+let equal (a : t) (b : t) = a = b
+
+let to_string = function
+  | Int -> "INT"
+  | Float -> "FLOAT"
+  | Bool -> "BOOL"
+  | String -> "VARCHAR"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "INT" | "INTEGER" | "INT64" | "BIGINT" -> Some Int
+  | "FLOAT" | "DOUBLE" | "REAL" | "FLOAT64" -> Some Float
+  | "BOOL" | "BOOLEAN" -> Some Bool
+  | "STRING" | "VARCHAR" | "TEXT" -> Some String
+  | _ -> None
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let fixed_width = function
+  | Int | Float -> Some 8
+  | Bool -> Some 1
+  | String -> None

@@ -1,0 +1,25 @@
+(** Data types supported by the engine.
+
+    The paper's engine (built on Supersonic) is typed; RAW specializes scan
+    operators per data type at query time. We keep the set small but
+    representative: 63-bit integers, IEEE doubles, booleans and strings. *)
+
+type t =
+  | Int     (** 63-bit OCaml native integer *)
+  | Float   (** IEEE 754 double *)
+  | Bool
+  | String  (** variable-length byte string *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val of_string : string -> t option
+(** Parses ["INT"], ["FLOAT"], ["BOOL"], ["STRING"]/["VARCHAR"]
+    (case-insensitive). *)
+
+val pp : Format.formatter -> t -> unit
+
+val fixed_width : t -> int option
+(** Byte width of the serialized value in the fixed-width binary format
+    ({!Raw_formats.Fwb}): 8 for [Int] and [Float], 1 for [Bool], [None] for
+    [String] (variable length, not allowed in fixed-width files). *)

@@ -1,0 +1,61 @@
+type field = { name : string; dtype : Dtype.t; source_index : int }
+
+type t = field array
+
+let make fields =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.name then
+        invalid_arg ("Schema.make: duplicate field " ^ f.name);
+      Hashtbl.add seen f.name ())
+    fields;
+  Array.of_list fields
+
+let of_pairs pairs =
+  make
+    (List.mapi
+       (fun i (name, dtype) -> { name; dtype; source_index = i })
+       pairs)
+
+let fields t = Array.to_list t
+let arity = Array.length
+let field (t : t) i = t.(i)
+let dtype (t : t) i = t.(i).dtype
+let name (t : t) i = t.(i).name
+
+let index_of (t : t) n =
+  let rec go i =
+    if i >= Array.length t then None
+    else if String.equal t.(i).name n then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let find t n = Option.map (fun i -> t.(i)) (index_of t n)
+
+let project (t : t) idxs = Array.of_list (List.map (fun i -> t.(i)) idxs)
+
+let append (t : t) f =
+  if Array.exists (fun g -> String.equal g.name f.name) t then
+    invalid_arg ("Schema.append: duplicate field " ^ f.name);
+  Array.append t [| f |]
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y ->
+         String.equal x.name y.name
+         && Dtype.equal x.dtype y.dtype
+         && x.source_index = y.source_index)
+       a b
+
+let pp ppf (t : t) =
+  Format.fprintf ppf "@[<h>(%a)@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun f () -> Format.fprintf f ",@ ")
+       (fun f fd -> Format.fprintf f "%s:%a" fd.name Dtype.pp fd.dtype))
+    (Array.to_list t)
+
+let max_source_index (t : t) =
+  Array.fold_left (fun acc f -> max acc f.source_index) (-1) t

@@ -1,0 +1,40 @@
+(** Named, typed schemas.
+
+    RAW accepts {e partial} schemas (paper §3): for formats addressable by
+    attribute name (like ROOT/HEP) the user declares only the fields of
+    interest; positional formats (CSV, fixed-width binary) need the field's
+    ordinal, which is what {!field.source_index} records. *)
+
+type field = {
+  name : string;
+  dtype : Dtype.t;
+  source_index : int;
+      (** Ordinal of the field in the raw file (0-based). For fully-declared
+          schemas this equals the position in the schema. *)
+}
+
+type t
+
+val make : field list -> t
+(** Raises [Invalid_argument] on duplicate names. *)
+
+val of_pairs : (string * Dtype.t) list -> t
+(** Full schema: source indexes are 0,1,2,... *)
+
+val fields : t -> field list
+val arity : t -> int
+val field : t -> int -> field
+val dtype : t -> int -> Dtype.t
+val name : t -> int -> string
+
+val index_of : t -> string -> int option
+(** Position within the schema (not the raw file). *)
+
+val find : t -> string -> field option
+val project : t -> int list -> t
+val append : t -> field -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val max_source_index : t -> int
+(** Largest raw-file ordinal mentioned; -1 for the empty schema. *)

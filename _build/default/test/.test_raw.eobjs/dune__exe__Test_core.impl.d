@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Catalog Column Dtype Format_kind Logical Raw_core Raw_db Raw_engine Raw_formats Raw_vector Schema Shred_pool Template_cache Test_util

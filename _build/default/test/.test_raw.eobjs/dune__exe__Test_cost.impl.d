@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Catalog Column Cost_model Expr Kernels Planner Raw_core Raw_db Raw_engine Raw_storage Raw_vector Table_stats Test_util

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Chunk Column Dtype Expr Kernels Operator Raw_engine Raw_vector Sel Test_util Value

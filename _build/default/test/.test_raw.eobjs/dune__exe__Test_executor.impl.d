@@ -1,0 +1,1 @@
+test/test_executor.ml: Access Alcotest Chunk Dtype Executor Format List Planner Raw_core Raw_db Raw_formats Raw_storage Raw_vector Schema String Test_util

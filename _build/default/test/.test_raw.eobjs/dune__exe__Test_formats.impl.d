@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Array Bytes Csv Dtype Float Fwb Hep List Mmap_file Option Posmap Printf Random Raw_formats Raw_storage Raw_vector Seq String Test_util Value

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Btree Dtype Fwb Ibx List Printf Random Raw_core Raw_formats Raw_storage Raw_vector Seq Test_util Value

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Chunk Column Dtype Executor List Printf Raw_core Raw_db Raw_formats Raw_vector Schema Seq Sql_binder Test_util Value

@@ -1,0 +1,1 @@
+test/test_jsonl.ml: Alcotest Array Bytes Column Dtype Hashtbl In_channel Jsonl List Out_channel Raw_core Raw_formats Raw_storage Raw_vector Schema Seq String Test_util Value

@@ -1,0 +1,1 @@
+test/test_planner.ml: Access Alcotest Chunk Dtype Lazy List Planner Printf Raw_core Raw_db Raw_vector Schema String Test_util

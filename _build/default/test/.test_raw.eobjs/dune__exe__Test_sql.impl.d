@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Ast Format Kernels Lexer List Option Parser Raw_sql Raw_vector Value

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bytes Io_stats List Lru Mmap_file Raw_storage String Test_util Timing

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Chunk Column Dtype Filename Lazy List Printf QCheck2 QCheck_alcotest Raw_core Raw_formats Raw_vector Stdlib Sys Unix Value

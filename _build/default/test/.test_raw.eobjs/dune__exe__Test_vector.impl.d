@@ -1,0 +1,1 @@
+test/test_vector.ml: Alcotest Array Builder Bytes Chunk Column Dtype Kernels List Option Raw_vector Schema Sel Test_util Value

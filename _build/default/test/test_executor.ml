@@ -1,0 +1,88 @@
+open Raw_vector
+open Raw_core
+open Test_util
+
+(* Executor-level accounting and result-shape behavior. *)
+
+let suite =
+  [
+    Alcotest.test_case "total = cpu + io + compile" `Quick (fun () ->
+        let db = grid_csv_db ~n:50 ~m:3 () in
+        let r = Raw_db.query db "SELECT MAX(col1) FROM t WHERE col0 < 1000" in
+        Alcotest.(check (float 1e-9)) "sum"
+          (r.cpu_seconds +. r.io_seconds +. r.compile_seconds)
+          r.total_seconds);
+    Alcotest.test_case "counters are per-query deltas" `Quick (fun () ->
+        let db = grid_csv_db ~n:30 ~m:3 () in
+        let r1 = Raw_db.query db "SELECT MAX(col1) FROM t" in
+        Alcotest.(check bool) "first query converts" true
+          (List.assoc_opt "csv.values_converted" r1.counters <> None);
+        let r2 = Raw_db.query db "SELECT MAX(col1) FROM t" in
+        (* served from pool: delta has no conversions *)
+        Alcotest.(check (option (float 0.))) "second has none" None
+          (List.assoc_opt "csv.values_converted" r2.counters));
+    Alcotest.test_case "io accounted once for shared HEP files" `Quick (fun () ->
+        let path = fresh_path ".hep" in
+        Raw_formats.Hep.generate ~path ~n_events:100 ~seed:9 ();
+        let db = Raw_db.create () in
+        Raw_db.register_hep db ~name_prefix:"h" ~path;
+        Raw_db.drop_file_caches db;
+        (* a query touching two views of the same file *)
+        let r =
+          Raw_db.query db
+            "SELECT COUNT(*) FROM h_muons JOIN h_events ON h_muons.event_id = \
+             h_events.event_id"
+        in
+        let file =
+          Raw_formats.Hep.Reader.file (Raw_db.hep_reader db "h_events")
+        in
+        let max_possible =
+          float_of_int
+            ((Raw_storage.Mmap_file.length file
+              / (Raw_storage.Mmap_file.config file).page_size)
+            + 1)
+          *. (Raw_storage.Mmap_file.config file).io_seconds_per_page
+        in
+        Alcotest.(check bool) "io <= whole file once" true
+          (r.io_seconds <= max_possible +. 1e-9));
+    Alcotest.test_case "pp_report prints rows and timing" `Quick (fun () ->
+        let db = grid_csv_db ~n:5 ~m:2 () in
+        let r = Raw_db.query db "SELECT col0 FROM t ORDER BY col0 LIMIT 2" in
+        let s = Format.asprintf "%a" Executor.pp_report r in
+        let contains needle =
+          let n = String.length needle and m = String.length s in
+          let rec go i =
+            i + n <= m && (String.sub s i n = needle || go (i + 1))
+          in
+          go 0
+        in
+        Alcotest.(check bool) "column header" true (contains "col0");
+        Alcotest.(check bool) "timing line" true (contains "io(sim)"));
+    Alcotest.test_case "join of empty result keeps schema arity" `Quick
+      (fun () ->
+        let db = grid_csv_db ~n:10 ~m:3 () in
+        let path2 = write_csv_rows [ [ 999999 ] ] in
+        Raw_db.register_csv db ~name:"u" ~path:path2
+          ~columns:[ ("k", Dtype.Int) ] ();
+        let r =
+          Raw_db.query db
+            "SELECT col1, u.k FROM t JOIN u ON t.col0 = u.k WHERE col2 < 0"
+        in
+        Alcotest.(check int) "no rows" 0 (Chunk.n_rows r.chunk);
+        Alcotest.(check int) "two columns" 2 (Chunk.n_cols r.chunk);
+        Alcotest.(check string) "names survive" "col1" (Schema.name r.schema 0));
+    Alcotest.test_case "per-options run overrides db options" `Quick (fun () ->
+        let db = grid_csv_db ~n:20 ~m:3 () in
+        Raw_db.set_options db { Planner.default with access = Access.Dbms };
+        (* explicit options win over the db default *)
+        let r =
+          Raw_db.query
+            ~options:{ Planner.default with access = Access.External }
+            db "SELECT COUNT(*) FROM t"
+        in
+        check_value "still correct" (Int 20) (scalar_of r);
+        Alcotest.(check bool) "external re-parsed (counters present)" true
+          (List.assoc_opt "csv.values_converted" r.counters <> None));
+  ]
+
+let suites = [ ("executor", suite) ]

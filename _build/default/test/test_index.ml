@@ -1,0 +1,202 @@
+open Raw_vector
+open Raw_formats
+open Test_util
+
+(* ---------------- B+-tree ---------------- *)
+
+let mk_tree ?fanout entries =
+  let bytes, meta = Btree.serialize ?fanout entries in
+  let file = Raw_storage.Mmap_file.of_bytes ~name:"tree" bytes in
+  (file, meta)
+
+let range_ids ?fanout entries ~lo ~hi =
+  let file, meta = mk_tree ?fanout entries in
+  Array.to_list (Btree.range file ~base:0 meta ~lo ~hi)
+
+let naive_range entries ~lo ~hi =
+  Array.to_list entries
+  |> List.filter (fun (k, _) -> k >= lo && k <= hi)
+  |> List.map snd
+
+let btree_tests =
+  [
+    Alcotest.test_case "single leaf lookups" `Quick (fun () ->
+        let entries = [| (1, 10); (3, 30); (5, 50) |] in
+        Alcotest.(check (list int)) "point" [ 30 ] (range_ids entries ~lo:3 ~hi:3);
+        Alcotest.(check (list int)) "range" [ 10; 30 ] (range_ids entries ~lo:0 ~hi:4);
+        Alcotest.(check (list int)) "all" [ 10; 30; 50 ]
+          (range_ids entries ~lo:min_int ~hi:max_int);
+        Alcotest.(check (list int)) "empty below" [] (range_ids entries ~lo:(-9) ~hi:0);
+        Alcotest.(check (list int)) "empty above" [] (range_ids entries ~lo:6 ~hi:9);
+        Alcotest.(check (list int)) "gap" [] (range_ids entries ~lo:4 ~hi:4));
+    Alcotest.test_case "multi-level tree matches naive filter" `Quick (fun () ->
+        let entries = Array.init 1000 (fun i -> (i * 3, i)) in
+        let file, meta = mk_tree ~fanout:4 entries in
+        Alcotest.(check bool) "really multi-level" true (meta.Btree.height >= 3);
+        List.iter
+          (fun (lo, hi) ->
+            Alcotest.(check (list int))
+              (Printf.sprintf "[%d,%d]" lo hi)
+              (naive_range entries ~lo ~hi)
+              (Array.to_list (Btree.range file ~base:0 meta ~lo ~hi)))
+          [ (0, 0); (0, 2999); (1500, 1503); (2997, 5000); (-5, -1); (299, 301) ]);
+    Alcotest.test_case "duplicate keys all returned" `Quick (fun () ->
+        let entries = [| (5, 1); (5, 2); (5, 3); (7, 4) |] in
+        Alcotest.(check (list int)) "dups" [ 1; 2; 3 ] (range_ids entries ~lo:5 ~hi:5));
+    Alcotest.test_case "unsorted input rejected" `Quick (fun () ->
+        Alcotest.check_raises "unsorted"
+          (Invalid_argument "Btree.serialize: keys must be ascending") (fun () ->
+            ignore (Btree.serialize [| (5, 0); (1, 1) |])));
+    Alcotest.test_case "empty tree" `Quick (fun () ->
+        Alcotest.(check (list int)) "nothing" [] (range_ids [||] ~lo:0 ~hi:100));
+    Alcotest.test_case "lookup touches few nodes" `Quick (fun () ->
+        let entries = Array.init 10_000 (fun i -> (i, i)) in
+        let file, meta = mk_tree ~fanout:32 entries in
+        let visited = Btree.nodes_visited file ~base:0 meta ~lo:500 ~hi:510 in
+        (* root-to-leaf path + one or two leaves, not hundreds *)
+        Alcotest.(check bool) "selective" true (visited <= meta.Btree.height + 2));
+  ]
+
+(* ---------------- IBX ---------------- *)
+
+let ibx_tests =
+  [
+    Alcotest.test_case "write/read roundtrip with footer" `Quick (fun () ->
+        let path = fresh_path ".ibx" in
+        let dtypes = [| Dtype.Int; Dtype.Float |] in
+        Ibx.write_file ~path ~dtypes ~indexed_field:0
+          (Seq.init 100 (fun i -> [| Value.Int (i * 7); Value.Float (float_of_int i) |]));
+        let file = Raw_storage.Mmap_file.open_file path in
+        let meta = Ibx.read_meta file ~dtypes in
+        Alcotest.(check int) "rows" 100 meta.Ibx.n_rows;
+        Alcotest.(check int) "indexed field" 0 meta.Ibx.indexed_field;
+        (* data region readable through Fwb *)
+        Alcotest.(check int) "cell" 21
+          (Fwb.read_int file (Fwb.offset_of meta.Ibx.layout ~row:3 ~field:0)));
+    Alcotest.test_case "lookup_range returns sorted rowids" `Quick (fun () ->
+        let path = fresh_path ".ibx" in
+        let dtypes = [| Dtype.Int |] in
+        (* descending values: key order is the reverse of row order *)
+        Ibx.write_file ~path ~dtypes ~indexed_field:0
+          (Seq.init 50 (fun i -> [| Value.Int (49 - i) |]));
+        let file = Raw_storage.Mmap_file.open_file path in
+        let meta = Ibx.read_meta file ~dtypes in
+        let rows = Ibx.lookup_range file meta ~lo:10 ~hi:12 in
+        Alcotest.(check (array int)) "rows of values 10..12" [| 37; 38; 39 |] rows);
+    Alcotest.test_case "non-int indexed field rejected" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             Ibx.write_file ~path:(fresh_path ".ibx")
+               ~dtypes:[| Dtype.Float |] ~indexed_field:0 Seq.empty;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "schema mismatch detected" `Quick (fun () ->
+        let path = fresh_path ".ibx" in
+        Ibx.write_file ~path ~dtypes:[| Dtype.Int; Dtype.Int |] ~indexed_field:0
+          (Seq.init 10 (fun i -> [| Value.Int i; Value.Int i |]));
+        let file = Raw_storage.Mmap_file.open_file path in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Ibx.read_meta file ~dtypes:[| Dtype.Int |]);
+             false
+           with Failure _ -> true));
+  ]
+
+(* ---------------- engine integration ---------------- *)
+
+let ibx_db ?(n = 500) () =
+  let path = fresh_path ".ibx" in
+  let dtypes = [| Dtype.Int; Dtype.Int; Dtype.Float |] in
+  (* key column shuffled so index order <> row order *)
+  let st = Random.State.make [| 12 |] in
+  let keys = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = keys.(i) in
+    keys.(i) <- keys.(j);
+    keys.(j) <- t
+  done;
+  Ibx.write_file ~path ~dtypes ~indexed_field:0
+    (Seq.init n (fun i ->
+         [| Value.Int keys.(i); Value.Int (keys.(i) * 3);
+            Value.Float (float_of_int i) |]));
+  let db = Raw_core.Raw_db.create () in
+  Raw_core.Raw_db.register_ibx db ~name:"t" ~path
+    ~columns:[ ("k", Dtype.Int); ("v", Dtype.Int); ("x", Dtype.Float) ];
+  db
+
+let integration_tests =
+  [
+    Alcotest.test_case "index scan gives same answers as full scan" `Quick
+      (fun () ->
+        let queries =
+          [
+            "SELECT COUNT(*) FROM t WHERE k < 100";
+            "SELECT MAX(v) FROM t WHERE k < 100";
+            "SELECT MAX(v) FROM t WHERE k >= 450";
+            "SELECT COUNT(*) FROM t WHERE k = 250";
+            "SELECT MAX(x) FROM t WHERE k > 100 AND v < 900";
+            (* index-eligible conjunct in second position *)
+            "SELECT MAX(x) FROM t WHERE v < 900 AND k > 100";
+            "SELECT COUNT(*) FROM t WHERE k BETWEEN 100 AND 200";
+          ]
+        in
+        List.iter
+          (fun q ->
+            let with_idx =
+              let db = ibx_db () in
+              Raw_core.Raw_db.set_options db Raw_core.Planner.default;
+              Raw_core.Raw_db.scalar db q
+            in
+            let without_idx =
+              let db = ibx_db () in
+              Raw_core.Raw_db.set_options db
+                { Raw_core.Planner.default with use_indexes = false };
+              Raw_core.Raw_db.scalar db q
+            in
+            check_value q without_idx with_idx)
+          queries);
+    Alcotest.test_case "index path avoids reading the key column" `Quick
+      (fun () ->
+        let db = ibx_db () in
+        Raw_storage.Io_stats.reset "fwb.values_read";
+        Raw_storage.Io_stats.reset "ibx.index_nodes";
+        let r = Raw_core.Raw_db.query db "SELECT MAX(v) FROM t WHERE k < 50" in
+        check_value "answer" (Int 147) (scalar_of r);
+        (* only the 50 qualifying v values are read; k is never fetched *)
+        Alcotest.(check int) "values read" 50
+          (Raw_storage.Io_stats.get "fwb.values_read");
+        Alcotest.(check bool) "index consulted" true
+          (Raw_storage.Io_stats.get "ibx.index_nodes" > 0));
+    Alcotest.test_case "use_indexes=false falls back to filtering" `Quick
+      (fun () ->
+        let db = ibx_db () in
+        Raw_core.Raw_db.set_options db
+          { Raw_core.Planner.default with use_indexes = false };
+        Raw_storage.Io_stats.reset "fwb.values_read";
+        let r = Raw_core.Raw_db.query db "SELECT MAX(v) FROM t WHERE k < 50" in
+        check_value "answer" (Int 147) (scalar_of r);
+        (* the key column is scanned in full *)
+        Alcotest.(check bool) "key column read" true
+          (Raw_storage.Io_stats.get "fwb.values_read" >= 500));
+    Alcotest.test_case "dbms mode ignores the index" `Quick (fun () ->
+        let db = ibx_db () in
+        Raw_core.Raw_db.set_options db
+          { Raw_core.Planner.default with access = Raw_core.Access.Dbms };
+        check_value "still correct" (Int 147)
+          (Raw_core.Raw_db.scalar db "SELECT MAX(v) FROM t WHERE k < 50"));
+    Alcotest.test_case "ibx joins with csv" `Quick (fun () ->
+        let db = ibx_db ~n:100 () in
+        let cpath = write_csv_rows (List.init 20 (fun i -> [ i * 5; i ])) in
+        Raw_core.Raw_db.register_csv db ~name:"c" ~path:cpath
+          ~columns:[ ("ck", Dtype.Int); ("cv", Dtype.Int) ] ();
+        check_value "matches" (Int 20)
+          (Raw_core.Raw_db.scalar db "SELECT COUNT(*) FROM t JOIN c ON t.k = c.ck"));
+  ]
+
+let suites =
+  [
+    ("index.btree", btree_tests);
+    ("index.ibx", ibx_tests);
+    ("index.integration", integration_tests);
+  ]

@@ -1,0 +1,330 @@
+open Raw_vector
+open Raw_core
+open Test_util
+
+(* ---------------- SQL end-to-end over raw files ---------------- *)
+
+let sql_tests =
+  [
+    Alcotest.test_case "max/min/sum/count/avg over grid" `Quick (fun () ->
+        let db = grid_csv_db ~n:10 ~m:3 () in
+        (* col1 values: 1, 101, ..., 901 *)
+        check_value "max" (Int 901) (Raw_db.scalar db "SELECT MAX(col1) FROM t");
+        check_value "min" (Int 1) (Raw_db.scalar db "SELECT MIN(col1) FROM t");
+        check_value "sum" (Int 4510) (Raw_db.scalar db "SELECT SUM(col1) FROM t");
+        check_value "count" (Int 10) (Raw_db.scalar db "SELECT COUNT(*) FROM t");
+        check_value "avg" (Float 451.) (Raw_db.scalar db "SELECT AVG(col1) FROM t"));
+    Alcotest.test_case "where filters correctly" `Quick (fun () ->
+        let db = grid_csv_db ~n:10 ~m:3 () in
+        check_value "bounded max" (Int 401)
+          (Raw_db.scalar db "SELECT MAX(col1) FROM t WHERE col0 < 500");
+        check_value "empty -> null" Null
+          (Raw_db.scalar db "SELECT MAX(col1) FROM t WHERE col0 < 0");
+        check_value "conjunction" (Int 301)
+          (Raw_db.scalar db
+             "SELECT MAX(col1) FROM t WHERE col0 < 500 AND col2 <= 302"));
+    Alcotest.test_case "select star" `Quick (fun () ->
+        let db = grid_csv_db ~n:3 ~m:2 () in
+        let c = Raw_db.sql db "SELECT * FROM t" in
+        Alcotest.(check int) "cols" 2 (Chunk.n_cols c);
+        Alcotest.(check int) "rows" 3 (Chunk.n_rows c));
+    Alcotest.test_case "order by and limit" `Quick (fun () ->
+        let db = grid_csv_db ~n:5 ~m:2 () in
+        let c = Raw_db.sql db "SELECT col0 FROM t ORDER BY col0 DESC LIMIT 2" in
+        check_column "top2" (Column.of_int_array [| 400; 300 |]) (Chunk.column c 0));
+    Alcotest.test_case "group by with having" `Quick (fun () ->
+        let path =
+          write_csv_rows
+            [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 5 ]; [ 2; 5 ]; [ 2; 5 ]; [ 3; 100 ] ]
+        in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"g" ~path
+          ~columns:[ ("k", Dtype.Int); ("v", Dtype.Int) ] ();
+        let c =
+          Raw_db.sql db
+            "SELECT k, SUM(v), COUNT(*) FROM g GROUP BY k HAVING COUNT(*) >= 2 ORDER BY k"
+        in
+        Alcotest.(check bool) "rows" true
+          (rows_of_chunk c
+          = [ [ Value.Int 1; Value.Int 30; Value.Int 2 ];
+              [ Value.Int 2; Value.Int 15; Value.Int 3 ] ]));
+    Alcotest.test_case "aggregate arithmetic in select" `Quick (fun () ->
+        let db = grid_csv_db ~n:4 ~m:2 () in
+        (* max(col0)=300, min(col0)=0 *)
+        check_value "max-min" (Int 300)
+          (Raw_db.scalar db "SELECT MAX(col0) - MIN(col0) FROM t"));
+    Alcotest.test_case "distinct deduplicates" `Quick (fun () ->
+        let path = write_csv_rows [ [ 1; 5 ]; [ 2; 5 ]; [ 3; 7 ]; [ 4; 5 ] ] in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"d" ~path
+          ~columns:[ ("a", Dtype.Int); ("b", Dtype.Int) ] ();
+        let c = Raw_db.sql db "SELECT DISTINCT b FROM d ORDER BY b" in
+        check_column "dedup" (Column.of_int_array [| 5; 7 |]) (Chunk.column c 0);
+        let c2 = Raw_db.sql db "SELECT DISTINCT b, a FROM d WHERE a < 3 ORDER BY a" in
+        Alcotest.(check int) "multi-column distinct keeps pairs" 2 (Chunk.n_rows c2));
+    Alcotest.test_case "count distinct" `Quick (fun () ->
+        let path = write_csv_rows [ [ 1; 5 ]; [ 2; 5 ]; [ 3; 7 ]; [ 4; 5 ] ] in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"d" ~path
+          ~columns:[ ("a", Dtype.Int); ("b", Dtype.Int) ] ();
+        check_value "scalar" (Int 2)
+          (Raw_db.scalar db "SELECT COUNT(DISTINCT b) FROM d");
+        check_value "with filter" (Int 1)
+          (Raw_db.scalar db "SELECT COUNT(DISTINCT b) FROM d WHERE a < 3");
+        (* grouped: per b, distinct a values *)
+        let c =
+          Raw_db.sql db
+            "SELECT b, COUNT(DISTINCT a) FROM d GROUP BY b ORDER BY b"
+        in
+        Alcotest.(check bool) "grouped" true
+          (rows_of_chunk c
+          = [ [ Value.Int 5; Value.Int 3 ]; [ Value.Int 7; Value.Int 1 ] ]);
+        (* distinct from plain count *)
+        check_value "plain count differs" (Int 4)
+          (Raw_db.scalar db "SELECT COUNT(b) FROM d"));
+    Alcotest.test_case "between and in filters" `Quick (fun () ->
+        let db = grid_csv_db ~n:20 ~m:2 () in
+        (* col0 values: 0,100,...,1900 *)
+        check_value "between" (Int 6)
+          (Raw_db.scalar db "SELECT COUNT(*) FROM t WHERE col0 BETWEEN 500 AND 1000");
+        check_value "in" (Int 2)
+          (Raw_db.scalar db "SELECT COUNT(*) FROM t WHERE col0 IN (300, 1100, 47)");
+        check_value "not in" (Int 18)
+          (Raw_db.scalar db
+             "SELECT COUNT(*) FROM t WHERE col0 NOT IN (300, 1100, 47)"));
+    Alcotest.test_case "binder errors" `Quick (fun () ->
+        let db = grid_csv_db () in
+        let rejects q =
+          Alcotest.(check bool) ("reject " ^ q) true
+            (try
+               ignore (Raw_db.sql db q);
+               false
+             with Sql_binder.Bind_error _ -> true)
+        in
+        rejects "SELECT nope FROM t";
+        rejects "SELECT col1 FROM missing";
+        rejects "SELECT col1 FROM t WHERE MAX(col1) > 0";
+        rejects "SELECT col1, MAX(col2) FROM t";
+        (* ungrouped col1 *)
+        rejects "SELECT t.col1 FROM t JOIN t ON t.col0 = t.col0");
+  ]
+
+(* ---------------- binder edge cases ---------------- *)
+
+let binder_tests =
+  [
+    Alcotest.test_case "table aliases in joins" `Quick (fun () ->
+        let db = grid_csv_db ~n:10 ~m:3 () in
+        (* self-join via two aliases is rejected (shared row-id limitation),
+           but alias-qualified single scans work *)
+        check_value "aliased max" (Int 901)
+          (Raw_db.scalar db "SELECT MAX(s.col1) FROM t AS s"));
+    Alcotest.test_case "key arithmetic with aggregates in select" `Quick
+      (fun () ->
+        let path = write_csv_rows [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 30 ] ] in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"g" ~path
+          ~columns:[ ("k", Dtype.Int); ("v", Dtype.Int) ] ();
+        let c =
+          Raw_db.sql db "SELECT k + MAX(v) AS m FROM g GROUP BY k ORDER BY m"
+        in
+        check_column "key+agg" (Column.of_int_array [| 21; 32 |])
+          (Chunk.column c 0));
+    Alcotest.test_case "having references aggregate not in select" `Quick
+      (fun () ->
+        let path = write_csv_rows [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 30 ] ] in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"g" ~path
+          ~columns:[ ("k", Dtype.Int); ("v", Dtype.Int) ] ();
+        let c =
+          Raw_db.sql db
+            "SELECT k FROM g GROUP BY k HAVING COUNT(*) > 1 ORDER BY k"
+        in
+        check_column "only k=1" (Column.of_int_array [| 1 |]) (Chunk.column c 0));
+    Alcotest.test_case "star expands with qualified names on joins" `Quick
+      (fun () ->
+        let db = grid_csv_db ~n:5 ~m:2 () in
+        let path2 = write_csv_rows (List.init 5 (fun i -> [ i * 100; i ])) in
+        Raw_db.register_csv db ~name:"u" ~path:path2
+          ~columns:[ ("k", Dtype.Int); ("v", Dtype.Int) ] ();
+        let r = Raw_db.query db "SELECT * FROM t JOIN u ON t.col0 = u.k" in
+        Alcotest.(check int) "all columns of both" 4 (Chunk.n_cols r.chunk);
+        Alcotest.(check string) "qualified name" "t.col0"
+          (Schema.name r.schema 0));
+    Alcotest.test_case "order by aggregate alias descending" `Quick (fun () ->
+        let path = write_csv_rows [ [ 1; 10 ]; [ 1; 20 ]; [ 2; 5 ] ] in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"g" ~path
+          ~columns:[ ("k", Dtype.Int); ("v", Dtype.Int) ] ();
+        let c =
+          Raw_db.sql db
+            "SELECT k, SUM(v) AS s FROM g GROUP BY k ORDER BY s DESC"
+        in
+        check_column "desc by sum" (Column.of_int_array [| 1; 2 |])
+          (Chunk.column c 0));
+    Alcotest.test_case "where uses column not in select" `Quick (fun () ->
+        let db = grid_csv_db ~n:10 ~m:4 () in
+        let c = Raw_db.sql db "SELECT col3 FROM t WHERE col1 < 301 ORDER BY col3" in
+        Alcotest.(check int) "rows" 3 (Chunk.n_rows c));
+  ]
+
+(* ---------------- heterogeneous sources ---------------- *)
+
+let hetero_tests =
+  [
+    Alcotest.test_case "csv and fwb with same data give same answers" `Quick
+      (fun () ->
+        let dtypes = [| Dtype.Int; Dtype.Float; Dtype.Int |] in
+        let csv, fwb = twin_files ~n_rows:100 ~dtypes ~seed:33 in
+        let db = Raw_db.create () in
+        let columns = [ ("a", Dtype.Int); ("x", Dtype.Float); ("b", Dtype.Int) ] in
+        Raw_db.register_csv db ~name:"c" ~path:csv ~columns ();
+        Raw_db.register_fwb db ~name:"f" ~path:fwb ~columns;
+        List.iter
+          (fun template ->
+            let qc = Printf.sprintf template "c" in
+            let qf = Printf.sprintf template "f" in
+            check_value qc (Raw_db.scalar db qc) (Raw_db.scalar db qf))
+          [
+            "SELECT MAX(a) FROM %s";
+            "SELECT COUNT(*) FROM %s WHERE a < 500000000";
+            "SELECT MIN(b) FROM %s WHERE a >= 100000000";
+          ];
+        (* float column: compare within rendering tolerance *)
+        let fc = Value.to_float (Raw_db.scalar db "SELECT SUM(x) FROM c") in
+        let ff = Value.to_float (Raw_db.scalar db "SELECT SUM(x) FROM f") in
+        Alcotest.(check (float 1e-3)) "float sums" ff fc);
+    Alcotest.test_case "join csv with fwb transparently" `Quick (fun () ->
+        (* CSV: (id, weight); FWB: (id, score) with ids 0..19 doubled *)
+        let csv = write_csv_rows (List.init 20 (fun i -> [ i; i * 3 ])) in
+        let fwbp = fresh_path ".fwb" in
+        let layout = Raw_formats.Fwb.layout [| Dtype.Int; Dtype.Int |] in
+        Raw_formats.Fwb.write_file ~path:fwbp layout
+          (Seq.init 10 (fun i -> [| Value.Int (i * 2); Value.Int (100 + i) |]));
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"c" ~path:csv
+          ~columns:[ ("id", Dtype.Int); ("weight", Dtype.Int) ] ();
+        Raw_db.register_fwb db ~name:"f" ~path:fwbp
+          ~columns:[ ("id", Dtype.Int); ("score", Dtype.Int) ];
+        check_value "matched rows" (Int 10)
+          (Raw_db.scalar db "SELECT COUNT(*) FROM c JOIN f ON c.id = f.id");
+        (* max weight among even ids < 10: ids 0,2,4,6,8 with f.score < 105 *)
+        check_value "cross-format predicate" (Int 24)
+          (Raw_db.scalar db
+             "SELECT MAX(c.weight) FROM c JOIN f ON c.id = f.id WHERE f.score < 105"));
+  ]
+
+(* ---------------- HEP end-to-end ---------------- *)
+
+let hep_db () =
+  let path = fresh_path ".hep" in
+  Raw_formats.Hep.generate ~path ~n_events:200 ~n_runs:8 ~seed:44 ();
+  let db = Raw_db.create () in
+  Raw_db.register_hep db ~name_prefix:"atlas" ~path;
+  (db, path)
+
+let hep_tests =
+  [
+    Alcotest.test_case "event table queries" `Quick (fun () ->
+        let db, _ = hep_db () in
+        check_value "count" (Int 200)
+          (Raw_db.scalar db "SELECT COUNT(*) FROM atlas_events");
+        check_value "ids dense" (Int 199)
+          (Raw_db.scalar db "SELECT MAX(event_id) FROM atlas_events"));
+    Alcotest.test_case "particle tables agree with object API" `Quick (fun () ->
+        let db, path = hep_db () in
+        let reader = Raw_formats.Hep.Reader.open_file path in
+        let expected = ref 0 in
+        let best = ref neg_infinity in
+        for e = 0 to 199 do
+          let ev = Raw_formats.Hep.Reader.get_entry reader e in
+          Array.iter
+            (fun (m : Raw_formats.Hep.particle) ->
+              if m.pt > 20.0 then begin
+                incr expected;
+                if m.eta > !best then best := m.eta
+              end)
+            ev.muons
+        done;
+        check_value "count muons pt>20" (Int !expected)
+          (Raw_db.scalar db "SELECT COUNT(*) FROM atlas_muons WHERE pt > 20.0");
+        if !expected > 0 then
+          let got =
+            Value.to_float
+              (Raw_db.scalar db "SELECT MAX(eta) FROM atlas_muons WHERE pt > 20.0")
+          in
+          Alcotest.(check (float 1e-12)) "max eta" !best got);
+    Alcotest.test_case "join events with particles" `Quick (fun () ->
+        let db, path = hep_db () in
+        let reader = Raw_formats.Hep.Reader.open_file path in
+        let expected = ref 0 in
+        for e = 0 to 199 do
+          let ev = Raw_formats.Hep.Reader.get_entry reader e in
+          if ev.run_number < 4 then expected := !expected + Array.length ev.jets
+        done;
+        check_value "jets in selected runs" (Int !expected)
+          (Raw_db.scalar db
+             "SELECT COUNT(*) FROM atlas_jets JOIN atlas_events ON \
+              atlas_jets.event_id = atlas_events.event_id WHERE \
+              atlas_events.run_number < 4"));
+  ]
+
+(* ---------------- adaptivity across a query sequence ---------------- *)
+
+let adaptive_tests =
+  [
+    Alcotest.test_case "repeated query gets faster state (pool hits)" `Quick
+      (fun () ->
+        let db = grid_csv_db ~n:100 ~m:8 () in
+        let q = "SELECT MAX(col5) FROM t WHERE col0 < 5000" in
+        let r1 = Raw_db.query db q in
+        let r2 = Raw_db.query db q in
+        let conv r =
+          match List.assoc_opt "csv.values_converted" r.Executor.counters with
+          | Some v -> int_of_float v
+          | None -> 0
+        in
+        Alcotest.(check bool) "first run converts" true (conv r1 > 0);
+        Alcotest.(check int) "second run converts nothing" 0 (conv r2);
+        check_value "same answer" (scalar_of r1) (scalar_of r2));
+    Alcotest.test_case "compile charged once per shape" `Quick (fun () ->
+        let db = grid_csv_db ~n:50 ~m:4 () in
+        let q = "SELECT MAX(col2) FROM t WHERE col0 < 2000" in
+        let r1 = Raw_db.query db q in
+        let r2 = Raw_db.query db q in
+        Alcotest.(check bool) "first compiles" true (r1.compile_seconds > 0.);
+        Alcotest.(check (float 0.)) "second free" 0. r2.compile_seconds);
+    Alcotest.test_case "cold then warm io accounting" `Quick (fun () ->
+        let db = grid_csv_db ~n:200 ~m:4 () in
+        let q = "SELECT MAX(col1) FROM t" in
+        let r1 = Raw_db.query db q in
+        Alcotest.(check bool) "cold pays io" true (r1.io_seconds > 0.);
+        Raw_db.forget_adaptive_state db;
+        (* warm file, no adaptive state: io should be zero (pages resident) *)
+        let r2 = Raw_db.query db q in
+        Alcotest.(check (float 0.)) "warm io free" 0. r2.io_seconds;
+        Raw_db.drop_file_caches db;
+        Raw_db.forget_adaptive_state db;
+        let r3 = Raw_db.query db q in
+        Alcotest.(check bool) "cold again" true (r3.io_seconds > 0.));
+    Alcotest.test_case "scalar on empty result raises" `Quick (fun () ->
+        let db = grid_csv_db () in
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Raw_db.scalar db "SELECT col1 FROM t WHERE col0 < 0");
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case "describe and tables" `Quick (fun () ->
+        let db = grid_csv_db ~m:3 () in
+        Alcotest.(check (list string)) "tables" [ "t" ] (Raw_db.tables db);
+        Alcotest.(check int) "schema arity" 3 (Schema.arity (Raw_db.describe db "t")));
+  ]
+
+let suites =
+  [
+    ("integration.sql", sql_tests);
+    ("integration.binder", binder_tests);
+    ("integration.heterogeneous", hetero_tests);
+    ("integration.hep", hep_tests);
+    ("integration.adaptive", adaptive_tests);
+  ]

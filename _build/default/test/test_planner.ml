@@ -1,0 +1,197 @@
+open Raw_vector
+open Raw_core
+open Test_util
+
+(* Every (access mode, shred strategy, join policy) combination must produce
+   the same answers — the paper's strategies trade performance, never
+   correctness. The DBMS + full-columns combination is the reference. *)
+
+let modes = [ Access.Dbms; Access.External; Access.In_situ; Access.Jit ]
+let strategies =
+  [ Planner.Full_columns; Planner.Shreds; Planner.Multi_shreds; Planner.Adaptive ]
+let policies = [ Planner.Early; Planner.Intermediate; Planner.Late ]
+
+let opt_name (o : Planner.options) =
+  Printf.sprintf "%s/%s/%s"
+    (Access.mode_to_string o.access)
+    (Planner.shred_strategy_to_string o.shreds)
+    (Planner.join_policy_to_string o.join_policy)
+
+let all_options =
+  List.concat_map
+    (fun access ->
+      List.concat_map
+        (fun shreds ->
+          List.map
+            (fun join_policy ->
+              { Planner.access; shreds; join_policy; tracked = `Every 2; use_indexes = true })
+            policies)
+        strategies)
+    modes
+
+(* fresh DB per option so adaptive state never leaks between variants *)
+let make_db () =
+  let path1 = write_csv_rows (grid_rows 40 6) in
+  (* second table: key = 2*r (so only even col0 values of t match), payload *)
+  let path2 = write_csv_rows (List.init 30 (fun r -> [ 200 * r; r; r * 7 ])) in
+  let db = Raw_db.create () in
+  Raw_db.register_csv db ~name:"t" ~path:path1 ~columns:(int_cols 6) ();
+  Raw_db.register_csv db ~name:"u" ~path:path2
+    ~columns:[ ("k", Dtype.Int); ("v", Dtype.Int); ("w", Dtype.Int) ] ();
+  db
+
+let queries =
+  [
+    ("selection agg", "SELECT MAX(col3) FROM t WHERE col0 < 2000");
+    ("multi-predicate", "SELECT MAX(col5) FROM t WHERE col0 < 3000 AND col4 < 2710");
+    ("count", "SELECT COUNT(*) FROM t WHERE col1 >= 1101");
+    ("projection", "SELECT col2, col4 FROM t WHERE col0 > 3500 ORDER BY col2 DESC");
+    ("join pipelined side",
+     "SELECT MAX(t.col3) FROM t JOIN u ON t.col0 = u.k WHERE u.v < 15");
+    ("join breaking side",
+     "SELECT MAX(u.w) FROM t JOIN u ON t.col0 = u.k WHERE u.v < 15");
+    ("group by",
+     "SELECT w, COUNT(*), SUM(v) FROM u GROUP BY w HAVING COUNT(*) >= 1 ORDER BY w LIMIT 10");
+    ("arith in select", "SELECT col0 + col1 FROM t WHERE col0 < 500 ORDER BY col0");
+    ("or predicate", "SELECT COUNT(*) FROM t WHERE col0 < 300 OR col5 > 3800");
+  ]
+
+let reference_results =
+  lazy
+    (let db = make_db () in
+     Raw_db.set_options db
+       { Planner.access = Access.Dbms; shreds = Planner.Full_columns;
+         join_policy = Planner.Early; tracked = `Every 2; use_indexes = true };
+     List.map (fun (name, q) -> (name, rows_of_chunk (Raw_db.sql db q))) queries)
+
+let combo_test (opts : Planner.options) =
+  Alcotest.test_case (opt_name opts) `Quick (fun () ->
+      let db = make_db () in
+      Raw_db.set_options db opts;
+      List.iter
+        (fun (name, q) ->
+          let got = rows_of_chunk (Raw_db.sql db q) in
+          let want = List.assoc name (Lazy.force reference_results) in
+          if got <> want then
+            Alcotest.failf "%s: query %S disagrees with reference" (opt_name opts)
+              name)
+        queries)
+
+let equivalence_tests = List.map combo_test all_options
+
+(* Re-running the same queries on a warm database must also agree (the
+   adaptive caches kick in on the second run). *)
+let warm_tests =
+  List.map
+    (fun opts ->
+      Alcotest.test_case ("warm " ^ opt_name opts) `Quick (fun () ->
+          let db = make_db () in
+          Raw_db.set_options db opts;
+          List.iter (fun (_, q) -> ignore (Raw_db.sql db q)) queries;
+          List.iter
+            (fun (name, q) ->
+              let got = rows_of_chunk (Raw_db.sql db q) in
+              let want = List.assoc name (Lazy.force reference_results) in
+              if got <> want then
+                Alcotest.failf "warm %s: %S disagrees" (opt_name opts) name)
+            queries))
+    [
+      { Planner.access = Access.Jit; shreds = Planner.Shreds;
+        join_policy = Planner.Late; tracked = `Every 2; use_indexes = true };
+      { Planner.access = Access.Jit; shreds = Planner.Multi_shreds;
+        join_policy = Planner.Intermediate; tracked = `Every 2; use_indexes = true };
+      { Planner.access = Access.In_situ; shreds = Planner.Shreds;
+        join_policy = Planner.Late; tracked = `Every 2; use_indexes = true };
+      { Planner.access = Access.Dbms; shreds = Planner.Full_columns;
+        join_policy = Planner.Early; tracked = `Every 2; use_indexes = true };
+    ]
+
+(* Structural behavior *)
+
+let behavior_tests =
+  [
+    Alcotest.test_case "shreds read only qualifying rows" `Quick (fun () ->
+        (* predicate selects 10 of 40 rows; with shreds, col3 conversions
+           should be 40 (predicate col) + 10 (agg col) *)
+        let db = make_db () in
+        Raw_db.set_options db
+          { Planner.access = Access.Jit; shreds = Planner.Shreds;
+            join_policy = Planner.Late; tracked = `Every 2; use_indexes = true };
+        let r = Raw_db.query db "SELECT MAX(col3) FROM t WHERE col0 < 1000" in
+        let converted =
+          match List.assoc_opt "csv.values_converted" r.counters with
+          | Some v -> int_of_float v
+          | None -> 0
+        in
+        Alcotest.(check int) "40 predicate + 10 agg" 50 converted);
+    Alcotest.test_case "full columns read everything" `Quick (fun () ->
+        let db = make_db () in
+        Raw_db.set_options db
+          { Planner.access = Access.Jit; shreds = Planner.Full_columns;
+            join_policy = Planner.Early; tracked = `Every 2; use_indexes = true };
+        let r = Raw_db.query db "SELECT MAX(col3) FROM t WHERE col0 < 1000" in
+        let converted =
+          match List.assoc_opt "csv.values_converted" r.counters with
+          | Some v -> int_of_float v
+          | None -> 0
+        in
+        Alcotest.(check int) "both columns in full" 80 converted);
+    Alcotest.test_case "plan output schema matches logical" `Quick (fun () ->
+        let db = make_db () in
+        let r = Raw_db.query db "SELECT col1 AS a, MAX(col2) AS m FROM t GROUP BY col1 LIMIT 2" in
+        Alcotest.(check string) "first name" "a" (Schema.name r.schema 0);
+        Alcotest.(check string) "second name" "m" (Schema.name r.schema 1);
+        Alcotest.(check int) "arity" 2 (Chunk.n_cols r.chunk));
+    Alcotest.test_case "limit works over pending columns" `Quick (fun () ->
+        let db = make_db () in
+        let r = Raw_db.query db "SELECT col1 FROM t LIMIT 3" in
+        Alcotest.(check int) "three rows" 3 (Chunk.n_rows r.chunk));
+    Alcotest.test_case "explain traces deferred scans and late attachment"
+      `Quick (fun () ->
+        let db = make_db () in
+        let trace =
+          Raw_db.explain db "SELECT MAX(col3) FROM t WHERE col0 < 1000"
+        in
+        let has sub =
+          List.exists
+            (fun line ->
+              let n = String.length sub and m = String.length line in
+              let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+              go 0)
+            trace
+        in
+        Alcotest.(check bool) "strategy line" true (has "strategy: access=jit");
+        Alcotest.(check bool) "deferred scan" true (has "row-id stream only");
+        Alcotest.(check bool) "late scan col0" true (has "columns [col0]");
+        Alcotest.(check bool) "late scan col3 separate" true (has "columns [col3]");
+        Alcotest.(check bool) "filter traced" true (has "filter:"));
+    Alcotest.test_case "explain shows eager scans for full columns" `Quick
+      (fun () ->
+        let db = make_db () in
+        let trace =
+          Raw_db.explain
+            ~options:{ Planner.default with shreds = Planner.Full_columns }
+            db "SELECT MAX(col3) FROM t WHERE col0 < 1000"
+        in
+        let has sub =
+          List.exists
+            (fun line ->
+              let n = String.length sub and m = String.length line in
+              let rec go i = i + n <= m && (String.sub line i n = sub || go (i + 1)) in
+              go 0)
+            trace
+        in
+        Alcotest.(check bool) "eager" true (has "eager"));
+    Alcotest.test_case "empty result has right shape" `Quick (fun () ->
+        let db = make_db () in
+        let r = Raw_db.query db "SELECT col1, col2 FROM t WHERE col0 < 0" in
+        Alcotest.(check int) "no rows" 0 (Chunk.n_rows r.chunk);
+        Alcotest.(check int) "two cols" 2 (Chunk.n_cols r.chunk));
+  ]
+
+let suites =
+  [
+    ("planner.equivalence", equivalence_tests);
+    ("planner.warm", warm_tests);
+    ("planner.behavior", behavior_tests);
+  ]

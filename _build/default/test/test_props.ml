@@ -1,0 +1,447 @@
+(* Property-based tests (qcheck) on core data structures and invariants. *)
+
+open Raw_vector
+open Test_util
+
+module Gen = QCheck2.Gen
+
+(* ---------------- parsers ---------------- *)
+
+let prop_parse_int =
+  qtest "csv.parse_int inverts string_of_int" Gen.int (fun i ->
+      let s = string_of_int i in
+      Raw_formats.Csv.parse_int (Bytes.of_string s) 0 (String.length s) = i)
+
+let prop_parse_float =
+  qtest "csv.parse_float matches float_of_string on %.6f"
+    (Gen.float_bound_inclusive 1e12)
+    (fun x ->
+      let s = Printf.sprintf "%.6f" x in
+      let got = Raw_formats.Csv.parse_float (Bytes.of_string s) 0 (String.length s) in
+      Float.abs (got -. float_of_string s) <= 1e-9 *. Float.max 1.0 (Float.abs x))
+
+(* ---------------- selection vectors ---------------- *)
+
+let mask_gen = Gen.array_size (Gen.int_range 0 200) Gen.bool
+
+let prop_sel_partition =
+  qtest "sel + complement partition the index space" mask_gen (fun mask ->
+      let n = Array.length mask in
+      let s = Sel.of_bool_mask mask in
+      let c = Sel.complement s n in
+      Sel.length s + Sel.length c = n
+      && Array.for_all (fun i -> mask.(i)) (Sel.to_array s)
+      && Array.for_all (fun i -> not mask.(i)) (Sel.to_array c))
+
+let prop_sel_compose =
+  qtest "sel compose = indexed lookup" mask_gen (fun mask ->
+      let inner = Sel.of_bool_mask mask in
+      let k = Sel.length inner in
+      if k = 0 then true
+      else begin
+        let outer = Sel.of_array (Array.init ((k + 1) / 2) (fun i -> i * 2)) in
+        let composed = Sel.compose outer inner in
+        Array.for_all
+          (fun j -> Sel.get composed j = Sel.get inner (Sel.get outer j))
+          (Array.init (Sel.length composed) Fun.id)
+      end)
+
+(* ---------------- LRU ---------------- *)
+
+let lru_ops_gen =
+  Gen.list_size (Gen.int_range 0 300)
+    (Gen.pair (Gen.int_range 0 20) (Gen.int_range 0 2))
+
+let prop_lru_bounded =
+  qtest "lru never exceeds capacity and serves last write" lru_ops_gen (fun ops ->
+      let l = Raw_storage.Lru.create ~capacity:8 () in
+      let model = Hashtbl.create 16 in
+      List.for_all
+        (fun (k, op) ->
+          (match op with
+           | 0 ->
+             ignore (Raw_storage.Lru.add l k k);
+             Hashtbl.replace model k k
+           | 1 -> ignore (Raw_storage.Lru.find l k)
+           | _ ->
+             Raw_storage.Lru.remove l k;
+             Hashtbl.remove model k);
+          Raw_storage.Lru.length l <= 8
+          &&
+          (* anything in the LRU must carry the modelled value *)
+          match Raw_storage.Lru.peek l k with
+          | None -> true
+          | Some v -> Hashtbl.find_opt model k = Some v)
+        ops)
+
+(* ---------------- column gather/scatter ---------------- *)
+
+let prop_gather_scatter =
+  qtest "scatter then gather is identity"
+    (Gen.array_size (Gen.int_range 1 100) Gen.int)
+    (fun values ->
+      let n = Array.length values in
+      let packed = Column.of_int_array values in
+      let idx = Array.init n (fun i -> i) in
+      (* scatter into a sparse destination twice as large, at even slots *)
+      let dst =
+        Column.invalidate_all (Column.of_int_array (Array.make (2 * n) 0))
+      in
+      let even = Array.map (fun i -> 2 * i) idx in
+      Column.scatter dst even packed;
+      Column.equal (Column.gather dst even) packed)
+
+(* ---------------- kernels vs naive model ---------------- *)
+
+let cmp_gen =
+  Gen.oneofl
+    [ Kernels.Lt; Kernels.Le; Kernels.Gt; Kernels.Ge; Kernels.Eq; Kernels.Ne ]
+
+let cmp_fn (op : Kernels.cmp) a b =
+  match op with
+  | Lt -> a < b
+  | Le -> a <= b
+  | Gt -> a > b
+  | Ge -> a >= b
+  | Eq -> a = b
+  | Ne -> a <> b
+
+let prop_filter_const =
+  qtest "filter_const agrees with list filter"
+    (Gen.triple cmp_gen (Gen.array_size (Gen.int_range 0 200) (Gen.int_range (-50) 50))
+       (Gen.int_range (-50) 50))
+    (fun (op, values, x) ->
+      let col = Column.of_int_array values in
+      let got = Sel.to_array (Kernels.filter_const op col (Int x) None) in
+      let want =
+        Array.of_list
+          (List.filteri (fun _ _ -> true)
+             (List.filter_map
+                (fun i -> if cmp_fn op values.(i) x then Some i else None)
+                (List.init (Array.length values) Fun.id)))
+      in
+      got = want)
+
+let prop_aggregate =
+  qtest "aggregates agree with folds"
+    (Gen.array_size (Gen.int_range 1 200) (Gen.int_range (-1000) 1000))
+    (fun values ->
+      let col = Column.of_int_array values in
+      let l = Array.to_list values in
+      Kernels.aggregate Kernels.Max col None = Int (List.fold_left max min_int l)
+      && Kernels.aggregate Kernels.Min col None = Int (List.fold_left min max_int l)
+      && Kernels.aggregate Kernels.Sum col None = Int (List.fold_left ( + ) 0 l)
+      && Kernels.aggregate Kernels.Count col None = Int (List.length l))
+
+(* ---------------- hash join vs nested loop ---------------- *)
+
+let prop_hash_join =
+  qtest "hash_join equals nested-loop join" ~count:50
+    (Gen.pair
+       (Gen.array_size (Gen.int_range 0 40) (Gen.int_range 0 10))
+       (Gen.array_size (Gen.int_range 0 40) (Gen.int_range 0 10)))
+    (fun (probe, build) ->
+      let open Raw_engine in
+      let mk a = Operator.of_chunks [ Chunk.of_columns [ Column.of_int_array a ] ] in
+      let op =
+        Operator.hash_join ~build:(mk build) ~probe:(mk probe)
+          ~build_key:(Expr.col 0) ~probe_key:(Expr.col 0)
+      in
+      let got =
+        List.init (Chunk.n_rows (Operator.to_chunk op)) Fun.id |> List.length
+      in
+      (* recompute, since to_chunk drains: rebuild operators *)
+      let op2 =
+        Operator.hash_join ~build:(mk build) ~probe:(mk probe)
+          ~build_key:(Expr.col 0) ~probe_key:(Expr.col 0)
+      in
+      let rows = rows_of_chunk (Operator.to_chunk op2) in
+      let naive =
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun b -> if p = b then Some [ Value.Int p; Value.Int b ] else None)
+              (Array.to_list build))
+          (Array.to_list probe)
+        |> List.sort Stdlib.compare
+      in
+      got = List.length naive && rows = naive)
+
+(* ---------------- scan kernels vs naive CSV model ---------------- *)
+
+let small_grid_gen =
+  Gen.pair (Gen.int_range 1 30) (Gen.int_range 1 8)
+
+let prop_scan_modes_agree =
+  qtest "interpreted and JIT CSV scans agree with a naive reader" ~count:40
+    small_grid_gen
+    (fun (n, m) ->
+      let rows = List.init n (fun r -> List.init m (fun c -> (r * 31) + (c * 7))) in
+      let path = write_csv_rows rows in
+      let file = Raw_storage.Mmap_file.open_file path in
+      let schema = Schema.of_pairs (int_cols m) in
+      let needed = List.filteri (fun i _ -> i mod 2 = 0) (List.init m Fun.id) in
+      let run mode =
+        fst
+          (Raw_core.Scan_csv.seq_scan ~mode ~file ~sep:',' ~schema ~needed
+             ~tracked:[] ())
+      in
+      let interp = run Raw_core.Scan_csv.Interpreted in
+      let jit = run Raw_core.Scan_csv.Jit in
+      let naive =
+        List.map
+          (fun c -> Column.of_int_array (Array.of_list (List.map (fun row -> List.nth row c) rows)))
+          needed
+      in
+      List.for_all2
+        (fun c k -> Column.equal c interp.(k) && Column.equal c jit.(k))
+        naive
+        (List.init (List.length needed) Fun.id))
+
+let prop_fetch_matches_scan =
+  qtest "posmap fetch agrees with full scan" ~count:40 small_grid_gen
+    (fun (n, m) ->
+      let rows = List.init n (fun r -> List.init m (fun c -> (r * 13) + c)) in
+      let path = write_csv_rows rows in
+      let file = Raw_storage.Mmap_file.open_file path in
+      let schema = Schema.of_pairs (int_cols m) in
+      let tracked = Raw_formats.Posmap.every_k ~k:3 ~n_cols:m in
+      let all = List.init m Fun.id in
+      let full, pm =
+        Raw_core.Scan_csv.seq_scan ~mode:Raw_core.Scan_csv.Jit ~file ~sep:','
+          ~schema ~needed:all ~tracked ()
+      in
+      let pm = Option.get pm in
+      let rowids = Array.of_list (List.filteri (fun i _ -> i mod 2 = 1) (List.init n Fun.id)) in
+      if Array.length rowids = 0 then true
+      else
+        List.for_all
+          (fun mode ->
+            let cols = [ m - 1 ] in
+            let fetched =
+              Raw_core.Scan_csv.fetch ~mode ~file ~sep:',' ~schema ~posmap:pm
+                ~cols ~rowids
+            in
+            Column.equal (Column.gather full.(m - 1) rowids) fetched.(0))
+          [ Raw_core.Scan_csv.Interpreted; Raw_core.Scan_csv.Jit ])
+
+(* ---------------- FWB roundtrip ---------------- *)
+
+let prop_fwb_roundtrip =
+  qtest "fwb write/read roundtrip" ~count:40
+    (Gen.list_size (Gen.int_range 1 50) (Gen.pair Gen.int Gen.float))
+    (fun rows ->
+      let layout = Raw_formats.Fwb.layout [| Dtype.Int; Dtype.Float |] in
+      let path = fresh_path ".fwb" in
+      Raw_formats.Fwb.write_file ~path layout
+        (List.to_seq (List.map (fun (i, f) -> [| Value.Int i; Value.Float f |]) rows));
+      let file = Raw_storage.Mmap_file.open_file path in
+      List.for_all
+        (fun (row, (i, f)) ->
+          Raw_formats.Fwb.read_int file (Raw_formats.Fwb.offset_of layout ~row ~field:0) = i
+          &&
+          let g =
+            Raw_formats.Fwb.read_float file
+              (Raw_formats.Fwb.offset_of layout ~row ~field:1)
+          in
+          (Float.is_nan f && Float.is_nan g) || g = f)
+        (List.mapi (fun row x -> (row, x)) rows))
+
+(* ---------------- HEP roundtrip ---------------- *)
+
+let particle_gen =
+  Gen.map
+    (fun ((pt, eta), phi) -> { Raw_formats.Hep.pt; eta; phi })
+    (Gen.pair (Gen.pair (Gen.float_bound_inclusive 100.) (Gen.float_bound_inclusive 2.5))
+       (Gen.float_bound_inclusive 3.14))
+
+let event_gen i =
+  Gen.map
+    (fun (((run, mu), el), jet) ->
+      {
+        Raw_formats.Hep.event_id = i;
+        run_number = run;
+        aux = Array.map (fun (p : Raw_formats.Hep.particle) -> p.phi) mu;
+        muons = mu;
+        electrons = el;
+        jets = jet;
+      })
+    (Gen.pair
+       (Gen.pair
+          (Gen.pair (Gen.int_range 0 100) (Gen.array_size (Gen.int_range 0 5) particle_gen))
+          (Gen.array_size (Gen.int_range 0 5) particle_gen))
+       (Gen.array_size (Gen.int_range 0 5) particle_gen))
+
+let events_gen =
+  Gen.sized (fun n ->
+      let n = min (max n 1) 20 in
+      Gen.flatten_l (List.init n event_gen))
+
+let prop_hep_roundtrip =
+  qtest "hep write/read roundtrip" ~count:30 events_gen (fun events ->
+      let path = fresh_path ".hep" in
+      Raw_formats.Hep.write_file ~path (List.to_seq events);
+      let r = Raw_formats.Hep.Reader.open_file path in
+      Raw_formats.Hep.Reader.n_events r = List.length events
+      && List.for_all
+           (fun (i, (e : Raw_formats.Hep.event)) ->
+             let got = Raw_formats.Hep.Reader.get_entry r i in
+             got = e)
+           (List.mapi (fun i e -> (i, e)) events))
+
+(* ---------------- group_by vs naive model ---------------- *)
+
+let prop_group_by =
+  qtest "group_by sums agree with a naive fold" ~count:60
+    (Gen.list_size (Gen.int_range 0 150)
+       (Gen.pair (Gen.int_range 0 8) (Gen.int_range (-100) 100)))
+    (fun pairs ->
+      let open Raw_engine in
+      let keys = Column.of_int_array (Array.of_list (List.map fst pairs)) in
+      let vals = Column.of_int_array (Array.of_list (List.map snd pairs)) in
+      let op =
+        Operator.group_by ~keys:[ Expr.col 0 ]
+          ~aggs:[ (Kernels.Sum, Expr.col 1); (Kernels.Count, Expr.col 1) ]
+          (Operator.of_chunks
+             (if pairs = [] then []
+              else [ Chunk.of_columns [ keys; vals ] ]))
+      in
+      let got = rows_of_chunk (Operator.to_chunk op) in
+      let model = Hashtbl.create 8 in
+      List.iter
+        (fun (k, v) ->
+          let s, c = Option.value (Hashtbl.find_opt model k) ~default:(0, 0) in
+          Hashtbl.replace model k (s + v, c + 1))
+        pairs;
+      let want =
+        Hashtbl.fold
+          (fun k (s, c) acc -> [ Value.Int k; Value.Int s; Value.Int c ] :: acc)
+          model []
+        |> List.sort Stdlib.compare
+      in
+      got = want)
+
+(* ---------------- column concat ---------------- *)
+
+let prop_concat =
+  qtest "Column.concat equals element-wise append"
+    (Gen.pair (Gen.array_size (Gen.int_range 0 50) Gen.int)
+       (Gen.array_size (Gen.int_range 1 50) Gen.int))
+    (fun (a, b) ->
+      let ca = Column.of_int_array a and cb = Column.of_int_array b in
+      Column.equal
+        (Column.concat (if Array.length a = 0 then [ cb ] else [ ca; cb ]))
+        (Column.of_int_array (if Array.length a = 0 then b else Array.append a b)))
+
+(* ---------------- jsonl extraction vs reference parser ---------------- *)
+
+let json_scalar_gen =
+  Gen.oneof
+    [
+      Gen.map (fun i -> Value.Int i) (Gen.int_range (-1000000) 1000000);
+      Gen.map (fun b -> Value.Bool b) Gen.bool;
+      Gen.map (fun s -> Value.String s) (Gen.string_size ~gen:Gen.printable (Gen.int_range 0 12));
+    ]
+
+let prop_jsonl_extract =
+  qtest "jsonl extraction agrees with the reference parser" ~count:60
+    (Gen.list_size (Gen.int_range 1 6)
+       (Gen.pair (Gen.int_range 0 9) json_scalar_gen))
+    (fun fields ->
+      (* unique single-letter field names a..j *)
+      let fields =
+        List.sort_uniq (fun (a, _) (b, _) -> Stdlib.compare a b) fields
+        |> List.map (fun (i, v) -> (String.make 1 (Char.chr (97 + i)), v))
+      in
+      let path = fresh_path ".jsonl" in
+      Raw_formats.Jsonl.write_file ~path (List.to_seq [ fields ]);
+      let line =
+        String.trim (In_channel.with_open_bin path In_channel.input_all)
+      in
+      match Raw_formats.Jsonl.parse line with
+      | Raw_formats.Jsonl.Object parsed ->
+        List.for_all
+          (fun (name, v) ->
+            match (List.assoc_opt name parsed, (v : Value.t)) with
+            | Some (Raw_formats.Jsonl.Number x), Value.Int i ->
+              x = float_of_int i
+            | Some (Raw_formats.Jsonl.Bool b), Value.Bool b' -> b = b'
+            | Some (Raw_formats.Jsonl.String s), Value.String s' -> s = s'
+            | _ -> false)
+          fields
+      | _ -> false)
+
+(* ---------------- btree range vs naive filter ---------------- *)
+
+let prop_btree =
+  qtest "btree range equals naive filter" ~count:60
+    (Gen.pair
+       (Gen.list_size (Gen.int_range 0 300) (Gen.int_range 0 500))
+       (Gen.pair (Gen.int_range 0 500) (Gen.int_range 0 500)))
+    (fun (keys, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let entries =
+        List.sort Stdlib.compare keys
+        |> List.mapi (fun i k -> (k, i))
+        |> Array.of_list
+      in
+      let bytes, meta = Raw_formats.Btree.serialize ~fanout:7 entries in
+      let file = Raw_storage.Mmap_file.of_bytes ~name:"t" bytes in
+      let got =
+        Array.to_list (Raw_formats.Btree.range file ~base:0 meta ~lo ~hi)
+      in
+      let want =
+        Array.to_list entries
+        |> List.filter (fun (k, _) -> k >= lo && k <= hi)
+        |> List.map snd
+      in
+      got = want)
+
+(* ---------------- end-to-end: SQL vs naive model ---------------- *)
+
+let prop_sql_selection =
+  qtest "SELECT MAX WHERE agrees with list model" ~count:30
+    (Gen.pair (Gen.list_size (Gen.int_range 1 80) (Gen.int_range 0 1000))
+       (Gen.int_range 0 1000))
+    (fun (values, x) ->
+      let rows = List.map (fun v -> [ v; v * 2 ]) values in
+      let path = write_csv_rows rows in
+      let db = Raw_core.Raw_db.create () in
+      Raw_core.Raw_db.register_csv db ~name:"t" ~path
+        ~columns:[ ("a", Dtype.Int); ("b", Dtype.Int) ] ();
+      let got =
+        Raw_core.Raw_db.scalar db
+          (Printf.sprintf "SELECT MAX(b) FROM t WHERE a < %d" x)
+      in
+      let qualifying = List.filter (fun v -> v < x) values in
+      let want =
+        match qualifying with
+        | [] -> Value.Null
+        | l -> Value.Int (2 * List.fold_left max min_int l)
+      in
+      Value.equal got want)
+
+let suites =
+  [
+    ( "props",
+      [
+        prop_parse_int;
+        prop_parse_float;
+        prop_sel_partition;
+        prop_sel_compose;
+        prop_lru_bounded;
+        prop_gather_scatter;
+        prop_filter_const;
+        prop_aggregate;
+        prop_hash_join;
+        prop_scan_modes_agree;
+        prop_fetch_matches_scan;
+        prop_fwb_roundtrip;
+        prop_hep_roundtrip;
+        prop_group_by;
+        prop_concat;
+        prop_jsonl_extract;
+        prop_btree;
+        prop_sql_selection;
+      ] );
+  ]

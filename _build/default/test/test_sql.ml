@@ -1,0 +1,180 @@
+open Raw_vector
+open Raw_sql
+
+(* ---------------- Lexer ---------------- *)
+
+let lexer_tests =
+  [
+    Alcotest.test_case "tokens" `Quick (fun () ->
+        let toks = Lexer.tokenize "SELECT a, b.c FROM t WHERE x <= 1.5" in
+        Alcotest.(check int) "count (incl EOF)" 13 (Array.length toks);
+        Alcotest.(check bool) "kw" true (toks.(0) = Lexer.KW "SELECT");
+        Alcotest.(check bool) "ident" true (toks.(1) = Lexer.IDENT "a");
+        Alcotest.(check bool) "le" true (toks.(10) = Lexer.LE);
+        Alcotest.(check bool) "float" true (toks.(11) = Lexer.FLOAT 1.5));
+    Alcotest.test_case "keywords case-insensitive, idents preserved" `Quick (fun () ->
+        let toks = Lexer.tokenize "select MyCol" in
+        Alcotest.(check bool) "kw" true (toks.(0) = Lexer.KW "SELECT");
+        Alcotest.(check bool) "ident case" true (toks.(1) = Lexer.IDENT "MyCol"));
+    Alcotest.test_case "string literals with escapes" `Quick (fun () ->
+        let toks = Lexer.tokenize "'it''s'" in
+        Alcotest.(check bool) "escaped" true (toks.(0) = Lexer.STRING "it's"));
+    Alcotest.test_case "unterminated string raises" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Lexer.tokenize "'oops");
+             false
+           with Lexer.Error _ -> true));
+    Alcotest.test_case "operators two-char" `Quick (fun () ->
+        let toks = Lexer.tokenize "<> != >= <=" in
+        Alcotest.(check bool) "all neq/ge/le" true
+          (toks.(0) = Lexer.NEQ && toks.(1) = Lexer.NEQ && toks.(2) = Lexer.GE
+          && toks.(3) = Lexer.LE));
+    Alcotest.test_case "unexpected char raises" `Quick (fun () ->
+        Alcotest.(check bool) "raises" true
+          (try
+             ignore (Lexer.tokenize "a ; b");
+             false
+           with Lexer.Error _ -> true));
+  ]
+
+(* ---------------- Parser ---------------- *)
+
+let parse = Parser.parse
+
+let parser_tests =
+  [
+    Alcotest.test_case "simple aggregate query" `Quick (fun () ->
+        let q = parse "SELECT MAX(col1) FROM t WHERE col0 < 100" in
+        Alcotest.(check string) "from" "t" q.from.table;
+        (match q.select with
+         | `Items [ { expr = Ast.Agg (Kernels.Max, Ast.Ref r); alias = None } ] ->
+           Alcotest.(check string) "agg col" "col1" r.column
+         | _ -> Alcotest.fail "unexpected select shape");
+        (match q.where with
+         | Some (Ast.Cmp (Kernels.Lt, Ast.Ref _, Ast.Lit (Value.Int 100))) -> ()
+         | _ -> Alcotest.fail "unexpected where shape"));
+    Alcotest.test_case "count star" `Quick (fun () ->
+        let q = parse "SELECT COUNT(*) FROM t" in
+        (match q.select with
+         | `Items [ { expr = Ast.Count_star; _ } ] -> ()
+         | _ -> Alcotest.fail "expected COUNT(*)"));
+    Alcotest.test_case "join with qualified keys" `Quick (fun () ->
+        let q = parse "SELECT a FROM t JOIN u ON t.id = u.id WHERE u.x > 5" in
+        (match q.joins with
+         | [ { rel = { table = "u"; _ }; on_left = Ast.Ref l; on_right = Ast.Ref r } ] ->
+           Alcotest.(check (option string)) "left table" (Some "t") l.table;
+           Alcotest.(check (option string)) "right table" (Some "u") r.table
+         | _ -> Alcotest.fail "unexpected join shape"));
+    Alcotest.test_case "aliases" `Quick (fun () ->
+        let q = parse "SELECT x AS y FROM t AS s JOIN u v ON s.a = v.b" in
+        Alcotest.(check (option string)) "from alias" (Some "s") q.from.alias;
+        (match q.joins with
+         | [ { rel = { alias = Some "v"; _ }; _ } ] -> ()
+         | _ -> Alcotest.fail "join alias");
+        (match q.select with
+         | `Items [ { alias = Some "y"; _ } ] -> ()
+         | _ -> Alcotest.fail "select alias"));
+    Alcotest.test_case "group by having order limit" `Quick (fun () ->
+        let q =
+          parse
+            "SELECT g, SUM(v) FROM t GROUP BY g HAVING SUM(v) > 10 ORDER BY g \
+             DESC LIMIT 3"
+        in
+        Alcotest.(check int) "one key" 1 (List.length q.group_by);
+        Alcotest.(check bool) "having" true (Option.is_some q.having);
+        (match q.order_by with
+         | [ { column = "g"; dir = `Desc } ] -> ()
+         | _ -> Alcotest.fail "order");
+        Alcotest.(check (option int)) "limit" (Some 3) q.limit);
+    Alcotest.test_case "operator precedence" `Quick (fun () ->
+        (match Parser.parse_expr "a + b * 2 < 10 AND x OR y" with
+         | Ast.Or (Ast.And (Ast.Cmp (Kernels.Lt, Ast.Arith (Kernels.Add, _, Ast.Arith (Kernels.Mul, _, _)), _), _), _)
+           -> ()
+         | _ -> Alcotest.fail "precedence shape"));
+    Alcotest.test_case "unary minus folds literals" `Quick (fun () ->
+        (match Parser.parse_expr "-5" with
+         | Ast.Lit (Value.Int (-5)) -> ()
+         | _ -> Alcotest.fail "neg int");
+        match Parser.parse_expr "-1.5" with
+        | Ast.Lit (Value.Float f) when f = -1.5 -> ()
+        | _ -> Alcotest.fail "neg float");
+    Alcotest.test_case "NOT and parens" `Quick (fun () ->
+        (match Parser.parse_expr "NOT (a OR b)" with
+         | Ast.Not (Ast.Or _) -> ()
+         | _ -> Alcotest.fail "not shape"));
+    Alcotest.test_case "booleans and null literals" `Quick (fun () ->
+        (match Parser.parse_expr "TRUE" with
+         | Ast.Lit (Value.Bool true) -> ()
+         | _ -> Alcotest.fail "true");
+        match Parser.parse_expr "NULL" with
+        | Ast.Lit Value.Null -> ()
+        | _ -> Alcotest.fail "null");
+    Alcotest.test_case "select star" `Quick (fun () ->
+        let q = parse "SELECT * FROM t" in
+        Alcotest.(check bool) "star" true (q.select = `Star));
+    Alcotest.test_case "multi join" `Quick (fun () ->
+        let q = parse "SELECT a FROM t JOIN u ON t.x = u.x INNER JOIN v ON u.y = v.y" in
+        Alcotest.(check int) "two joins" 2 (List.length q.joins));
+    Alcotest.test_case "errors are reported" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) ("reject " ^ s) true
+              (try
+                 ignore (parse s);
+                 false
+               with Parser.Error _ -> true))
+          [
+            "SELECT";
+            "SELECT a";
+            "SELECT a FROM";
+            "SELECT a FROM t WHERE";
+            "SELECT a FROM t LIMIT x";
+            "SELECT a FROM t GROUP";
+            "SELECT a FROM t trailing garbage (";
+            "SELECT MAX(a FROM t";
+          ]);
+    Alcotest.test_case "BETWEEN desugars to a conjunction" `Quick (fun () ->
+        (match Parser.parse_expr "x BETWEEN 1 AND 5" with
+         | Ast.And
+             (Ast.Cmp (Kernels.Ge, Ast.Ref _, Ast.Lit (Value.Int 1)),
+              Ast.Cmp (Kernels.Le, Ast.Ref _, Ast.Lit (Value.Int 5))) -> ()
+         | _ -> Alcotest.fail "between shape");
+        (* BETWEEN binds tighter than a surrounding AND *)
+        match Parser.parse_expr "x BETWEEN 1 AND 5 AND y > 0" with
+        | Ast.And (Ast.And _, Ast.Cmp (Kernels.Gt, _, _)) -> ()
+        | _ -> Alcotest.fail "between+and shape");
+    Alcotest.test_case "IN desugars to equality disjunction" `Quick (fun () ->
+        (match Parser.parse_expr "x IN (1, 2, 3)" with
+         | Ast.Or (Ast.Or (Ast.Cmp (Kernels.Eq, _, _), Ast.Cmp (Kernels.Eq, _, _)),
+                   Ast.Cmp (Kernels.Eq, _, Ast.Lit (Value.Int 3))) -> ()
+         | _ -> Alcotest.fail "in shape");
+        match Parser.parse_expr "x NOT IN (1)" with
+        | Ast.Not (Ast.Cmp (Kernels.Eq, _, _)) -> ()
+        | _ -> Alcotest.fail "not-in shape");
+    Alcotest.test_case "DISTINCT flag" `Quick (fun () ->
+        Alcotest.(check bool) "set" true (parse "SELECT DISTINCT a FROM t").distinct;
+        Alcotest.(check bool) "unset" false (parse "SELECT a FROM t").distinct);
+    Alcotest.test_case "deep dotted paths join the tail" `Quick (fun () ->
+        (match Parser.parse_expr "a.b.c.d" with
+         | Ast.Ref { table = Some "a"; column = "b.c.d" } -> ()
+         | _ -> Alcotest.fail "dotted shape"));
+    Alcotest.test_case "pp then reparse is stable" `Quick (fun () ->
+        let queries =
+          [
+            "SELECT MAX(col1) FROM t WHERE col0 < 100 AND col2 >= 3";
+            "SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 1 ORDER BY g ASC LIMIT 5";
+            "SELECT a FROM t JOIN u ON t.x = u.y WHERE u.z <> 'str''ing'";
+          ]
+        in
+        List.iter
+          (fun s ->
+            let q1 = parse s in
+            let printed = Format.asprintf "%a" Ast.pp_query q1 in
+            let q2 = parse printed in
+            let printed2 = Format.asprintf "%a" Ast.pp_query q2 in
+            Alcotest.(check string) ("fixpoint: " ^ s) printed printed2)
+          queries);
+  ]
+
+let suites = [ ("sql.lexer", lexer_tests); ("sql.parser", parser_tests) ]

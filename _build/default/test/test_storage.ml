@@ -1,0 +1,178 @@
+open Raw_storage
+
+(* ---------------- Lru ---------------- *)
+
+let lru_tests =
+  [
+    Alcotest.test_case "basic add/find" `Quick (fun () ->
+        let l = Lru.create () in
+        ignore (Lru.add l "a" 1);
+        Alcotest.(check (option int)) "found" (Some 1) (Lru.find l "a");
+        Alcotest.(check (option int)) "missing" None (Lru.find l "b"));
+    Alcotest.test_case "capacity evicts least-recently-used" `Quick (fun () ->
+        let l = Lru.create ~capacity:2 () in
+        ignore (Lru.add l 1 "one");
+        ignore (Lru.add l 2 "two");
+        ignore (Lru.find l 1);
+        (* 2 is now LRU *)
+        let evicted = Lru.add l 3 "three" in
+        Alcotest.(check bool) "evicted 2" true (evicted = [ (2, "two") ]);
+        Alcotest.(check bool) "1 kept" true (Lru.mem l 1);
+        Alcotest.(check bool) "3 kept" true (Lru.mem l 3));
+    Alcotest.test_case "peek and mem do not touch recency" `Quick (fun () ->
+        let l = Lru.create ~capacity:2 () in
+        ignore (Lru.add l 1 ());
+        ignore (Lru.add l 2 ());
+        ignore (Lru.peek l 1);
+        ignore (Lru.mem l 1);
+        let evicted = Lru.add l 3 () in
+        Alcotest.(check bool) "1 evicted despite peek" true (evicted = [ (1, ()) ]));
+    Alcotest.test_case "replace keeps size and updates value" `Quick (fun () ->
+        let l = Lru.create ~capacity:2 () in
+        ignore (Lru.add l "k" 1);
+        ignore (Lru.add l "k" 2);
+        Alcotest.(check int) "size" 1 (Lru.length l);
+        Alcotest.(check (option int)) "updated" (Some 2) (Lru.find l "k"));
+    Alcotest.test_case "remove and clear" `Quick (fun () ->
+        let l = Lru.create () in
+        ignore (Lru.add l 1 ());
+        ignore (Lru.add l 2 ());
+        Lru.remove l 1;
+        Alcotest.(check bool) "gone" false (Lru.mem l 1);
+        Lru.clear l;
+        Alcotest.(check int) "empty" 0 (Lru.length l));
+    Alcotest.test_case "keys MRU-first" `Quick (fun () ->
+        let l = Lru.create () in
+        ignore (Lru.add l 1 ());
+        ignore (Lru.add l 2 ());
+        ignore (Lru.add l 3 ());
+        ignore (Lru.find l 1);
+        Alcotest.(check (list int)) "order" [ 1; 3; 2 ] (Lru.keys l));
+    Alcotest.test_case "capacity zero rejects" `Quick (fun () ->
+        let l = Lru.create ~capacity:0 () in
+        let evicted = Lru.add l 1 "x" in
+        Alcotest.(check bool) "bounced" true (evicted = [ (1, "x") ]);
+        Alcotest.(check int) "never stored" 0 (Lru.length l));
+    Alcotest.test_case "negative capacity rejected" `Quick (fun () ->
+        Alcotest.check_raises "neg" (Invalid_argument "Lru.create: negative capacity")
+          (fun () -> ignore (Lru.create ~capacity:(-1) () : (int, int) Lru.t)));
+    Alcotest.test_case "fold visits MRU first" `Quick (fun () ->
+        let l = Lru.create () in
+        ignore (Lru.add l 1 10);
+        ignore (Lru.add l 2 20);
+        let order = List.rev (Lru.fold (fun k _ acc -> k :: acc) l []) in
+        Alcotest.(check (list int)) "order" [ 2; 1 ] order);
+  ]
+
+(* ---------------- Mmap_file ---------------- *)
+
+let mk_file ?config n =
+  Mmap_file.of_bytes ?config ~name:"test" (Bytes.make n 'x')
+
+let small_pages ?(residency_capacity = None) () =
+  { Mmap_file.Config.page_size = 16; io_seconds_per_page = 0.001;
+    residency_capacity }
+
+let mmap_tests =
+  [
+    Alcotest.test_case "first touch faults, second hits" `Quick (fun () ->
+        let f = mk_file ~config:(small_pages ()) 64 in
+        Mmap_file.touch f 0 4;
+        Alcotest.(check int) "fault" 1 (Mmap_file.faults f);
+        Mmap_file.touch f 4 4;
+        Alcotest.(check int) "still one fault" 1 (Mmap_file.faults f);
+        Alcotest.(check int) "hit" 1 (Mmap_file.hits f));
+    Alcotest.test_case "span across pages faults each page" `Quick (fun () ->
+        let f = mk_file ~config:(small_pages ()) 64 in
+        Mmap_file.touch f 10 20;
+        (* bytes 10..29 => pages 0 and 1 *)
+        Alcotest.(check int) "two faults" 2 (Mmap_file.faults f);
+        Alcotest.(check int) "resident" 2 (Mmap_file.resident_pages f));
+    Alcotest.test_case "simulated io accumulates per fault" `Quick (fun () ->
+        let f = mk_file ~config:(small_pages ()) 64 in
+        Mmap_file.touch f 0 64;
+        Alcotest.(check (float 1e-9)) "4 pages" 0.004
+          (Mmap_file.simulated_io_seconds f));
+    Alcotest.test_case "drop_cache makes pages cold again" `Quick (fun () ->
+        let f = mk_file ~config:(small_pages ()) 32 in
+        Mmap_file.touch f 0 32;
+        Mmap_file.drop_cache f;
+        Alcotest.(check int) "counters reset" 0 (Mmap_file.faults f);
+        Mmap_file.touch f 0 8;
+        Alcotest.(check int) "faults again" 1 (Mmap_file.faults f));
+    Alcotest.test_case "reset_counters keeps residency" `Quick (fun () ->
+        let f = mk_file ~config:(small_pages ()) 32 in
+        Mmap_file.touch f 0 32;
+        Mmap_file.reset_counters f;
+        Mmap_file.touch f 0 8;
+        Alcotest.(check int) "warm: no new faults" 0 (Mmap_file.faults f);
+        Alcotest.(check int) "warm hit" 1 (Mmap_file.hits f));
+    Alcotest.test_case "bounded residency refaults after eviction" `Quick (fun () ->
+        let config = small_pages ~residency_capacity:(Some 2) () in
+        let f = mk_file ~config 64 in
+        (* touch pages 0,1,2 (capacity 2): page 0 evicted *)
+        Mmap_file.touch f 0 1;
+        Mmap_file.touch f 16 1;
+        Mmap_file.touch f 32 1;
+        Alcotest.(check int) "resident bounded" 2 (Mmap_file.resident_pages f);
+        Mmap_file.touch f 48 1;
+        (* avoid last-page fast path *)
+        Mmap_file.touch f 0 1;
+        Alcotest.(check int) "page 0 refaults" 5 (Mmap_file.faults f));
+    Alcotest.test_case "out-of-range touch clamps" `Quick (fun () ->
+        let f = mk_file ~config:(small_pages ()) 32 in
+        Mmap_file.touch f (-5) 100;
+        Alcotest.(check int) "only real pages" 2 (Mmap_file.faults f));
+    Alcotest.test_case "open_file reads contents" `Quick (fun () ->
+        let path = Test_util.fresh_path ".bin" in
+        let oc = open_out_bin path in
+        output_string oc "hello world";
+        close_out oc;
+        let f = Mmap_file.open_file path in
+        Alcotest.(check int) "length" 11 (Mmap_file.length f);
+        Alcotest.(check string) "contents" "hello world"
+          (Bytes.to_string (Mmap_file.bytes f)));
+  ]
+
+(* ---------------- Io_stats / Timing ---------------- *)
+
+let stats_tests =
+  [
+    Alcotest.test_case "counters add and reset" `Quick (fun () ->
+        Io_stats.reset "test.counter";
+        Io_stats.incr "test.counter";
+        Io_stats.add "test.counter" 4;
+        Alcotest.(check int) "value" 5 (Io_stats.get "test.counter");
+        Io_stats.reset "test.counter";
+        Alcotest.(check int) "reset" 0 (Io_stats.get "test.counter"));
+    Alcotest.test_case "float counters" `Quick (fun () ->
+        Io_stats.reset "test.float";
+        Io_stats.add_float "test.float" 0.5;
+        Io_stats.add_float "test.float" 0.25;
+        Alcotest.(check (float 1e-9)) "value" 0.75 (Io_stats.get_float "test.float"));
+    Alcotest.test_case "snapshot sorted and includes counter" `Quick (fun () ->
+        Io_stats.reset_all ();
+        Io_stats.add "test.b" 1;
+        Io_stats.add "test.a" 2;
+        let snap = List.filter (fun (k, _) -> String.length k > 5 && String.sub k 0 5 = "test.") (Io_stats.snapshot ()) in
+        Alcotest.(check bool) "sorted" true
+          (List.map fst snap = List.sort String.compare (List.map fst snap)));
+    Alcotest.test_case "span accumulates" `Quick (fun () ->
+        let s = Timing.Span.create "phase" in
+        Timing.Span.add s 0.5;
+        Timing.Span.add s 0.25;
+        Alcotest.(check (float 1e-9)) "total" 0.75 (Timing.Span.total s);
+        Timing.Span.reset s;
+        Alcotest.(check (float 1e-9)) "reset" 0. (Timing.Span.total s));
+    Alcotest.test_case "time measures and returns" `Quick (fun () ->
+        let r, dt = Timing.time (fun () -> 42) in
+        Alcotest.(check int) "result" 42 r;
+        Alcotest.(check bool) "non-negative" true (dt >= 0.));
+  ]
+
+let suites =
+  [
+    ("storage.lru", lru_tests);
+    ("storage.mmap", mmap_tests);
+    ("storage.stats", stats_tests);
+  ]
