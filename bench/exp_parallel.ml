@@ -1,0 +1,60 @@
+(* E20 — morsel-driven parallel raw scans (Config.parallelism).
+
+   The paper's access paths are single-threaded; this experiment measures
+   the engine's morsel-driven extension: the raw file is split into
+   row-aligned morsels and the same scan kernels run per-morsel on a pool
+   of OCaml domains. Simulated costs (page-fault I/O, JIT compilation) are
+   work-proportional and therefore unchanged; what parallelism buys is
+   measured CPU wall clock, so that is what this experiment reports. *)
+
+open Raw_core
+open Bench_util
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let q = "SELECT MAX(col0) FROM t30"
+
+(* Cold full-scan wall clock at a given parallelism: fresh db per domain
+   count (Config is fixed at construction), adaptive state and simulated
+   page cache dropped before every timed run. *)
+let cold_scan_seconds db =
+  min_of (fun () ->
+      Raw_db.forget_data_state db;
+      Raw_db.drop_file_caches db;
+      let t0 = Unix.gettimeofday () in
+      ignore (run db (opts ()) q);
+      Unix.gettimeofday () -. t0)
+
+let e20 () =
+  header "E20 — morsel-driven parallel CSV scan"
+    "Cold full scans of the 30-column CSV at 1/2/4/8 domains.\n\
+     On a multicore host expect wall-clock to drop with domains (>1.5x\n\
+     at 4) while the simulated I/O + compile components stay constant;\n\
+     on fewer cores the sweep instead measures the morsel overhead.";
+  Printf.printf "cores available to this process: %d\n%!"
+    (Domain.recommended_domain_count ());
+  let baseline = ref nan in
+  let rows =
+    List.map
+      (fun p ->
+        let config = { Config.default with Config.parallelism = p } in
+        let db = db_q30 ~config () in
+        (* warm up file generation / first-touch allocations off the clock *)
+        ignore (run db (opts ()) q);
+        let wall = cold_scan_seconds db in
+        if p = 1 then baseline := wall;
+        let report =
+          Raw_db.forget_data_state db;
+          Raw_db.drop_file_caches db;
+          run db (opts ()) q
+        in
+        ( Printf.sprintf "parallelism=%d" p,
+          [
+            wall;
+            !baseline /. wall;
+            report.Executor.io_seconds;
+            report.Executor.compile_seconds;
+          ] ))
+      domain_counts
+  in
+  print_rows ~columns:[ "wall(s)"; "speedup"; "io(sim)"; "compile(sim)" ] rows

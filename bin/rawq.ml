@@ -125,7 +125,7 @@ let repl db ~stats =
   loop ()
 
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
-    repl_flag stats query =
+    par repl_flag stats query =
   try
     let options =
       {
@@ -152,7 +152,9 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
         use_indexes = true;
       }
     in
-    let db = Raw_db.create ~options () in
+    if par < 1 then failwith "--parallelism must be >= 1";
+    let config = { Config.default with Config.parallelism = par } in
+    let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
     match query with
     | Some q when not repl_flag -> if run_query db ~stats q then 0 else 1
@@ -220,6 +222,13 @@ let every_arg =
        & info [ "posmap-every" ] ~docv:"K"
            ~doc:"Positional map tracks every K-th CSV column (default 10).")
 
+let parallelism_arg =
+  Arg.(value & opt int 1
+       & info [ "parallelism" ] ~docv:"N"
+           ~doc:"Domains used by morsel-driven full scans over CSV, FWB and \
+                 HEP files (default 1 = sequential; results are identical at \
+                 any value).")
+
 let repl_arg =
   Arg.(value & flag & info [ "repl" ] ~doc:"Start an interactive prompt.")
 
@@ -244,7 +253,7 @@ let cmd =
     Term.(
       const main $ csv_arg $ jsonl_arg $ jsonl_array_arg $ fwb_arg $ ibx_arg $ hep_arg
       $ (const (Option.value ~default:',') $ sep_arg)
-      $ mode_arg $ shreds_arg $ join_arg $ every_arg $ repl_arg $ stats_arg
-      $ query_arg)
+      $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
+      $ repl_arg $ stats_arg $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -16,11 +16,14 @@ let scan_mode = function
   | Dbms -> Scan_csv.Jit (* loading uses the fast kernels; queries never rescan *)
   | External | In_situ -> Scan_csv.Interpreted
 
-(* Charge the template cache for a generated kernel shape (Jit mode only). *)
-let charge_template cat ~mode key =
+(* Charge the template cache for a generated kernel shape (Jit mode only).
+   [kind] namespaces the cache slot by artifact type (see Template_cache). *)
+let charge_template cat ~mode ~kind key =
   match mode with
-  | Jit -> Template_cache.get (Catalog.templates cat) ~key (fun () -> ())
+  | Jit -> Template_cache.get (Catalog.templates cat) ~kind ~key (fun () -> ())
   | Dbms | External | In_situ -> ()
+
+let parallelism cat = (Catalog.config cat).Config.parallelism
 
 let all_schema_cols (entry : Catalog.entry) =
   List.init (Schema.arity entry.schema) (fun i -> i)
@@ -48,17 +51,18 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
   | Format_kind.Csv { sep } ->
     let build_pm = entry.posmap = None && tracked <> [] && mode <> External in
     let tracked = if build_pm then tracked else [] in
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"csv.jit"
       (Scan_csv.template_key ~phase:"seq" ~table:entry.name ~sep ~needed:cols
          ~tracked);
     let columns, pm =
-      Scan_csv.seq_scan ~mode:smode ~file:(Catalog.file cat entry) ~sep
-        ~schema:entry.schema ~needed:cols ~tracked ()
+      Scan_csv.par_scan ~mode:smode ~parallelism:(parallelism cat)
+        ~file:(Catalog.file cat entry) ~sep ~schema:entry.schema ~needed:cols
+        ~tracked ()
     in
     (match pm with Some pm -> Catalog.set_posmap entry pm | None -> ());
     columns
   | Format_kind.Jsonl ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"jsonl.jit"
       (Scan_jsonl.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
     let columns, starts =
       Scan_jsonl.seq_scan ~mode:smode ~file:(Catalog.file cat entry)
@@ -68,34 +72,36 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
       entry.row_starts <- Some starts;
     columns
   | Format_kind.Jsonl_array _ ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"jsonl.jit"
       (Scan_jsonl.template_key ~phase:"arr-seq" ~table:entry.name ~needed:cols);
     Scan_jsonl.scan_array ~mode:smode ~file:(Catalog.file cat entry)
       ~schema:entry.schema ~index:(Catalog.jarr_index cat entry) ~needed:cols
       ~rowids:None
   | Format_kind.Fwb ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"fwb.jit"
       (Scan_fwb.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
-    Scan_fwb.seq_scan ~mode:smode ~file:(Catalog.file cat entry)
-      ~layout:(Catalog.fwb_layout entry) ~schema:entry.schema ~needed:cols ()
+    Scan_fwb.par_scan ~mode:smode ~parallelism:(parallelism cat)
+      ~file:(Catalog.file cat entry) ~layout:(Catalog.fwb_layout entry)
+      ~schema:entry.schema ~needed:cols ()
   | Format_kind.Ibx ->
     (* the data region is FWB; its layout comes from the footer *)
     let meta = Catalog.ibx_meta cat entry in
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"fwb.jit"
       (Scan_fwb.template_key ~phase:"ibx-seq" ~table:entry.name ~needed:cols);
     Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
       ~layout:meta.Ibx.layout ~schema:entry.schema ~cols
       ~rowids:(Array.init meta.Ibx.n_rows (fun i -> i))
   | Format_kind.Hep_events ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"hep.jit"
       (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
-    Scan_hep.scan_events ~mode:smode ~reader:(Catalog.hep_reader cat entry)
-      ~needed:cols ~rowids:None
+    Scan_hep.par_scan_events ~mode:smode ~parallelism:(parallelism cat)
+      ~reader:(Catalog.hep_reader cat entry) ~needed:cols ~rowids:None
   | Format_kind.Hep_particles coll ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"hep.jit"
       (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
-    Scan_hep.scan_particles ~mode:smode ~reader:(Catalog.hep_reader cat entry)
-      ~coll ~index:(Catalog.hep_index cat entry) ~needed:cols ~rowids:None
+    Scan_hep.par_scan_particles ~mode:smode ~parallelism:(parallelism cat)
+      ~reader:(Catalog.hep_reader cat entry) ~coll
+      ~index:(Catalog.hep_index cat entry) ~needed:cols ~rowids:None
 
 (* Point fetch of [cols] at [rowids] straight from the raw file. CSV
    requires a positional map that can reach the columns. *)
@@ -108,7 +114,7 @@ let raw_fetch cat ~mode ~(entry : Catalog.entry) ~cols ~rowids =
       | Some pm -> pm
       | None -> failwith "Access.raw_fetch: CSV fetch without positional map"
     in
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"csv.jit"
       (Scan_csv.template_key ~phase:"fetch" ~table:entry.name ~sep ~needed:cols
          ~tracked:(Array.to_list (Posmap.tracked posmap)));
     Scan_csv.fetch ~mode:smode ~file:(Catalog.file cat entry) ~sep
@@ -119,34 +125,34 @@ let raw_fetch cat ~mode ~(entry : Catalog.entry) ~cols ~rowids =
       | Some s -> s
       | None -> failwith "Access.raw_fetch: JSONL fetch without row index"
     in
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"jsonl.jit"
       (Scan_jsonl.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
     Scan_jsonl.fetch ~mode:smode ~file:(Catalog.file cat entry)
       ~schema:entry.schema ~row_starts ~cols ~rowids
   | Format_kind.Jsonl_array _ ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"jsonl.jit"
       (Scan_jsonl.template_key ~phase:"arr-fetch" ~table:entry.name ~needed:cols);
     Scan_jsonl.scan_array ~mode:smode ~file:(Catalog.file cat entry)
       ~schema:entry.schema ~index:(Catalog.jarr_index cat entry) ~needed:cols
       ~rowids:(Some rowids)
   | Format_kind.Fwb ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"fwb.jit"
       (Scan_fwb.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
     Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
       ~layout:(Catalog.fwb_layout entry) ~schema:entry.schema ~cols ~rowids
   | Format_kind.Ibx ->
     let meta = Catalog.ibx_meta cat entry in
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"fwb.jit"
       (Scan_fwb.template_key ~phase:"ibx-fetch" ~table:entry.name ~needed:cols);
     Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
       ~layout:meta.Ibx.layout ~schema:entry.schema ~cols ~rowids
   | Format_kind.Hep_events ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"hep.jit"
       (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
     Scan_hep.scan_events ~mode:smode ~reader:(Catalog.hep_reader cat entry)
       ~needed:cols ~rowids:(Some rowids)
   | Format_kind.Hep_particles coll ->
-    charge_template cat ~mode
+    charge_template cat ~mode ~kind:"hep.jit"
       (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
     Scan_hep.scan_particles ~mode:smode ~reader:(Catalog.hep_reader cat entry)
       ~coll ~index:(Catalog.hep_index cat entry) ~needed:cols ~rowids:(Some rowids)
@@ -305,7 +311,7 @@ let index_range cat ~mode (entry : Catalog.entry) ~col ~lo ~hi =
     let src = (Schema.field entry.schema col).Schema.source_index in
     if src <> meta.Ibx.indexed_field then None
     else begin
-      charge_template cat ~mode
+      charge_template cat ~mode ~kind:"ibx.index"
         (Printf.sprintf "ibx-index|%s|field=%d" entry.name src);
       Io_stats.add "ibx.index_nodes"
         (Ibx.index_nodes_visited (Catalog.file cat entry) meta ~lo ~hi);

@@ -7,6 +7,7 @@ type t = {
   posmap_every : int;
   shred_pool_columns : int;
   hep_object_cache : int;
+  parallelism : int;
 }
 
 let default =
@@ -17,4 +18,5 @@ let default =
     posmap_every = 10;
     shred_pool_columns = 256;
     hep_object_cache = 4096;
+    parallelism = 1;
   }

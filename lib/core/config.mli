@@ -20,6 +20,10 @@ type t = {
       (** default positional-map granularity: track every k-th column *)
   shred_pool_columns : int;  (** LRU capacity of the column-shred pool *)
   hep_object_cache : int;  (** LRU capacity of the HEP object cache *)
+  parallelism : int;
+      (** domains used by morsel-driven full scans (CSV, FWB, HEP). 1
+          (default) runs the sequential kernels on the calling domain;
+          results at any parallelism are bit-identical. *)
 }
 
 val default : t

@@ -9,8 +9,12 @@ type report = {
   io_seconds : float;
   compile_seconds : float;
   total_seconds : float;
+  parallelism : int;
+  domain_seconds : (string * float) list;
   counters : (string * float) list;
 }
+
+let domain_prefix = "par.domain"
 
 let entry_files cat logical =
   (* tables may share a file (the four HEP views); dedupe by identity *)
@@ -53,7 +57,7 @@ let run ?(options = Planner.default) cat logical =
     Template_cache.take_charged_seconds (Catalog.templates cat)
   in
   let after = Io_stats.snapshot () in
-  let counters =
+  let deltas =
     List.filter_map
       (fun (k, v) ->
         let v0 =
@@ -62,6 +66,12 @@ let run ?(options = Planner.default) cat logical =
         if v -. v0 <> 0. then Some (k, v -. v0) else None)
       after
   in
+  (* worker-domain wall clocks are a breakdown, not a work metric *)
+  let domain_seconds, counters =
+    List.partition
+      (fun (k, _) -> String.starts_with ~prefix:domain_prefix k)
+      deltas
+  in
   {
     chunk;
     schema;
@@ -69,6 +79,8 @@ let run ?(options = Planner.default) cat logical =
     io_seconds;
     compile_seconds;
     total_seconds = cpu_seconds +. io_seconds +. compile_seconds;
+    parallelism = (Catalog.config cat).Config.parallelism;
+    domain_seconds;
     counters;
   }
 
@@ -89,4 +101,17 @@ let pp_report ppf r =
   Format.fprintf ppf
     "-- %d row(s); total %.4fs = cpu %.4fs + io(sim) %.4fs + compile(sim) %.4fs"
     (Chunk.n_rows r.chunk) r.total_seconds r.cpu_seconds r.io_seconds
-    r.compile_seconds
+    r.compile_seconds;
+  if r.domain_seconds <> [] then begin
+    Format.fprintf ppf "@,-- domains(%d):" r.parallelism;
+    List.iter
+      (fun (k, s) ->
+        let label =
+          (* "par.domainN.seconds" -> "dN" *)
+          match String.split_on_char '.' k with
+          | [ _; d; _ ] -> "d" ^ String.sub d 6 (String.length d - 6)
+          | _ -> k
+        in
+        Format.fprintf ppf " %s=%.4fs" label s)
+      (List.sort compare r.domain_seconds)
+  end

@@ -16,7 +16,13 @@ type report = {
   io_seconds : float;  (** simulated cold-page I/O *)
   compile_seconds : float;  (** simulated JIT compilation *)
   total_seconds : float;  (** sum of the three *)
-  counters : (string * float) list;  (** per-query {!Raw_storage.Io_stats} delta *)
+  parallelism : int;  (** {!Config.parallelism} in effect for this query *)
+  domain_seconds : (string * float) list;
+  (** per-worker-domain wall clock ([par.domain<i>.seconds] entries recorded
+      by {!Morsel.map_domains}); empty when no scan went parallel *)
+  counters : (string * float) list;
+  (** per-query {!Raw_storage.Io_stats} delta, excluding the
+      [par.domain*] breakdown entries *)
 }
 
 val run : ?options:Planner.options -> Catalog.t -> Logical.t -> report

@@ -1,0 +1,44 @@
+open Raw_storage
+
+(* Split [lo, hi) into at most [n] contiguous non-empty ranges. *)
+let split_range ~lo ~hi ~n =
+  let total = hi - lo in
+  if total <= 0 then []
+  else if n <= 1 then [ (lo, hi) ]
+  else begin
+    let per = (total + n - 1) / n in
+    let rec go a acc =
+      if a >= hi then List.rev acc
+      else begin
+        let b = min (a + per) hi in
+        go b ((a, b) :: acc)
+      end
+    in
+    go lo []
+  end
+
+(* One fresh domain per morsel; the calling domain blocks in join. Each
+   worker's Io_stats land in its own domain-local table (empty at spawn);
+   after join the coordinator folds every worker's delta into its own
+   counters and records per-domain wall time under "par.domain<i>.seconds"
+   (the executor surfaces these as the per-domain CPU breakdown). Results
+   come back in morsel order, so order-sensitive merging (column segments,
+   posmap segments) is just concatenation. *)
+let map_domains work items =
+  match items with
+  | [] -> []
+  | [ item ] -> [ work item ]
+  | items ->
+    let run item () =
+      let t0 = Timing.now () in
+      let r = work item in
+      (r, Io_stats.snapshot (), Timing.now () -. t0)
+    in
+    let domains = List.map (fun item -> Domain.spawn (run item)) items in
+    let parts = List.map Domain.join domains in
+    List.iteri
+      (fun i (_, stats, seconds) ->
+        Io_stats.merge stats;
+        Io_stats.add_float (Printf.sprintf "par.domain%d.seconds" i) seconds)
+      parts;
+    List.map (fun (r, _, _) -> r) parts

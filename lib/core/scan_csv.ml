@@ -28,9 +28,12 @@ let reorder needed by_src cols =
 (* Sequential scan                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let seq_scan_interpreted ~file ~sep ~schema ~needed ~tracked () =
+let seq_scan_interpreted ?range ~file ~sep ~schema ~needed ~tracked () =
   let buf = Mmap_file.bytes file in
-  let cur = Csv.Cursor.create ~sep file in
+  let pos, limit =
+    match range with Some (lo, hi) -> (lo, hi) | None -> (0, Mmap_file.length file)
+  in
+  let cur = Csv.Cursor.create ~sep ~pos ~limit file in
   let srcs = by_source schema needed in
   let max_needed_src = List.fold_left (fun a (s, _) -> max a s) (-1) srcs in
   let max_tracked = List.fold_left max (-1) tracked in
@@ -90,9 +93,12 @@ let seq_scan_interpreted ~file ~sep ~schema ~needed ~tracked () =
 (* JIT kernel: the per-row work is composed once, outside the loop, as a
    chain of monomorphic closures — unrolled columns, baked-in conversions,
    no lookups on the critical path. *)
-let seq_scan_jit ~file ~sep ~schema ~needed ~tracked () =
+let seq_scan_jit ?range ~file ~sep ~schema ~needed ~tracked () =
   let buf = Mmap_file.bytes file in
-  let cur = Csv.Cursor.create ~sep file in
+  let pos, limit =
+    match range with Some (lo, hi) -> (lo, hi) | None -> (0, Mmap_file.length file)
+  in
+  let cur = Csv.Cursor.create ~sep ~pos ~limit file in
   let srcs = by_source schema needed in
   let max_needed_src = List.fold_left (fun a (s, _) -> max a s) (-1) srcs in
   let max_tracked = List.fold_left max (-1) tracked in
@@ -225,6 +231,47 @@ let seq_scan ~mode =
   match mode with
   | Interpreted -> seq_scan_interpreted
   | Jit -> seq_scan_jit
+
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven parallel scan                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Each worker domain runs the sequential kernel over one row-aligned byte
+   range against a private Mmap_file view; the coordinator concatenates
+   column segments in morsel order, stitches posmap segments (positions are
+   absolute, so no shifting), and absorbs per-view page counters. Output is
+   bit-identical to the sequential scan at any parallelism. *)
+let par_scan ~mode ~parallelism ~file ~sep ~schema ~needed ~tracked () =
+  let ranges =
+    if parallelism <= 1 then [] else Csv.row_aligned_ranges file ~n:parallelism
+  in
+  match ranges with
+  | [] | [ _ ] -> seq_scan ~mode ~file ~sep ~schema ~needed ~tracked ()
+  | ranges ->
+    let parts =
+      Morsel.map_domains
+        (fun range ->
+          let view = Mmap_file.fork_view file in
+          let cols, pm =
+            seq_scan ~mode ~range ~file:view ~sep ~schema ~needed ~tracked ()
+          in
+          (cols, pm, view))
+        ranges
+    in
+    List.iter (fun (_, _, view) -> Mmap_file.absorb ~into:file view) parts;
+    let n_cols =
+      match parts with (cols, _, _) :: _ -> Array.length cols | [] -> 0
+    in
+    let columns =
+      Array.init n_cols (fun k ->
+          Column.concat (List.map (fun (cols, _, _) -> cols.(k)) parts))
+    in
+    let pm =
+      match List.filter_map (fun (_, pm, _) -> pm) parts with
+      | [] -> None
+      | segs -> Some (Posmap.concat segs)
+    in
+    (columns, pm)
 
 (* ------------------------------------------------------------------ *)
 (* Positional fetch                                                    *)

@@ -28,6 +28,7 @@ val mode_to_string : mode -> string
 
 val seq_scan :
   mode:mode ->
+  ?range:int * int ->
   file:Mmap_file.t ->
   sep:char ->
   schema:Schema.t ->
@@ -38,7 +39,24 @@ val seq_scan :
 (** Full sequential scan. [needed] are schema indexes (result columns follow
     their order); [tracked] are source-column ordinals to record into a
     fresh positional map ([[]] = build none). Field lengths are recorded for
-    tracked columns, enabling the length-aware parse in {!fetch}. *)
+    tracked columns, enabling the length-aware parse in {!fetch}. [range]
+    restricts the scan to a row-aligned byte range [(lo, hi)] (a morsel);
+    recorded positions stay absolute. *)
+
+val par_scan :
+  mode:mode ->
+  parallelism:int ->
+  file:Mmap_file.t ->
+  sep:char ->
+  schema:Schema.t ->
+  needed:int list ->
+  tracked:int list ->
+  unit ->
+  Column.t array * Posmap.t option
+(** Morsel-driven parallel scan: {!Raw_formats.Csv.row_aligned_ranges}
+    morsels, one {!seq_scan} per morsel on its own domain against a forked
+    file view, results stitched in morsel order. Bit-identical to
+    [seq_scan] at any [parallelism]; [parallelism <= 1] {e is} [seq_scan]. *)
 
 val fetch :
   mode:mode ->

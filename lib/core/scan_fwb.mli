@@ -17,14 +17,28 @@ open Raw_formats
 
 val seq_scan :
   mode:Scan_csv.mode ->
+  ?rows:int * int ->
   file:Mmap_file.t ->
   layout:Fwb.layout ->
   schema:Schema.t ->
   needed:int list ->
   unit ->
   Column.t array
-(** Read [needed] (schema indexes) for all rows; result follows [needed]
+(** Read [needed] (schema indexes) for all rows — or the row range
+    [[lo, hi)] when [rows] is given (a morsel). Result follows [needed]
     order. *)
+
+val par_scan :
+  mode:Scan_csv.mode ->
+  parallelism:int ->
+  file:Mmap_file.t ->
+  layout:Fwb.layout ->
+  schema:Schema.t ->
+  needed:int list ->
+  unit ->
+  Column.t array
+(** Morsel-driven parallel scan over {!Raw_formats.Fwb.row_ranges} morsels;
+    bit-identical to {!seq_scan} at any [parallelism]. *)
 
 val fetch :
   mode:Scan_csv.mode ->

@@ -55,6 +55,43 @@ let scan_events ~mode ~reader ~needed ~rowids =
   count n (List.length needed);
   Array.of_list out
 
+(* ------------------------------------------------------------------ *)
+(* Morsel-driven parallel scans                                        *)
+(*                                                                     *)
+(* The record index (entry ids, or dense particle row ids) is the      *)
+(* morsel axis: contiguous slices of the id array, one worker domain   *)
+(* per slice against a forked reader, columns concatenated in slice    *)
+(* order — bit-identical to the sequential scan.                       *)
+(* ------------------------------------------------------------------ *)
+
+let id_slices ids ~parallelism =
+  Morsel.split_range ~lo:0 ~hi:(Array.length ids) ~n:parallelism
+  |> List.map (fun (lo, hi) -> Array.sub ids lo (hi - lo))
+
+let stitch ~reader parts =
+  List.iter
+    (fun (_, r) ->
+      Mmap_file.absorb ~into:(Hep.Reader.file reader) (Hep.Reader.file r))
+    parts;
+  let n_cols = match parts with (cols, _) :: _ -> Array.length cols | [] -> 0 in
+  Array.init n_cols (fun k ->
+      Column.concat (List.map (fun (cols, _) -> cols.(k)) parts))
+
+let par_scan_events ~mode ~parallelism ~reader ~needed ~rowids =
+  let slices =
+    if parallelism <= 1 then []
+    else id_slices (entry_ids reader rowids) ~parallelism
+  in
+  match slices with
+  | [] | [ _ ] -> scan_events ~mode ~reader ~needed ~rowids
+  | slices ->
+    stitch ~reader
+      (Morsel.map_domains
+         (fun slice ->
+           let r = Hep.Reader.fork_view reader in
+           (scan_events ~mode ~reader:r ~needed ~rowids:(Some slice), r))
+         slices)
+
 let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowids =
   let ids =
     match rowids with
@@ -113,3 +150,26 @@ let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowid
   in
   count n (List.length needed);
   Array.of_list out
+
+let par_scan_particles ~mode ~parallelism ~reader ~coll ~index ~needed ~rowids
+    =
+  let entry_of, _ = index in
+  let ids =
+    match rowids with
+    | Some ids -> ids
+    | None -> Array.init (Array.length entry_of) (fun i -> i)
+  in
+  let slices =
+    if parallelism <= 1 then [] else id_slices ids ~parallelism
+  in
+  match slices with
+  | [] | [ _ ] -> scan_particles ~mode ~reader ~coll ~index ~needed ~rowids
+  | slices ->
+    stitch ~reader
+      (Morsel.map_domains
+         (fun slice ->
+           let r = Hep.Reader.fork_view reader in
+           ( scan_particles ~mode ~reader:r ~coll ~index ~needed
+               ~rowids:(Some slice),
+             r ))
+         slices)

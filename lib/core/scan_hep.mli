@@ -33,5 +33,29 @@ val scan_particles :
 (** [needed] indexes {!Format_kind.hep_particle_schema}; [rowids] are dense
     particle row ids ([None] = all). *)
 
+val par_scan_events :
+  mode:Scan_csv.mode ->
+  parallelism:int ->
+  reader:Hep.Reader.t ->
+  needed:int list ->
+  rowids:int array option ->
+  Column.t array
+(** Morsel-driven parallel {!scan_events}: the entry-id array is cut into
+    contiguous slices, one worker domain per slice against a forked reader
+    view, columns concatenated in slice order. Bit-identical to
+    {!scan_events} at any [parallelism]. *)
+
+val par_scan_particles :
+  mode:Scan_csv.mode ->
+  parallelism:int ->
+  reader:Hep.Reader.t ->
+  coll:Hep.coll ->
+  index:int array * int array ->
+  needed:int list ->
+  rowids:int array option ->
+  Column.t array
+(** Morsel-driven parallel {!scan_particles} over dense particle row-id
+    slices; bit-identical to the sequential scan. *)
+
 val template_key :
   phase:string -> table:string -> needed:int list -> string

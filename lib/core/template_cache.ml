@@ -1,6 +1,7 @@
 type t = {
   compile_seconds : float;
   table : (string, Obj.t) Hashtbl.t;
+  mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable charged : float;
@@ -11,39 +12,50 @@ let create ~compile_seconds =
   {
     compile_seconds;
     table = Hashtbl.create 64;
+    mutex = Mutex.create ();
     hits = 0;
     misses = 0;
     charged = 0.;
     pending_charge = 0.;
   }
 
-let get t ~key compile =
-  match Hashtbl.find_opt t.table key with
-  | Some artifact ->
-    t.hits <- t.hits + 1;
-    Obj.obj artifact
-  | None ->
-    t.misses <- t.misses + 1;
-    t.charged <- t.charged +. t.compile_seconds;
-    t.pending_charge <- t.pending_charge +. t.compile_seconds;
-    let artifact = compile () in
-    Hashtbl.replace t.table key (Obj.repr artifact);
-    artifact
+(* Artifacts are stored as [Obj.t]; the [kind] namespace guarantees that two
+   kernels of different types can never share a slot, so [Obj.obj] always
+   reproduces the type that went in. A bare shared key would make a
+   same-key/different-type collision a memory-safety hole. *)
+let slot ~kind ~key = kind ^ "/" ^ key
+
+let get t ~kind ~key compile =
+  let key = slot ~kind ~key in
+  Mutex.protect t.mutex (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some artifact ->
+        t.hits <- t.hits + 1;
+        Obj.obj artifact
+      | None ->
+        t.misses <- t.misses + 1;
+        t.charged <- t.charged +. t.compile_seconds;
+        t.pending_charge <- t.pending_charge +. t.compile_seconds;
+        let artifact = compile () in
+        Hashtbl.replace t.table key (Obj.repr artifact);
+        artifact)
 
 let hits t = t.hits
 let misses t = t.misses
 let charged_seconds t = t.charged
 
 let take_charged_seconds t =
-  let c = t.pending_charge in
-  t.pending_charge <- 0.;
-  c
+  Mutex.protect t.mutex (fun () ->
+      let c = t.pending_charge in
+      t.pending_charge <- 0.;
+      c)
 
 let clear t =
-  Hashtbl.reset t.table;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.charged <- 0.;
-  t.pending_charge <- 0.
+  Mutex.protect t.mutex (fun () ->
+      Hashtbl.reset t.table;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.charged <- 0.;
+      t.pending_charge <- 0.)
 
 let size t = Hashtbl.length t.table

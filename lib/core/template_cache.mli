@@ -12,11 +12,13 @@ type t
 
 val create : compile_seconds:float -> t
 
-val get : t -> key:string -> (unit -> 'a) -> 'a
-(** [get t ~key compile] returns the cached artifact for [key], or runs
-    [compile], caches, charges the simulated latency, and returns it.
-    Artifacts are stored dynamically; a key must always be requested at one
-    type (guaranteed by construction: keys embed the kernel shape). *)
+val get : t -> kind:string -> key:string -> (unit -> 'a) -> 'a
+(** [get t ~kind ~key compile] returns the cached artifact for the slot
+    [kind ^ "/" ^ key], or runs [compile], caches, charges the simulated
+    latency, and returns it. Artifacts are stored dynamically; [kind] names
+    the kernel kind (e.g. ["csv.jit"]) and must uniquely determine the
+    artifact's type, so entries of different types can never collide on a
+    shared key string. Safe to call from several domains concurrently. *)
 
 val hits : t -> int
 val misses : t -> int

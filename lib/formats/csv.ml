@@ -124,8 +124,13 @@ module Cursor = struct
     mutable pos : int;
   }
 
-  let create ?(sep = ',') file =
-    { file; buf = Mmap_file.bytes file; len = Mmap_file.length file; sep; pos = 0 }
+  let create ?(sep = ',') ?(pos = 0) ?limit file =
+    let len =
+      match limit with
+      | Some l -> min l (Mmap_file.length file)
+      | None -> Mmap_file.length file
+    in
+    { file; buf = Mmap_file.bytes file; len; sep; pos }
 
   let file t = t.file
   let sep t = t.sep
@@ -133,47 +138,50 @@ module Cursor = struct
   let seek t p = t.pos <- p
   let at_eof t = t.pos >= t.len
 
+  (* A field ends at the separator, at a line terminator ('\r' of a CRLF
+     ending or a bare '\n'), or at EOF. At a terminator or EOF the field is
+     empty and the cursor does not move — this is how an empty final field
+     ("a,b,") parses, with [skip_line] consuming the terminator. *)
   let next_field t =
-    if t.pos >= t.len then failwith "Csv.Cursor.next_field: at EOF";
-    if Bytes.unsafe_get t.buf t.pos = '\n' then
-      failwith "Csv.Cursor.next_field: at end of line";
     let start = t.pos in
     let sep = t.sep in
     let i = ref t.pos in
     let continue_ = ref true in
     while !continue_ && !i < t.len do
       let c = Bytes.unsafe_get t.buf !i in
-      if c = sep || c = '\n' then continue_ := false else incr i
+      if c = sep || c = '\n' || c = '\r' then continue_ := false else incr i
     done;
     let stop = !i in
-    Mmap_file.touch t.file start (stop - start + 1);
-    (* advance past the separator, stay on the newline *)
+    if stop > start || stop < t.len then
+      Mmap_file.touch t.file start (stop - start + 1);
+    (* advance past the separator, stay on the line terminator / EOF *)
     if stop < t.len && Bytes.unsafe_get t.buf stop = sep then t.pos <- stop + 1
     else t.pos <- stop;
     (start, stop - start)
 
   (* allocation-free variant of [next_field] for fields we never parse *)
   let skip_field t =
-    if t.pos >= t.len then failwith "Csv.Cursor.skip_field: at EOF";
-    if Bytes.unsafe_get t.buf t.pos = '\n' then
-      failwith "Csv.Cursor.skip_field: at end of line";
     let start = t.pos in
     let sep = t.sep in
     let i = ref t.pos in
     let continue_ = ref true in
     while !continue_ && !i < t.len do
       let c = Bytes.unsafe_get t.buf !i in
-      if c = sep || c = '\n' then continue_ := false else incr i
+      if c = sep || c = '\n' || c = '\r' then continue_ := false else incr i
     done;
     let stop = !i in
-    Mmap_file.touch t.file start (stop - start + 1);
+    if stop > start || stop < t.len then
+      Mmap_file.touch t.file start (stop - start + 1);
     if stop < t.len && Bytes.unsafe_get t.buf stop = sep then t.pos <- stop + 1
     else t.pos <- stop
 
   let skip_fields t n = for _ = 1 to n do skip_field t done
 
   let at_end_of_line t =
-    t.pos >= t.len || Bytes.unsafe_get t.buf t.pos = '\n'
+    t.pos >= t.len
+    ||
+    let c = Bytes.unsafe_get t.buf t.pos in
+    c = '\n' || c = '\r'
 
   let skip_line t =
     let start = t.pos in
@@ -195,3 +203,34 @@ let count_rows file =
   done;
   if len > 0 && Bytes.get buf (len - 1) <> '\n' then incr n;
   !n
+
+(* ---------- morsels ---------- *)
+
+(* Row-aligned byte ranges for a morsel-driven parallel scan: cut the file
+   into ~[n] equal spans, then push each cut forward to just past the next
+   newline so every morsel holds whole rows. The boundary probe reads raw
+   bytes without page accounting — it inspects O(n) positions, not the file.
+   Ranges are non-empty, ordered, and partition [0, length). A file of fewer
+   rows than [n] yields fewer ranges. *)
+let row_aligned_ranges file ~n =
+  let len = Mmap_file.length file in
+  let buf = Mmap_file.bytes file in
+  if len = 0 then []
+  else if n <= 1 then [ (0, len) ]
+  else begin
+    let target = (len + n - 1) / n in
+    let rec go start acc =
+      if start >= len then List.rev acc
+      else begin
+        let cut = start + target in
+        if cut >= len then List.rev ((start, len) :: acc)
+        else begin
+          let i = ref cut in
+          while !i < len && Bytes.unsafe_get buf !i <> '\n' do incr i done;
+          let stop = min (!i + 1) len in
+          go stop ((start, stop) :: acc)
+        end
+      end
+    in
+    go 0 []
+  end

@@ -50,8 +50,10 @@ module Cursor : sig
 
   type t
 
-  val create : ?sep:char -> Mmap_file.t -> t
-  (** Positioned at offset 0. *)
+  val create : ?sep:char -> ?pos:int -> ?limit:int -> Mmap_file.t -> t
+  (** Positioned at [pos] (default 0). [limit] bounds the cursor to the byte
+      range [[pos, limit)] — {!at_eof} holds at [limit] — so a morsel worker
+      can scan its slice of the file with the standard row loop. *)
 
   val file : t -> Mmap_file.t
   val sep : t -> char
@@ -62,8 +64,10 @@ module Cursor : sig
   val next_field : t -> int * int
   (** [(start, len)] of the field beginning at the cursor. Advances past the
       trailing separator if there is one, otherwise leaves the cursor on the
-      newline/EOF. Raises [Failure] at EOF or on a newline (caller must
-      [skip_line] between rows). *)
+      line terminator (['\n'], or the ['\r'] of a CRLF ending) / EOF. At a
+      terminator or EOF the field is empty ([len = 0]) and the cursor does
+      not move — an empty final field ("a,b,") parses as [""]; the caller's
+      [skip_line] consumes the terminator between rows. *)
 
   val skip_field : t -> unit
   (** Like {!next_field} without returning the span (cheaper: no length
@@ -78,3 +82,10 @@ end
 
 val count_rows : Mmap_file.t -> int
 (** Number of newline-terminated rows (a final unterminated row counts). *)
+
+val row_aligned_ranges : Mmap_file.t -> n:int -> (int * int) list
+(** [row_aligned_ranges file ~n] cuts the file into at most [n] byte ranges
+    [(start, stop)], each a whole number of rows (cuts advance to just past
+    the next newline). Ranges are non-empty and partition [[0, length)];
+    the empty file yields [[]]. The morsel boundary finder for parallel CSV
+    scans. *)

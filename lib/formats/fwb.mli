@@ -28,6 +28,11 @@ val n_rows : layout -> Mmap_file.t -> int
 (** [file_length / row_size]; raises [Invalid_argument] if the file size is
     not a whole number of rows. *)
 
+val row_ranges : layout -> Mmap_file.t -> n:int -> (int * int) list
+(** Morsel boundary finder: at most [n] contiguous, non-empty [(lo, hi)] row
+    ranges partitioning [[0, n_rows)] — pure arithmetic, rows are fixed
+    width. The empty file yields [[]]. *)
+
 (** {1 Reading}
 
     Typed point readers over a memory-mapped file; each accounts its access

@@ -148,6 +148,24 @@ module Reader = struct
   let file t = t.file
   let n_events t = t.n_events
 
+  (* A reader for a worker domain: shares the underlying bytes and event
+     index, but owns a private page-residency view and a fresh object cache
+     (the LRU is not safe for concurrent mutation). The coordinator absorbs
+     the forked file's counters via [Mmap_file.absorb] after joining. *)
+  let fork_view t =
+    let cache =
+      match Lru.capacity t.cache with
+      | Some c -> Lru.create ~capacity:c ()
+      | None -> Lru.create ()
+    in
+    {
+      t with
+      file = Mmap_file.fork_view t.file;
+      cache;
+      cache_hits = 0;
+      cache_misses = 0;
+    }
+
   let check_entry t entry =
     if entry < 0 || entry >= t.n_events then
       invalid_arg (Printf.sprintf "Hep.Reader: entry %d out of range" entry)

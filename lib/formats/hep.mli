@@ -75,6 +75,12 @@ module Reader : sig
   val file : t -> Mmap_file.t
   val n_events : t -> int
 
+  val fork_view : t -> t
+  (** A reader for a worker domain: shares the file bytes and event index
+      but owns a {!Mmap_file.fork_view} of the file and an empty object
+      cache. The coordinator folds the forked file back with
+      {!Mmap_file.absorb} after joining. *)
+
   val get_entry : t -> int -> event
   (** Full-object deserialization through the object cache — what the
       hand-written C++ analysis uses. *)

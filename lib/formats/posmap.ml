@@ -38,6 +38,30 @@ let nearest_at_or_before t col =
     t.tracked;
   !best
 
+(* Stitch per-morsel segments (in row order) into one map. Positions are
+   absolute byte offsets, so no shifting is needed — morsel workers record
+   against the whole file. *)
+let concat = function
+  | [] -> invalid_arg "Posmap.concat: empty list"
+  | [ seg ] -> seg
+  | first :: _ as segs ->
+    List.iter
+      (fun s ->
+        if s.tracked <> first.tracked then
+          invalid_arg "Posmap.concat: segments track different columns")
+      segs;
+    let n_tracked = Array.length first.tracked in
+    {
+      tracked = first.tracked;
+      pos =
+        Array.init n_tracked (fun k ->
+            Array.concat (List.map (fun s -> s.pos.(k)) segs));
+      len =
+        Array.init n_tracked (fun k ->
+            Array.concat (List.map (fun s -> s.len.(k)) segs));
+      n_rows = List.fold_left (fun acc s -> acc + s.n_rows) 0 segs;
+    }
+
 let every_k ~k ~n_cols =
   if k <= 0 then invalid_arg "Posmap.every_k: k must be positive";
   let rec go c acc = if c >= n_cols then List.rev acc else go (c + k) (c :: acc) in

@@ -35,6 +35,11 @@ val nearest_at_or_before : t -> int -> (int * int array) option
     greatest [tracked_col <= col], or [None] if every tracked column lies
     after [col]. *)
 
+val concat : t list -> t
+(** Stitch per-morsel segments, in row order, into one map; positions stay
+    absolute. Raises [Invalid_argument] on an empty list or segments that
+    track different column sets. *)
+
 val every_k : k:int -> n_cols:int -> int list
 (** The paper's tracking heuristic: columns [0, k, 2k, ...] — "populate the
     positional map every k columns". *)

@@ -1,6 +1,14 @@
-let table : (string, float ref) Hashtbl.t = Hashtbl.create 64
+(* Counters are domain-local: each domain accumulates into its own table, so
+   morsel workers never contend (or race) on shared refs. A parallel-scan
+   coordinator snapshots each worker's table after join and folds it into its
+   own with [merge]. *)
+let key : (string, float ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let table () = Domain.DLS.get key
 
 let cell name =
+  let table = table () in
   match Hashtbl.find_opt table name with
   | Some r -> r
   | None ->
@@ -20,19 +28,33 @@ let add_float name x =
   let r = cell name in
   r := !r +. x
 
-let get name = int_of_float (match Hashtbl.find_opt table name with Some r -> !r | None -> 0.)
-let get_float name = match Hashtbl.find_opt table name with Some r -> !r | None -> 0.
+(* Round to nearest: counters bumped via [add_float] (per-domain deltas,
+   fractional charges) accumulate float error, and truncation would turn
+   0.9999999 into 0. *)
+let get name =
+  int_of_float
+    (Float.round (match Hashtbl.find_opt (table ()) name with Some r -> !r | None -> 0.))
+
+let get_float name =
+  match Hashtbl.find_opt (table ()) name with Some r -> !r | None -> 0.
 
 let reset name =
-  match Hashtbl.find_opt table name with
+  match Hashtbl.find_opt (table ()) name with
   | Some r -> r := 0.
   | None -> ()
 
-let reset_all () = Hashtbl.iter (fun _ r -> r := 0.) table
+let reset_all () = Hashtbl.iter (fun _ r -> r := 0.) (table ())
 
 let snapshot () =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) table []
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) (table ()) []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let merge deltas =
+  List.iter
+    (fun (name, x) ->
+      let r = cell name in
+      r := !r +. x)
+    deltas
 
 let pp_snapshot ppf () =
   List.iter

@@ -2,17 +2,33 @@
 
     A lightweight metrics registry: scan operators and caches bump counters
     (pages touched, fields parsed, conversions, cache hits...) and the
-    benchmark harness snapshots them between queries. *)
+    benchmark harness snapshots them between queries.
+
+    Counters are {b domain-local}: each domain sees (and mutates) its own
+    table, so parallel morsel workers never race on shared state. A worker
+    domain starts with an empty table; the coordinating domain collects each
+    worker's {!snapshot} after join and folds it in with {!merge}. *)
 
 val incr : string -> unit
 val add : string -> int -> unit
 val add_float : string -> float -> unit
+
 val get : string -> int
+(** Rounded to the nearest integer (counters accumulate as floats; merged
+    per-domain deltas must not under-report by truncation). *)
+
 val get_float : string -> float
+(** Exact accumulated value. *)
+
 val reset : string -> unit
 val reset_all : unit -> unit
 
 val snapshot : unit -> (string * float) list
-(** Sorted by counter name; integer counters appear as floats. *)
+(** This domain's counters, sorted by name; integer counters appear as
+    floats. *)
+
+val merge : (string * float) list -> unit
+(** Add a snapshot (typically taken by a worker domain just before it
+    finishes) into the calling domain's counters. *)
 
 val pp_snapshot : Format.formatter -> unit -> unit

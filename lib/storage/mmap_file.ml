@@ -102,6 +102,49 @@ let faults t = t.faults
 let hits t = t.hits
 let resident_pages t = t.resident
 
+(* ---------- concurrent-read views ---------- *)
+
+let copy_residency = function
+  | Bitmap b -> Bitmap (Bytes.copy b)
+  | Bounded lru ->
+    let copy =
+      match Lru.capacity lru with
+      | Some c -> Lru.create ~capacity:c ()
+      | None -> Lru.create ()
+    in
+    (* keys are MRU-first; re-add LRU-first to preserve recency order *)
+    List.iter (fun p -> ignore (Lru.add copy p ())) (List.rev (Lru.keys lru));
+    Bounded copy
+
+let fork_view t =
+  {
+    t with
+    residency = copy_residency t.residency;
+    faults = 0;
+    hits = 0;
+    last_page = -1;
+  }
+
+let absorb ~into view =
+  into.faults <- into.faults + view.faults;
+  into.hits <- into.hits + view.hits;
+  (match (into.residency, view.residency) with
+   | Bitmap a, Bitmap b ->
+     let n = min (Bytes.length a) (Bytes.length b) in
+     for i = 0 to n - 1 do
+       if Bytes.unsafe_get b i <> '\000' && Bytes.unsafe_get a i = '\000' then begin
+         Bytes.unsafe_set a i '\001';
+         into.resident <- into.resident + 1
+       end
+     done
+   | Bounded lru, Bounded vlru ->
+     List.iter
+       (fun p -> if not (Lru.mem lru p) then ignore (Lru.add lru p ()))
+       (List.rev (Lru.keys vlru));
+     into.resident <- Lru.length lru
+   | _ -> ());
+  into.last_page <- -1
+
 let simulated_io_seconds t =
   float_of_int t.faults *. t.config.Config.io_seconds_per_page
 

@@ -50,6 +50,24 @@ val faults : t -> int
 val hits : t -> int
 val resident_pages : t -> int
 
+(** {1 Concurrent-read views}
+
+    [t] is not safe to {!touch} from several domains at once (the residency
+    structures and counters are unsynchronized). A parallel scan gives each
+    worker domain its own {!fork_view} — sharing the underlying bytes but
+    owning a private copy of the residency state with zeroed counters — and
+    the coordinator folds the views back with {!absorb} after joining. *)
+
+val fork_view : t -> t
+(** A view sharing the file contents and current page residency, with its
+    own counters (zeroed) and residency copy. Only the forking domain may
+    continue touching the original while views are live. *)
+
+val absorb : into:t -> t -> unit
+(** [absorb ~into view] adds the view's fault/hit counts into [into] and
+    marks the view's resident pages resident there (bounded residency keeps
+    [into]'s LRU recency for pages it already held). *)
+
 val simulated_io_seconds : t -> float
 (** [faults * io_seconds_per_page], accumulated since the last
     {!reset_counters}. *)

@@ -96,8 +96,8 @@ let template_tests =
     Alcotest.test_case "first get compiles, second hits" `Quick (fun () ->
         let tc = Template_cache.create ~compile_seconds:2.0 in
         let calls = ref 0 in
-        let v1 = Template_cache.get tc ~key:"k" (fun () -> incr calls; 42) in
-        let v2 = Template_cache.get tc ~key:"k" (fun () -> incr calls; 43) in
+        let v1 = Template_cache.get tc ~kind:"test.int" ~key:"k" (fun () -> incr calls; 42) in
+        let v2 = Template_cache.get tc ~kind:"test.int" ~key:"k" (fun () -> incr calls; 43) in
         Alcotest.(check int) "compiled once" 1 !calls;
         Alcotest.(check int) "same artifact" 42 v1;
         Alcotest.(check int) "cached" 42 v2;
@@ -105,20 +105,36 @@ let template_tests =
         Alcotest.(check int) "misses" 1 (Template_cache.misses tc));
     Alcotest.test_case "charges simulated seconds per miss" `Quick (fun () ->
         let tc = Template_cache.create ~compile_seconds:0.5 in
-        ignore (Template_cache.get tc ~key:"a" (fun () -> ()));
-        ignore (Template_cache.get tc ~key:"b" (fun () -> ()));
-        ignore (Template_cache.get tc ~key:"a" (fun () -> ()));
+        ignore (Template_cache.get tc ~kind:"test.unit" ~key:"a" (fun () -> ()));
+        ignore (Template_cache.get tc ~kind:"test.unit" ~key:"b" (fun () -> ()));
+        ignore (Template_cache.get tc ~kind:"test.unit" ~key:"a" (fun () -> ()));
         Alcotest.(check (float 1e-9)) "total" 1.0 (Template_cache.charged_seconds tc);
         Alcotest.(check (float 1e-9)) "pending" 1.0 (Template_cache.take_charged_seconds tc);
         Alcotest.(check (float 1e-9)) "drained" 0.0 (Template_cache.take_charged_seconds tc));
     Alcotest.test_case "clear resets" `Quick (fun () ->
         let tc = Template_cache.create ~compile_seconds:1.0 in
-        ignore (Template_cache.get tc ~key:"a" (fun () -> ()));
+        ignore (Template_cache.get tc ~kind:"test.unit" ~key:"a" (fun () -> ()));
         Template_cache.clear tc;
         Alcotest.(check int) "size" 0 (Template_cache.size tc);
-        ignore (Template_cache.get tc ~key:"a" (fun () -> ()));
+        ignore (Template_cache.get tc ~kind:"test.unit" ~key:"a" (fun () -> ()));
         Alcotest.(check int) "recompiles (counters were reset)" 1
           (Template_cache.misses tc));
+    Alcotest.test_case "same key, different kinds coexist" `Quick (fun () ->
+        (* the slot is (kind, key): two kernels of different artifact types
+           must never alias each other's cached Obj.t *)
+        let tc = Template_cache.create ~compile_seconds:1.0 in
+        let vi = Template_cache.get tc ~kind:"test.int" ~key:"k" (fun () -> 7) in
+        let vs = Template_cache.get tc ~kind:"test.str" ~key:"k" (fun () -> "seven") in
+        Alcotest.(check int) "int artifact" 7 vi;
+        Alcotest.(check string) "string artifact" "seven" vs;
+        Alcotest.(check int) "two slots" 2 (Template_cache.size tc);
+        Alcotest.(check int) "both compiled" 2 (Template_cache.misses tc);
+        (* re-gets hit their own slot and return the right type *)
+        let vi' = Template_cache.get tc ~kind:"test.int" ~key:"k" (fun () -> 0) in
+        let vs' = Template_cache.get tc ~kind:"test.str" ~key:"k" (fun () -> "") in
+        Alcotest.(check int) "int cached" 7 vi';
+        Alcotest.(check string) "string cached" "seven" vs';
+        Alcotest.(check int) "hits" 2 (Template_cache.hits tc));
   ]
 
 (* ---------------- Shred pool ---------------- *)

@@ -67,12 +67,55 @@ let cursor_tests =
         Alcotest.(check bool) "at eol" true (Csv.Cursor.at_end_of_line cur);
         Csv.Cursor.skip_line cur;
         Alcotest.(check int) "next row" 9 (Csv.Cursor.pos cur));
-    Alcotest.test_case "next_field at EOL raises" `Quick (fun () ->
+    Alcotest.test_case "next_field at EOL yields empty field" `Quick (fun () ->
+        (* a missing trailing field reads as empty; the cursor stays put *)
         let f = mmap_of_string "a\nb\n" in
         let cur = Csv.Cursor.create f in
         ignore (Csv.Cursor.next_field cur);
-        Alcotest.check_raises "eol" (Failure "Csv.Cursor.next_field: at end of line")
-          (fun () -> ignore (Csv.Cursor.next_field cur)));
+        let p, l = Csv.Cursor.next_field cur in
+        Alcotest.(check (pair int int)) "empty at eol" (1, 0) (p, l);
+        Alcotest.(check int) "cursor unmoved" 1 (Csv.Cursor.pos cur);
+        Csv.Cursor.skip_line cur;
+        Alcotest.(check int) "next row" 2 (Csv.Cursor.pos cur));
+    Alcotest.test_case "crlf and empty final field" `Quick (fun () ->
+        let f = mmap_of_string "ab,\r\ncd,x\r\n" in
+        let cur = Csv.Cursor.create f in
+        let p, l = Csv.Cursor.next_field cur in
+        Alcotest.(check (pair int int)) "field1" (0, 2) (p, l);
+        let _, l = Csv.Cursor.next_field cur in
+        Alcotest.(check int) "empty final field" 0 l;
+        Alcotest.(check bool) "at eol before CR" true
+          (Csv.Cursor.at_end_of_line cur);
+        Csv.Cursor.skip_line cur;
+        Alcotest.(check int) "CRLF fully consumed" 5 (Csv.Cursor.pos cur);
+        Csv.Cursor.skip_field cur;
+        let p, l = Csv.Cursor.next_field cur in
+        Alcotest.(check string) "second row field" "x"
+          (Bytes.sub_string (Mmap_file.bytes f) p l));
+    Alcotest.test_case "row_aligned_ranges partition the file" `Quick (fun () ->
+        let f = mmap_of_string "1,a\n22,bb\n333,ccc\n4,d\n5,e\n" in
+        let len = Mmap_file.length f in
+        List.iter
+          (fun n ->
+            let ranges = Csv.row_aligned_ranges f ~n in
+            (* ordered, non-empty, contiguous, covering [0, len) *)
+            let last =
+              List.fold_left
+                (fun expect (lo, hi) ->
+                  Alcotest.(check int) "contiguous" expect lo;
+                  Alcotest.(check bool) "non-empty" true (hi > lo);
+                  (* each cut lands just past a newline *)
+                  if lo > 0 then
+                    Alcotest.(check char) "row-aligned" '\n'
+                      (Bytes.get (Mmap_file.bytes f) (lo - 1));
+                  hi)
+                0 ranges
+            in
+            Alcotest.(check int) "covers file" len last)
+          [ 1; 2; 3; 4; 16 ];
+        Alcotest.(check (list (pair int int))) "empty file"
+          []
+          (Csv.row_aligned_ranges (mmap_of_string "") ~n:4));
     Alcotest.test_case "skip_fields and seek" `Quick (fun () ->
         let f = mmap_of_string "1,2,3,4\n" in
         let cur = Csv.Cursor.create f in

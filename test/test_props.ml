@@ -397,6 +397,177 @@ let prop_btree =
       in
       got = want)
 
+(* ---------------- CSV edge corpora ---------------- *)
+
+(* Line-ending / final-field corner cases through both scan modes: CRLF
+   endings, a missing trailing newline, and an empty final field. *)
+let prop_csv_edges =
+  qtest "csv edge corpora agree across scan modes" ~count:60
+    (Gen.triple (Gen.int_range 1 20) Gen.bool
+       (Gen.oneofl [ `Trail; `No_trail; `Empty_last ]))
+    (fun (n, crlf, ending) ->
+      let ints = List.init n (fun r -> (r * 31) - 7) in
+      let strs =
+        List.init n (fun r ->
+            match ending with
+            | `Empty_last -> ""
+            | _ -> Printf.sprintf "s%d" r)
+      in
+      let eol = if crlf then "\r\n" else "\n" in
+      let body =
+        List.map2 (fun i s -> string_of_int i ^ "," ^ s) ints strs
+        |> String.concat eol
+      in
+      let text = if ending = `No_trail then body else body ^ eol in
+      let path = fresh_path ".csv" in
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc text);
+      let file = Raw_storage.Mmap_file.open_file path in
+      let schema =
+        Schema.of_pairs [ ("a", Dtype.Int); ("b", Dtype.String) ]
+      in
+      let run mode =
+        fst
+          (Raw_core.Scan_csv.seq_scan ~mode ~file ~sep:',' ~schema
+             ~needed:[ 0; 1 ] ~tracked:[] ())
+      in
+      let interp = run Raw_core.Scan_csv.Interpreted in
+      let jit = run Raw_core.Scan_csv.Jit in
+      let want_a = Column.of_int_array (Array.of_list ints) in
+      let want_b =
+        Column.of_values Dtype.String (List.map (fun s -> Value.String s) strs)
+      in
+      Column.equal interp.(0) want_a
+      && Column.equal interp.(1) want_b
+      && Column.equal jit.(0) want_a
+      && Column.equal jit.(1) want_b)
+
+(* ---------------- parallel scans vs sequential ---------------- *)
+
+(* Run [f], returning its result plus the Io_stats work-counter delta it
+   caused (the per-domain wall-clock breakdown entries excluded: those are
+   timings, not work, and legitimately vary with parallelism). *)
+let delta_counters f =
+  let before = Raw_storage.Io_stats.snapshot () in
+  let r = f () in
+  let after = Raw_storage.Io_stats.snapshot () in
+  let d =
+    List.filter_map
+      (fun (k, v) ->
+        if String.starts_with ~prefix:"par.domain" k then None
+        else
+          let v0 =
+            match List.assoc_opt k before with Some x -> x | None -> 0.
+          in
+          if v -. v0 <> 0. then Some (k, v -. v0) else None)
+      after
+  in
+  (r, d)
+
+let posmap_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    Raw_formats.Posmap.tracked a = Raw_formats.Posmap.tracked b
+    && Raw_formats.Posmap.n_rows a = Raw_formats.Posmap.n_rows b
+    && Array.for_all
+         (fun c ->
+           Raw_formats.Posmap.positions a c = Raw_formats.Posmap.positions b c
+           && Raw_formats.Posmap.lengths a c = Raw_formats.Posmap.lengths b c)
+         (Raw_formats.Posmap.tracked a)
+  | _ -> false
+
+let mode_gen = Gen.oneofl [ Raw_core.Scan_csv.Interpreted; Raw_core.Scan_csv.Jit ]
+
+let prop_parallel_csv =
+  qtest "parallel CSV scan is bit-identical to sequential" ~count:10
+    (Gen.pair small_grid_gen mode_gen)
+    (fun ((n, m), mode) ->
+      let rows = List.init n (fun r -> List.init m (fun c -> (r * 17) + c)) in
+      let path = write_csv_rows rows in
+      let schema = Schema.of_pairs (int_cols m) in
+      let needed = List.init m Fun.id in
+      let tracked = Raw_formats.Posmap.every_k ~k:2 ~n_cols:m in
+      let run parallelism =
+        let file = Raw_storage.Mmap_file.open_file path in
+        delta_counters (fun () ->
+            Raw_core.Scan_csv.par_scan ~mode ~parallelism ~file ~sep:','
+              ~schema ~needed ~tracked ())
+      in
+      let (c1, p1), d1 = run 1 in
+      let (c4, p4), d4 = run 4 in
+      Array.for_all2 Column.equal c1 c4 && posmap_equal p1 p4 && d1 = d4)
+
+let prop_parallel_fwb =
+  qtest "parallel FWB scan is bit-identical to sequential" ~count:10
+    (Gen.pair (Gen.int_range 1 200) mode_gen)
+    (fun (n, mode) ->
+      let layout =
+        Raw_formats.Fwb.layout [| Dtype.Int; Dtype.Float; Dtype.Bool |]
+      in
+      let path = fresh_path ".fwb" in
+      Raw_formats.Fwb.write_file ~path layout
+        (Seq.init n (fun i ->
+             [|
+               Value.Int (i * 3);
+               Value.Float (float_of_int i /. 7.);
+               Value.Bool (i mod 2 = 0);
+             |]));
+      let schema =
+        Schema.of_pairs
+          [ ("a", Dtype.Int); ("b", Dtype.Float); ("c", Dtype.Bool) ]
+      in
+      let run parallelism =
+        let file = Raw_storage.Mmap_file.open_file path in
+        delta_counters (fun () ->
+            Raw_core.Scan_fwb.par_scan ~mode ~parallelism ~file ~layout
+              ~schema ~needed:[ 0; 1; 2 ] ())
+      in
+      let c1, d1 = run 1 in
+      let c4, d4 = run 4 in
+      Array.for_all2 Column.equal c1 c4 && d1 = d4)
+
+let prop_parallel_hep =
+  qtest "parallel HEP scans are bit-identical to sequential" ~count:10
+    events_gen
+    (fun events ->
+      let path = fresh_path ".hep" in
+      Raw_formats.Hep.write_file ~path (List.to_seq events);
+      (* flattened muon index, entry/item per dense particle row *)
+      let pairs =
+        List.concat
+          (List.mapi
+             (fun e (ev : Raw_formats.Hep.event) ->
+               List.init (Array.length ev.muons) (fun i -> (e, i)))
+             events)
+      in
+      let index =
+        ( Array.of_list (List.map fst pairs),
+          Array.of_list (List.map snd pairs) )
+      in
+      let run_events parallelism =
+        let r = Raw_formats.Hep.Reader.open_file path in
+        delta_counters (fun () ->
+            Raw_core.Scan_hep.par_scan_events ~mode:Raw_core.Scan_csv.Jit
+              ~parallelism ~reader:r ~needed:[ 0; 1 ] ~rowids:None)
+      in
+      let run_particles parallelism =
+        let r = Raw_formats.Hep.Reader.open_file path in
+        delta_counters (fun () ->
+            Raw_core.Scan_hep.par_scan_particles
+              ~mode:Raw_core.Scan_csv.Interpreted ~parallelism ~reader:r
+              ~coll:Raw_formats.Hep.Muons ~index ~needed:[ 0; 1; 2; 3 ]
+              ~rowids:None)
+      in
+      let e1, de1 = run_events 1 in
+      let e4, de4 = run_events 4 in
+      let p1, dp1 = run_particles 1 in
+      let p4, dp4 = run_particles 4 in
+      Array.for_all2 Column.equal e1 e4
+      && de1 = de4
+      && Array.for_all2 Column.equal p1 p4
+      && dp1 = dp4)
+
 (* ---------------- end-to-end: SQL vs naive model ---------------- *)
 
 let prop_sql_selection =
@@ -442,6 +613,10 @@ let suites =
         prop_concat;
         prop_jsonl_extract;
         prop_btree;
+        prop_csv_edges;
+        prop_parallel_csv;
+        prop_parallel_fwb;
+        prop_parallel_hep;
         prop_sql_selection;
       ] );
   ]

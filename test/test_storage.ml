@@ -123,6 +123,41 @@ let mmap_tests =
         let f = mk_file ~config:(small_pages ()) 32 in
         Mmap_file.touch f (-5) 100;
         Alcotest.(check int) "only real pages" 2 (Mmap_file.faults f));
+    Alcotest.test_case "fork_view isolates counters, absorb merges" `Quick
+      (fun () ->
+        let f = mk_file ~config:(small_pages ()) 64 in
+        Mmap_file.touch f 0 16;
+        (* page 0 resident *)
+        let v = Mmap_file.fork_view f in
+        Mmap_file.touch v 0 16;
+        (* warm in the view, cold counters start at 0 *)
+        Alcotest.(check int) "view hit" 1 (Mmap_file.hits v);
+        Alcotest.(check int) "view no fault" 0 (Mmap_file.faults v);
+        Mmap_file.touch v 16 16;
+        Alcotest.(check int) "view fault" 1 (Mmap_file.faults v);
+        (* parent untouched so far *)
+        Alcotest.(check int) "parent faults unchanged" 1 (Mmap_file.faults f);
+        Alcotest.(check int) "parent resident unchanged" 1
+          (Mmap_file.resident_pages f);
+        Mmap_file.absorb ~into:f v;
+        Alcotest.(check int) "faults summed" 2 (Mmap_file.faults f);
+        Alcotest.(check int) "hits summed" 1 (Mmap_file.hits f);
+        Alcotest.(check int) "residency unioned" 2 (Mmap_file.resident_pages f);
+        (* page 1 now warm in the parent *)
+        Mmap_file.touch f 16 1;
+        Alcotest.(check int) "no refault after absorb" 2 (Mmap_file.faults f));
+    Alcotest.test_case "fork_view/absorb with bounded residency" `Quick
+      (fun () ->
+        let config = small_pages ~residency_capacity:(Some 2) () in
+        let f = mk_file ~config 64 in
+        Mmap_file.touch f 0 1;
+        let v = Mmap_file.fork_view f in
+        Mmap_file.touch v 16 1;
+        Mmap_file.touch v 32 1;
+        (* view holds pages 16.. and 32..; capacity 2 evicted page 0 *)
+        Mmap_file.absorb ~into:f v;
+        Alcotest.(check bool) "resident within capacity" true
+          (Mmap_file.resident_pages f <= 2));
     Alcotest.test_case "open_file reads contents" `Quick (fun () ->
         let path = Test_util.fresh_path ".bin" in
         let oc = open_out_bin path in
@@ -150,6 +185,38 @@ let stats_tests =
         Io_stats.add_float "test.float" 0.5;
         Io_stats.add_float "test.float" 0.25;
         Alcotest.(check (float 1e-9)) "value" 0.75 (Io_stats.get_float "test.float"));
+    Alcotest.test_case "get rounds to nearest" `Quick (fun () ->
+        (* accumulated float error must not truncate a whole count away *)
+        Io_stats.reset "test.round";
+        for _ = 1 to 10 do Io_stats.add_float "test.round" 0.1 done;
+        Alcotest.(check int) "0.1 x 10 = 1" 1 (Io_stats.get "test.round");
+        Alcotest.(check (float 1e-12)) "get_float exact"
+          (0.1 *. 10.) (Io_stats.get_float "test.round");
+        Io_stats.reset "test.round";
+        Io_stats.add_float "test.round" 2.4;
+        Alcotest.(check int) "2.4 -> 2" 2 (Io_stats.get "test.round");
+        Io_stats.add_float "test.round" 0.2;
+        Alcotest.(check int) "2.6 -> 3" 3 (Io_stats.get "test.round"));
+    Alcotest.test_case "merge adds deltas into this domain" `Quick (fun () ->
+        Io_stats.reset "test.merge.a";
+        Io_stats.reset "test.merge.b";
+        Io_stats.add "test.merge.a" 2;
+        Io_stats.merge [ ("test.merge.a", 3.); ("test.merge.b", 0.5) ];
+        Alcotest.(check int) "existing summed" 5 (Io_stats.get "test.merge.a");
+        Alcotest.(check (float 1e-9)) "new created" 0.5
+          (Io_stats.get_float "test.merge.b"));
+    Alcotest.test_case "counters are domain-local" `Quick (fun () ->
+        Io_stats.reset "test.dls";
+        Io_stats.add "test.dls" 7;
+        let seen_in_child =
+          Domain.join
+            (Domain.spawn (fun () ->
+                 let before = Io_stats.get "test.dls" in
+                 Io_stats.add "test.dls" 100;
+                 before))
+        in
+        Alcotest.(check int) "child starts from zero" 0 seen_in_child;
+        Alcotest.(check int) "parent unaffected" 7 (Io_stats.get "test.dls"));
     Alcotest.test_case "snapshot sorted and includes counter" `Quick (fun () ->
         Io_stats.reset_all ();
         Io_stats.add "test.b" 1;
