@@ -1,0 +1,63 @@
+(* E21 — error-policy overhead on clean data (Config.on_error).
+
+   The fault-tolerance layer must be free when unused: Fail_fast (the
+   default) dispatches to the exact same interpreted/JIT kernels the engine
+   always ran — the typed error is raised from checks that always guarded
+   decoding — so a clean-data scan should cost what it cost before the
+   policies existed (within noise). The lenient policies route to the
+   policy-parametric safe kernel, whose per-row try/rollback machinery is
+   the price of tolerance; this experiment measures both against the
+   Fail_fast baseline on the clean 30-column CSV. *)
+
+open Raw_core
+open Bench_util
+
+let q = "SELECT MAX(col0) FROM t30"
+
+let policies =
+  [
+    ("fail (default)", Raw_storage.Scan_errors.Fail_fast);
+    ("skip", Raw_storage.Scan_errors.Skip_row);
+    ("null", Raw_storage.Scan_errors.Null_fill);
+  ]
+
+let cold_scan_seconds db =
+  min_of ~reps:5 (fun () ->
+      Raw_db.forget_data_state db;
+      Raw_db.drop_file_caches db;
+      let t0 = Unix.gettimeofday () in
+      ignore (run db (opts ()) q);
+      Unix.gettimeofday () -. t0)
+
+let e21 () =
+  header "E21 — error-policy overhead on a clean CSV scan"
+    "Cold full scans of the 30-column CSV under each --on-error policy.\n\
+     Expect fail (the default) to define the baseline: its kernels are\n\
+     byte-for-byte the pre-policy fast paths, so enabling the robustness\n\
+     layer costs nothing on clean data. skip validates every schema column\n\
+     per row and null decodes defensively, so both pay a tolerance tax.";
+  let baseline = ref nan in
+  let rows =
+    List.map
+      (fun (name, on_error) ->
+        let config = { Config.default with Config.on_error } in
+        let db = db_q30 ~config () in
+        ignore (run db (opts ()) q);
+        (* data generation and first-touch allocations are off the clock *)
+        let wall = cold_scan_seconds db in
+        if Float.is_nan !baseline then baseline := wall;
+        let report =
+          Raw_db.forget_data_state db;
+          Raw_db.drop_file_caches db;
+          run db (opts ()) q
+        in
+        ( name,
+          [
+            wall;
+            100. *. ((wall /. !baseline) -. 1.);
+            report.Executor.io_seconds;
+            float_of_int report.Executor.errors.Raw_storage.Scan_errors.total;
+          ] ))
+      policies
+  in
+  print_rows ~columns:[ "wall(s)"; "vs fail(%)"; "io(sim)"; "errors" ] rows

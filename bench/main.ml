@@ -29,6 +29,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("e18", "§8 f.work — adaptive cost model", Exp_extensions.e18);
     ("e19", "§4.1      — embedded-index access path", Exp_extensions.e19);
     ("e20", "extension — morsel-driven parallel scan", Exp_parallel.e20);
+    ("e21", "extension — error-policy overhead on clean data", Exp_faults.e21);
     ("micro", "bechamel — scan kernel microbenchmarks", Micro.benchmark);
   ]
 

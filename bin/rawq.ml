@@ -8,6 +8,7 @@
 
 open Cmdliner
 open Raw_vector
+open Raw_storage
 open Raw_core
 
 let parse_schema spec =
@@ -96,6 +97,16 @@ let run_query db ~stats sql =
   | exception Raw_sql.Parser.Error msg ->
     Format.eprintf "parse error: %s@." msg;
     false
+  | exception Scan_errors.Error e ->
+    (* Fail_fast met malformed data: report the first offending field *)
+    Format.eprintf
+      "data error: %s at byte %d%s (rerun with --on-error skip or null to \
+       tolerate malformed rows)@."
+      e.Scan_errors.cause e.Scan_errors.offset
+      (if e.Scan_errors.field >= 0 then
+         Printf.sprintf " (field %d)" e.Scan_errors.field
+       else "");
+    false
 
 let repl db ~stats =
   Format.printf "rawq — adaptive query processing on raw data. \\q quits, \\tables lists, \\explain <sql> traces the plan.@.";
@@ -125,7 +136,7 @@ let repl db ~stats =
   loop ()
 
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
-    par repl_flag stats query =
+    par on_error repl_flag stats query =
   try
     let options =
       {
@@ -153,7 +164,12 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
       }
     in
     if par < 1 then failwith "--parallelism must be >= 1";
-    let config = { Config.default with Config.parallelism = par } in
+    let on_error =
+      match Scan_errors.policy_of_string on_error with
+      | Some p -> p
+      | None -> failwith ("unknown error policy " ^ on_error)
+    in
+    let config = { Config.default with Config.parallelism = par; on_error } in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
     match query with
@@ -229,6 +245,11 @@ let parallelism_arg =
                  HEP files (default 1 = sequential; results are identical at \
                  any value).")
 
+let on_error_arg =
+  Arg.(value & opt string "fail"
+       & info [ "on-error" ] ~docv:"POLICY"
+           ~doc:"What a scan does with malformed rows: fail (default; stop                  at the first bad field), skip (drop bad rows), null (keep                  the rows, bad fields become NULL). Tolerated errors are                  counted per cause and summarized after the result.")
+
 let repl_arg =
   Arg.(value & flag & info [ "repl" ] ~doc:"Start an interactive prompt.")
 
@@ -254,6 +275,6 @@ let cmd =
       const main $ csv_arg $ jsonl_arg $ jsonl_array_arg $ fwb_arg $ ibx_arg $ hep_arg
       $ (const (Option.value ~default:',') $ sep_arg)
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
-      $ repl_arg $ stats_arg $ query_arg)
+      $ on_error_arg $ repl_arg $ stats_arg $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -24,6 +24,19 @@ let charge_template cat ~mode ~kind key =
   | Dbms | External | In_situ -> ()
 
 let parallelism cat = (Catalog.config cat).Config.parallelism
+let policy cat = (Catalog.config cat).Config.on_error
+
+(* Under the lenient policies a HEP event table's row ids are positions in
+   the valid-entry enumeration, not raw entry ids; translate before the
+   kernel (identity on a clean file). *)
+let hep_entry_rowids cat ~(entry : Catalog.entry) rowids =
+  match policy cat with
+  | Scan_errors.Fail_fast -> rowids
+  | Scan_errors.Skip_row | Scan_errors.Null_fill ->
+    let r = Catalog.hep_reader cat entry in
+    let v = Hep.Reader.valid_entries r in
+    if Array.length v = Hep.Reader.n_events r then rowids
+    else Array.map (fun i -> v.(i)) rowids
 
 let all_schema_cols (entry : Catalog.entry) =
   List.init (Schema.arity entry.schema) (fun i -> i)
@@ -53,52 +66,59 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
     let tracked = if build_pm then tracked else [] in
     charge_template cat ~mode ~kind:"csv.jit"
       (Scan_csv.template_key ~phase:"seq" ~table:entry.name ~sep ~needed:cols
-         ~tracked);
+         ~tracked ~policy:(policy cat));
     let columns, pm =
-      Scan_csv.par_scan ~mode:smode ~parallelism:(parallelism cat)
-        ~file:(Catalog.file cat entry) ~sep ~schema:entry.schema ~needed:cols
-        ~tracked ()
+      Scan_csv.par_scan ~mode:smode ~policy:(policy cat)
+        ~parallelism:(parallelism cat) ~file:(Catalog.file cat entry) ~sep
+        ~schema:entry.schema ~needed:cols ~tracked ()
     in
     (match pm with Some pm -> Catalog.set_posmap entry pm | None -> ());
     columns
   | Format_kind.Jsonl ->
     charge_template cat ~mode ~kind:"jsonl.jit"
-      (Scan_jsonl.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
+      (Scan_jsonl.template_key ~phase:"seq" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
     let columns, starts =
-      Scan_jsonl.seq_scan ~mode:smode ~file:(Catalog.file cat entry)
-        ~schema:entry.schema ~needed:cols ()
+      Scan_jsonl.seq_scan ~mode:smode ~policy:(policy cat)
+        ~file:(Catalog.file cat entry) ~schema:entry.schema ~needed:cols ()
     in
     if mode <> External && entry.row_starts = None then
       entry.row_starts <- Some starts;
     columns
   | Format_kind.Jsonl_array _ ->
     charge_template cat ~mode ~kind:"jsonl.jit"
-      (Scan_jsonl.template_key ~phase:"arr-seq" ~table:entry.name ~needed:cols);
-    Scan_jsonl.scan_array ~mode:smode ~file:(Catalog.file cat entry)
-      ~schema:entry.schema ~index:(Catalog.jarr_index cat entry) ~needed:cols
-      ~rowids:None
+      (Scan_jsonl.template_key ~phase:"arr-seq" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
+    Scan_jsonl.scan_array ~mode:smode ~policy:(policy cat)
+      ~file:(Catalog.file cat entry) ~schema:entry.schema
+      ~index:(Catalog.jarr_index cat entry) ~needed:cols ~rowids:None ()
   | Format_kind.Fwb ->
     charge_template cat ~mode ~kind:"fwb.jit"
-      (Scan_fwb.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
-    Scan_fwb.par_scan ~mode:smode ~parallelism:(parallelism cat)
-      ~file:(Catalog.file cat entry) ~layout:(Catalog.fwb_layout entry)
-      ~schema:entry.schema ~needed:cols ()
+      (Scan_fwb.template_key ~phase:"seq" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
+    Scan_fwb.par_scan ~mode:smode ~policy:(policy cat)
+      ~parallelism:(parallelism cat) ~file:(Catalog.file cat entry)
+      ~layout:(Catalog.fwb_layout entry) ~schema:entry.schema ~needed:cols ()
   | Format_kind.Ibx ->
     (* the data region is FWB; its layout comes from the footer *)
     let meta = Catalog.ibx_meta cat entry in
     charge_template cat ~mode ~kind:"fwb.jit"
-      (Scan_fwb.template_key ~phase:"ibx-seq" ~table:entry.name ~needed:cols);
+      (Scan_fwb.template_key ~phase:"ibx-seq" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
     Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
       ~layout:meta.Ibx.layout ~schema:entry.schema ~cols
       ~rowids:(Array.init meta.Ibx.n_rows (fun i -> i))
   | Format_kind.Hep_events ->
     charge_template cat ~mode ~kind:"hep.jit"
-      (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
-    Scan_hep.par_scan_events ~mode:smode ~parallelism:(parallelism cat)
-      ~reader:(Catalog.hep_reader cat entry) ~needed:cols ~rowids:None
+      (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
+    Scan_hep.par_scan_events ~mode:smode ~policy:(policy cat)
+      ~parallelism:(parallelism cat) ~reader:(Catalog.hep_reader cat entry)
+      ~needed:cols ~rowids:None ()
   | Format_kind.Hep_particles coll ->
     charge_template cat ~mode ~kind:"hep.jit"
-      (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols);
+      (Scan_hep.template_key ~phase:"seq" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
     Scan_hep.par_scan_particles ~mode:smode ~parallelism:(parallelism cat)
       ~reader:(Catalog.hep_reader cat entry) ~coll
       ~index:(Catalog.hep_index cat entry) ~needed:cols ~rowids:None
@@ -116,9 +136,10 @@ let raw_fetch cat ~mode ~(entry : Catalog.entry) ~cols ~rowids =
     in
     charge_template cat ~mode ~kind:"csv.jit"
       (Scan_csv.template_key ~phase:"fetch" ~table:entry.name ~sep ~needed:cols
-         ~tracked:(Array.to_list (Posmap.tracked posmap)));
-    Scan_csv.fetch ~mode:smode ~file:(Catalog.file cat entry) ~sep
-      ~schema:entry.schema ~posmap ~cols ~rowids
+         ~tracked:(Array.to_list (Posmap.tracked posmap)) ~policy:(policy cat));
+    Scan_csv.fetch ~mode:smode ~policy:(policy cat)
+      ~file:(Catalog.file cat entry) ~sep ~schema:entry.schema ~posmap ~cols
+      ~rowids ()
   | Format_kind.Jsonl ->
     let row_starts =
       match entry.row_starts with
@@ -126,34 +147,42 @@ let raw_fetch cat ~mode ~(entry : Catalog.entry) ~cols ~rowids =
       | None -> failwith "Access.raw_fetch: JSONL fetch without row index"
     in
     charge_template cat ~mode ~kind:"jsonl.jit"
-      (Scan_jsonl.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
-    Scan_jsonl.fetch ~mode:smode ~file:(Catalog.file cat entry)
-      ~schema:entry.schema ~row_starts ~cols ~rowids
+      (Scan_jsonl.template_key ~phase:"fetch" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
+    Scan_jsonl.fetch ~mode:smode ~policy:(policy cat)
+      ~file:(Catalog.file cat entry) ~schema:entry.schema ~row_starts ~cols
+      ~rowids ()
   | Format_kind.Jsonl_array _ ->
     charge_template cat ~mode ~kind:"jsonl.jit"
-      (Scan_jsonl.template_key ~phase:"arr-fetch" ~table:entry.name ~needed:cols);
-    Scan_jsonl.scan_array ~mode:smode ~file:(Catalog.file cat entry)
-      ~schema:entry.schema ~index:(Catalog.jarr_index cat entry) ~needed:cols
-      ~rowids:(Some rowids)
+      (Scan_jsonl.template_key ~phase:"arr-fetch" ~table:entry.name
+         ~needed:cols ~policy:(policy cat));
+    Scan_jsonl.scan_array ~mode:smode ~policy:(policy cat)
+      ~file:(Catalog.file cat entry) ~schema:entry.schema
+      ~index:(Catalog.jarr_index cat entry) ~needed:cols ~rowids:(Some rowids)
+      ()
   | Format_kind.Fwb ->
     charge_template cat ~mode ~kind:"fwb.jit"
-      (Scan_fwb.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
+      (Scan_fwb.template_key ~phase:"fetch" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
     Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
       ~layout:(Catalog.fwb_layout entry) ~schema:entry.schema ~cols ~rowids
   | Format_kind.Ibx ->
     let meta = Catalog.ibx_meta cat entry in
     charge_template cat ~mode ~kind:"fwb.jit"
-      (Scan_fwb.template_key ~phase:"ibx-fetch" ~table:entry.name ~needed:cols);
+      (Scan_fwb.template_key ~phase:"ibx-fetch" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
     Scan_fwb.fetch ~mode:smode ~file:(Catalog.file cat entry)
       ~layout:meta.Ibx.layout ~schema:entry.schema ~cols ~rowids
   | Format_kind.Hep_events ->
     charge_template cat ~mode ~kind:"hep.jit"
-      (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
+      (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
     Scan_hep.scan_events ~mode:smode ~reader:(Catalog.hep_reader cat entry)
-      ~needed:cols ~rowids:(Some rowids)
+      ~needed:cols ~rowids:(Some (hep_entry_rowids cat ~entry rowids)) ()
   | Format_kind.Hep_particles coll ->
     charge_template cat ~mode ~kind:"hep.jit"
-      (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols);
+      (Scan_hep.template_key ~phase:"fetch" ~table:entry.name ~needed:cols
+         ~policy:(policy cat));
     Scan_hep.scan_particles ~mode:smode ~reader:(Catalog.hep_reader cat entry)
       ~coll ~index:(Catalog.hep_index cat entry) ~needed:cols ~rowids:(Some rowids)
 

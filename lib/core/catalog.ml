@@ -156,18 +156,28 @@ let ibx_meta t entry =
        m
      | _ -> invalid_arg "Catalog.ibx_meta: not an IBX table")
 
+(* Which entry ids a pass over a HEP file enumerates under the session
+   error policy (lenient policies walk only the structurally valid
+   entries, recording the rest — see Scan_hep). *)
+let hep_entry_ids t r =
+  match t.config.Config.on_error with
+  | Scan_errors.Fail_fast -> Array.init (Hep.Reader.n_events r) (fun i -> i)
+  | Scan_errors.Skip_row | Scan_errors.Null_fill ->
+    Hep.Reader.record_invalid_entries r;
+    Hep.Reader.valid_entries r
+
 let build_hep_index t entry coll =
   let r = hep_reader t entry in
-  let n_events = Hep.Reader.n_events r in
   let entries = Buffer_int.create () in
   let items = Buffer_int.create () in
-  for e = 0 to n_events - 1 do
-    let len = Hep.Reader.collection_length r e coll in
-    for i = 0 to len - 1 do
-      Buffer_int.add entries e;
-      Buffer_int.add items i
-    done
-  done;
+  Array.iter
+    (fun e ->
+      let len = Hep.Reader.collection_length r e coll in
+      for i = 0 to len - 1 do
+        Buffer_int.add entries e;
+        Buffer_int.add items i
+      done)
+    (hep_entry_ids t r);
   (Buffer_int.contents entries, Buffer_int.contents items)
 
 let hep_index t entry =
@@ -186,7 +196,17 @@ let jsonl_row_starts t entry =
   match entry.row_starts with
   | Some starts -> starts
   | None ->
-    let starts = Jsonl.row_starts (file t entry) in
+    let starts =
+      match entry.format, t.config.Config.on_error with
+      (* under Skip_row, row identity = the safe kernel's acceptance
+         logic, not the physical line structure; child (array) tables
+         keep the structural walk — their schema describes elements, not
+         parent lines *)
+      | Format_kind.Jsonl, Scan_errors.Skip_row ->
+        Scan_jsonl.valid_row_starts ~file:(file t entry) ~schema:entry.schema
+          ~record:true ()
+      | _ -> Jsonl.row_starts (file t entry)
+    in
     entry.row_starts <- Some starts;
     starts
 
@@ -210,14 +230,36 @@ let n_rows t entry =
   match entry.n_rows with
   | Some n -> n
   | None ->
+    let policy = t.config.Config.on_error in
     let n =
       match entry.format with
-      | Format_kind.Csv _ -> Csv.count_rows (file t entry)
+      | Format_kind.Csv { sep } ->
+        (match policy with
+         (* Skip_row row identity is schema-wide validation, so the sizing
+            pass must apply the same acceptance logic (and, being a real
+            pass over the data, it records what it rejects) *)
+         | Scan_errors.Skip_row ->
+           Scan_csv.count_valid_rows ~file:(file t entry) ~sep
+             ~schema:entry.schema ~record:true ()
+         | Scan_errors.Fail_fast | Scan_errors.Null_fill ->
+           Csv.count_rows (file t entry))
       | Format_kind.Jsonl -> Array.length (jsonl_row_starts t entry)
       | Format_kind.Jsonl_array _ -> Array.length (fst (jarr_index t entry))
-      | Format_kind.Fwb -> Fwb.n_rows (fwb_layout entry) (file t entry)
+      | Format_kind.Fwb ->
+        let layout = fwb_layout entry in
+        let f = file t entry in
+        (match policy with
+         | Scan_errors.Fail_fast -> Fwb.n_rows layout f
+         | Scan_errors.Skip_row | Scan_errors.Null_fill ->
+           let tb = Fwb.trailing_bytes layout f in
+           if tb > 0 then
+             Scan_errors.record
+               ~offset:(Mmap_file.length f - tb)
+               ~field:(-1) ~cause:"fwb: trailing bytes";
+           Fwb.n_rows_floor layout f)
       | Format_kind.Ibx -> (ibx_meta t entry).Ibx.n_rows
-      | Format_kind.Hep_events -> Hep.Reader.n_events (hep_reader t entry)
+      | Format_kind.Hep_events ->
+        Array.length (hep_entry_ids t (hep_reader t entry))
       | Format_kind.Hep_particles _ -> Array.length (fst (hep_index t entry))
     in
     entry.n_rows <- Some n;

@@ -8,6 +8,7 @@ type t = {
   shred_pool_columns : int;
   hep_object_cache : int;
   parallelism : int;
+  on_error : Scan_errors.policy;
 }
 
 let default =
@@ -19,4 +20,5 @@ let default =
     shred_pool_columns = 256;
     hep_object_cache = 4096;
     parallelism = 1;
+    on_error = Scan_errors.Fail_fast;
   }

@@ -24,6 +24,12 @@ type t = {
       (** domains used by morsel-driven full scans (CSV, FWB, HEP). 1
           (default) runs the sequential kernels on the calling domain;
           results at any parallelism are bit-identical. *)
+  on_error : Scan_errors.policy;
+      (** what scan kernels do with malformed input: [Fail_fast] (default)
+          raises a typed {!Raw_storage.Scan_errors.Error}; [Skip_row]
+          drops malformed rows; [Null_fill] turns malformed fields into
+          NULLs. Errors are counted either way and surfaced in
+          [Executor.report]. *)
 }
 
 val default : t

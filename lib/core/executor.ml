@@ -12,6 +12,7 @@ type report = {
   parallelism : int;
   domain_seconds : (string * float) list;
   counters : (string * float) list;
+  errors : Scan_errors.snapshot;
 }
 
 let domain_prefix = "par.domain"
@@ -34,6 +35,7 @@ let io_of_files cat logical =
 let run ?(options = Planner.default) cat logical =
   (* baseline for per-query deltas *)
   let before = Io_stats.snapshot () in
+  Scan_errors.reset ();
   List.iter Mmap_file.reset_counters (entry_files cat logical);
   ignore (Template_cache.take_charged_seconds (Catalog.templates cat));
   let (chunk, schema), cpu_seconds =
@@ -82,6 +84,7 @@ let run ?(options = Planner.default) cat logical =
     parallelism = (Catalog.config cat).Config.parallelism;
     domain_seconds;
     counters;
+    errors = Scan_errors.snapshot ();
   }
 
 let pp_result ppf r =
@@ -114,4 +117,6 @@ let pp_report ppf r =
         in
         Format.fprintf ppf " %s=%.4fs" label s)
       (List.sort compare r.domain_seconds)
-  end
+  end;
+  if not (Scan_errors.is_empty r.errors) then
+    Format.fprintf ppf "@,-- %a" Scan_errors.pp_snapshot r.errors

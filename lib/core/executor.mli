@@ -8,6 +8,7 @@
     ablation experiments report. *)
 
 open Raw_vector
+open Raw_storage
 
 type report = {
   chunk : Chunk.t;  (** full materialized result *)
@@ -23,6 +24,13 @@ type report = {
   counters : (string * float) list;
   (** per-query {!Raw_storage.Io_stats} delta, excluding the
       [par.domain*] breakdown entries *)
+  errors : Scan_errors.snapshot;
+  (** malformed-data errors encountered (and tolerated) by this query:
+      total, per-cause counts and the first few samples with row offset and
+      field attribution. Empty under [Fail_fast] (the first error raises
+      {!Raw_storage.Scan_errors.Error} out of {!run} instead). Counts are
+      per data-producing pass: a query that both sizes a table and scans it
+      observes a bad row once per pass. *)
 }
 
 val run : ?options:Planner.options -> Catalog.t -> Logical.t -> report

@@ -18,12 +18,14 @@ let split_range ~lo ~hi ~n =
   end
 
 (* One fresh domain per morsel; the calling domain blocks in join. Each
-   worker's Io_stats land in its own domain-local table (empty at spawn);
-   after join the coordinator folds every worker's delta into its own
-   counters and records per-domain wall time under "par.domain<i>.seconds"
-   (the executor surfaces these as the per-domain CPU breakdown). Results
-   come back in morsel order, so order-sensitive merging (column segments,
-   posmap segments) is just concatenation. *)
+   worker's Io_stats and Scan_errors land in its own domain-local cell
+   (empty at spawn); after join the coordinator folds every worker's delta
+   into its own counters — Scan_errors.merge is deterministic, so parallel
+   and sequential scans produce identical error reports — and records
+   per-domain wall time under "par.domain<i>.seconds" (the executor
+   surfaces these as the per-domain CPU breakdown). Results come back in
+   morsel order, so order-sensitive merging (column segments, posmap
+   segments) is just concatenation. *)
 let map_domains work items =
   match items with
   | [] -> []
@@ -32,13 +34,14 @@ let map_domains work items =
     let run item () =
       let t0 = Timing.now () in
       let r = work item in
-      (r, Io_stats.snapshot (), Timing.now () -. t0)
+      (r, Io_stats.snapshot (), Scan_errors.snapshot (), Timing.now () -. t0)
     in
     let domains = List.map (fun item -> Domain.spawn (run item)) items in
     let parts = List.map Domain.join domains in
     List.iteri
-      (fun i (_, stats, seconds) ->
+      (fun i (_, stats, errs, seconds) ->
         Io_stats.merge stats;
+        Scan_errors.merge errs;
         Io_stats.add_float (Printf.sprintf "par.domain%d.seconds" i) seconds)
       parts;
-    List.map (fun (r, _, _) -> r) parts
+    List.map (fun (r, _, _, _) -> r) parts

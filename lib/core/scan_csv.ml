@@ -6,10 +6,14 @@ type mode = Interpreted | Jit
 
 let mode_to_string = function Interpreted -> "interp" | Jit -> "jit"
 
-let template_key ~phase ~table ~sep ~needed ~tracked =
-  Printf.sprintf "csv|%s|%s|sep=%C|needed=%s|tracked=%s" phase table sep
+(* The error policy is part of the kernel shape: a Null_fill kernel emits
+   different code than a Fail_fast one, so cached templates are keyed by
+   policy — switching --on-error never reuses a stale kernel. *)
+let template_key ~phase ~table ~sep ~needed ~tracked ~policy =
+  Printf.sprintf "csv|%s|%s|sep=%C|needed=%s|tracked=%s|err=%s" phase table sep
     (String.concat "," (List.map string_of_int needed))
     (String.concat "," (List.map string_of_int tracked))
+    (Scan_errors.policy_to_string policy)
 
 (* Map schema indexes to (source ordinal, schema index), ascending source. *)
 let by_source schema needed =
@@ -227,10 +231,175 @@ let seq_scan_jit ?range ~file ~sep ~schema ~needed ~tracked () =
   let cols = Array.of_list (List.map Builder.to_column builders) in
   (reorder needed srcs cols, Option.map Posmap.Build.finish pm)
 
-let seq_scan ~mode =
-  match mode with
-  | Interpreted -> seq_scan_interpreted
-  | Jit -> seq_scan_jit
+(* ------------------------------------------------------------------ *)
+(* Policy-aware scan (Skip_row / Null_fill)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* One policy-parametric kernel serves both non-default policies and both
+   planner modes (templates are still cached per mode+policy; the perf
+   split between interpreted and JIT kernels only matters on the clean
+   Fail_fast path, which keeps the specialized kernels above untouched).
+
+   Row identity under Skip_row must not depend on which columns a query
+   happens to read, or positional maps, cached row counts and the shred
+   pool would disagree between queries. So a Skip_row kernel validates
+   every schema column of every row (strings never fail; a missing
+   numeric field parses as empty and fails) and drops the row on the
+   first bad field, rolling back any builder and posmap entries it
+   recorded. Null_fill keeps the physical rows: only requested fields
+   are decoded, and a bad one becomes NULL. *)
+let seq_scan_safe ~policy ?(record = true) ?range ~file ~sep ~schema ~needed
+    ~tracked () =
+  let buf = Mmap_file.bytes file in
+  let pos, limit =
+    match range with Some (lo, hi) -> (lo, hi) | None -> (0, Mmap_file.length file)
+  in
+  let cur = Csv.Cursor.create ~sep ~pos ~limit file in
+  let srcs = by_source schema needed in
+  let skip = policy = Scan_errors.Skip_row in
+  let dtype_of_src =
+    (* schema columns to validate: all of them under Skip_row, only the
+       requested ones under Null_fill *)
+    let want =
+      if skip then List.init (Schema.arity schema) (fun i -> i)
+      else List.map snd srcs
+    in
+    let max_src =
+      List.fold_left
+        (fun a i -> max a (Schema.field schema i).Schema.source_index)
+        (-1) want
+    in
+    let a = Array.make (max_src + 1) None in
+    List.iter
+      (fun i ->
+        a.((Schema.field schema i).Schema.source_index) <-
+          Some (Schema.dtype schema i))
+      want;
+    a
+  in
+  let max_tracked = List.fold_left max (-1) tracked in
+  let last = max (Array.length dtype_of_src - 1) max_tracked in
+  let builder_of_src = Array.make (last + 1) None in
+  List.iter (fun (s, i) -> builder_of_src.(s) <- Some (builder_for schema i)) srcs;
+  let builders = List.filter_map (fun (s, _) -> builder_of_src.(s)) srcs in
+  let tracked_mask = Array.make (last + 1) false in
+  List.iter (fun c -> if c <= last then tracked_mask.(c) <- true) tracked;
+  let pm = if tracked = [] then None else Some (Posmap.Build.create ~tracked) in
+  let tokenized = ref 0 and converted = ref 0 in
+  let n_rows = ref 0 and skipped = ref 0 in
+  let cur_col = ref 0 in
+  let row_start = ref pos in
+  let field_error col cause =
+    if record then
+      Scan_errors.record ~offset:!row_start ~field:col ~cause
+  in
+  (* the row body; under Skip_row a parse error escapes to the row loop *)
+  let do_row () =
+    for col = 0 to last do
+      cur_col := col;
+      let track = tracked_mask.(col) in
+      let dt = if col < Array.length dtype_of_src then dtype_of_src.(col) else None in
+      match dt with
+      | Some dt ->
+        let p, l = Csv.Cursor.next_field cur in
+        incr tokenized;
+        if track then
+          Option.iter (fun pm -> Posmap.Build.record pm ~col ~pos:p ~len:l) pm;
+        (match builder_of_src.(col) with
+         | Some b ->
+           (if skip then (
+              match dt with
+              | Dtype.Int -> Builder.add_int b (Csv.parse_int buf p l)
+              | Dtype.Float -> Builder.add_float b (Csv.parse_float buf p l)
+              | Dtype.Bool -> Builder.add_bool b (Csv.parse_bool buf p l)
+              | Dtype.String -> Builder.add_string b (Csv.parse_string buf p l))
+            else
+              match
+                match dt with
+                | Dtype.Int -> Builder.add_int b (Csv.parse_int buf p l)
+                | Dtype.Float -> Builder.add_float b (Csv.parse_float buf p l)
+                | Dtype.Bool -> Builder.add_bool b (Csv.parse_bool buf p l)
+                | Dtype.String -> Builder.add_string b (Csv.parse_string buf p l)
+              with
+              | () -> ()
+              | exception Scan_errors.Error e ->
+                field_error col e.Scan_errors.cause;
+                Builder.add_null b);
+           incr converted
+         | None ->
+           (* validation-only column (Skip_row): decode and discard *)
+           if skip then (
+             match dt with
+             | Dtype.Int -> ignore (Csv.parse_int buf p l)
+             | Dtype.Float -> ignore (Csv.parse_float buf p l)
+             | Dtype.Bool -> ignore (Csv.parse_bool buf p l)
+             | Dtype.String -> ()))
+      | None ->
+        if track then begin
+          let p, l = Csv.Cursor.next_field cur in
+          incr tokenized;
+          Option.iter (fun pm -> Posmap.Build.record pm ~col ~pos:p ~len:l) pm
+        end
+        else begin
+          Csv.Cursor.skip_field cur;
+          incr tokenized
+        end
+    done
+  in
+  while not (Csv.Cursor.at_eof cur) do
+    row_start := Csv.Cursor.pos cur;
+    match do_row () with
+    | () ->
+      Csv.Cursor.skip_line cur;
+      Option.iter Posmap.Build.end_row pm;
+      incr n_rows
+    | exception Scan_errors.Error e ->
+      (* Skip_row: drop the whole row, roll back whatever it recorded *)
+      field_error !cur_col e.Scan_errors.cause;
+      List.iter (fun b -> Builder.truncate b !n_rows) builders;
+      Option.iter Posmap.Build.abort_row pm;
+      Csv.Cursor.skip_line cur;
+      incr skipped
+  done;
+  Io_stats.add "csv.fields_tokenized" !tokenized;
+  Io_stats.add "csv.values_converted" !converted;
+  Io_stats.add "scan.values_built" !converted;
+  if !skipped > 0 then Io_stats.add "scan.rows_skipped" !skipped;
+  let cols =
+    Array.of_list
+      (List.map
+         (fun (s, _) ->
+           match builder_of_src.(s) with
+           | Some b -> Builder.to_column b
+           | None -> assert false)
+         srcs)
+  in
+  (reorder needed srcs cols, Option.map Posmap.Build.finish pm, !n_rows)
+
+(* How many rows a Skip_row scan of this file yields — the same
+   validation the safe kernel applies, without recording errors (the
+   catalog sizes a table once; the passes that produce data do the
+   reporting). *)
+let count_valid_rows ~file ~sep ~schema ?(record = false) () =
+  let _, _, n =
+    seq_scan_safe ~policy:Scan_errors.Skip_row ~record ~file ~sep ~schema
+      ~needed:[] ~tracked:[] ()
+  in
+  n
+
+let seq_scan ~mode ?(policy = Scan_errors.Fail_fast) ?range ~file ~sep ~schema
+    ~needed ~tracked () =
+  match policy with
+  | Scan_errors.Fail_fast -> (
+    match mode with
+    | Interpreted ->
+      seq_scan_interpreted ?range ~file ~sep ~schema ~needed ~tracked ()
+    | Jit -> seq_scan_jit ?range ~file ~sep ~schema ~needed ~tracked ())
+  | _ ->
+    let cols, pm, _ =
+      seq_scan_safe ~policy ?range ~file ~sep ~schema ~needed ~tracked ()
+    in
+    (cols, pm)
 
 (* ------------------------------------------------------------------ *)
 (* Morsel-driven parallel scan                                         *)
@@ -241,19 +410,21 @@ let seq_scan ~mode =
    column segments in morsel order, stitches posmap segments (positions are
    absolute, so no shifting), and absorbs per-view page counters. Output is
    bit-identical to the sequential scan at any parallelism. *)
-let par_scan ~mode ~parallelism ~file ~sep ~schema ~needed ~tracked () =
+let par_scan ~mode ?(policy = Scan_errors.Fail_fast) ~parallelism ~file ~sep
+    ~schema ~needed ~tracked () =
   let ranges =
     if parallelism <= 1 then [] else Csv.row_aligned_ranges file ~n:parallelism
   in
   match ranges with
-  | [] | [ _ ] -> seq_scan ~mode ~file ~sep ~schema ~needed ~tracked ()
+  | [] | [ _ ] -> seq_scan ~mode ~policy ~file ~sep ~schema ~needed ~tracked ()
   | ranges ->
     let parts =
       Morsel.map_domains
         (fun range ->
           let view = Mmap_file.fork_view file in
           let cols, pm =
-            seq_scan ~mode ~range ~file:view ~sep ~schema ~needed ~tracked ()
+            seq_scan ~mode ~policy ~range ~file:view ~sep ~schema ~needed
+              ~tracked ()
           in
           (cols, pm, view))
         ranges
@@ -436,7 +607,61 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
   Io_stats.add "scan.values_built" (n * n_cols);
   reorder cols srcs (Array.of_list (List.map Builder.to_column builders))
 
-let fetch ~mode =
-  match mode with
-  | Interpreted -> fetch_interpreted
-  | Jit -> fetch_jit
+(* Null_fill fetch: rows are physical, so a fetched field can still be
+   malformed — decode defensively, NULL and record on failure. Skip_row
+   needs no safe variant: its row ids only ever name rows the scan already
+   validated against the whole schema, so the fast kernels cannot fail. *)
+let fetch_safe ~file ~sep ~schema ~posmap ~cols ~rowids =
+  let buf = Mmap_file.bytes file in
+  let cur = Csv.Cursor.create ~sep file in
+  let srcs = by_source schema cols in
+  let first = first_source schema cols in
+  let builders = List.map (fun (_, i) -> builder_for schema i) srcs in
+  let tokenized = ref 0 and converted = ref 0 in
+  let n = Array.length rowids in
+  for k = 0 to n - 1 do
+    let r = rowids.(k) in
+    match Posmap.nearest_at_or_before posmap first with
+    | None -> failwith "Scan_csv.fetch: positional map cannot reach column"
+    | Some (tcol, positions) ->
+      let row_pos = positions.(r) in
+      Csv.Cursor.seek cur row_pos;
+      let at = ref tcol in
+      List.iter2
+        (fun (s, i) b ->
+          while !at < s do
+            Csv.Cursor.skip_field cur;
+            incr tokenized;
+            incr at
+          done;
+          let p, l = Csv.Cursor.next_field cur in
+          incr tokenized;
+          incr at;
+          (match
+             match Schema.dtype schema i with
+             | Dtype.Int -> Builder.add_int b (Csv.parse_int buf p l)
+             | Dtype.Float -> Builder.add_float b (Csv.parse_float buf p l)
+             | Dtype.Bool -> Builder.add_bool b (Csv.parse_bool buf p l)
+             | Dtype.String -> Builder.add_string b (Csv.parse_string buf p l)
+           with
+           | () -> ()
+           | exception Scan_errors.Error e ->
+             Scan_errors.record ~offset:row_pos ~field:s
+               ~cause:e.Scan_errors.cause;
+             Builder.add_null b);
+          incr converted)
+        srcs builders
+  done;
+  Io_stats.add "csv.fields_tokenized" !tokenized;
+  Io_stats.add "csv.values_converted" !converted;
+  Io_stats.add "scan.values_built" !converted;
+  reorder cols srcs (Array.of_list (List.map Builder.to_column builders))
+
+let fetch ~mode ?(policy = Scan_errors.Fail_fast) ~file ~sep ~schema ~posmap
+    ~cols ~rowids () =
+  match policy with
+  | Scan_errors.Null_fill -> fetch_safe ~file ~sep ~schema ~posmap ~cols ~rowids
+  | Scan_errors.Fail_fast | Scan_errors.Skip_row -> (
+    match mode with
+    | Interpreted -> fetch_interpreted ~file ~sep ~schema ~posmap ~cols ~rowids
+    | Jit -> fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids)

@@ -28,6 +28,7 @@ val mode_to_string : mode -> string
 
 val seq_scan :
   mode:mode ->
+  ?policy:Scan_errors.policy ->
   ?range:int * int ->
   file:Mmap_file.t ->
   sep:char ->
@@ -41,10 +42,33 @@ val seq_scan :
     fresh positional map ([[]] = build none). Field lengths are recorded for
     tracked columns, enabling the length-aware parse in {!fetch}. [range]
     restricts the scan to a row-aligned byte range [(lo, hi)] (a morsel);
-    recorded positions stay absolute. *)
+    recorded positions stay absolute.
+
+    [policy] (default [Fail_fast]) selects the error handling. [Fail_fast]
+    runs the unmodified fast kernels and lets the typed
+    {!Raw_storage.Scan_errors.Error} propagate on the first malformed
+    field. The other policies run a policy-parametric kernel (shared by
+    both modes): [Skip_row] validates {e every} schema column per row —
+    row identity must not depend on the queried columns — and drops bad
+    rows, rolling their builder and posmap entries back; [Null_fill]
+    keeps every physical row and decodes bad requested fields to NULL.
+    Both record into {!Raw_storage.Scan_errors}. *)
+
+val count_valid_rows :
+  file:Mmap_file.t ->
+  sep:char ->
+  schema:Schema.t ->
+  ?record:bool ->
+  unit ->
+  int
+(** How many rows a [Skip_row] scan of this file yields — the exact
+    acceptance logic of the safe kernel, so cached row counts, positional
+    maps and scan results always agree. [record] (default [false]) says
+    whether the pass also records the errors it encounters. *)
 
 val par_scan :
   mode:mode ->
+  ?policy:Scan_errors.policy ->
   parallelism:int ->
   file:Mmap_file.t ->
   sep:char ->
@@ -56,16 +80,22 @@ val par_scan :
 (** Morsel-driven parallel scan: {!Raw_formats.Csv.row_aligned_ranges}
     morsels, one {!seq_scan} per morsel on its own domain against a forked
     file view, results stitched in morsel order. Bit-identical to
-    [seq_scan] at any [parallelism]; [parallelism <= 1] {e is} [seq_scan]. *)
+    [seq_scan] at any [parallelism]; [parallelism <= 1] {e is} [seq_scan].
+    Morsel boundaries are structural (newlines), so they are unaffected by
+    row validity: a [Skip_row] parallel scan drops exactly the rows the
+    sequential one drops, and the stitched posmap matches. Worker-domain
+    error records are merged deterministically by {!Morsel.map_domains}. *)
 
 val fetch :
   mode:mode ->
+  ?policy:Scan_errors.policy ->
   file:Mmap_file.t ->
   sep:char ->
   schema:Schema.t ->
   posmap:Posmap.t ->
   cols:int list ->
   rowids:int array ->
+  unit ->
   Column.t array
 (** Positional fetch of one or more schema columns for the given row ids
     (ascending columns; any row order — callers choose, and pay the
@@ -73,7 +103,11 @@ val fetch :
     the tracked column at or before the first requested column and parses
     incrementally; multiple requested columns share one pass over the row
     (multi-column shreds, §5.3.1). Raises [Failure] if the positional map
-    tracks nothing at or before the first column. *)
+    tracks nothing at or before the first column.
+
+    Under [Null_fill] a defensive variant decodes bad fields to NULL and
+    records them. [Skip_row] uses the fast kernels unchanged: its row ids
+    only name rows the scan already validated schema-wide. *)
 
 val can_fetch : schema:Schema.t -> posmap:Posmap.t -> cols:int list -> bool
 (** Whether {!fetch} would succeed (some tracked column at or before the
@@ -81,5 +115,7 @@ val can_fetch : schema:Schema.t -> posmap:Posmap.t -> cols:int list -> bool
 
 val template_key :
   phase:string -> table:string -> sep:char -> needed:int list ->
-  tracked:int list -> string
-(** Cache key for a generated kernel: file identity + kernel shape. *)
+  tracked:int list -> policy:Scan_errors.policy -> string
+(** Cache key for a generated kernel: file identity + kernel shape
+    (including the error policy — a [Null_fill] kernel is different code
+    from a [Fail_fast] one). *)

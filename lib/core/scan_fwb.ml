@@ -2,9 +2,26 @@ open Raw_vector
 open Raw_storage
 open Raw_formats
 
-let template_key ~phase ~table ~needed =
-  Printf.sprintf "fwb|%s|%s|needed=%s" phase table
+let template_key ~phase ~table ~needed ~policy =
+  Printf.sprintf "fwb|%s|%s|needed=%s|err=%s" phase table
     (String.concat "," (List.map string_of_int needed))
+    (Scan_errors.policy_to_string policy)
+
+(* FWB values cannot fail to decode — every fixed-width slot is a valid
+   int/float/bool bit pattern — so the only malformation is a ragged file
+   length. [Fail_fast] raises on it ({!Raw_formats.Fwb.n_rows}); the
+   lenient policies scan the whole rows and record the tail once per
+   enumerating pass. *)
+let row_bound ~policy ?(record = true) layout file =
+  match (policy : Scan_errors.policy) with
+  | Fail_fast -> Fwb.n_rows layout file
+  | Skip_row | Null_fill ->
+    let tb = Fwb.trailing_bytes layout file in
+    if tb > 0 && record then
+      Scan_errors.record
+        ~offset:(Mmap_file.length file - tb)
+        ~field:(-1) ~cause:"fwb: trailing bytes";
+    Fwb.n_rows_floor layout file
 
 let source_of schema i = (Schema.field schema i).Schema.source_index
 
@@ -20,10 +37,8 @@ let read_dispatch file (dt : Dtype.t) pos : Value.t =
   | Bool -> Value.Bool (Fwb.read_bool file pos)
   | String -> invalid_arg "Scan_fwb: String column in FWB"
 
-let seq_scan_interpreted ?rows ~file ~layout ~schema ~needed () =
-  let lo, hi =
-    match rows with Some r -> r | None -> (0, Fwb.n_rows layout file)
-  in
+let seq_scan_interpreted ~rows ~file ~layout ~schema ~needed () =
+  let lo, hi = rows in
   let n = hi - lo in
   let builders = List.map (fun i -> Builder.create ~capacity:(max n 1) (Schema.dtype schema i)) needed in
   for row = lo to hi - 1 do
@@ -37,10 +52,8 @@ let seq_scan_interpreted ?rows ~file ~layout ~schema ~needed () =
   count_values n (List.length needed);
   Array.of_list (List.map Builder.to_column builders)
 
-let seq_scan_jit ?rows ~file ~layout ~schema ~needed () =
-  let lo, hi =
-    match rows with Some r -> r | None -> (0, Fwb.n_rows layout file)
-  in
+let seq_scan_jit ~rows ~file ~layout ~schema ~needed () =
+  let lo, hi = rows in
   let n = hi - lo in
   let rs = Fwb.row_size layout in
   let cols =
@@ -73,20 +86,31 @@ let seq_scan_jit ?rows ~file ~layout ~schema ~needed () =
   count_values n (List.length needed);
   Array.of_list cols
 
-let seq_scan ~mode =
-  match (mode : Scan_csv.mode) with
-  | Interpreted -> seq_scan_interpreted
-  | Jit -> seq_scan_jit
+let seq_scan ~mode ?(policy = Scan_errors.Fail_fast) ?rows ~file ~layout
+    ~schema ~needed () =
+  let rows =
+    match rows with
+    | Some r -> r
+    | None -> (0, row_bound ~policy layout file)
+  in
+  (match (mode : Scan_csv.mode) with
+   | Interpreted -> seq_scan_interpreted
+   | Jit -> seq_scan_jit)
+    ~rows ~file ~layout ~schema ~needed ()
 
 (* Morsel-driven parallel scan: contiguous row ranges (fixed arithmetic),
    one sequential kernel per range on its own domain, columns concatenated
    in range order. Bit-identical to the sequential scan. *)
-let par_scan ~mode ~parallelism ~file ~layout ~schema ~needed () =
+let par_scan ~mode ?(policy = Scan_errors.Fail_fast) ~parallelism ~file
+    ~layout ~schema ~needed () =
+  let bound = row_bound ~policy layout file in
   let ranges =
-    if parallelism <= 1 then [] else Fwb.row_ranges layout file ~n:parallelism
+    if parallelism <= 1 then []
+    else Morsel.split_range ~lo:0 ~hi:bound ~n:parallelism
   in
   match ranges with
-  | [] | [ _ ] -> seq_scan ~mode ~file ~layout ~schema ~needed ()
+  | [] | [ _ ] ->
+    seq_scan ~mode ~rows:(0, bound) ~file ~layout ~schema ~needed ()
   | ranges ->
     let parts =
       Morsel.map_domains

@@ -17,6 +17,7 @@ open Raw_formats
 
 val seq_scan :
   mode:Scan_csv.mode ->
+  ?policy:Scan_errors.policy ->
   ?rows:int * int ->
   file:Mmap_file.t ->
   layout:Fwb.layout ->
@@ -26,10 +27,16 @@ val seq_scan :
   Column.t array
 (** Read [needed] (schema indexes) for all rows — or the row range
     [[lo, hi)] when [rows] is given (a morsel). Result follows [needed]
-    order. *)
+    order.
+
+    FWB values cannot fail to decode, so [policy] (default [Fail_fast])
+    only governs a ragged file length: [Fail_fast] raises the typed
+    [Raw_storage.Scan_errors.Error]; the lenient policies scan the whole
+    rows and record the trailing bytes. Ignored when [rows] is given. *)
 
 val par_scan :
   mode:Scan_csv.mode ->
+  ?policy:Scan_errors.policy ->
   parallelism:int ->
   file:Mmap_file.t ->
   layout:Fwb.layout ->
@@ -51,4 +58,5 @@ val fetch :
 (** Point reads at computed offsets for the given row ids. *)
 
 val template_key :
-  phase:string -> table:string -> needed:int list -> string
+  phase:string -> table:string -> needed:int list ->
+  policy:Scan_errors.policy -> string

@@ -2,20 +2,32 @@ open Raw_vector
 open Raw_storage
 open Raw_formats
 
-let template_key ~phase ~table ~needed =
-  Printf.sprintf "hep|%s|%s|needed=%s" phase table
+let template_key ~phase ~table ~needed ~policy =
+  Printf.sprintf "hep|%s|%s|needed=%s|err=%s" phase table
     (String.concat "," (List.map string_of_int needed))
+    (Scan_errors.policy_to_string policy)
 
 let count n_rows n_cols =
   Io_stats.add "hep.fields_read" (n_rows * n_cols);
   Io_stats.add "scan.values_built" (n_rows * n_cols)
 
-let entry_ids reader = function
+(* [rowids] are always actual entry ids; [policy] only governs what a full
+   enumeration ([rowids = None]) means. A HEP record whose structure is
+   corrupt has no recoverable fields — the record boundary itself is gone —
+   so {e both} lenient policies enumerate the structurally valid entries
+   ([Null_fill] degrades to skip; see DESIGN.md) and record the rest. *)
+let entry_ids ~policy reader = function
   | Some ids -> ids
-  | None -> Array.init (Hep.Reader.n_events reader) (fun i -> i)
+  | None ->
+    (match (policy : Scan_errors.policy) with
+     | Fail_fast -> Array.init (Hep.Reader.n_events reader) (fun i -> i)
+     | Skip_row | Null_fill ->
+       Hep.Reader.record_invalid_entries reader;
+       Hep.Reader.valid_entries reader)
 
-let scan_events ~mode ~reader ~needed ~rowids =
-  let ids = entry_ids reader rowids in
+let scan_events ~mode ?(policy = Scan_errors.Fail_fast) ~reader ~needed
+    ~rowids () =
+  let ids = entry_ids ~policy reader rowids in
   let n = Array.length ids in
   let out =
     match (mode : Scan_csv.mode) with
@@ -77,19 +89,19 @@ let stitch ~reader parts =
   Array.init n_cols (fun k ->
       Column.concat (List.map (fun (cols, _) -> cols.(k)) parts))
 
-let par_scan_events ~mode ~parallelism ~reader ~needed ~rowids =
-  let slices =
-    if parallelism <= 1 then []
-    else id_slices (entry_ids reader rowids) ~parallelism
-  in
+let par_scan_events ~mode ?(policy = Scan_errors.Fail_fast) ~parallelism
+    ~reader ~needed ~rowids () =
+  (* resolve the enumeration (and its error recording) exactly once *)
+  let ids = entry_ids ~policy reader rowids in
+  let slices = if parallelism <= 1 then [] else id_slices ids ~parallelism in
   match slices with
-  | [] | [ _ ] -> scan_events ~mode ~reader ~needed ~rowids
+  | [] | [ _ ] -> scan_events ~mode ~reader ~needed ~rowids:(Some ids) ()
   | slices ->
     stitch ~reader
       (Morsel.map_domains
          (fun slice ->
            let r = Hep.Reader.fork_view reader in
-           (scan_events ~mode ~reader:r ~needed ~rowids:(Some slice), r))
+           (scan_events ~mode ~reader:r ~needed ~rowids:(Some slice) (), r))
          slices)
 
 let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowids =

@@ -11,16 +11,25 @@
     through the index built by {!Catalog.hep_index}. *)
 
 open Raw_vector
+open Raw_storage
 open Raw_formats
 
 val scan_events :
   mode:Scan_csv.mode ->
+  ?policy:Scan_errors.policy ->
   reader:Hep.Reader.t ->
   needed:int list ->
   rowids:int array option ->
+  unit ->
   Column.t array
 (** [needed] indexes {!Format_kind.hep_event_schema}; [rowids] = entry ids
-    ([None] = all entries). *)
+    ([None] = all entries).
+
+    [policy] (default [Fail_fast]) governs only what a full enumeration
+    means: a HEP record whose structure is corrupt has no recoverable
+    fields (the record boundary itself is gone), so both lenient policies
+    enumerate {!Raw_formats.Hep.Reader.valid_entries} and record the rest —
+    [Null_fill] degrades to skip. Explicit [rowids] are used verbatim. *)
 
 val scan_particles :
   mode:Scan_csv.mode ->
@@ -35,10 +44,12 @@ val scan_particles :
 
 val par_scan_events :
   mode:Scan_csv.mode ->
+  ?policy:Scan_errors.policy ->
   parallelism:int ->
   reader:Hep.Reader.t ->
   needed:int list ->
   rowids:int array option ->
+  unit ->
   Column.t array
 (** Morsel-driven parallel {!scan_events}: the entry-id array is cut into
     contiguous slices, one worker domain per slice against a forked reader
@@ -58,4 +69,5 @@ val par_scan_particles :
     slices; bit-identical to the sequential scan. *)
 
 val template_key :
-  phase:string -> table:string -> needed:int list -> string
+  phase:string -> table:string -> needed:int list ->
+  policy:Scan_errors.policy -> string

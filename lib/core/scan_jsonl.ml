@@ -2,51 +2,71 @@ open Raw_vector
 open Raw_storage
 open Raw_formats
 
-let template_key ~phase ~table ~needed =
-  Printf.sprintf "jsonl|%s|%s|needed=%s" phase table
+let template_key ~phase ~table ~needed ~policy =
+  Printf.sprintf "jsonl|%s|%s|needed=%s|err=%s" phase table
     (String.concat "," (List.map string_of_int needed))
+    (Scan_errors.policy_to_string policy)
 
 let path_of schema i = String.split_on_char '.' (Schema.name schema i)
 
+let type_clash what s =
+  Scan_errors.fail ~offset:s ~field:(-1)
+    ~cause:("json: string value in " ^ what ^ " column")
+
+(* Under [Null_fill] every emitter is wrapped: a failed conversion records
+   the error against its schema column and emits NULL instead (the parse
+   raises before anything reaches the builder, so no rollback is needed).
+   Under the other policies conversion errors escape to the caller. *)
+let protect ~policy col b f =
+  match (policy : Scan_errors.policy) with
+  | Fail_fast | Skip_row -> f
+  | Null_fill ->
+    fun k s l ->
+      (try f k s l
+       with Scan_errors.Error e ->
+         Scan_errors.record ~offset:e.offset ~field:col ~cause:e.cause;
+         Builder.add_null b)
+
 (* JIT: one monomorphic emitter closure per wanted path, conversion baked
    in. *)
-let jit_emitters buf schema needed builders =
+let jit_emitters ~policy buf schema needed builders =
   List.map2
     (fun i b ->
-      match Schema.dtype schema i with
-      | Dtype.Int -> (
-          fun (kind : Jsonl.Extract.kind) s l ->
-            match kind with
-            | Scalar -> Builder.add_int b (Csv.parse_int buf s l)
-            | Nul -> Builder.add_null b
-            | Quoted _ -> failwith "Scan_jsonl: string value in Int column")
-      | Dtype.Float -> (
-          fun kind s l ->
-            match kind with
-            | Scalar -> Builder.add_float b (Csv.parse_float buf s l)
-            | Nul -> Builder.add_null b
-            | Quoted _ -> failwith "Scan_jsonl: string value in Float column")
-      | Dtype.Bool -> (
-          fun kind s l ->
-            match kind with
-            | Scalar -> Builder.add_bool b (Csv.parse_bool buf s l)
-            | Nul -> Builder.add_null b
-            | Quoted _ -> failwith "Scan_jsonl: string value in Bool column")
-      | Dtype.String -> (
-          fun kind s l ->
-            match kind with
-            | Quoted false -> Builder.add_string b (Bytes.sub_string buf s l)
-            | Quoted true -> Builder.add_string b (Jsonl.unescape buf s l)
-            | Nul -> Builder.add_null b
-            | Scalar -> Builder.add_string b (Bytes.sub_string buf s l)))
+      protect ~policy i b
+        (match Schema.dtype schema i with
+         | Dtype.Int -> (
+             fun (kind : Jsonl.Extract.kind) s l ->
+               match kind with
+               | Scalar -> Builder.add_int b (Csv.parse_int buf s l)
+               | Nul -> Builder.add_null b
+               | Quoted _ -> type_clash "Int" s)
+         | Dtype.Float -> (
+             fun kind s l ->
+               match kind with
+               | Scalar -> Builder.add_float b (Csv.parse_float buf s l)
+               | Nul -> Builder.add_null b
+               | Quoted _ -> type_clash "Float" s)
+         | Dtype.Bool -> (
+             fun kind s l ->
+               match kind with
+               | Scalar -> Builder.add_bool b (Csv.parse_bool buf s l)
+               | Nul -> Builder.add_null b
+               | Quoted _ -> type_clash "Bool" s)
+         | Dtype.String -> (
+             fun kind s l ->
+               match kind with
+               | Quoted false -> Builder.add_string b (Bytes.sub_string buf s l)
+               | Quoted true -> Builder.add_string b (Jsonl.unescape buf s l)
+               | Nul -> Builder.add_null b
+               | Scalar -> Builder.add_string b (Bytes.sub_string buf s l))))
     needed builders
 
 (* Interpreted: the payload is the slot index; every emitted value looks up
    the schema and dispatches — the general-purpose operator's behaviour. *)
-let interp_emit buf schema needed builders =
+let interp_emit ~policy buf schema needed builders =
   let slots = Array.of_list needed in
   let bs = Array.of_list builders in
-  fun slot (kind : Jsonl.Extract.kind) s l ->
+  let emit slot (kind : Jsonl.Extract.kind) s l =
     let b = bs.(slot) in
     match Schema.dtype schema slots.(slot), kind with
     | _, Nul -> Builder.add_null b
@@ -56,9 +76,18 @@ let interp_emit buf schema needed builders =
     | Dtype.String, Quoted false -> Builder.add_string b (Bytes.sub_string buf s l)
     | Dtype.String, Quoted true -> Builder.add_string b (Jsonl.unescape buf s l)
     | Dtype.String, Scalar -> Builder.add_string b (Bytes.sub_string buf s l)
-    | _, Quoted _ -> failwith "Scan_jsonl: string value in non-string column"
+    | _, Quoted _ -> type_clash "non-string" s
+  in
+  match (policy : Scan_errors.policy) with
+  | Fail_fast | Skip_row -> emit
+  | Null_fill ->
+    fun slot k s l ->
+      (try emit slot k s l
+       with Scan_errors.Error e ->
+         Scan_errors.record ~offset:e.offset ~field:slots.(slot) ~cause:e.cause;
+         Builder.add_null bs.(slot))
 
-let make_kernel ~mode ~file ~schema ~needed =
+let make_kernel ~mode ~policy ~file ~schema ~needed =
   let buf = Mmap_file.bytes file in
   let builders =
     List.map (fun i -> Builder.create ~capacity:1024 (Schema.dtype schema i)) needed
@@ -67,13 +96,13 @@ let make_kernel ~mode ~file ~schema ~needed =
   let run_row =
     match (mode : Scan_csv.mode) with
     | Jit ->
-      let emitters = jit_emitters buf schema needed builders in
+      let emitters = jit_emitters ~policy buf schema needed builders in
       let trie =
         Jsonl.Extract.compile (List.map2 (fun p e -> (p, e)) paths emitters)
       in
       fun pos -> Jsonl.Extract.run buf ~pos ~wanted:trie ~emit:(fun f k s l -> f k s l)
     | Interpreted ->
-      let emit = interp_emit buf schema needed builders in
+      let emit = interp_emit ~policy buf schema needed builders in
       let trie =
         Jsonl.Extract.compile (List.mapi (fun slot p -> (p, slot)) paths)
       in
@@ -97,34 +126,118 @@ let finish builders needed n_rows n_cols_touched =
   Io_stats.add "scan.values_built" (n_rows * List.length needed);
   Array.of_list (List.map Builder.to_column builders)
 
-let seq_scan ~mode ~file ~schema ~needed () =
-  let builders, row_at, n_rows = make_kernel ~mode ~file ~schema ~needed in
+let skip_ws buf len p =
+  let i = ref p in
+  while
+    !i < len
+    && (match Bytes.unsafe_get buf !i with
+        | ' ' | '\t' | '\n' | '\r' -> true
+        | _ -> false)
+  do
+    incr i
+  done;
+  !i
+
+(* Resync point after a structurally broken row: the next line. *)
+let next_line buf len p =
+  let i = ref p in
+  while !i < len && Bytes.unsafe_get buf !i <> '\n' do
+    incr i
+  done;
+  min len (!i + 1)
+
+let seq_scan_fast ~mode ~file ~schema ~needed () =
+  let builders, row_at, n_rows =
+    make_kernel ~mode ~policy:Scan_errors.Fail_fast ~file ~schema ~needed
+  in
   let buf = Mmap_file.bytes file in
   let len = Mmap_file.length file in
   let starts = Buffer_int.create () in
-  let pos = ref 0 in
-  let skip_ws p =
-    let i = ref p in
-    while
-      !i < len
-      && (match Bytes.unsafe_get buf !i with
-          | ' ' | '\t' | '\n' | '\r' -> true
-          | _ -> false)
-    do
-      incr i
-    done;
-    !i
-  in
-  pos := skip_ws !pos;
+  let pos = ref (skip_ws buf len 0) in
   while !pos < len do
     Buffer_int.add starts !pos;
-    pos := skip_ws (row_at !pos)
+    pos := skip_ws buf len (row_at !pos)
   done;
   (finish builders needed !n_rows (List.length needed), Buffer_int.contents starts)
 
-let fetch ~mode ~file ~schema ~row_starts ~cols ~rowids =
-  let builders, row_at, _ = make_kernel ~mode ~file ~schema ~needed:cols in
-  Array.iter (fun r -> ignore (row_at row_starts.(r))) rowids;
+(* The policy-parametric kernel. [Skip_row] scans (and therefore validates)
+   every schema column — row identity must not depend on the queried
+   columns — and drops a row on any structural or conversion error, rolling
+   its partial builder state back. [Null_fill] keeps every physical row:
+   conversion errors are nulled in the emitters; a structurally broken row
+   yields all-NULL values and resyncs at the next line. *)
+let seq_scan_safe ~mode ~policy ?(record = true) ~file ~schema ~needed () =
+  let skip = policy = Scan_errors.Skip_row in
+  let scan_cols =
+    if skip then List.init (Schema.arity schema) (fun i -> i) else needed
+  in
+  let builders, row_at, n_rows =
+    make_kernel ~mode ~policy ~file ~schema ~needed:scan_cols
+  in
+  let buf = Mmap_file.bytes file in
+  let len = Mmap_file.length file in
+  let starts = Buffer_int.create () in
+  let skipped = ref 0 in
+  let pos = ref (skip_ws buf len 0) in
+  while !pos < len do
+    let start = !pos in
+    match row_at start with
+    | next ->
+      Buffer_int.add starts start;
+      pos := skip_ws buf len next
+    | exception Scan_errors.Error e ->
+      if record then
+        Scan_errors.record ~offset:start ~field:e.field ~cause:e.cause;
+      let next = next_line buf len start in
+      Mmap_file.touch file start (next - start);
+      (* roll back whatever the broken row already emitted *)
+      List.iter (fun b -> Builder.truncate b !n_rows) builders;
+      if skip then incr skipped
+      else begin
+        n_rows := !n_rows + 1;
+        List.iter Builder.add_null builders;
+        Buffer_int.add starts start
+      end;
+      pos := skip_ws buf len next
+  done;
+  if !skipped > 0 then Io_stats.add "scan.rows_skipped" !skipped;
+  let columns = finish builders scan_cols !n_rows (List.length scan_cols) in
+  let columns =
+    if skip then Array.of_list (List.map (fun c -> columns.(c)) needed)
+    else columns
+  in
+  (columns, Buffer_int.contents starts)
+
+let seq_scan ~mode ?(policy = Scan_errors.Fail_fast) ~file ~schema ~needed () =
+  match policy with
+  | Scan_errors.Fail_fast -> seq_scan_fast ~mode ~file ~schema ~needed ()
+  | Scan_errors.Skip_row | Scan_errors.Null_fill ->
+    seq_scan_safe ~mode ~policy ~file ~schema ~needed ()
+
+let valid_row_starts ~file ~schema ?(record = false) () =
+  snd
+    (seq_scan_safe ~mode:Interpreted ~policy:Scan_errors.Skip_row ~record ~file
+       ~schema ~needed:[] ())
+
+let fetch ~mode ?(policy = Scan_errors.Fail_fast) ~file ~schema ~row_starts
+    ~cols ~rowids () =
+  let builders, row_at, n_rows =
+    make_kernel ~mode ~policy ~file ~schema ~needed:cols
+  in
+  Array.iter
+    (fun r ->
+      match row_at row_starts.(r) with
+      | _ -> ()
+      | exception Scan_errors.Error e ->
+        (* [Skip_row] row ids only name validated rows; a structural error
+           there is real. Under [Null_fill] the row exists but is broken:
+           record it and fetch NULLs. *)
+        if policy <> Scan_errors.Null_fill then raise (Scan_errors.Error e);
+        Scan_errors.record ~offset:row_starts.(r) ~field:e.field ~cause:e.cause;
+        List.iter (fun b -> Builder.truncate b !n_rows) builders;
+        n_rows := !n_rows + 1;
+        List.iter Builder.add_null builders)
+    rowids;
   finish builders cols (Array.length rowids) (List.length cols)
 
 (* ------------------------------------------------------------------ *)
@@ -147,7 +260,8 @@ let array_index ~file ~row_starts ~array_path =
     row_starts;
   (Buffer_int.contents parents, Buffer_int.contents positions)
 
-let scan_array ~mode ~file ~schema ~index:(parents, positions) ~needed ~rowids =
+let scan_array ~mode ?(policy = Scan_errors.Fail_fast) ~file ~schema
+    ~index:(parents, positions) ~needed ~rowids () =
   let ids =
     match rowids with
     | Some ids -> ids
@@ -155,10 +269,23 @@ let scan_array ~mode ~file ~schema ~index:(parents, positions) ~needed ~rowids =
   in
   (* schema column 0 is the parent row id; element fields start at 1 *)
   let elem_cols = List.filter (fun c -> c > 0) needed in
-  let builders, row_at, _ =
-    make_kernel ~mode ~file ~schema ~needed:elem_cols
+  let builders, row_at, n_rows =
+    make_kernel ~mode ~policy ~file ~schema ~needed:elem_cols
   in
-  Array.iter (fun r -> ignore (row_at positions.(r))) ids;
+  (* Element identity is pinned by the parent-side array index, so a child
+     table can never drop rows without invalidating it: both lenient
+     policies degrade a structurally broken element to all-NULL fields. *)
+  Array.iter
+    (fun r ->
+      match row_at positions.(r) with
+      | _ -> ()
+      | exception Scan_errors.Error e ->
+        if policy = Scan_errors.Fail_fast then raise (Scan_errors.Error e);
+        Scan_errors.record ~offset:positions.(r) ~field:e.field ~cause:e.cause;
+        List.iter (fun b -> Builder.truncate b !n_rows) builders;
+        n_rows := !n_rows + 1;
+        List.iter Builder.add_null builders)
+    ids;
   let elem_columns =
     finish builders elem_cols (Array.length ids) (List.length elem_cols)
   in

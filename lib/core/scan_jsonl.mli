@@ -15,25 +15,50 @@ open Raw_storage
 
 val seq_scan :
   mode:Scan_csv.mode ->
+  ?policy:Scan_errors.policy ->
   file:Mmap_file.t ->
   schema:Schema.t ->
   needed:int list ->
   unit ->
   Column.t array * int array
 (** Full scan; also returns the row-start offsets discovered on the way
-    (the structure index cached by the catalog). *)
+    (the structure index cached by the catalog).
+
+    [policy] (default [Fail_fast]) selects error handling. [Skip_row]
+    validates {e every} schema column per row (row identity must not depend
+    on the queried columns) and drops broken rows — the returned row starts
+    name only the kept rows. [Null_fill] keeps every physical row: a failed
+    conversion yields NULL for that field; a structurally broken row yields
+    all-NULL values and the scan resyncs at the next line. Both record into
+    {!Raw_storage.Scan_errors}. *)
+
+val valid_row_starts :
+  file:Mmap_file.t ->
+  schema:Schema.t ->
+  ?record:bool ->
+  unit ->
+  int array
+(** The row starts a [Skip_row] scan keeps — the exact acceptance logic of
+    the safe kernel, so cached row counts and scan results agree. [record]
+    (default [false]) says whether the pass also records the errors. *)
 
 val fetch :
   mode:Scan_csv.mode ->
+  ?policy:Scan_errors.policy ->
   file:Mmap_file.t ->
   schema:Schema.t ->
   row_starts:int array ->
   cols:int list ->
   rowids:int array ->
+  unit ->
   Column.t array
+(** Under [Null_fill], a structurally broken row fetches as all-NULL and is
+    recorded; [Skip_row] row ids only ever name rows the scan validated, so
+    both other policies use the unmodified fast path. *)
 
 val template_key :
-  phase:string -> table:string -> needed:int list -> string
+  phase:string -> table:string -> needed:int list ->
+  policy:Scan_errors.policy -> string
 
 (** {1 Flattened child tables over JSON arrays}
 
@@ -53,9 +78,14 @@ val array_index :
 
 val scan_array :
   mode:Scan_csv.mode ->
+  ?policy:Scan_errors.policy ->
   file:Mmap_file.t ->
   schema:Schema.t ->
   index:int array * int array ->
   needed:int list ->
   rowids:int array option ->
+  unit ->
   Column.t array
+(** Element identity is pinned by the parent-side array index, so a child
+    table can never drop rows: under both lenient policies a structurally
+    broken element degrades to all-NULL fields (and is recorded). *)

@@ -19,3 +19,7 @@ let get t i =
 
 let contents t = Array.sub t.a 0 t.n
 let clear t = t.n <- 0
+
+let truncate t n =
+  if n < 0 || n > t.n then invalid_arg "Buffer_int.truncate";
+  t.n <- n

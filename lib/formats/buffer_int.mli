@@ -9,3 +9,9 @@ val length : t -> int
 val get : t -> int -> int
 val contents : t -> int array
 val clear : t -> unit
+
+val truncate : t -> int -> unit
+(** [truncate t n] drops entries from the end until [length t = n]. Raises
+    [Invalid_argument] if [n] is negative or exceeds the current length.
+    Used to roll back a partially recorded row when a scan under
+    [Skip_row] abandons it. *)

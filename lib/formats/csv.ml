@@ -38,18 +38,28 @@ let generate ~path ?(sep = ',') ~n_rows ~dtypes ~seed () =
   in
   write_file ~path ~sep ~header:None ~rows ()
 
-(* ---------- fast parsers ---------- *)
+(* ---------- fast parsers ----------
+
+   Decode failures raise the typed Scan_errors.Error with the field's own
+   byte offset; scan kernels catch it and re-attribute to (row offset,
+   source column) before recording or re-raising under the active error
+   policy. Malformed data is user input, not a programmer error, so none
+   of these paths use failwith/assert. *)
+
+let bad_int ~pos = Scan_errors.fail ~offset:pos ~field:(-1) ~cause:"bad int"
+let bad_float ~pos = Scan_errors.fail ~offset:pos ~field:(-1) ~cause:"bad float"
+let bad_bool ~pos = Scan_errors.fail ~offset:pos ~field:(-1) ~cause:"bad bool"
 
 let parse_int buf pos len =
-  if len = 0 then failwith "Csv.parse_int: empty field";
+  if len = 0 then bad_int ~pos;
   let stop = pos + len in
   let neg = Bytes.unsafe_get buf pos = '-' in
   let i0 = if neg || Bytes.unsafe_get buf pos = '+' then pos + 1 else pos in
-  if i0 >= stop then failwith "Csv.parse_int: no digits";
+  if i0 >= stop then bad_int ~pos;
   let acc = ref 0 in
   for i = i0 to stop - 1 do
     let c = Char.code (Bytes.unsafe_get buf i) - Char.code '0' in
-    if c < 0 || c > 9 then failwith "Csv.parse_int: bad digit";
+    if c < 0 || c > 9 then bad_int ~pos;
     acc := (!acc * 10) + c
   done;
   if neg then - !acc else !acc
@@ -57,10 +67,13 @@ let parse_int buf pos len =
 let pow10 = [| 1.; 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; 1e11;
                1e12; 1e13; 1e14; 1e15 |]
 
-let parse_float_slow buf pos len = float_of_string (Bytes.sub_string buf pos len)
+let parse_float_slow buf pos len =
+  match float_of_string_opt (Bytes.sub_string buf pos len) with
+  | Some f -> f
+  | None -> bad_float ~pos
 
 let parse_float buf pos len =
-  if len = 0 then failwith "Csv.parse_float: empty field";
+  if len = 0 then bad_float ~pos;
   let stop = pos + len in
   let neg = Bytes.unsafe_get buf pos = '-' in
   let i = ref (if neg || Bytes.unsafe_get buf pos = '+' then pos + 1 else pos) in
@@ -104,12 +117,12 @@ let parse_bool buf pos len =
     match Bytes.get buf pos with
     | '1' | 't' | 'T' -> true
     | '0' | 'f' | 'F' -> false
-    | _ -> failwith "Csv.parse_bool"
+    | _ -> bad_bool ~pos
   else
     match String.lowercase_ascii (Bytes.sub_string buf pos len) with
     | "true" -> true
     | "false" -> false
-    | _ -> failwith "Csv.parse_bool"
+    | _ -> bad_bool ~pos
 
 let parse_string buf pos len = Bytes.sub_string buf pos len
 

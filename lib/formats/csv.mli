@@ -34,8 +34,10 @@ val render_value : Value.t -> string
 
     Each parses the byte range [pos, pos+len) of [buf]; they are the
     data-type conversion functions a JIT access path bakes into the scan
-    operator. [parse_int] raises [Failure] on malformed input;
-    [parse_float] falls back to [float_of_string] for unusual syntax. *)
+    operator. Malformed input raises the typed
+    [Raw_storage.Scan_errors.Error] carrying the field's byte offset, so
+    scan kernels can apply the active error policy; [parse_float] falls
+    back to [float_of_string] for unusual syntax. *)
 
 val parse_int : Bytes.t -> int -> int -> int
 val parse_float : Bytes.t -> int -> int -> float

@@ -29,12 +29,25 @@ let n_fields l = Array.length l.dtypes
 
 let offset_of l ~row ~field = (row * l.row_size) + l.offsets.(field)
 
+let n_rows_floor l file =
+  let len = Mmap_file.length file in
+  if l.row_size = 0 then 0 else len / l.row_size
+
+let trailing_bytes l file =
+  let len = Mmap_file.length file in
+  if l.row_size = 0 then 0 else len mod l.row_size
+
 let n_rows l file =
   let len = Mmap_file.length file in
   if l.row_size = 0 then 0
   else begin
+    (* a ragged length is malformed user data (e.g. a truncated write or a
+       short read), not a programmer error: raise the typed scan error so
+       policies can degrade to [n_rows_floor] whole rows *)
     if len mod l.row_size <> 0 then
-      invalid_arg "Fwb.n_rows: file length is not a whole number of rows";
+      Scan_errors.fail
+        ~offset:(len - (len mod l.row_size))
+        ~field:(-1) ~cause:"fwb: trailing bytes";
     len / l.row_size
   end
 

@@ -25,8 +25,17 @@ val offset_of : layout -> row:int -> field:int -> int
 (** The paper's formula: [row * row_size + field_offset]. *)
 
 val n_rows : layout -> Mmap_file.t -> int
-(** [file_length / row_size]; raises [Invalid_argument] if the file size is
-    not a whole number of rows. *)
+(** [file_length / row_size]; raises the typed
+    [Raw_storage.Scan_errors.Error] (cause ["fwb: trailing bytes"]) if the
+    file size is not a whole number of rows — a truncated write or short
+    read, i.e. malformed user data rather than a programmer error. *)
+
+val n_rows_floor : layout -> Mmap_file.t -> int
+(** Whole rows only: [file_length / row_size] rounded down. What the
+    [Skip_row]/[Null_fill] policies scan of a ragged file. *)
+
+val trailing_bytes : layout -> Mmap_file.t -> int
+(** [file_length mod row_size] — nonzero iff the file is ragged. *)
 
 val row_ranges : layout -> Mmap_file.t -> n:int -> (int * int) list
 (** Morsel boundary finder: at most [n] contiguous, non-empty [(lo, hi)] row

@@ -110,26 +110,38 @@ module Reader = struct
     cache : (int, event) Lru.t;
     mutable cache_hits : int;
     mutable cache_misses : int;
+    mutable valid : int array option; (* entries whose spans fit; lazy *)
   }
 
+  (* Reads are bounds-checked against the mapped length: a corrupt record
+     header or index slot pointing past EOF is malformed user data, so it
+     raises the typed scan error, not Invalid_argument. *)
+  let oob pos =
+    Scan_errors.fail ~offset:pos ~field:(-1) ~cause:"hep: read past EOF"
+
   let read_i64 t pos =
+    if pos < 0 || pos + 8 > Bytes.length t.buf then oob pos;
     Mmap_file.touch t.file pos 8;
     Int64.to_int (Bytes.get_int64_le t.buf pos)
 
   let read_i32 t pos =
+    if pos < 0 || pos + 4 > Bytes.length t.buf then oob pos;
     Mmap_file.touch t.file pos 4;
     Int32.to_int (Bytes.get_int32_le t.buf pos)
 
   let read_f64 t pos =
+    if pos < 0 || pos + 8 > Bytes.length t.buf then oob pos;
     Mmap_file.touch t.file pos 8;
     Int64.float_of_bits (Bytes.get_int64_le t.buf pos)
 
-  let open_file ?config ?(object_cache_capacity = 4096) path =
-    let file = Mmap_file.open_file ?config path in
+  let open_file ?config ?fault ?(object_cache_capacity = 4096) path =
+    let file = Mmap_file.open_file ?config ?fault path in
     let buf = Mmap_file.bytes file in
     if Mmap_file.length file < header_size
        || Bytes.sub_string buf 0 4 <> magic
-    then failwith ("Hep.Reader.open_file: not a HEP file: " ^ path);
+    then
+      Scan_errors.fail ~offset:0 ~field:(-1)
+        ~cause:("hep: not a HEP file: " ^ path);
     let t =
       {
         file;
@@ -139,10 +151,13 @@ module Reader = struct
         cache = Lru.create ~capacity:object_cache_capacity ();
         cache_hits = 0;
         cache_misses = 0;
+        valid = None;
       }
     in
     let n_events = read_i64 t 8 in
     let index_off = read_i64 t 16 in
+    if n_events < 0 then
+      Scan_errors.fail ~offset:8 ~field:(-1) ~cause:"hep: bad event count";
     { t with n_events; index_off }
 
   let file t = t.file
@@ -176,6 +191,55 @@ module Reader = struct
 
   let read_event_id t entry = read_i64 t (event_offset t entry)
   let read_run_number t entry = read_i64 t (event_offset t entry + 8)
+
+  (* Structural validation of one index entry: its slot must lie inside
+     the file and the record it points at — fixed header, aux payload and
+     all three collections — must fit between the file header and the
+     index. Raw byte reads, no page accounting: validation is a metadata
+     probe like the morsel boundary finder, and must not perturb the
+     simulated I/O counters (or parallel and sequential scans would
+     diverge). Never raises. *)
+  let entry_ok t entry =
+    let len = Bytes.length t.buf in
+    let data_end = min t.index_off len in
+    entry >= 0 && entry < t.n_events && t.index_off >= header_size
+    && t.index_off + (8 * (entry + 1)) <= len
+    &&
+    let off =
+      Int64.to_int (Bytes.get_int64_le t.buf (t.index_off + (8 * entry)))
+    in
+    off >= header_size
+    && off + event_fixed_size <= data_end
+    &&
+    let n_mu = Int32.to_int (Bytes.get_int32_le t.buf (off + 16)) in
+    let n_el = Int32.to_int (Bytes.get_int32_le t.buf (off + 20)) in
+    let n_jet = Int32.to_int (Bytes.get_int32_le t.buf (off + 24)) in
+    let n_aux = Int32.to_int (Bytes.get_int32_le t.buf (off + 28)) in
+    n_mu >= 0 && n_el >= 0 && n_jet >= 0 && n_aux >= 0
+    && off + event_fixed_size + (n_aux * 8)
+       + ((n_mu + n_el + n_jet) * particle_size)
+       <= data_end
+
+  let valid_entries t =
+    match t.valid with
+    | Some v -> v
+    | None ->
+      let buf = Buffer_int.create ~capacity:(max t.n_events 1) () in
+      for e = 0 to t.n_events - 1 do
+        if entry_ok t e then Buffer_int.add buf e
+      done;
+      let v = Buffer_int.contents buf in
+      t.valid <- Some v;
+      v
+
+  let record_invalid_entries t =
+    if Array.length (valid_entries t) < t.n_events then
+      for e = 0 to t.n_events - 1 do
+        if not (entry_ok t e) then
+          Scan_errors.record
+            ~offset:(t.index_off + (8 * e))
+            ~field:(-1) ~cause:"hep: corrupt event record"
+      done
 
   (* (start offset of collection, length); collections sit after the aux
      payload, which the field API skips without reading *)

@@ -67,13 +67,35 @@ module Reader : sig
   type t
 
   val open_file :
-    ?config:Mmap_file.Config.t -> ?object_cache_capacity:int -> string -> t
+    ?config:Mmap_file.Config.t ->
+    ?fault:Mmap_file.Fault.t ->
+    ?object_cache_capacity:int ->
+    string ->
+    t
   (** [object_cache_capacity] bounds the LRU cache of deserialized events
-      (the ROOT "buffer pool" stand-in; default 4096 events). Raises
-      [Failure] on a malformed file. *)
+      (the ROOT "buffer pool" stand-in; default 4096 events). Raises the
+      typed [Raw_storage.Scan_errors.Error] on a malformed file; so do all
+      reads below that a corrupt index or record header sends past EOF. *)
 
   val file : t -> Mmap_file.t
   val n_events : t -> int
+
+  val entry_ok : t -> int -> bool
+  (** Structural validation of one index entry: the slot lies inside the
+      file and the record it points at (header, aux payload, all three
+      collections) fits between the file header and the index. A pure
+      metadata probe — no page accounting, never raises. *)
+
+  val valid_entries : t -> int array
+  (** The entry ids passing {!entry_ok}, ascending; computed once and
+      cached. [Skip_row]/[Null_fill] scans of a corrupt file enumerate
+      these instead of [0 .. n_events-1]. *)
+
+  val record_invalid_entries : t -> unit
+  (** Record one {!Raw_storage.Scan_errors} sample per entry failing
+      {!entry_ok} (offset = its index slot, cause
+      ["hep: corrupt event record"]). No-op on a clean file. Called once
+      per enumerating pass by the lenient scan policies. *)
 
   val fork_view : t -> t
   (** A reader for a worker domain: shares the file bytes and event index

@@ -171,7 +171,13 @@ let unescape buf pos len =
        | 'u' ->
          if !i + 5 < stop then begin
            let code =
-             int_of_string ("0x" ^ Bytes.sub_string buf (!i + 2) 4)
+             match
+               int_of_string_opt ("0x" ^ Bytes.sub_string buf (!i + 2) 4)
+             with
+             | Some c -> c
+             | None ->
+               Scan_errors.fail ~offset:!i ~field:(-1)
+                 ~cause:"json: bad \\u escape"
            in
            (* BMP code points only; encode as UTF-8 *)
            if code < 0x80 then Buffer.add_char out (Char.chr code)
@@ -186,8 +192,12 @@ let unescape buf pos len =
            end;
            i := !i + 4
          end
-         else failwith "Jsonl.unescape: truncated \\u escape"
-       | c -> failwith (Printf.sprintf "Jsonl.unescape: bad escape \\%c" c));
+         else
+           Scan_errors.fail ~offset:!i ~field:(-1)
+             ~cause:"json: truncated \\u escape"
+       | c ->
+         Scan_errors.fail ~offset:!i ~field:(-1)
+           ~cause:(Printf.sprintf "json: bad escape \\%c" c));
       i := !i + 2
     end
     else begin
@@ -201,7 +211,10 @@ let unescape buf pos len =
 (* Byte-level scanning primitives                                      *)
 (* ------------------------------------------------------------------ *)
 
-let fail_at what pos = failwith (Printf.sprintf "Jsonl: %s at byte %d" what pos)
+(* Structural failures carry the byte offset of the violation as a typed
+   scan error: reachable from arbitrary user bytes, so never failwith. *)
+let fail_at what pos =
+  Scan_errors.fail ~offset:pos ~field:(-1) ~cause:("json: " ^ what)
 
 let skip_ws buf len pos =
   let i = ref pos in
@@ -522,7 +535,10 @@ let parse s =
          (match body with
           | "true" -> (Bool true, next)
           | "false" -> (Bool false, next)
-          | _ -> (Number (float_of_string body), next))
+          | _ ->
+            (match float_of_string_opt body with
+             | Some f -> (Number f, next)
+             | None -> fail_at "bad number" pos))
        | _ -> fail_at "unexpected value" pos)
   in
   let v, next = value 0 in

@@ -51,8 +51,8 @@ type json =
   | Array of json list
 
 val parse : string -> json
-(** Full (strict enough) JSON parser. Raises [Failure] on malformed
-    input. *)
+(** Full (strict enough) JSON parser. Raises the typed
+    [Raw_storage.Scan_errors.Error] on malformed input. *)
 
 val unescape : Bytes.t -> int -> int -> string
 (** Decode a string-literal body span (without quotes). *)
@@ -86,8 +86,8 @@ module Extract : sig
   (** Walk the object starting at [pos] (skipping leading whitespace),
       emitting the value span of every wanted path found, and return the
       position just after the object. Unmatched keys are skipped at byte
-      level without materializing anything. Raises [Failure] on malformed
-      JSON. *)
+      level without materializing anything. Raises the typed
+      [Raw_storage.Scan_errors.Error] on malformed JSON. *)
 
   val iter_array_objects :
     Bytes.t -> pos:int -> path:string list -> f:(int -> unit) -> int

@@ -104,6 +104,13 @@ module Build = struct
       invalid_arg "Posmap.Build.end_row: missing tracked columns";
     t.in_row <- 0
 
+  let abort_row t =
+    for k = 0 to t.in_row - 1 do
+      Buffer_int.truncate t.pos_bufs.(k) (Buffer_int.length t.pos_bufs.(k) - 1);
+      Buffer_int.truncate t.len_bufs.(k) (Buffer_int.length t.len_bufs.(k) - 1)
+    done;
+    t.in_row <- 0
+
   let finish t =
     if t.in_row <> 0 then invalid_arg "Posmap.Build.finish: unfinished row";
     let pos = Array.map Buffer_int.contents t.pos_bufs in

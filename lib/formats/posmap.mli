@@ -61,6 +61,13 @@ module Build : sig
       {!end_row}. *)
 
   val end_row : t -> unit
+
+  val abort_row : t -> unit
+  (** Roll back any columns recorded for the current row. A [Skip_row]
+      scan calls this when a row turns out malformed after some tracked
+      columns were already recorded, so skipped rows leave no entries and
+      positional-map row ids stay aligned with the surviving rows. *)
+
   val finish : t -> map
   (** Raises [Invalid_argument] if a row is half-recorded. *)
 end

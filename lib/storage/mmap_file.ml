@@ -9,6 +9,65 @@ module Config = struct
     { page_size = 65536; io_seconds_per_page = 0.0006; residency_capacity = None }
 end
 
+module Fault = struct
+  type t = {
+    seed : int;
+    flip_per_page : float;
+    truncate_pages : int;
+    only : string option;
+  }
+
+  let make ?(seed = 0) ?(flip_per_page = 0.) ?(truncate_pages = 0) ?only () =
+    { seed; flip_per_page; truncate_pages; only }
+
+  let applies t ~name =
+    match t.only with
+    | None -> true
+    | Some needle ->
+      let nl = String.length needle and hl = String.length name in
+      nl = 0
+      || (nl <= hl
+          && (let found = ref false in
+              for i = 0 to hl - nl do
+                if (not !found) && String.sub name i nl = needle then
+                  found := true
+              done;
+              !found))
+
+  (* avalanche mix so (seed, page) -> pseudo-random int is deterministic
+     across runs, domains and processes — no Random state involved *)
+  let mix x =
+    let x = x land max_int in
+    let x = x lxor (x lsr 16) in
+    let x = x * 0x7feb352d land max_int in
+    let x = x lxor (x lsr 15) in
+    let x = x * 0x846ca68b land max_int in
+    x lxor (x lsr 16)
+
+  let page_hash t p = mix ((t.seed * 0x1000193) + (p * 0x811c9dc5))
+
+  let from_env () =
+    let geti k = Option.bind (Sys.getenv_opt k) int_of_string_opt in
+    let getf k = Option.bind (Sys.getenv_opt k) float_of_string_opt in
+    let seed = geti "RAW_FAULT_SEED" in
+    let flip = getf "RAW_FAULT_FLIP" in
+    let trunc =
+      match geti "RAW_FAULT_TRUNC" with
+      | Some _ as t -> t
+      | None -> geti "RAW_FAULT_TRUNCATE"
+    in
+    match (seed, flip, trunc) with
+    | None, None, None -> None
+    | _ ->
+      Some
+        {
+          seed = Option.value seed ~default:0;
+          flip_per_page = Option.value flip ~default:0.;
+          truncate_pages = Option.value trunc ~default:0;
+          only = Sys.getenv_opt "RAW_FAULT_ONLY";
+        }
+end
+
 type residency =
   | Bitmap of Bytes.t
   | Bounded of (int, unit) Lru.t
@@ -23,6 +82,8 @@ type t = {
   mutable faults : int;
   mutable hits : int;
   mutable last_page : int; (* fast path: page we most recently hit *)
+  injected_flips : int;
+  injected_truncated_bytes : int;
 }
 
 let make_residency config n_pages =
@@ -30,9 +91,57 @@ let make_residency config n_pages =
   | None -> Bitmap (Bytes.make (max n_pages 1) '\000')
   | Some cap -> Bounded (Lru.create ~capacity:cap ())
 
-let of_bytes ?(config = Config.default) ~name data =
+(* Deterministic media-fault simulation, applied once when the file is
+   opened: truncation at page granularity (a short read) and per-page
+   byte flips. Injecting into the opened copy — rather than on every
+   [touch] — keeps parallel and sequential scans trivially identical
+   under the same seed: every fork_view shares the already-corrupted
+   bytes. The caller's buffer is never mutated (we corrupt a copy). *)
+let inject fault ~page_size:ps data =
+  let len = Bytes.length data in
+  let keep =
+    if fault.Fault.truncate_pages <= 0 then len
+    else
+      let n_pages = (len + ps - 1) / ps in
+      let keep_pages = max 0 (n_pages - fault.Fault.truncate_pages) in
+      min len (keep_pages * ps)
+  in
+  let data = Bytes.sub data 0 keep in
+  let flips = ref 0 in
+  if fault.Fault.flip_per_page > 0. then begin
+    let n_pages = (keep + ps - 1) / ps in
+    for p = 0 to n_pages - 1 do
+      let h = Fault.page_hash fault p in
+      if
+        float_of_int (h land 0xFFFFF) /. 1048576.0
+        < fault.Fault.flip_per_page
+      then begin
+        let page_len = min ps (keep - (p * ps)) in
+        if page_len > 0 then begin
+          let pos = (p * ps) + (Fault.mix (h + 1) mod page_len) in
+          let x = Fault.mix (h + 2) land 0xff in
+          let x = if x = 0 then 0x55 else x in
+          Bytes.set data pos
+            (Char.chr (Char.code (Bytes.get data pos) lxor x));
+          incr flips
+        end
+      end
+    done
+  end;
+  (data, !flips, len - keep)
+
+let of_bytes ?(config = Config.default) ?fault ~name data =
   if config.Config.page_size <= 0 then
     invalid_arg "Mmap_file: page_size must be positive";
+  let fault =
+    match fault with Some _ -> fault | None -> Fault.from_env ()
+  in
+  let data, injected_flips, injected_truncated_bytes =
+    match fault with
+    | Some f when Fault.applies f ~name ->
+      inject f ~page_size:config.Config.page_size data
+    | _ -> (data, 0, 0)
+  in
   let n_pages =
     (Bytes.length data + config.Config.page_size - 1) / config.Config.page_size
   in
@@ -46,9 +155,11 @@ let of_bytes ?(config = Config.default) ~name data =
     faults = 0;
     hits = 0;
     last_page = -1;
+    injected_flips;
+    injected_truncated_bytes;
   }
 
-let open_file ?config path =
+let open_file ?config ?fault path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -56,7 +167,7 @@ let open_file ?config path =
       let len = in_channel_length ic in
       let data = Bytes.create len in
       really_input ic data 0 len;
-      of_bytes ?config ~name:path data)
+      of_bytes ?config ?fault ~name:path data)
 
 let name t = t.name
 let length t = Bytes.length t.data
@@ -101,6 +212,8 @@ let touch t pos len =
 let faults t = t.faults
 let hits t = t.hits
 let resident_pages t = t.resident
+let injected_flips t = t.injected_flips
+let injected_truncated_bytes t = t.injected_truncated_bytes
 
 (* ---------- concurrent-read views ---------- *)
 

@@ -25,13 +25,52 @@ module Config : sig
   val default : t
 end
 
+(** Deterministic, seed-driven media-fault injection. Faults are applied
+    once, when the file is opened: [truncate_pages] simulated short reads
+    (whole pages dropped from the tail) and per-page byte flips with
+    probability [flip_per_page], both derived from a pure hash of
+    [(seed, page)] — no [Random] state, so the same seed corrupts the
+    same bytes in every process and on every domain. When no [?fault] is
+    passed explicitly, the environment is consulted ({!Fault.from_env}):
+    [RAW_FAULT_SEED], [RAW_FAULT_FLIP] (probability per page),
+    [RAW_FAULT_TRUNC] (pages), and [RAW_FAULT_ONLY] (only corrupt files
+    whose name contains the given substring) — letting CI run the whole
+    suite under injected faults without touching fixtures by hand. *)
+module Fault : sig
+  type t = {
+    seed : int;
+    flip_per_page : float;  (** probability a given page gets one byte flip *)
+    truncate_pages : int;  (** pages removed from the end of the file *)
+    only : string option;  (** substring filter on the file name *)
+  }
+
+  val make :
+    ?seed:int ->
+    ?flip_per_page:float ->
+    ?truncate_pages:int ->
+    ?only:string ->
+    unit ->
+    t
+
+  val applies : t -> name:string -> bool
+  val from_env : unit -> t option
+end
+
 type t
 
-val open_file : ?config:Config.t -> string -> t
-(** Reads the whole file. Raises [Sys_error] if unreadable. *)
+val open_file : ?config:Config.t -> ?fault:Fault.t -> string -> t
+(** Reads the whole file. Raises [Sys_error] if unreadable. An explicit
+    [?fault] overrides any environment-configured injection. *)
 
-val of_bytes : ?config:Config.t -> name:string -> Bytes.t -> t
-(** In-memory file, mainly for tests. *)
+val of_bytes : ?config:Config.t -> ?fault:Fault.t -> name:string -> Bytes.t -> t
+(** In-memory file, mainly for tests. When a fault applies, the stored
+    contents are a corrupted {e copy}; the caller's buffer is untouched. *)
+
+val injected_flips : t -> int
+(** Byte flips the fault injector applied at open time. *)
+
+val injected_truncated_bytes : t -> int
+(** Bytes the fault injector removed from the tail at open time. *)
 
 val name : t -> string
 val length : t -> int

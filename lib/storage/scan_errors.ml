@@ -1,0 +1,125 @@
+(* Per-scan error policies and domain-local error accounting.
+
+   Mirrors Io_stats: each domain accumulates into its own cell (no
+   contention inside morsel workers); Morsel.map_domains merges worker
+   snapshots back into the coordinator after join. Samples are kept
+   sorted by (offset, field) and capped at [max_samples], so a parallel
+   scan's merged report is byte-identical to the sequential one. *)
+
+type policy = Fail_fast | Skip_row | Null_fill
+
+let policy_to_string = function
+  | Fail_fast -> "fail"
+  | Skip_row -> "skip"
+  | Null_fill -> "null"
+
+let policy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "fail" | "fail-fast" | "fail_fast" -> Some Fail_fast
+  | "skip" | "skip-row" | "skip_row" -> Some Skip_row
+  | "null" | "null-fill" | "null_fill" -> Some Null_fill
+  | _ -> None
+
+type sample = { offset : int; field : int; cause : string }
+
+exception Error of sample
+
+let fail ~offset ~field ~cause = raise (Error { offset; field; cause })
+let max_samples = 8
+
+type cell = {
+  mutable total : int;
+  by_cause : (string, int ref) Hashtbl.t;
+  (* ascending by (offset, field); length <= max_samples *)
+  mutable samples : sample list;
+  mutable n_samples : int;
+}
+
+let new_cell () =
+  { total = 0; by_cause = Hashtbl.create 8; samples = []; n_samples = 0 }
+
+let key = Domain.DLS.new_key new_cell
+let cell () = Domain.DLS.get key
+
+let count c ~cause ~n =
+  c.total <- c.total + n;
+  match Hashtbl.find_opt c.by_cause cause with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace c.by_cause cause (ref n)
+
+let sample_le a b =
+  a.offset < b.offset || (a.offset = b.offset && a.field <= b.field)
+
+(* insert keeping ascending (offset, field) order, then cap. Sequential
+   scans record in offset order so this is O(1) appends in practice. *)
+let add_sample c s =
+  let rec ins = function
+    | [] -> [ s ]
+    | x :: _ as l when not (sample_le x s) -> s :: l
+    | x :: tl -> x :: ins tl
+  in
+  if c.n_samples < max_samples then begin
+    c.samples <- ins c.samples;
+    c.n_samples <- c.n_samples + 1
+  end
+  else
+    match List.rev c.samples with
+    | last :: _ when not (sample_le last s) ->
+      let rec cap n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: tl -> x :: cap (n - 1) tl
+      in
+      c.samples <- cap max_samples (ins c.samples)
+    | _ -> ()
+
+let record_sample s =
+  let c = cell () in
+  count c ~cause:s.cause ~n:1;
+  add_sample c s
+
+let record ~offset ~field ~cause = record_sample { offset; field; cause }
+
+type snapshot = {
+  total : int;
+  by_cause : (string * int) list;
+  samples : sample list;
+}
+
+let empty = { total = 0; by_cause = []; samples = [] }
+let is_empty s = s.total = 0
+
+let snapshot () =
+  let c = cell () in
+  {
+    total = c.total;
+    by_cause =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) c.by_cause []
+      |> List.sort compare;
+    samples = c.samples;
+  }
+
+let reset () =
+  let c = cell () in
+  c.total <- 0;
+  Hashtbl.reset c.by_cause;
+  c.samples <- [];
+  c.n_samples <- 0
+
+let merge (s : snapshot) =
+  let c = cell () in
+  List.iter (fun (cause, n) -> count c ~cause ~n) s.by_cause;
+  List.iter (add_sample c) s.samples
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf "@[<v>%d scan error(s)" s.total;
+  List.iter
+    (fun (cause, n) -> Format.fprintf ppf "@,  %6d  %s" n cause)
+    s.by_cause;
+  List.iter
+    (fun x ->
+      Format.fprintf ppf "@,  sample: offset %d%s: %s" x.offset
+        (if x.field >= 0 then Printf.sprintf " field %d" x.field else "")
+        x.cause)
+    s.samples;
+  Format.fprintf ppf "@]"

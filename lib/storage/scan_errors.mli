@@ -1,0 +1,75 @@
+(** Per-scan error policies and domain-local error accounting.
+
+    Raw files arrive malformed: truncated mid-row, ragged, with bad numeric
+    literals or corrupt record headers. A loader would reject such input
+    up front; an in-situ engine meets it mid-query and must degrade
+    gracefully. Every scan kernel runs under a {!policy}:
+
+    - {!Fail_fast} — abort the query on the first malformed value, raising
+      {!Error} with the byte offset, field and cause. This is the default
+      and costs nothing on clean data (the kernels' fast paths are
+      unchanged; the typed error is raised from the same checks that
+      always guarded decoding).
+    - {!Skip_row} — drop any row with a malformed field. Row identity is
+      schema-wide: a row is dropped iff {e any} schema field fails to
+      decode, so the surviving row set does not depend on which columns a
+      particular query touches, and positional maps / cached row counts
+      stay consistent across queries.
+    - {!Null_fill} — keep every physical row; malformed fields decode to
+      NULL. Structurally unreachable records (e.g. a corrupt HEP event
+      header) still cannot be enumerated and are skipped like {!Skip_row}.
+
+    Errors are recorded into domain-local state (like {!Io_stats}, so
+    morsel workers never contend); {!Morsel.map_domains} merges worker
+    snapshots after join and {!Executor.run} surfaces the per-query delta
+    as [report.errors]: total count, per-cause counts, and the first
+    {!max_samples} samples by byte offset. *)
+
+type policy = Fail_fast | Skip_row | Null_fill
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+type sample = {
+  offset : int;  (** byte offset of the row (or record) containing the error *)
+  field : int;  (** source-column / field ordinal; [-1] for row-level errors *)
+  cause : string;  (** short human cause, e.g. ["bad int"] *)
+}
+
+exception Error of sample
+(** The typed scan error. Under {!Fail_fast} it propagates to the caller;
+    under the other policies kernels catch it, {!record} it, and recover. *)
+
+val fail : offset:int -> field:int -> cause:string -> 'a
+(** [fail ~offset ~field ~cause] raises {!Error}. *)
+
+val max_samples : int
+(** How many samples a snapshot retains (the first N by byte offset). *)
+
+val record : offset:int -> field:int -> cause:string -> unit
+(** Count an error (and retain it as a sample if fewer than
+    {!max_samples} are held) in this domain's accounting. *)
+
+val record_sample : sample -> unit
+
+type snapshot = {
+  total : int;
+  by_cause : (string * int) list;  (** sorted by cause *)
+  samples : sample list;  (** at most {!max_samples}, sorted by offset *)
+}
+
+val empty : snapshot
+val is_empty : snapshot -> bool
+
+val snapshot : unit -> snapshot
+(** This domain's accumulated errors since the last {!reset}. *)
+
+val reset : unit -> unit
+
+val merge : snapshot -> unit
+(** Fold a worker domain's snapshot into this domain's accounting.
+    Deterministic: totals add, per-cause counts add, and the retained
+    samples are the globally first {!max_samples} by (offset, field), so a
+    morsel-parallel scan reports exactly what the sequential scan does. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -136,3 +136,12 @@ let to_column t =
 let clear t =
   t.n <- 0;
   t.nulls <- None
+
+let truncate t n =
+  if n < 0 || n > t.n then invalid_arg "Builder.truncate";
+  (* entries past [n] may have null marks; re-validate them so a later
+     add_* at the same slot is not spuriously null *)
+  (match t.nulls with
+   | Some b -> Bytes.fill b n (t.n - n) '\001'
+   | None -> ());
+  t.n <- n

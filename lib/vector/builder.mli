@@ -24,3 +24,8 @@ val to_column : t -> Column.t
     usable). *)
 
 val clear : t -> unit
+
+val truncate : t -> int -> unit
+(** [truncate t n] drops values from the end until [length t = n]. Raises
+    [Invalid_argument] on a bad [n]. Lets a scan under [Skip_row] roll a
+    half-built row back out of every column builder. *)

@@ -17,12 +17,18 @@ let csv_parser_tests =
         Alcotest.(check int) "substring" 23 (Csv.parse_int (b "x23y") 1 2);
         Alcotest.(check int) "zero" 0 (Csv.parse_int (b "0") 0 1));
     Alcotest.test_case "parse_int failures" `Quick (fun () ->
-        Alcotest.check_raises "empty" (Failure "Csv.parse_int: empty field")
-          (fun () -> ignore (Csv.parse_int (b "") 0 0));
-        Alcotest.check_raises "bad digit" (Failure "Csv.parse_int: bad digit")
-          (fun () -> ignore (Csv.parse_int (b "12a") 0 3));
-        Alcotest.check_raises "lone sign" (Failure "Csv.parse_int: no digits")
-          (fun () -> ignore (Csv.parse_int (b "-") 0 1)));
+        (* malformed user data raises the typed scan error, carrying the
+           byte offset of the bad field *)
+        let rejects name s off len =
+          Alcotest.(check bool) name true
+            (try
+               ignore (Csv.parse_int (b s) off len);
+               false
+             with Scan_errors.Error e -> e.Scan_errors.offset = off)
+        in
+        rejects "empty" "" 0 0;
+        rejects "bad digit" "12a" 0 3;
+        rejects "lone sign" "-" 0 1);
     Alcotest.test_case "parse_float basics" `Quick (fun () ->
         Alcotest.(check (float 1e-9)) "int-ish" 42. (Csv.parse_float (b "42") 0 2);
         Alcotest.(check (float 1e-9)) "frac" 3.25 (Csv.parse_float (b "3.25") 0 4);
@@ -276,9 +282,15 @@ let fwb_tests =
     Alcotest.test_case "ragged file rejected" `Quick (fun () ->
         let l = Fwb.layout [| Dtype.Int |] in
         let f = Mmap_file.of_bytes ~name:"bad" (Bytes.make 12 '\000') in
-        Alcotest.check_raises "ragged"
-          (Invalid_argument "Fwb.n_rows: file length is not a whole number of rows")
-          (fun () -> ignore (Fwb.n_rows l f)));
+        Alcotest.(check bool) "ragged" true
+          (try
+             ignore (Fwb.n_rows l f);
+             false
+           with Scan_errors.Error e ->
+             e.Scan_errors.cause = "fwb: trailing bytes"
+             && e.Scan_errors.offset = 8);
+        Alcotest.(check int) "floor" 1 (Fwb.n_rows_floor l f);
+        Alcotest.(check int) "trailing" 4 (Fwb.trailing_bytes l f));
     Alcotest.test_case "row arity mismatch raises" `Quick (fun () ->
         let l = Fwb.layout [| Dtype.Int; Dtype.Int |] in
         let path = Test_util.fresh_path ".fwb" in
@@ -391,7 +403,7 @@ let hep_tests =
           (try
              ignore (Hep.Reader.open_file path);
              false
-           with Failure _ -> true));
+           with Scan_errors.Error _ -> true));
     Alcotest.test_case "generate is deterministic and well-formed" `Quick (fun () ->
         let p1 = Test_util.fresh_path ".hep" in
         let p2 = Test_util.fresh_path ".hep" in

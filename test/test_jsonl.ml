@@ -1,4 +1,5 @@
 open Raw_vector
+open Raw_storage
 open Raw_formats
 open Test_util
 
@@ -32,7 +33,7 @@ let parser_tests =
               (try
                  ignore (Jsonl.parse s);
                  false
-               with Failure _ -> true))
+               with Scan_errors.Error _ -> true))
           [ "{"; "{\"a\" 1}"; "{\"a\":}"; "[1,"; "\"unterminated"; "{} junk" ]);
     Alcotest.test_case "writer roundtrips through parser" `Quick (fun () ->
         let path = fresh_path ".jsonl" in
@@ -390,7 +391,7 @@ let kernel_tests =
         let rowids = [| 3; 17; 42; 59 |] in
         let fetched =
           Raw_core.Scan_jsonl.fetch ~mode:Raw_core.Scan_csv.Jit ~file ~schema
-            ~row_starts:starts ~cols:[ 1 ] ~rowids
+            ~row_starts:starts ~cols:[ 1 ] ~rowids ()
         in
         check_column "subset" (Column.gather full.(0) rowids) fetched.(0));
   ]

@@ -220,7 +220,7 @@ let prop_fetch_matches_scan =
             let cols = [ m - 1 ] in
             let fetched =
               Raw_core.Scan_csv.fetch ~mode ~file ~sep:',' ~schema ~posmap:pm
-                ~cols ~rowids
+                ~cols ~rowids ()
             in
             Column.equal (Column.gather full.(m - 1) rowids) fetched.(0))
           [ Raw_core.Scan_csv.Interpreted; Raw_core.Scan_csv.Jit ])
@@ -549,7 +549,7 @@ let prop_parallel_hep =
         let r = Raw_formats.Hep.Reader.open_file path in
         delta_counters (fun () ->
             Raw_core.Scan_hep.par_scan_events ~mode:Raw_core.Scan_csv.Jit
-              ~parallelism ~reader:r ~needed:[ 0; 1 ] ~rowids:None)
+              ~parallelism ~reader:r ~needed:[ 0; 1 ] ~rowids:None ())
       in
       let run_particles parallelism =
         let r = Raw_formats.Hep.Reader.open_file path in
