@@ -30,6 +30,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("e19", "§4.1      — embedded-index access path", Exp_extensions.e19);
     ("e20", "extension — morsel-driven parallel scan", Exp_parallel.e20);
     ("e21", "extension — error-policy overhead on clean data", Exp_faults.e21);
+    ("e22", "extension — governance overhead when unconstrained", Exp_governance.e22);
+    ("stress", "robustness — concurrent mix under tight governance", Exp_governance.stress);
     ("micro", "bechamel — scan kernel microbenchmarks", Micro.benchmark);
   ]
 

@@ -80,6 +80,26 @@ let register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep =
       Raw_db.register_hep db ~name_prefix:name ~path)
     hep
 
+(* "64k", "16m", "1g" or plain bytes *)
+let parse_bytes s =
+  let fail () = failwith (Printf.sprintf "bad byte size %S (want N, Nk, Nm or Ng)" s) in
+  if s = "" then fail ();
+  let last = s.[String.length s - 1] in
+  let scaled mult =
+    match int_of_string_opt (String.sub s 0 (String.length s - 1)) with
+    | Some n -> n * mult
+    | None -> fail ()
+  in
+  match last with
+  | 'k' | 'K' -> scaled 1024
+  | 'm' | 'M' -> scaled (1024 * 1024)
+  | 'g' | 'G' -> scaled (1024 * 1024 * 1024)
+  | _ -> (match int_of_string_opt s with Some n -> n | None -> fail ())
+
+(* Exit codes, one per failure class, so scripts can tell a data problem
+   (3) from a blown deadline (4) from load shedding (5) without parsing
+   stderr: 0 ok, 1 parse/bind, 2 usage/config, 3 malformed data under
+   --on-error fail, 4 deadline exceeded, 5 rejected by admission control. *)
 let run_query db ~stats sql =
   match Raw_db.query db sql with
   | report ->
@@ -90,13 +110,13 @@ let run_query db ~stats sql =
         (fun (k, v) -> Format.printf "--   %-32s %12.0f@." k v)
         report.counters
     end;
-    true
+    0
   | exception Sql_binder.Bind_error msg ->
     Format.eprintf "bind error: %s@." msg;
-    false
+    1
   | exception Raw_sql.Parser.Error msg ->
     Format.eprintf "parse error: %s@." msg;
-    false
+    1
   | exception Scan_errors.Error e ->
     (* Fail_fast met malformed data: report the first offending field *)
     Format.eprintf
@@ -106,7 +126,19 @@ let run_query db ~stats sql =
       (if e.Scan_errors.field >= 0 then
          Printf.sprintf " (field %d)" e.Scan_errors.field
        else "");
-    false
+    3
+  | exception Resource_error.Deadline_exceeded p ->
+    Format.eprintf "deadline exceeded: %a@." Resource_error.pp_progress p;
+    4
+  | exception Resource_error.Cancelled p ->
+    Format.eprintf "cancelled: %a@." Resource_error.pp_progress p;
+    4
+  | exception Resource_error.Overloaded { active; limit } ->
+    Format.eprintf
+      "overloaded: %d quer%s already running (limit %d); retry later@." active
+      (if active = 1 then "y is" else "ies are")
+      limit;
+    5
 
 let repl db ~stats =
   Format.printf "rawq — adaptive query processing on raw data. \\q quits, \\tables lists, \\explain <sql> traces the plan.@.";
@@ -130,13 +162,13 @@ let repl db ~stats =
       loop ()
     | "" -> loop ()
     | line ->
-      ignore (run_query db ~stats line);
+      (ignore : int -> unit) (run_query db ~stats line);
       loop ()
   in
   loop ()
 
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
-    par on_error repl_flag stats query =
+    par on_error deadline memory_budget max_concurrent repl_flag stats query =
   try
     let options =
       {
@@ -169,16 +201,29 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
       | Some p -> p
       | None -> failwith ("unknown error policy " ^ on_error)
     in
-    let config = { Config.default with Config.parallelism = par; on_error } in
+    let config =
+      {
+        Config.default with
+        Config.parallelism = par;
+        on_error;
+        deadline;
+        memory_budget = Option.map parse_bytes memory_budget;
+        max_concurrent;
+      }
+    in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
     match query with
-    | Some q when not repl_flag -> if run_query db ~stats q then 0 else 1
+    | Some q when not repl_flag -> run_query db ~stats q
     | _ ->
       repl db ~stats;
       0
-  with Failure msg | Sys_error msg ->
+  with
+  | Failure msg | Sys_error msg ->
     Format.eprintf "rawq: %s@." msg;
+    2
+  | Resource_error.Invalid_config msg ->
+    Format.eprintf "rawq: invalid configuration: %s@." msg;
     2
 
 let csv_arg =
@@ -250,6 +295,29 @@ let on_error_arg =
        & info [ "on-error" ] ~docv:"POLICY"
            ~doc:"What a scan does with malformed rows: fail (default; stop                  at the first bad field), skip (drop bad rows), null (keep                  the rows, bad fields become NULL). Tolerated errors are                  counted per cause and summarized after the result.")
 
+let deadline_arg =
+  Arg.(value & opt (some float) None
+       & info [ "deadline" ] ~docv:"SECONDS"
+           ~doc:"Per-query wall-clock budget. A query that outlives it stops \
+                 at the next row-batch boundary and exits with code 4, \
+                 reporting the partial progress it made.")
+
+let memory_budget_arg =
+  Arg.(value & opt (some string) None
+       & info [ "memory-budget" ] ~docv:"BYTES"
+           ~doc:"Unified cap on adaptive state (shreds, templates, \
+                 positional maps, cached pages); accepts k/m/g suffixes. \
+                 Under pressure cold structures are evicted and scans \
+                 degrade to streaming — queries stay correct, the \
+                 governance actions are reported per query.")
+
+let max_concurrent_arg =
+  Arg.(value & opt (some int) None
+       & info [ "max-concurrent" ] ~docv:"N"
+           ~doc:"Admission limit: at most N queries in flight; further \
+                 queries are rejected (exit code 5) instead of queueing \
+                 without bound.")
+
 let repl_arg =
   Arg.(value & flag & info [ "repl" ] ~doc:"Start an interactive prompt.")
 
@@ -275,6 +343,7 @@ let cmd =
       const main $ csv_arg $ jsonl_arg $ jsonl_array_arg $ fwb_arg $ ibx_arg $ hep_arg
       $ (const (Option.value ~default:',') $ sep_arg)
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
-      $ on_error_arg $ repl_arg $ stats_arg $ query_arg)
+      $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
+      $ repl_arg $ stats_arg $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

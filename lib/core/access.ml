@@ -72,7 +72,7 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
         ~parallelism:(parallelism cat) ~file:(Catalog.file cat entry) ~sep
         ~schema:entry.schema ~needed:cols ~tracked ()
     in
-    (match pm with Some pm -> Catalog.set_posmap entry pm | None -> ());
+    (match pm with Some pm -> Catalog.set_posmap cat entry pm | None -> ());
     columns
   | Format_kind.Jsonl ->
     charge_template cat ~mode ~kind:"jsonl.jit"
@@ -82,8 +82,11 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
       Scan_jsonl.seq_scan ~mode:smode ~policy:(policy cat)
         ~file:(Catalog.file cat entry) ~schema:entry.schema ~needed:cols ()
     in
-    if mode <> External && entry.row_starts = None then
-      entry.row_starts <- Some starts;
+    if mode <> External && entry.row_starts = None then begin
+      if Catalog.reserve_bytes cat (8 * Array.length starts) then
+        entry.row_starts <- Some starts
+      else Io_stats.incr "gov.fallbacks.posmap"
+    end;
     columns
   | Format_kind.Jsonl_array _ ->
     charge_template cat ~mode ~kind:"jsonl.jit"
@@ -257,13 +260,32 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
       List.iteri
         (fun k c ->
           let key = { Shred_pool.table = entry.name; column = c } in
-          Shred_pool.put pool key full.(k);
+          (* pooling a complete column is an optimization, never a
+             correctness requirement: under memory pressure skip it *)
+          if Catalog.reserve_bytes cat (Column.byte_size full.(k)) then
+            Shred_pool.put pool key full.(k)
+          else Io_stats.incr "gov.fallbacks.shred_pool";
           Hashtbl.replace results c (Column.gather full.(k) rowids))
         unreachable
     end;
     (* 2b. point-fetch missing rows, filling pooled shreds in place;
        columns sharing a missing-row signature fetch together (one pass
-       per row over the file) *)
+       per row over the file). A pooled shred is a full-length column; if
+       the budget cannot hold one, degrade that column to a streaming
+       point-fetch of just the requested rows — correct, cached nowhere. *)
+    let reachable, streaming =
+      List.partition
+        (fun c ->
+          let key = { Shred_pool.table = entry.name; column = c } in
+          Shred_pool.find pool key <> None
+          || Catalog.reserve_bytes cat (9 * n_rows))
+        reachable
+    in
+    if streaming <> [] then begin
+      Io_stats.add "gov.fallbacks.streaming" (List.length streaming);
+      let packed = raw_fetch cat ~mode ~entry ~cols:streaming ~rowids in
+      List.iteri (fun k c -> Hashtbl.replace results c packed.(k)) streaming
+    end;
     if reachable <> [] then begin
       let with_missing =
         List.map

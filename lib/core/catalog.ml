@@ -26,22 +26,106 @@ type t = {
   stats : Table_stats.t;
   hep_readers : (string, Hep.Reader.t) Hashtbl.t;
       (* one reader (and mapped file) per path, shared by the four views *)
+  budget : Mem_budget.t option;
 }
 
+(* every open file, deduped by identity (the four HEP views share one) *)
+let open_files t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e.file with
+      | Some f -> if List.memq f acc then acc else f :: acc
+      | None -> acc)
+    t.entries []
+
+let sorted_entries t =
+  Hashtbl.fold (fun _ e acc -> e :: acc) t.entries []
+  |> List.sort (fun a b -> String.compare a.name b.name)
+
+(* The degradation ladder: under pressure the budget shrinks consumers in
+   this priority order. Cold shreds go first (cheapest to rebuild — the
+   next query re-fetches the rows it needs), then templates (recompiling
+   re-charges simulated compile latency), then positional maps and JSONL
+   structure indexes (the next query re-tokenizes), and only last the
+   simulated file page cache (re-reads charge simulated I/O). *)
+let register_consumers t budget =
+  Mem_budget.register budget ~name:"shreds" ~priority:0
+    ~usage:(fun () -> Shred_pool.byte_usage t.shreds)
+    ~shrink:(fun ~need -> Shred_pool.evict_bytes t.shreds ~need);
+  Mem_budget.register budget ~name:"templates" ~priority:1
+    ~usage:(fun () -> Template_cache.byte_usage t.templates)
+    ~shrink:(fun ~need -> Template_cache.evict_cold t.templates ~need);
+  let posmap_bytes e =
+    (match e.posmap with Some pm -> Posmap.byte_size pm | None -> 0)
+    + match e.row_starts with Some s -> 8 * Array.length s | None -> 0
+  in
+  Mem_budget.register budget ~name:"posmaps" ~priority:2
+    ~usage:(fun () ->
+      Hashtbl.fold (fun _ e acc -> acc + posmap_bytes e) t.entries 0)
+    ~shrink:(fun ~need ->
+      (* drop whole per-table structure indexes, in name order for
+         determinism; they are rebuilt from the raw file on demand *)
+      let freed = ref 0 in
+      List.iter
+        (fun e ->
+          let b = posmap_bytes e in
+          if !freed < need && b > 0 then begin
+            e.posmap <- None;
+            e.row_starts <- None;
+            freed := !freed + b;
+            Io_stats.incr "gov.evictions";
+            Io_stats.incr "gov.evictions.posmaps"
+          end)
+        (sorted_entries t);
+      !freed);
+  Mem_budget.register budget ~name:"file_pages" ~priority:3
+    ~usage:(fun () ->
+      let ps = t.config.Config.mmap.Mmap_file.Config.page_size in
+      List.fold_left
+        (fun acc f -> acc + (ps * Mmap_file.resident_pages f))
+        0 (open_files t))
+    ~shrink:(fun ~need ->
+      let ps = t.config.Config.mmap.Mmap_file.Config.page_size in
+      let freed = ref 0 in
+      List.iter
+        (fun f ->
+          let b = ps * Mmap_file.resident_pages f in
+          if !freed < need && b > 0 then begin
+            Mmap_file.drop_cache f;
+            freed := !freed + b;
+            Io_stats.incr "gov.evictions";
+            Io_stats.incr "gov.evictions.file_pages"
+          end)
+        (open_files t);
+      !freed)
+
 let create ?(config = Config.default) () =
-  {
-    entries = Hashtbl.create 16;
-    config;
-    shreds = Shred_pool.create ~capacity:config.shred_pool_columns;
-    templates = Template_cache.create ~compile_seconds:config.compile_seconds;
-    stats = Table_stats.create ();
-    hep_readers = Hashtbl.create 4;
-  }
+  let config = Config.check config in
+  let t =
+    {
+      entries = Hashtbl.create 16;
+      config;
+      shreds = Shred_pool.create ~capacity:config.shred_pool_columns;
+      templates = Template_cache.create ~compile_seconds:config.compile_seconds;
+      stats = Table_stats.create ();
+      hep_readers = Hashtbl.create 4;
+      budget =
+        Option.map
+          (fun b -> Mem_budget.create ~capacity_bytes:b)
+          config.memory_budget;
+    }
+  in
+  Option.iter (register_consumers t) t.budget;
+  t
 
 let config t = t.config
 let shreds t = t.shreds
 let templates t = t.templates
 let stats t = t.stats
+let budget t = t.budget
+
+let reserve_bytes t bytes =
+  match t.budget with None -> true | Some b -> Mem_budget.reserve b ~bytes
 
 let register t ~name ~path ~format ~schema =
   if Hashtbl.mem t.entries name then
@@ -207,7 +291,9 @@ let jsonl_row_starts t entry =
           ~record:true ()
       | _ -> Jsonl.row_starts (file t entry)
     in
-    entry.row_starts <- Some starts;
+    if reserve_bytes t (8 * Array.length starts) then
+      entry.row_starts <- Some starts
+    else Io_stats.incr "gov.fallbacks.posmap";
     starts
 
 let jarr_index t entry =
@@ -265,7 +351,11 @@ let n_rows t entry =
     entry.n_rows <- Some n;
     n
 
-let set_posmap entry pm = entry.posmap <- Some pm
+(* A positional map is only retained if the budget can hold it; otherwise
+   the next query re-tokenizes (counted as a governance fallback). *)
+let set_posmap t entry pm =
+  if reserve_bytes t (Posmap.byte_size pm) then entry.posmap <- Some pm
+  else Io_stats.incr "gov.fallbacks.posmap"
 
 let drop_file_caches t =
   Hashtbl.iter

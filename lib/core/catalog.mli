@@ -34,9 +34,25 @@ type entry = {
 type t
 
 val create : ?config:Config.t -> unit -> t
+(** Validates the configuration ({!Config.check}) — raises
+    {!Raw_storage.Resource_error.Invalid_config} on a bad knob — and, when
+    [config.memory_budget] is set, creates the unified {!Raw_storage.Mem_budget}
+    with the shred pool, template cache, positional maps and simulated file
+    page caches registered as its consumers (eviction priority in that
+    order). *)
+
 val config : t -> Config.t
 val shreds : t -> Shred_pool.t
 val templates : t -> Template_cache.t
+
+val budget : t -> Mem_budget.t option
+(** The unified memory budget, when [config.memory_budget] is set. *)
+
+val reserve_bytes : t -> int -> bool
+(** [reserve_bytes t n] asks the budget to make room for [n] new bytes of
+    adaptive state, evicting cold structures if necessary; always [true]
+    when no budget is configured. [false] means the caller must not cache
+    the structure (degrade to streaming instead). *)
 
 val stats : t -> Table_stats.t
 (** Column statistics accumulated as a side effect of full-column scans
@@ -82,7 +98,11 @@ val ibx_meta : t -> entry -> Ibx.meta
 (** Reads and caches the footer. Raises [Invalid_argument] if the entry is
     not IBX, [Failure] if the file is malformed. *)
 
-val set_posmap : entry -> Posmap.t -> unit
+val set_posmap : t -> entry -> Posmap.t -> unit
+(** Retain a freshly-built positional map — if the memory budget (when
+    configured) can make room for it. On reservation failure the map is
+    discarded and [gov.fallbacks.posmap] counted: the next query
+    re-tokenizes instead. *)
 
 (** {1 Cache control (benchmarks need clean slates)} *)
 

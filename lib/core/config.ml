@@ -9,6 +9,9 @@ type t = {
   hep_object_cache : int;
   parallelism : int;
   on_error : Scan_errors.policy;
+  deadline : float option;
+  memory_budget : int option;
+  max_concurrent : int option;
 }
 
 let default =
@@ -21,4 +24,48 @@ let default =
     hep_object_cache = 4096;
     parallelism = 1;
     on_error = Scan_errors.Fail_fast;
+    deadline = None;
+    memory_budget = None;
+    max_concurrent = None;
   }
+
+(* Validation happens once, at construction ({!Catalog.create} /
+   {!Raw_db.create}): a bad knob must fail with a typed, named error there
+   instead of surfacing as an [Invalid_argument] deep inside Morsel,
+   Shred_pool or Lru mid-query. *)
+let validate t =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  if t.parallelism < 1 then
+    err "parallelism must be >= 1 (got %d)" t.parallelism
+  else if t.chunk_rows < 1 then err "chunk_rows must be >= 1 (got %d)" t.chunk_rows
+  else if t.compile_seconds < 0. then
+    err "compile_seconds must be >= 0 (got %g)" t.compile_seconds
+  else if t.posmap_every < 1 then
+    err "posmap_every must be >= 1 (got %d)" t.posmap_every
+  else if t.shred_pool_columns < 1 then
+    err "shred_pool_columns must be >= 1 (got %d)" t.shred_pool_columns
+  else if t.hep_object_cache < 1 then
+    err "hep_object_cache must be >= 1 (got %d)" t.hep_object_cache
+  else if t.mmap.Mmap_file.Config.page_size < 1 then
+    err "mmap page_size must be >= 1 (got %d)" t.mmap.Mmap_file.Config.page_size
+  else if t.mmap.Mmap_file.Config.io_seconds_per_page < 0. then
+    err "mmap io_seconds_per_page must be >= 0 (got %g)"
+      t.mmap.Mmap_file.Config.io_seconds_per_page
+  else
+    match t.mmap.Mmap_file.Config.residency_capacity with
+    | Some c when c < 1 -> err "mmap residency_capacity must be >= 1 (got %d)" c
+    | _ -> (
+      match t.deadline with
+      | Some d when d <= 0. -> err "deadline must be positive (got %g s)" d
+      | _ -> (
+        match t.memory_budget with
+        | Some b when b <= 0 -> err "memory_budget must be positive (got %d bytes)" b
+        | _ -> (
+          match t.max_concurrent with
+          | Some n when n < 1 -> err "max_concurrent must be >= 1 (got %d)" n
+          | _ -> Ok t)))
+
+let check t =
+  match validate t with
+  | Ok t -> t
+  | Error msg -> raise (Resource_error.Invalid_config msg)

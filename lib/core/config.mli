@@ -30,6 +30,34 @@ type t = {
           drops malformed rows; [Null_fill] turns malformed fields into
           NULLs. Errors are counted either way and surfaced in
           [Executor.report]. *)
+  deadline : float option;
+      (** per-query wall-clock budget in seconds. When set, the executor
+          arms a {!Raw_storage.Cancel} token; scan kernels check it at
+          row-batch boundaries and the query raises
+          {!Raw_storage.Resource_error.Deadline_exceeded} with a
+          partial-progress snapshot once it expires. [None] (default)
+          disables governance checks entirely. *)
+  memory_budget : int option;
+      (** unified cap, in bytes, on the engine's adaptive state (column
+          shreds, JIT template artifacts, positional maps, resident file
+          pages). Under pressure cold structures are evicted in priority
+          order and, when eviction cannot make room, scans degrade to
+          streaming the raw file — counted under [gov.*] in
+          {!Raw_storage.Io_stats}. [None] (default) leaves state unbounded. *)
+  max_concurrent : int option;
+      (** admission limit for {!Raw_db}: at most this many queries in
+          flight; further queries are rejected with a typed
+          {!Raw_storage.Resource_error.Overloaded}. [None] (default)
+          admits everything. *)
 }
 
 val default : t
+
+val validate : t -> (t, string) result
+(** [Ok t] when every knob is in range; [Error msg] naming the first bad
+    knob otherwise. Checked at engine construction so misconfiguration
+    fails with a typed error instead of a crash mid-query. *)
+
+val check : t -> t
+(** Like {!validate}, raising {!Raw_storage.Resource_error.Invalid_config}
+    on a bad knob. *)

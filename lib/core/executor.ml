@@ -13,9 +13,40 @@ type report = {
   domain_seconds : (string * float) list;
   counters : (string * float) list;
   errors : Scan_errors.snapshot;
+  degraded : string list;
 }
 
 let domain_prefix = "par.domain"
+let gov_prefix = "gov."
+
+(* Human-readable account of governance actions, from the query's gov.*
+   counter delta. *)
+let degraded_of_counters counters =
+  List.filter_map
+    (fun (k, v) ->
+      if not (String.starts_with ~prefix:gov_prefix k) then None
+      else
+        let n = int_of_float v in
+        match k with
+        | "gov.evicted_bytes" ->
+          Some (Printf.sprintf "evicted %d cached bytes under memory pressure" n)
+        | "gov.evictions" -> Some (Printf.sprintf "evicted %d cached item(s)" n)
+        | "gov.reservation_failures" ->
+          Some
+            (Printf.sprintf
+               "%d reservation(s) unsatisfiable even after eviction" n)
+        | "gov.fallbacks.streaming" ->
+          Some
+            (Printf.sprintf
+               "%d fetch(es) streamed from the raw file instead of caching" n)
+        | "gov.fallbacks.shred_pool" ->
+          Some (Printf.sprintf "%d column shred(s) not pooled" n)
+        | "gov.fallbacks.posmap" ->
+          Some (Printf.sprintf "%d positional map(s) not retained" n)
+        | _ when String.starts_with ~prefix:"gov.evictions." k ->
+          None (* per-consumer breakdown; the total line covers it *)
+        | _ -> Some (Printf.sprintf "%s x%d" k n))
+    (List.sort compare counters)
 
 let entry_files cat logical =
   (* tables may share a file (the four HEP views); dedupe by identity *)
@@ -32,16 +63,56 @@ let io_of_files cat logical =
     (fun acc f -> acc +. Mmap_file.simulated_io_seconds f)
     0. (entry_files cat logical)
 
-let run ?(options = Planner.default) cat logical =
+let counter_delta ~before key =
+  let v0 = match List.assoc_opt key before with Some x -> x | None -> 0. in
+  let v = match List.assoc_opt key (Io_stats.snapshot ()) with
+    | Some x -> x
+    | None -> 0.
+  in
+  v -. v0
+
+let run ?(options = Planner.default) ?cancel cat logical =
+  let cancel =
+    match cancel with
+    | Some c -> c
+    | None -> (
+      match (Catalog.config cat).Config.deadline with
+      | Some s -> Cancel.create ~deadline_seconds:s ()
+      | None -> Cancel.never)
+  in
   (* baseline for per-query deltas *)
   let before = Io_stats.snapshot () in
   Scan_errors.reset ();
   List.iter Mmap_file.reset_counters (entry_files cat logical);
   ignore (Template_cache.take_charged_seconds (Catalog.templates cat));
-  let (chunk, schema), cpu_seconds =
+  let outcome, cpu_seconds =
     Timing.time (fun () ->
-        let op, schema = Planner.plan cat options logical in
-        (Operator.to_chunk op, schema))
+        Cancel.with_current cancel (fun () ->
+            Cancel.check cancel;
+            let op, schema = Planner.plan cat options logical in
+            (Operator.to_chunk op, schema)))
+  in
+  let chunk, schema =
+    match outcome with
+    | Ok r -> r
+    | Error e ->
+      (* a tripped token unwound the query: account the partial progress
+         (all worker domains were joined and merged by Morsel before the
+         Stop re-raise reached us) and surface a typed error *)
+      let progress : Resource_error.progress =
+        {
+          rows_scanned = int_of_float (counter_delta ~before "scan.rows_scanned");
+          io_seconds = io_of_files cat logical;
+          compile_seconds =
+            Template_cache.take_charged_seconds (Catalog.templates cat);
+          elapsed_seconds = cpu_seconds;
+        }
+      in
+      (match e with
+       | Cancel.Stop Cancel.Deadline ->
+         raise (Resource_error.Deadline_exceeded progress)
+       | Cancel.Stop Cancel.User -> raise (Resource_error.Cancelled progress)
+       | e -> raise e)
   in
   (* an exhausted operator yields the 0-column empty chunk; give empty
      results their proper schema-shaped arity *)
@@ -85,6 +156,7 @@ let run ?(options = Planner.default) cat logical =
     domain_seconds;
     counters;
     errors = Scan_errors.snapshot ();
+    degraded = degraded_of_counters counters;
   }
 
 let pp_result ppf r =
@@ -119,4 +191,6 @@ let pp_report ppf r =
       (List.sort compare r.domain_seconds)
   end;
   if not (Scan_errors.is_empty r.errors) then
-    Format.fprintf ppf "@,-- %a" Scan_errors.pp_snapshot r.errors
+    Format.fprintf ppf "@,-- %a" Scan_errors.pp_snapshot r.errors;
+  if r.degraded <> [] then
+    Format.fprintf ppf "@,-- degraded: %s" (String.concat "; " r.degraded)

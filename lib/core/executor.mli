@@ -31,9 +31,25 @@ type report = {
       {!Raw_storage.Scan_errors.Error} out of {!run} instead). Counts are
       per data-producing pass: a query that both sizes a table and scans it
       observes a bad row once per pass. *)
+  degraded : string list;
+  (** human-readable account of the governance actions this query absorbed
+      (evictions, streaming fallbacks, structures not retained), derived
+      from the query's [gov.*] counter delta; empty when nothing degraded *)
 }
 
-val run : ?options:Planner.options -> Catalog.t -> Logical.t -> report
+val run :
+  ?options:Planner.options -> ?cancel:Cancel.t -> Catalog.t -> Logical.t -> report
+(** Runs the query to completion and reports its cost breakdown.
+
+    Governance: [cancel] defaults to a fresh token armed from
+    {!Config.deadline} (or the inert token when no deadline is set). The
+    token is installed as the ambient {!Raw_storage.Cancel} token for the
+    duration of the run; scan kernels check it at row-batch boundaries. If
+    it trips, all worker domains quiesce at their next boundary, partial
+    stats are merged, and [run] raises
+    {!Raw_storage.Resource_error.Deadline_exceeded} (or [Cancelled]) whose
+    payload accounts the partial progress: rows scanned, simulated I/O and
+    compile seconds consumed, and elapsed wall time. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Result rows (with header) followed by the timing line. *)

@@ -25,15 +25,26 @@ let split_range ~lo ~hi ~n =
    per-domain wall time under "par.domain<i>.seconds" (the executor
    surfaces these as the per-domain CPU breakdown). Results come back in
    morsel order, so order-sensitive merging (column segments, posmap
-   segments) is just concatenation. *)
-let map_domains work items =
+   segments) is just concatenation.
+
+   Quiesce is deterministic: every domain is joined and every worker's
+   stats are merged — partial progress from cancelled morsels counts —
+   before the first failure (in morsel order) is re-raised. The shared
+   cancel token is re-installed as ambient in each worker because
+   domain-local storage is not inherited across Domain.spawn. *)
+let map_domains ?(cancel = Cancel.current ()) work items =
   match items with
   | [] -> []
-  | [ item ] -> [ work item ]
+  | [ item ] ->
+    let restore = Cancel.current () in
+    Cancel.set_current cancel;
+    Fun.protect ~finally:(fun () -> Cancel.set_current restore) (fun () ->
+        [ work item ])
   | items ->
     let run item () =
+      Cancel.set_current cancel;
       let t0 = Timing.now () in
-      let r = work item in
+      let r = try Ok (work item) with e -> Error e in
       (r, Io_stats.snapshot (), Scan_errors.snapshot (), Timing.now () -. t0)
     in
     let domains = List.map (fun item -> Domain.spawn (run item)) items in
@@ -44,4 +55,6 @@ let map_domains work items =
         Scan_errors.merge errs;
         Io_stats.add_float (Printf.sprintf "par.domain%d.seconds" i) seconds)
       parts;
-    List.map (fun (r, _, _, _) -> r) parts
+    List.map
+      (fun (r, _, _, _) -> match r with Ok v -> v | Error e -> raise e)
+      parts

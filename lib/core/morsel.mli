@@ -12,9 +12,16 @@ val split_range : lo:int -> hi:int -> n:int -> (int * int) list
 (** At most [n] contiguous non-empty [(a, b)] ranges partitioning
     [[lo, hi)]; [[]] when the range is empty. *)
 
-val map_domains : ('a -> 'b) -> 'a list -> 'b list
+val map_domains :
+  ?cancel:Raw_storage.Cancel.t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_domains work items] runs [work] on each item in a fresh domain
     (inline when there is at most one item) and returns results in item
     order. Each worker's {!Raw_storage.Io_stats} delta is merged into the
     calling domain's counters, and the wall time of domain [i] is recorded
-    under the counter ["par.domain<i>.seconds"]. *)
+    under the counter ["par.domain<i>.seconds"].
+
+    [cancel] (default: the caller's ambient token) is installed as the
+    ambient {!Raw_storage.Cancel} token inside every worker. Quiesce is
+    deterministic: all domains are joined and all partial stats merged
+    before the first worker failure, in morsel order, is re-raised on the
+    calling domain. *)

@@ -1,13 +1,85 @@
 open Raw_vector
+open Raw_storage
 
-type t = { catalog : Catalog.t; mutable options : Planner.options }
+(* Admission control: a bounded gate in front of query execution. The gate
+   admits at most [limit] queries at a time and rejects the rest with a
+   typed [Resource_error.Overloaded] — backpressure with an explicit
+   signal, never an unbounded queue. Admitted queries then serialize on
+   [exec]: the engine's adaptive state (catalog entries, shred pool LRU,
+   template cache recency) is single-writer by design, so concurrency
+   inside one engine means bounded admission + serialized execution, with
+   each query's deadline still ticking while it waits its turn. *)
+type gate = {
+  g_mutex : Mutex.t;
+  limit : int;
+  mutable active : int;
+  exec : Mutex.t;
+}
+
+type t = {
+  catalog : Catalog.t;
+  mutable options : Planner.options;
+  gate : gate option;
+}
 
 let create ?config ?(options = Planner.default) () =
-  { catalog = Catalog.create ?config (); options }
+  let catalog = Catalog.create ?config () in
+  let gate =
+    Option.map
+      (fun limit ->
+        { g_mutex = Mutex.create (); limit; active = 0; exec = Mutex.create () })
+      (Catalog.config catalog).Config.max_concurrent
+  in
+  { catalog; options; gate }
 
 let catalog t = t.catalog
 let options t = t.options
 let set_options t o = t.options <- o
+
+(* Cancel-aware wait for the execution turn: poll [try_lock] so a deadline
+   that expires while the query is queued still fires (checked at the same
+   cadence as a morsel boundary). *)
+let lock_exec cancel m =
+  let rec go () =
+    if not (Mutex.try_lock m) then begin
+      Cancel.check cancel;
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+let no_progress : Resource_error.progress =
+  { rows_scanned = 0; io_seconds = 0.; compile_seconds = 0.; elapsed_seconds = 0. }
+
+let with_admission t ~cancel f =
+  match t.gate with
+  | None -> f ()
+  | Some g ->
+    Mutex.protect g.g_mutex (fun () ->
+        if g.active >= g.limit then begin
+          Io_stats.incr "gov.rejections";
+          raise (Resource_error.Overloaded { active = g.active; limit = g.limit })
+        end;
+        g.active <- g.active + 1);
+    let release () = Mutex.protect g.g_mutex (fun () -> g.active <- g.active - 1) in
+    (match lock_exec cancel g.exec with
+     | () -> ()
+     | exception Cancel.Stop reason ->
+       (* the deadline expired while the query was queued: it never ran *)
+       release ();
+       raise
+         (match reason with
+          | Cancel.Deadline -> Resource_error.Deadline_exceeded no_progress
+          | Cancel.User -> Resource_error.Cancelled no_progress)
+     | exception e ->
+       release ();
+       raise e);
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.unlock g.exec;
+        release ())
+      f
 
 let register_csv t ~name ~path ?(sep = ',') ~columns () =
   Catalog.register t.catalog ~name ~path
@@ -34,12 +106,19 @@ let register_ibx t ~name ~path ~columns =
 let register_hep t ~name_prefix ~path =
   Catalog.register_hep t.catalog ~name_prefix ~path
 
-let run_plan ?options t logical =
-  let options = Option.value options ~default:t.options in
-  Executor.run ~options t.catalog logical
+let fresh_cancel t =
+  match (Catalog.config t.catalog).Config.deadline with
+  | Some s -> Cancel.create ~deadline_seconds:s ()
+  | None -> Cancel.never
 
-let query ?options t sql =
-  run_plan ?options t (Sql_binder.bind_string t.catalog sql)
+let run_plan ?options ?cancel t logical =
+  let options = Option.value options ~default:t.options in
+  let cancel = match cancel with Some c -> c | None -> fresh_cancel t in
+  with_admission t ~cancel (fun () ->
+      Executor.run ~options ~cancel t.catalog logical)
+
+let query ?options ?cancel t sql =
+  run_plan ?options ?cancel t (Sql_binder.bind_string t.catalog sql)
 
 let explain ?options t q =
   let options = Option.value options ~default:t.options in

@@ -11,6 +11,14 @@ open Raw_formats
 type t
 
 val create : ?config:Config.t -> ?options:Planner.options -> unit -> t
+(** Validates the configuration — raises
+    {!Raw_storage.Resource_error.Invalid_config} on a bad knob. When
+    [config.max_concurrent] is set, queries pass an admission gate: at most
+    that many in flight, the rest rejected with a typed
+    {!Raw_storage.Resource_error.Overloaded}; admitted queries execute one
+    at a time (the engine's adaptive state is single-writer), with each
+    query's deadline still armed while it waits its turn. *)
+
 val catalog : t -> Catalog.t
 val options : t -> Planner.options
 val set_options : t -> Planner.options -> unit
@@ -50,11 +58,29 @@ val register_hep : t -> name_prefix:string -> path:string -> unit
 
 (** {1 Querying} *)
 
-val query : ?options:Planner.options -> t -> string -> Executor.report
+val query :
+  ?options:Planner.options ->
+  ?cancel:Raw_storage.Cancel.t ->
+  t -> string -> Executor.report
 (** Run a SQL string. Raises {!Sql_binder.Bind_error} or
-    {!Raw_sql.Parser.Error} on bad input. *)
+    {!Raw_sql.Parser.Error} on bad input; under governance also
+    {!Raw_storage.Resource_error.Overloaded} (admission),
+    [Deadline_exceeded] or [Cancelled] (see {!Executor.run}). [cancel]
+    overrides the token otherwise armed from {!Config.deadline}. *)
 
-val run_plan : ?options:Planner.options -> t -> Logical.t -> Executor.report
+val run_plan :
+  ?options:Planner.options ->
+  ?cancel:Raw_storage.Cancel.t ->
+  t -> Logical.t -> Executor.report
+
+val with_admission :
+  t -> cancel:Raw_storage.Cancel.t -> (unit -> 'a) -> 'a
+(** Run [f] under the admission gate (identity when [max_concurrent] is
+    unset): counts the caller against the concurrency limit, raising
+    {!Raw_storage.Resource_error.Overloaded} beyond it, then serializes on
+    the execution lock, checking [cancel] while waiting. Exposed so tests
+    and drivers can hold an admission slot deterministically; {!query} and
+    {!run_plan} use it internally. *)
 
 val explain : ?options:Planner.options -> t -> string -> string list
 (** The planner's decision trace for a SQL query (strategy, eager vs

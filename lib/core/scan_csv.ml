@@ -51,8 +51,10 @@ let seq_scan_interpreted ?range ~file ~sep ~schema ~needed ~tracked () =
   let tracked_mask = Array.make (last + 1) false in
   List.iter (fun c -> if c <= last then tracked_mask.(c) <- true) tracked;
   let pm = if tracked = [] then None else Some (Posmap.Build.create ~tracked) in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   let tokenized = ref 0 and converted = ref 0 in
   while not (Csv.Cursor.at_eof cur) do
+    tick ();
     for col = 0 to last do
       let track = tracked_mask.(col) in
       match builder_of_src.(col) with
@@ -219,8 +221,10 @@ let seq_scan_jit ?range ~file ~sep ~schema ~needed ~tracked () =
         g ()
   in
   let row_fn = compose (List.rev !actions) in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   let n_rows = ref 0 in
   while not (Csv.Cursor.at_eof cur) do
+    tick ();
     row_fn ();
     incr n_rows
   done;
@@ -346,7 +350,9 @@ let seq_scan_safe ~policy ?(record = true) ?range ~file ~sep ~schema ~needed
         end
     done
   in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   while not (Csv.Cursor.at_eof cur) do
+    tick ();
     row_start := Csv.Cursor.pos cur;
     match do_row () with
     | () ->
@@ -465,9 +471,11 @@ let fetch_interpreted ~file ~sep ~schema ~posmap ~cols ~rowids =
   let srcs = by_source schema cols in
   let first = first_source schema cols in
   let builders = List.map (fun (_, i) -> builder_for schema i) srcs in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   let tokenized = ref 0 and converted = ref 0 in
   let n = Array.length rowids in
   for k = 0 to n - 1 do
+    tick ();
     let r = rowids.(k) in
     (* runtime decisions, per value: consult the positional map, find the
        navigation strategy, dispatch on the data type *)
@@ -561,6 +569,7 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
         g ()
   in
   let row_fn = compose steps in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   let n = Array.length rowids in
   (* fully-direct path: a single tracked column with recorded lengths needs
      no tokenizing at all — the paper's "custom atoi" case *)
@@ -569,6 +578,7 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
      (match Schema.dtype schema i with
       | Dtype.Int ->
         for k = 0 to n - 1 do
+          tick ();
           let r = rowids.(k) in
           let p = positions.(r) in
           Mmap_file.touch file p lens.(r);
@@ -576,6 +586,7 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
         done
       | Dtype.Float ->
         for k = 0 to n - 1 do
+          tick ();
           let r = rowids.(k) in
           let p = positions.(r) in
           Mmap_file.touch file p lens.(r);
@@ -583,6 +594,7 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
         done
       | Dtype.Bool ->
         for k = 0 to n - 1 do
+          tick ();
           let r = rowids.(k) in
           let p = positions.(r) in
           Mmap_file.touch file p lens.(r);
@@ -590,6 +602,7 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
         done
       | Dtype.String ->
         for k = 0 to n - 1 do
+          tick ();
           let r = rowids.(k) in
           let p = positions.(r) in
           Mmap_file.touch file p lens.(r);
@@ -598,6 +611,7 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
      Io_stats.add "csv.fields_tokenized" n
    | _ ->
      for k = 0 to n - 1 do
+       tick ();
        Csv.Cursor.seek cur positions.(rowids.(k));
        row_fn ()
      done;
@@ -617,9 +631,11 @@ let fetch_safe ~file ~sep ~schema ~posmap ~cols ~rowids =
   let srcs = by_source schema cols in
   let first = first_source schema cols in
   let builders = List.map (fun (_, i) -> builder_for schema i) srcs in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   let tokenized = ref 0 and converted = ref 0 in
   let n = Array.length rowids in
   for k = 0 to n - 1 do
+    tick ();
     let r = rowids.(k) in
     match Posmap.nearest_at_or_before posmap first with
     | None -> failwith "Scan_csv.fetch: positional map cannot reach column"

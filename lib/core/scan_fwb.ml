@@ -41,7 +41,9 @@ let seq_scan_interpreted ~rows ~file ~layout ~schema ~needed () =
   let lo, hi = rows in
   let n = hi - lo in
   let builders = List.map (fun i -> Builder.create ~capacity:(max n 1) (Schema.dtype schema i)) needed in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   for row = lo to hi - 1 do
+    tick ();
     List.iter2
       (fun i b ->
         (* runtime: layout lookup, then per-value dispatch *)
@@ -56,27 +58,35 @@ let seq_scan_jit ~rows ~file ~layout ~schema ~needed () =
   let lo, hi = rows in
   let n = hi - lo in
   let rs = Fwb.row_size layout in
+  (* inline land-mask checks keep the monomorphic loops tight: with an
+     inactive token [live] is false and the check folds to one dead branch *)
+  let cancel = Cancel.current () in
+  let live = Cancel.active cancel in
   let cols =
     List.map
       (fun i ->
+        Cancel.check cancel;
         let off0 = Fwb.field_offset layout (source_of schema i) + (lo * rs) in
         (* offsets and conversion baked into a monomorphic column loop *)
         match Schema.dtype schema i with
         | Dtype.Int ->
           let a = Array.make n 0 in
           for k = 0 to n - 1 do
+            if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
             a.(k) <- Fwb.read_int file (off0 + (k * rs))
           done;
           Column.of_int_array a
         | Dtype.Float ->
           let a = Array.make n 0. in
           for k = 0 to n - 1 do
+            if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
             a.(k) <- Fwb.read_float file (off0 + (k * rs))
           done;
           Column.of_float_array a
         | Dtype.Bool ->
           let a = Array.make n false in
           for k = 0 to n - 1 do
+            if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
             a.(k) <- Fwb.read_bool file (off0 + (k * rs))
           done;
           Column.of_bool_array a
@@ -84,6 +94,7 @@ let seq_scan_jit ~rows ~file ~layout ~schema ~needed () =
       needed
   in
   count_values n (List.length needed);
+  if live then Io_stats.add "scan.rows_scanned" n;
   Array.of_list cols
 
 let seq_scan ~mode ?(policy = Scan_errors.Fail_fast) ?rows ~file ~layout
@@ -128,7 +139,9 @@ let par_scan ~mode ?(policy = Scan_errors.Fail_fast) ~parallelism ~file
 let fetch_interpreted ~file ~layout ~schema ~cols ~rowids =
   let n = Array.length rowids in
   let builders = List.map (fun i -> Builder.create ~capacity:n (Schema.dtype schema i)) cols in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   for k = 0 to n - 1 do
+    tick ();
     let row = rowids.(k) in
     List.iter2
       (fun i b ->
@@ -142,9 +155,11 @@ let fetch_interpreted ~file ~layout ~schema ~cols ~rowids =
 let fetch_jit ~file ~layout ~schema ~cols ~rowids =
   let n = Array.length rowids in
   let rs = Fwb.row_size layout in
+  let cancel = Cancel.current () in
   let out =
     List.map
       (fun i ->
+        Cancel.check cancel;
         let off0 = Fwb.field_offset layout (source_of schema i) in
         match Schema.dtype schema i with
         | Dtype.Int ->

@@ -29,12 +29,16 @@ let scan_events ~mode ?(policy = Scan_errors.Fail_fast) ~reader ~needed
     ~rowids () =
   let ids = entry_ids ~policy reader rowids in
   let n = Array.length ids in
+  (* inline land-mask checks, as in Scan_fwb: dead branch when inactive *)
+  let cancel = Cancel.current () in
+  let live = Cancel.active cancel in
   let out =
     match (mode : Scan_csv.mode) with
     | Jit ->
       (* per-field reader selected once; monomorphic loops *)
       List.map
         (fun col ->
+          Cancel.check cancel;
           let read =
             match col with
             | 0 -> Hep.Reader.read_event_id reader
@@ -43,6 +47,7 @@ let scan_events ~mode ?(policy = Scan_errors.Fail_fast) ~reader ~needed
           in
           let a = Array.make n 0 in
           for k = 0 to n - 1 do
+            if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
             a.(k) <- read ids.(k)
           done;
           Column.of_int_array a)
@@ -51,8 +56,10 @@ let scan_events ~mode ?(policy = Scan_errors.Fail_fast) ~reader ~needed
       (* general-purpose: field dispatched per value *)
       List.map
         (fun col ->
+          Cancel.check cancel;
           let b = Builder.create ~capacity:n Dtype.Int in
           for k = 0 to n - 1 do
+            if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
             let v =
               match col with
               | 0 -> Hep.Reader.read_event_id reader ids.(k)
@@ -65,6 +72,7 @@ let scan_events ~mode ?(policy = Scan_errors.Fail_fast) ~reader ~needed
         needed
   in
   count n (List.length needed);
+  if live then Io_stats.add "scan.rows_scanned" n;
   Array.of_list out
 
 (* ------------------------------------------------------------------ *)
@@ -111,6 +119,8 @@ let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowid
     | None -> Array.init (Array.length entry_of) (fun i -> i)
   in
   let n = Array.length ids in
+  let cancel = Cancel.current () in
+  let live = Cancel.active cancel in
   let pfield_col col : Hep.pfield =
     match col with
     | 1 -> Hep.Pt
@@ -123,9 +133,11 @@ let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowid
     | Jit ->
       List.map
         (fun col ->
+          Cancel.check cancel;
           if col = 0 then begin
             let a = Array.make n 0 in
             for k = 0 to n - 1 do
+              if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
               a.(k) <- Hep.Reader.read_event_id reader entry_of.(ids.(k))
             done;
             Column.of_int_array a
@@ -134,6 +146,7 @@ let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowid
             let f = pfield_col col in
             let a = Array.make n 0. in
             for k = 0 to n - 1 do
+              if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
               let r = ids.(k) in
               a.(k) <-
                 Hep.Reader.read_particle_field reader ~entry:entry_of.(r) coll
@@ -145,9 +158,11 @@ let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowid
     | Interpreted ->
       List.map
         (fun col ->
+          Cancel.check cancel;
           let dt = Schema.dtype Format_kind.hep_particle_schema col in
           let b = Builder.create ~capacity:n dt in
           for k = 0 to n - 1 do
+            if live && k land 0xFFF = 0xFFF then Cancel.check cancel;
             let r = ids.(k) in
             match col with
             | 0 ->
@@ -161,6 +176,7 @@ let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowid
         needed
   in
   count n (List.length needed);
+  if live then Io_stats.add "scan.rows_scanned" n;
   Array.of_list out
 
 let par_scan_particles ~mode ~parallelism ~reader ~coll ~index ~needed ~rowids

@@ -153,8 +153,10 @@ let seq_scan_fast ~mode ~file ~schema ~needed () =
   let buf = Mmap_file.bytes file in
   let len = Mmap_file.length file in
   let starts = Buffer_int.create () in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   let pos = ref (skip_ws buf len 0) in
   while !pos < len do
+    tick ();
     Buffer_int.add starts !pos;
     pos := skip_ws buf len (row_at !pos)
   done;
@@ -177,9 +179,11 @@ let seq_scan_safe ~mode ~policy ?(record = true) ~file ~schema ~needed () =
   let buf = Mmap_file.bytes file in
   let len = Mmap_file.length file in
   let starts = Buffer_int.create () in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   let skipped = ref 0 in
   let pos = ref (skip_ws buf len 0) in
   while !pos < len do
+    tick ();
     let start = !pos in
     match row_at start with
     | next ->
@@ -224,8 +228,10 @@ let fetch ~mode ?(policy = Scan_errors.Fail_fast) ~file ~schema ~row_starts
   let builders, row_at, n_rows =
     make_kernel ~mode ~policy ~file ~schema ~needed:cols
   in
+  let tick = Cancel.batch_checker (Cancel.current ()) in
   Array.iter
     (fun r ->
+      tick ();
       match row_at row_starts.(r) with
       | _ -> ()
       | exception Scan_errors.Error e ->

@@ -42,6 +42,21 @@ val missing : Column.t -> int array -> int array
 val remove : t -> key -> unit
 val clear : t -> unit
 val size : t -> int
+
+val fold : (key -> Column.t -> 'a -> 'a) -> t -> 'a -> 'a
+(** Most-recently-used first. *)
+
+val byte_usage : t -> int
+(** Current footprint of all pooled shreds ({!Column.byte_size} sum),
+    computed on demand — shreds are filled in place, so the count is never
+    cached. The pool's {!Raw_storage.Mem_budget} usage probe. *)
+
+val evict_bytes : t -> need:int -> int
+(** Evict least-recently-used shreds until [need] bytes are freed (or the
+    pool is empty); returns the bytes actually freed. Counts each victim
+    under [gov.evictions] and [gov.evictions.shreds]. The pool's
+    {!Raw_storage.Mem_budget} shrink callback. *)
+
 val hits : t -> int
 (** Subsumption hits: [find] results that covered the request entirely
     (reported by callers via {!record_hit}/{!record_miss}). *)

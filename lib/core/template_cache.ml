@@ -1,22 +1,32 @@
+open Raw_storage
+
+(* Per-entry synthetic footprint: a compiled artifact is a closure chain a
+   few hundred bytes long plus its key. The estimate only has to make
+   template eviction *orderable* against shreds and posmaps under one
+   byte-denominated budget, not be exact. *)
+let entry_bytes key = 256 + String.length key
+
 type t = {
   compile_seconds : float;
-  table : (string, Obj.t) Hashtbl.t;
+  table : (string, Obj.t) Lru.t; (* unbounded; Mem_budget evicts *)
   mutex : Mutex.t;
   mutable hits : int;
   mutable misses : int;
   mutable charged : float;
   mutable pending_charge : float;
+  mutable bytes : int;
 }
 
 let create ~compile_seconds =
   {
     compile_seconds;
-    table = Hashtbl.create 64;
+    table = Lru.create ();
     mutex = Mutex.create ();
     hits = 0;
     misses = 0;
     charged = 0.;
     pending_charge = 0.;
+    bytes = 0;
   }
 
 (* Artifacts are stored as [Obj.t]; the [kind] namespace guarantees that two
@@ -28,7 +38,7 @@ let slot ~kind ~key = kind ^ "/" ^ key
 let get t ~kind ~key compile =
   let key = slot ~kind ~key in
   Mutex.protect t.mutex (fun () ->
-      match Hashtbl.find_opt t.table key with
+      match Lru.find t.table key with
       | Some artifact ->
         t.hits <- t.hits + 1;
         Obj.obj artifact
@@ -37,7 +47,8 @@ let get t ~kind ~key compile =
         t.charged <- t.charged +. t.compile_seconds;
         t.pending_charge <- t.pending_charge +. t.compile_seconds;
         let artifact = compile () in
-        Hashtbl.replace t.table key (Obj.repr artifact);
+        if not (Lru.mem t.table key) then t.bytes <- t.bytes + entry_bytes key;
+        ignore (Lru.add t.table key (Obj.repr artifact));
         artifact)
 
 let hits t = t.hits
@@ -50,12 +61,34 @@ let take_charged_seconds t =
       t.pending_charge <- 0.;
       c)
 
+let byte_usage t = t.bytes
+
+let evict_cold t ~need =
+  Mutex.protect t.mutex (fun () ->
+      let freed = ref 0 in
+      let rec go () =
+        if !freed < need then
+          match List.rev (Lru.keys t.table) with
+          | [] -> ()
+          | victim :: _ ->
+            Lru.remove t.table victim;
+            let b = entry_bytes victim in
+            t.bytes <- t.bytes - b;
+            freed := !freed + b;
+            Io_stats.incr "gov.evictions";
+            Io_stats.incr "gov.evictions.templates";
+            go ()
+      in
+      go ();
+      !freed)
+
 let clear t =
   Mutex.protect t.mutex (fun () ->
-      Hashtbl.reset t.table;
+      Lru.clear t.table;
       t.hits <- 0;
       t.misses <- 0;
       t.charged <- 0.;
-      t.pending_charge <- 0.)
+      t.pending_charge <- 0.;
+      t.bytes <- 0)
 
-let size t = Hashtbl.length t.table
+let size t = Lru.length t.table

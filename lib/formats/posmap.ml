@@ -31,6 +31,12 @@ let lengths t col =
 
 let position t ~row ~col = (positions t col).(row)
 
+(* Heap footprint estimate for memory-budget accounting: one word per
+   recorded position and length. *)
+let byte_size t =
+  let words a2 = Array.fold_left (fun acc a -> acc + Array.length a) 0 a2 in
+  8 * (words t.pos + words t.len + Array.length t.tracked)
+
 let nearest_at_or_before t col =
   let best = ref None in
   Array.iteri

@@ -30,6 +30,10 @@ val lengths : t -> int -> int array option
 val position : t -> row:int -> col:int -> int
 (** Raises [Invalid_argument] if untracked. *)
 
+val byte_size : t -> int
+(** Estimated heap footprint in bytes (one word per recorded position and
+    length), for {!Raw_storage.Mem_budget} accounting. *)
+
 val nearest_at_or_before : t -> int -> (int * int array) option
 (** [nearest_at_or_before t col] = [(tracked_col, positions)] with the
     greatest [tracked_col <= col], or [None] if every tracked column lies

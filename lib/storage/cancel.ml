@@ -1,0 +1,89 @@
+type reason = Deadline | User
+
+exception Stop of reason
+
+type t = {
+  active : bool;
+  deadline : float; (* absolute Timing.now () instant; infinity = none *)
+  tripped : reason option Atomic.t;
+  checks_left : int Atomic.t; (* testing hook; min_int = disabled *)
+}
+
+let never =
+  {
+    active = false;
+    deadline = infinity;
+    tripped = Atomic.make None;
+    checks_left = Atomic.make min_int;
+  }
+
+let create ?deadline_seconds ?trip_after_checks () =
+  let deadline =
+    match deadline_seconds with
+    | Some s -> Timing.now () +. s
+    | None -> infinity
+  in
+  {
+    active = true;
+    deadline;
+    tripped = Atomic.make None;
+    checks_left =
+      Atomic.make (match trip_after_checks with Some n -> n | None -> min_int);
+  }
+
+let active t = t.active
+
+let cancel t =
+  if t.active then ignore (Atomic.compare_and_set t.tripped None (Some User))
+
+let triggered t =
+  if not t.active then None
+  else
+    match Atomic.get t.tripped with
+    | Some _ as r -> r
+    | None ->
+      (* the testing hook charges one check per call, in any domain *)
+      if Atomic.get t.checks_left <> min_int && Atomic.fetch_and_add t.checks_left (-1) <= 0
+      then begin
+        ignore (Atomic.compare_and_set t.tripped None (Some User));
+        Atomic.get t.tripped
+      end
+      else if t.deadline < Timing.now () then begin
+        ignore (Atomic.compare_and_set t.tripped None (Some Deadline));
+        Atomic.get t.tripped
+      end
+      else None
+
+let check t =
+  match triggered t with None -> () | Some r -> raise (Stop r)
+
+let noop = fun () -> ()
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (k * 2)
+
+let batch_checker ?(granularity = 512) t =
+  if not t.active then noop
+  else begin
+    let g = pow2_at_least (max granularity 1) 1 in
+    let mask = g - 1 in
+    let n = ref 0 in
+    fun () ->
+      incr n;
+      if !n land mask = 0 then begin
+        Io_stats.add "scan.rows_scanned" g;
+        check t
+      end
+  end
+
+(* ---------- ambient token ---------- *)
+
+let key = Domain.DLS.new_key (fun () -> never)
+let current () = Domain.DLS.get key
+let set_current t = Domain.DLS.set key t
+
+let with_current t f =
+  let prev = current () in
+  set_current t;
+  let r = try Ok (f ()) with e -> Error e in
+  set_current prev;
+  r

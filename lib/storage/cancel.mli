@@ -1,0 +1,69 @@
+(** Cooperative cancellation tokens with deadlines.
+
+    A token is shared by a query's coordinator and all of its morsel worker
+    domains. Scan kernels call {!check} (directly or through a
+    {!batch_checker}) at row-batch boundaries; when the token has tripped —
+    its deadline passed, it was {!cancel}ed, or a test-only check budget ran
+    out — the check raises {!Stop}, every worker unwinds at its next
+    boundary, and the coordinator joins them all before surfacing a typed
+    {!Resource_error} to the caller. Checking an inactive token (the
+    default {!never}) is a single load-and-branch, so governance costs
+    nothing when unused.
+
+    The {e ambient} token ({!current}/{!set_current}) is domain-local:
+    the executor installs the query's token for the duration of the run,
+    and {!Raw_core.Morsel.map_domains} re-installs it inside each spawned
+    worker (domain-local storage is not inherited across [Domain.spawn]). *)
+
+type reason = Deadline | User
+
+exception Stop of reason
+(** Raised by {!check}. Internal unwinding signal — the executor converts
+    it into {!Resource_error.Deadline_exceeded} / [Cancelled] with a
+    partial-progress snapshot; it should not escape to end users. *)
+
+type t
+
+val never : t
+(** The inert token: never trips, {!cancel} on it is a no-op, {!check}
+    costs one branch. The ambient default. *)
+
+val create :
+  ?deadline_seconds:float -> ?trip_after_checks:int -> unit -> t
+(** A live token. [deadline_seconds] arms a deadline that many seconds
+    from now. [trip_after_checks] (a testing hook) makes the token trip as
+    [User] after that many {!check}s across all domains — the deterministic
+    way to stop a query mid-scan in tests. *)
+
+val cancel : t -> unit
+(** Trip the token as [User]. Idempotent; a deadline that already fired
+    wins. No-op on {!never}. *)
+
+val triggered : t -> reason option
+(** Why the token has tripped, if it has. Arms the deadline as a side
+    effect (first observer to see the deadline pass records [Deadline]). *)
+
+val check : t -> unit
+(** Raise [Stop reason] if the token has tripped, else return. *)
+
+val active : t -> bool
+(** [false] only for {!never}-like inert tokens. *)
+
+val batch_checker : ?granularity:int -> t -> unit -> unit
+(** [batch_checker t] is a per-row hook for scan loops: call it once per
+    row; every [granularity] rows (default 512, rounded to a power of two)
+    it records the batch under the ["scan.rows_scanned"] counter — the
+    partial-progress accounting — and runs {!check}. On an inactive token
+    it returns a shared no-op closure. *)
+
+(** {1 Ambient token} *)
+
+val current : unit -> t
+(** This domain's ambient token; {!never} unless something installed one. *)
+
+val set_current : t -> unit
+
+val with_current : t -> (unit -> 'a) -> ('a, exn) result
+(** Install [t] as ambient, run, restore the previous ambient token, and
+    return the outcome ([Error] carries any exception, including {!Stop},
+    for the caller to translate). *)

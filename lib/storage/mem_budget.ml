@@ -1,0 +1,60 @@
+type consumer = {
+  name : string;
+  priority : int;
+  usage : unit -> int;
+  shrink : need:int -> int;
+}
+
+type t = {
+  capacity : int;
+  mutex : Mutex.t;
+  mutable consumers : consumer list; (* ascending priority *)
+}
+
+let create ~capacity_bytes =
+  if capacity_bytes <= 0 then
+    raise
+      (Resource_error.Invalid_config
+         (Printf.sprintf "memory budget must be positive (got %d bytes)"
+            capacity_bytes));
+  { capacity = capacity_bytes; mutex = Mutex.create (); consumers = [] }
+
+let capacity t = t.capacity
+
+let register t ~name ~priority ~usage ~shrink =
+  Mutex.protect t.mutex (fun () ->
+      let others = List.filter (fun c -> c.name <> name) t.consumers in
+      t.consumers <-
+        List.stable_sort
+          (fun a b -> Stdlib.compare a.priority b.priority)
+          ({ name; priority; usage; shrink } :: others))
+
+let used_locked t =
+  List.fold_left (fun acc c -> acc + c.usage ()) 0 t.consumers
+
+let used t = Mutex.protect t.mutex (fun () -> used_locked t)
+
+let reserve t ~bytes =
+  bytes <= 0
+  ||
+  Mutex.protect t.mutex (fun () ->
+      let need () = used_locked t + bytes - t.capacity in
+      if need () <= 0 then true
+      else begin
+        (* shrink in priority order until the reservation fits *)
+        List.iter
+          (fun c ->
+            let n = need () in
+            if n > 0 then begin
+              (* per-item eviction counts (gov.evictions.<consumer>) are the
+                 shrink callback's job — it knows what an "item" is *)
+              let freed = c.shrink ~need:n in
+              if freed > 0 then Io_stats.add "gov.evicted_bytes" freed
+            end)
+          t.consumers;
+        if need () <= 0 then true
+        else begin
+          Io_stats.incr "gov.reservation_failures";
+          false
+        end
+      end)

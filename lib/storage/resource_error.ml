@@ -1,0 +1,32 @@
+type progress = {
+  rows_scanned : int;
+  io_seconds : float;
+  compile_seconds : float;
+  elapsed_seconds : float;
+}
+
+exception Deadline_exceeded of progress
+exception Cancelled of progress
+exception Overloaded of { active : int; limit : int }
+exception Invalid_config of string
+
+let pp_progress ppf p =
+  Format.fprintf ppf
+    "%d row(s) scanned, %.4fs io(sim), %.4fs compile(sim), %.4fs elapsed"
+    p.rows_scanned p.io_seconds p.compile_seconds p.elapsed_seconds
+
+let to_string = function
+  | Deadline_exceeded p ->
+    Some
+      (Format.asprintf "deadline exceeded after %a" pp_progress p)
+  | Cancelled p -> Some (Format.asprintf "query cancelled after %a" pp_progress p)
+  | Overloaded { active; limit } ->
+    Some
+      (Printf.sprintf "overloaded: %d quer%s already admitted (limit %d)"
+         active
+         (if active = 1 then "y" else "ies")
+         limit)
+  | Invalid_config msg -> Some ("invalid configuration: " ^ msg)
+  | _ -> None
+
+let () = Printexc.register_printer to_string

@@ -1,0 +1,43 @@
+(** Typed resource-governance errors.
+
+    The governance layer (deadlines, cooperative cancellation, memory
+    budget, admission control) never fails with a bare [Failure]: callers
+    that must distinguish "your query hit a limit" from "your data is
+    malformed" get dedicated exceptions, each carrying enough context to
+    act on — retry later, raise the budget, loosen the deadline. *)
+
+type progress = {
+  rows_scanned : int;
+      (** rows the scan kernels had processed when the query stopped
+          (batched accounting: exact to the governance check granularity) *)
+  io_seconds : float;  (** simulated I/O charged so far *)
+  compile_seconds : float;  (** simulated JIT compilation charged so far *)
+  elapsed_seconds : float;  (** wall clock from query start to the stop *)
+}
+(** What a query had already paid when governance stopped it — the
+    partial-progress snapshot carried by {!Deadline_exceeded} and
+    {!Cancelled}. *)
+
+exception Deadline_exceeded of progress
+(** The query's {!Cancel} token expired ([Config.deadline]); every worker
+    domain quiesced at a morsel/row-batch boundary before this was
+    raised. *)
+
+exception Cancelled of progress
+(** The query's {!Cancel} token was cancelled explicitly ({!Cancel.cancel}),
+    e.g. by a client disconnect. Same quiescence guarantees as
+    {!Deadline_exceeded}. *)
+
+exception Overloaded of { active : int; limit : int }
+(** Admission control rejected the query: [active] queries already admitted
+    against a [max_concurrent] gate of [limit]. Nothing ran; retry later. *)
+
+exception Invalid_config of string
+(** A configuration value failed validation at construction time (e.g.
+    [parallelism < 1], a negative deadline, a zero cache capacity). *)
+
+val pp_progress : Format.formatter -> progress -> unit
+
+val to_string : exn -> string option
+(** One-line rendering of the governance exceptions above; [None] for any
+    other exception. Also installed as a [Printexc] printer. *)

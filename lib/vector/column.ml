@@ -29,6 +29,20 @@ let dtype t =
   | Bool_data _ -> Dtype.Bool
   | String_data _ -> Dtype.String
 
+(* Heap footprint estimate in bytes, for memory-budget accounting: boxed
+   words for numeric arrays, payload bytes for strings (headers ignored),
+   plus the validity bitmap. *)
+let byte_size t =
+  let data_bytes =
+    match t.data with
+    | Int_data a -> 8 * Array.length a
+    | Float_data a -> 8 * Array.length a
+    | Bool_data a -> 8 * Array.length a
+    | String_data a ->
+      Array.fold_left (fun acc s -> acc + 8 + String.length s) 0 a
+  in
+  data_bytes + match t.valid with None -> 0 | Some v -> Bytes.length v
+
 let of_int_array a = { data = Int_data a; valid = None }
 let of_float_array a = { data = Float_data a; valid = None }
 let of_bool_array a = { data = Bool_data a; valid = None }

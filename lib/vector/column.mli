@@ -21,6 +21,11 @@ val data : t -> data
 val length : t -> int
 val dtype : t -> Dtype.t
 
+val byte_size : t -> int
+(** Estimated heap footprint in bytes (8 bytes per numeric element, payload
+    bytes per string, plus the validity bitmap) — the currency of
+    {!Raw_storage.Mem_budget} accounting. *)
+
 (** {1 Constructors} *)
 
 val of_int_array : int array -> t

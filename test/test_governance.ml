@@ -1,0 +1,489 @@
+(* Resource governance: deadlines and cooperative cancellation stop queries
+   with typed errors and leave the adaptive state consistent; the unified
+   memory budget shrinks consumers in priority order with exact accounting
+   and degrades to streaming under pressure; admission control rejects with
+   a typed [Overloaded]; configuration is validated at construction.
+
+   Determinism notes: mid-scan cancellation uses the [trip_after_checks]
+   testing hook (an atomic check countdown shared by all domains), never a
+   real timer; admission tests occupy a slot with [Raw_db.with_admission]
+   instead of racing domains. *)
+
+open Raw_vector
+open Raw_storage
+open Raw_core
+open Test_util
+
+let counter (r : Executor.report) name =
+  match List.assoc_opt name r.Executor.counters with
+  | Some v -> int_of_float (Float.round v)
+  | None -> 0
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+(* Sum of column c over the n-row grid: cell (r, c) = r * 100 + c. *)
+let grid_sum ~n c = (100 * n * (n - 1) / 2) + (n * c)
+
+(* A pooled shred for the grid table may be partially valid — that is its
+   design — but every row it marks valid must hold exactly the raw file's
+   value. A cancelled query must never leave half-written garbage behind a
+   valid bit. *)
+let check_shreds_consistent db =
+  let pool = Catalog.shreds (Raw_db.catalog db) in
+  Shred_pool.fold
+    (fun key col () ->
+      let c = key.Shred_pool.column in
+      for r = 0 to Column.length col - 1 do
+        match Column.get col r with
+        | Value.Null -> ()
+        | v ->
+          check_value
+            (Printf.sprintf "shred col%d row %d" c r)
+            (Value.Int ((r * 100) + c))
+            v
+      done)
+    pool ()
+
+(* ------------------------------------------------------------------ *)
+(* Cancellation and deadlines                                          *)
+(* ------------------------------------------------------------------ *)
+
+let cancel_unit_tests =
+  [
+    Alcotest.test_case "never token: inactive, check is free, cancel no-op"
+      `Quick (fun () ->
+        Alcotest.(check bool) "inactive" false (Cancel.active Cancel.never);
+        Cancel.cancel Cancel.never;
+        Cancel.check Cancel.never;
+        Alcotest.(check bool) "still untripped" true
+          (Cancel.triggered Cancel.never = None));
+    Alcotest.test_case "cancel trips as User exactly once" `Quick (fun () ->
+        let t = Cancel.create () in
+        Alcotest.(check bool) "fresh" true (Cancel.triggered t = None);
+        Cancel.cancel t;
+        Cancel.cancel t;
+        Alcotest.(check bool) "tripped User" true
+          (Cancel.triggered t = Some Cancel.User);
+        match Cancel.check t with
+        | () -> Alcotest.fail "check should raise"
+        | exception Cancel.Stop Cancel.User -> ());
+    Alcotest.test_case "trip_after_checks charges exactly n checks" `Quick
+      (fun () ->
+        let t = Cancel.create ~trip_after_checks:2 () in
+        Cancel.check t;
+        Cancel.check t;
+        match Cancel.check t with
+        | () -> Alcotest.fail "third check should trip"
+        | exception Cancel.Stop Cancel.User -> ());
+    Alcotest.test_case "expired deadline trips as Deadline" `Quick (fun () ->
+        let t = Cancel.create ~deadline_seconds:1e-9 () in
+        Unix.sleepf 0.002;
+        Alcotest.(check bool) "tripped Deadline" true
+          (Cancel.triggered t = Some Cancel.Deadline));
+  ]
+
+let deadline_tests =
+  [
+    Alcotest.test_case "Config.deadline: typed error, progress snapshot"
+      `Quick (fun () ->
+        let config = { Config.default with Config.deadline = Some 1e-9 } in
+        let db = grid_csv_db ~config ~n:100 ~m:3 () in
+        match Raw_db.query db "SELECT SUM(col0) FROM t" with
+        | (_ : Executor.report) ->
+          Alcotest.fail "expected Deadline_exceeded"
+        | exception Resource_error.Deadline_exceeded p ->
+          Alcotest.(check bool) "progress sane" true
+            (p.Resource_error.rows_scanned >= 0
+            && p.Resource_error.io_seconds >= 0.
+            && p.Resource_error.compile_seconds >= 0.
+            && p.Resource_error.elapsed_seconds >= 0.));
+    Alcotest.test_case "explicit token overrides the config deadline" `Quick
+      (fun () ->
+        (* generous config deadline, pre-tripped explicit token: the typed
+           error is Cancelled, proving the caller's token won *)
+        let config = { Config.default with Config.deadline = Some 3600. } in
+        let db = grid_csv_db ~config ~n:100 ~m:3 () in
+        let cancel = Cancel.create ~trip_after_checks:0 () in
+        match Raw_db.query ~cancel db "SELECT SUM(col0) FROM t" with
+        | (_ : Executor.report) -> Alcotest.fail "expected Cancelled"
+        | exception Resource_error.Cancelled _ -> ());
+    Alcotest.test_case "no deadline: reports carry no governance noise"
+      `Quick (fun () ->
+        let r = Raw_db.query (grid_csv_db ()) "SELECT SUM(col0) FROM t" in
+        Alcotest.(check (list string)) "not degraded" [] r.Executor.degraded;
+        Alcotest.(check bool) "no gov.* counters" true
+          (List.for_all
+             (fun (k, _) -> not (String.length k >= 4 && String.sub k 0 4 = "gov."))
+             r.Executor.counters));
+  ]
+
+let cancellation_tests =
+  [
+    Alcotest.test_case "mid-scan cancel: typed error, engine still correct"
+      `Quick (fun () ->
+        let n = 4000 in
+        let db = grid_csv_db ~n ~m:3 () in
+        let cancel = Cancel.create ~trip_after_checks:3 () in
+        (match Raw_db.query ~cancel db "SELECT SUM(col1) FROM t" with
+         | (_ : Executor.report) -> Alcotest.fail "expected Cancelled"
+         | exception Resource_error.Cancelled _ -> ());
+        check_shreds_consistent db;
+        check_value "re-run after cancel"
+          (Value.Int (grid_sum ~n 1))
+          (Raw_db.scalar db "SELECT SUM(col1) FROM t"));
+    Alcotest.test_case
+      "parallel cancel: all domains quiesce, posmap and shreds intact" `Quick
+      (fun () ->
+        let n = 8000 in
+        let config = { Config.default with Config.parallelism = 4 } in
+        let db = grid_csv_db ~config ~n ~m:4 () in
+        let cancel = Cancel.create ~trip_after_checks:5 () in
+        (match Raw_db.query ~cancel db "SELECT SUM(col2) FROM t" with
+         | (_ : Executor.report) -> Alcotest.fail "expected Cancelled"
+         | exception Resource_error.Cancelled _ -> ());
+        check_shreds_consistent db;
+        (* the full scan re-runs correctly on the state the cancelled query
+           left behind... *)
+        check_value "parallel re-run"
+          (Value.Int (grid_sum ~n 2))
+          (Raw_db.scalar db "SELECT SUM(col2) FROM t");
+        (* ...and so does a posmap-driven point fetch *)
+        check_value "point fetch through retained state" (Value.Int 420003)
+          (Raw_db.scalar db "SELECT col3 FROM t WHERE col0 = 420000");
+        (* identical to a database that was never cancelled *)
+        let fresh = grid_csv_db ~config ~n ~m:4 () in
+        let q = "SELECT col0, col3 FROM t WHERE col1 > 700000" in
+        Alcotest.(check int) "same row set" 0
+          (Stdlib.compare
+             (rows_of_chunk (Raw_db.sql db q))
+             (rows_of_chunk (Raw_db.sql fresh q))));
+    qtest ~count:25 "prop: cancellation is clean at any trip point"
+      QCheck2.Gen.(pair (int_range 0 40) (int_range 1 4))
+      (fun (trips, par) ->
+        let n = 2500 in
+        let config = { Config.default with Config.parallelism = par } in
+        let db = grid_csv_db ~config ~n ~m:3 () in
+        let cancel = Cancel.create ~trip_after_checks:trips () in
+        let expected = Value.Int (grid_sum ~n 2) in
+        let first =
+          match Raw_db.query ~cancel db "SELECT SUM(col2) FROM t" with
+          | r -> Some (scalar_of r)
+          | exception Resource_error.Cancelled _ -> None
+        in
+        (* a query that ran to completion must be right despite the armed
+           token *)
+        (match first with
+         | Some v -> check_value "completed run" expected v
+         | None -> ());
+        check_shreds_consistent db;
+        (* whatever state the cancelled run left, the engine answers the
+           same query correctly afterwards *)
+        Raw_db.scalar db "SELECT SUM(col2) FROM t" = expected);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Memory budget                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let budget_unit_tests =
+  [
+    Alcotest.test_case "create rejects non-positive capacity" `Quick (fun () ->
+        match Mem_budget.create ~capacity_bytes:0 with
+        | (_ : Mem_budget.t) -> Alcotest.fail "expected Invalid_config"
+        | exception Resource_error.Invalid_config _ -> ());
+    Alcotest.test_case "reserve shrinks in priority order, exact accounting"
+      `Quick (fun () ->
+        let a = ref 600 and b = ref 300 in
+        let calls = ref [] in
+        let shrinker name r ~need =
+          calls := !calls @ [ name ];
+          let freed = min need !r in
+          r := !r - freed;
+          freed
+        in
+        let m = Mem_budget.create ~capacity_bytes:1000 in
+        (* registered out of order: priority, not insertion, decides *)
+        Mem_budget.register m ~name:"b" ~priority:1
+          ~usage:(fun () -> !b)
+          ~shrink:(shrinker "b" b);
+        Mem_budget.register m ~name:"a" ~priority:0
+          ~usage:(fun () -> !a)
+          ~shrink:(shrinker "a" a);
+        Alcotest.(check int) "used sums the probes" 900 (Mem_budget.used m);
+        let ev0 = Io_stats.get "gov.evicted_bytes" in
+        Alcotest.(check bool) "fits: no shrink" true
+          (Mem_budget.reserve m ~bytes:100);
+        Alcotest.(check (list string)) "untouched" [] !calls;
+        Alcotest.(check bool) "pressure: shrinks" true
+          (Mem_budget.reserve m ~bytes:300);
+        Alcotest.(check (list string)) "lowest priority only" [ "a" ] !calls;
+        Alcotest.(check int) "a freed exactly the need" 400 !a;
+        Alcotest.(check int) "b untouched" 300 !b;
+        Alcotest.(check int) "evicted bytes exact" 200
+          (Io_stats.get "gov.evicted_bytes" - ev0));
+    Alcotest.test_case "impossible reservation fails and is counted" `Quick
+      (fun () ->
+        let a = ref 500 in
+        let m = Mem_budget.create ~capacity_bytes:1000 in
+        Mem_budget.register m ~name:"a" ~priority:0
+          ~usage:(fun () -> !a)
+          ~shrink:(fun ~need ->
+            let freed = min need !a in
+            a := !a - freed;
+            freed);
+        let f0 = Io_stats.get "gov.reservation_failures" in
+        Alcotest.(check bool) "cannot fit" false
+          (Mem_budget.reserve m ~bytes:1100);
+        Alcotest.(check int) "failure counted" 1
+          (Io_stats.get "gov.reservation_failures" - f0);
+        Alcotest.(check bool) "non-positive is free" true
+          (Mem_budget.reserve m ~bytes:0));
+    Alcotest.test_case "re-registering a name replaces the consumer" `Quick
+      (fun () ->
+        let m = Mem_budget.create ~capacity_bytes:1000 in
+        Mem_budget.register m ~name:"a" ~priority:0
+          ~usage:(fun () -> 700)
+          ~shrink:(fun ~need:_ -> 0);
+        Mem_budget.register m ~name:"a" ~priority:0
+          ~usage:(fun () -> 10)
+          ~shrink:(fun ~need:_ -> 0);
+        Alcotest.(check int) "one consumer, new probe" 10 (Mem_budget.used m));
+    Alcotest.test_case "shred pool evicts LRU victims, counted per item"
+      `Quick (fun () ->
+        let pool = Shred_pool.create ~capacity:8 in
+        let key c = { Shred_pool.table = "t"; column = c } in
+        let col c =
+          Column.of_int_array (Array.init 100 (fun r -> (r * 100) + c))
+        in
+        Shred_pool.put pool (key 0) (col 0);
+        Shred_pool.put pool (key 1) (col 1);
+        Shred_pool.put pool (key 2) (col 2);
+        (* touch column 0: column 1 becomes the LRU victim *)
+        ignore (Shred_pool.find pool (key 0));
+        let victim_bytes = Column.byte_size (col 1) in
+        let e0 = Io_stats.get "gov.evictions.shreds" in
+        let freed = Shred_pool.evict_bytes pool ~need:1 in
+        Alcotest.(check int) "exactly one shred evicted" 1
+          (Io_stats.get "gov.evictions.shreds" - e0);
+        Alcotest.(check int) "freed the victim's bytes" victim_bytes freed;
+        Alcotest.(check bool) "victim was the LRU entry" true
+          (Shred_pool.find pool (key 1) = None
+          && Shred_pool.find pool (key 0) <> None
+          && Shred_pool.find pool (key 2) <> None));
+  ]
+
+let pressure_tests =
+  [
+    Alcotest.test_case
+      "tiny budget: answers stay exact, degradation observable" `Quick
+      (fun () ->
+        let n = 400 in
+        let config =
+          { Config.default with Config.memory_budget = Some 2048 }
+        in
+        let db = grid_csv_db ~config ~n ~m:4 () in
+        let r1 = Raw_db.query db "SELECT SUM(col1) FROM t" in
+        check_value "first query exact" (Value.Int (grid_sum ~n 1))
+          (scalar_of r1);
+        let r2 = Raw_db.query db "SELECT SUM(col3) FROM t" in
+        check_value "second query exact" (Value.Int (grid_sum ~n 3))
+          (scalar_of r2);
+        let gov r =
+          counter r "gov.evicted_bytes"
+          + counter r "gov.fallbacks.streaming"
+          + counter r "gov.fallbacks.shred_pool"
+          + counter r "gov.fallbacks.posmap"
+        in
+        Alcotest.(check bool) "governance acted" true (gov r1 + gov r2 > 0);
+        Alcotest.(check bool) "degradation reported" true
+          (r1.Executor.degraded <> [] || r2.Executor.degraded <> []);
+        (* budget honored: the engine's adaptive state stays within it *)
+        match Catalog.budget (Raw_db.catalog db) with
+        | None -> Alcotest.fail "budget should be configured"
+        | Some b ->
+          Alcotest.(check bool) "usage within capacity" true
+            (Mem_budget.used b <= Mem_budget.capacity b));
+    Alcotest.test_case "unconstrained run caches; constrained run streams"
+      `Quick (fun () ->
+        let n = 400 in
+        let unbounded = grid_csv_db ~n ~m:4 () in
+        let r = Raw_db.query unbounded "SELECT SUM(col1) FROM t" in
+        Alcotest.(check int) "no fallbacks when unbounded" 0
+          (counter r "gov.fallbacks.streaming"
+          + counter r "gov.fallbacks.shred_pool"
+          + counter r "gov.fallbacks.posmap"));
+    Alcotest.test_case "par == seq under memory pressure" `Quick (fun () ->
+        let n = 600 in
+        let mk par =
+          let config =
+            {
+              Config.default with
+              Config.memory_budget = Some 1500;
+              parallelism = par;
+            }
+          in
+          grid_csv_db ~config ~n ~m:4 ()
+        in
+        let seq = mk 1 and par = mk 4 in
+        let queries =
+          [
+            "SELECT SUM(col2) FROM t";
+            "SELECT col0, col3 FROM t WHERE col1 > 29000";
+            "SELECT SUM(col2) FROM t";
+            (* repeat: cross-query reuse under pressure *)
+          ]
+        in
+        List.iter
+          (fun q ->
+            Alcotest.(check int) ("par == seq: " ^ q) 0
+              (Stdlib.compare
+                 (rows_of_chunk (Raw_db.sql seq q))
+                 (rows_of_chunk (Raw_db.sql par q))))
+          queries);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let admission_tests =
+  [
+    Alcotest.test_case "full gate rejects with typed Overloaded" `Quick
+      (fun () ->
+        let config = { Config.default with Config.max_concurrent = Some 1 } in
+        let db = grid_csv_db ~config ~n:50 ~m:3 () in
+        let rej0 = Io_stats.get "gov.rejections" in
+        Raw_db.with_admission db ~cancel:Cancel.never (fun () ->
+            match Raw_db.query db "SELECT COUNT(*) FROM t" with
+            | (_ : Executor.report) -> Alcotest.fail "expected Overloaded"
+            | exception Resource_error.Overloaded { active; limit } ->
+              Alcotest.(check int) "active" 1 active;
+              Alcotest.(check int) "limit" 1 limit);
+        Alcotest.(check int) "rejection counted" 1
+          (Io_stats.get "gov.rejections" - rej0);
+        (* the slot was released: admitted again *)
+        check_value "recovered" (Value.Int 50)
+          (Raw_db.scalar db "SELECT COUNT(*) FROM t"));
+    Alcotest.test_case "cancelled while queued: typed error, zero progress"
+      `Quick (fun () ->
+        (* the gate admits two, but the execution lock is held by the
+           occupant — the queued query's pre-tripped token fires during the
+           cancel-aware lock wait, before it ever runs *)
+        let config = { Config.default with Config.max_concurrent = Some 2 } in
+        let db = grid_csv_db ~config ~n:50 ~m:3 () in
+        Raw_db.with_admission db ~cancel:Cancel.never (fun () ->
+            let cancel = Cancel.create () in
+            Cancel.cancel cancel;
+            match Raw_db.query ~cancel db "SELECT COUNT(*) FROM t" with
+            | (_ : Executor.report) -> Alcotest.fail "expected Cancelled"
+            | exception Resource_error.Cancelled p ->
+              Alcotest.(check int) "never ran" 0 p.Resource_error.rows_scanned);
+        check_value "gate recovered" (Value.Int 50)
+          (Raw_db.scalar db "SELECT COUNT(*) FROM t"));
+    Alcotest.test_case "deadline expires while queued: Deadline_exceeded"
+      `Quick (fun () ->
+        let config = { Config.default with Config.max_concurrent = Some 2 } in
+        let db = grid_csv_db ~config ~n:50 ~m:3 () in
+        Raw_db.with_admission db ~cancel:Cancel.never (fun () ->
+            let cancel = Cancel.create ~deadline_seconds:1e-9 () in
+            Unix.sleepf 0.002;
+            match Raw_db.query ~cancel db "SELECT COUNT(*) FROM t" with
+            | (_ : Executor.report) ->
+              Alcotest.fail "expected Deadline_exceeded"
+            | exception Resource_error.Deadline_exceeded p ->
+              Alcotest.(check int) "never ran" 0 p.Resource_error.rows_scanned));
+    Alcotest.test_case "no gate configured: with_admission is identity"
+      `Quick (fun () ->
+        let db = grid_csv_db ~n:20 ~m:3 () in
+        let v =
+          Raw_db.with_admission db ~cancel:Cancel.never (fun () ->
+              Raw_db.with_admission db ~cancel:Cancel.never (fun () -> 42))
+        in
+        Alcotest.(check int) "nested freely" 42 v);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Configuration validation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let config_tests =
+  let bad_knobs =
+    [
+      ("parallelism", { Config.default with Config.parallelism = 0 });
+      ("chunk_rows", { Config.default with Config.chunk_rows = 0 });
+      ("compile_seconds", { Config.default with Config.compile_seconds = -1. });
+      ("posmap_every", { Config.default with Config.posmap_every = 0 });
+      ( "shred_pool_columns",
+        { Config.default with Config.shred_pool_columns = 0 } );
+      ("hep_object_cache", { Config.default with Config.hep_object_cache = 0 });
+      ( "page_size",
+        {
+          Config.default with
+          Config.mmap =
+            { Mmap_file.Config.default with Mmap_file.Config.page_size = 0 };
+        } );
+      ( "io_seconds_per_page",
+        {
+          Config.default with
+          Config.mmap =
+            {
+              Mmap_file.Config.default with
+              Mmap_file.Config.io_seconds_per_page = -1.;
+            };
+        } );
+      ( "residency_capacity",
+        {
+          Config.default with
+          Config.mmap =
+            {
+              Mmap_file.Config.default with
+              Mmap_file.Config.residency_capacity = Some 0;
+            };
+        } );
+      ("deadline", { Config.default with Config.deadline = Some 0. });
+      ("deadline", { Config.default with Config.deadline = Some (-2.) });
+      ("memory_budget", { Config.default with Config.memory_budget = Some 0 });
+      ( "memory_budget",
+        { Config.default with Config.memory_budget = Some (-4096) } );
+      ("max_concurrent", { Config.default with Config.max_concurrent = Some 0 });
+    ]
+  in
+  [
+    Alcotest.test_case "default config validates" `Quick (fun () ->
+        match Config.validate Config.default with
+        | Ok _ -> ()
+        | Error msg -> Alcotest.failf "default rejected: %s" msg);
+    Alcotest.test_case "every bad knob rejected, named in the message" `Quick
+      (fun () ->
+        List.iter
+          (fun (knob, config) ->
+            match Config.validate config with
+            | Ok _ -> Alcotest.failf "bad %s accepted" knob
+            | Error msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%S names the knob" msg)
+                true (contains msg knob))
+          bad_knobs);
+    Alcotest.test_case "construction raises typed Invalid_config" `Quick
+      (fun () ->
+        let config = { Config.default with Config.parallelism = -3 } in
+        match Raw_db.create ~config () with
+        | (_ : Raw_db.t) -> Alcotest.fail "expected Invalid_config"
+        | exception Resource_error.Invalid_config msg ->
+          Alcotest.(check bool) "names parallelism" true
+            (contains msg "parallelism"));
+  ]
+
+let suites =
+  [
+    ("governance:cancel", cancel_unit_tests);
+    ("governance:deadline", deadline_tests);
+    ("governance:cancellation", cancellation_tests);
+    ("governance:budget", budget_unit_tests);
+    ("governance:pressure", pressure_tests);
+    ("governance:admission", admission_tests);
+    ("governance:config", config_tests);
+  ]
