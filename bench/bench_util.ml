@@ -198,8 +198,109 @@ let print_rows ~columns rows =
 
 let total (r : Executor.report) = r.total_seconds
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable output                                             *)
+(*                                                                      *)
+(* Each experiment writes BENCH_<id>.json next to the cwd (or under     *)
+(* RAW_BENCH_OUT): experiment id/title, scale, harness wall time, and   *)
+(* one sample per query run through [run] — simulated io/compile split, *)
+(* rows scanned, and the per-query counter deltas. CI parses these.     *)
+(* ------------------------------------------------------------------ *)
+
+type sample = {
+  label : string;
+  wall_seconds : float;
+  io_seconds : float;
+  compile_seconds : float;
+  rows_scanned : int;
+  result_rows : int;
+  counters : (string * float) list;
+}
+
+let current_samples : sample list ref option ref = ref None
+
+let record_sample ~label (r : Executor.report) =
+  match !current_samples with
+  | None -> ()
+  | Some acc ->
+    let rows_scanned =
+      match List.assoc_opt "scan.rows_scanned" r.counters with
+      | Some v -> int_of_float v
+      | None -> 0
+    in
+    acc :=
+      {
+        label;
+        wall_seconds = r.total_seconds;
+        io_seconds = r.io_seconds;
+        compile_seconds = r.compile_seconds;
+        rows_scanned;
+        result_rows = Chunk.n_rows r.chunk;
+        counters = r.counters;
+      }
+      :: !acc
+
+let bench_out_dir () =
+  match Sys.getenv_opt "RAW_BENCH_OUT" with
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    dir
+  | None -> Sys.getcwd ()
+
+let sample_json s =
+  let open Raw_obs.Jsons in
+  Obj
+    [
+      ("label", Str s.label);
+      ("wall_seconds", Float s.wall_seconds);
+      ("io_seconds", Float s.io_seconds);
+      ("compile_seconds", Float s.compile_seconds);
+      ("rows_scanned", Int s.rows_scanned);
+      ("result_rows", Int s.result_rows);
+      ("counters", Obj (List.map (fun (k, v) -> (k, Float v)) s.counters));
+    ]
+
+let with_experiment ~id ~title f =
+  let acc = ref [] in
+  current_samples := Some acc;
+  let t0 = Unix.gettimeofday () in
+  Fun.protect
+    ~finally:(fun () ->
+      current_samples := None;
+      let wall = Unix.gettimeofday () -. t0 in
+      let open Raw_obs.Jsons in
+      let json =
+        Obj
+          [
+            ("experiment", Str id);
+            ("title", Str title);
+            ( "scale",
+              Obj
+                [
+                  ("q30_rows", Int scale.q30_rows);
+                  ("q120_rows", Int scale.q120_rows);
+                  ("hep_events", Int scale.hep_events);
+                ] );
+            ("wall_seconds", Float wall);
+            ("samples", List (List.rev_map sample_json !acc));
+          ]
+      in
+      let path =
+        Filename.concat (bench_out_dir ()) (Printf.sprintf "BENCH_%s.json" id)
+      in
+      let oc = open_out path in
+      output_string oc (to_string json);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "  [bench] wrote %s (%d sample(s))\n%!" path
+        (List.length !acc))
+    f
+
 (* Run a query string, returning the report. *)
-let run db options q = Raw_db.query ~options db q
+let run db options q =
+  let r = Raw_db.query ~options db q in
+  record_sample ~label:q r;
+  r
 
 (* Min over repetitions: the benches run on shared machines, so sweep
    points take the best of [reps] runs of [f] (each run must itself reset

@@ -31,6 +31,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("e20", "extension — morsel-driven parallel scan", Exp_parallel.e20);
     ("e21", "extension — error-policy overhead on clean data", Exp_faults.e21);
     ("e22", "extension — governance overhead when unconstrained", Exp_governance.e22);
+    ("e23", "extension — observability overhead when disabled", Exp_obs.e23);
     ("stress", "robustness — concurrent mix under tight governance", Exp_governance.stress);
     ("micro", "bechamel — scan kernel microbenchmarks", Micro.benchmark);
   ]
@@ -51,7 +52,7 @@ let () =
   List.iter
     (fun id ->
       match List.find_opt (fun (i, _, _) -> i = id) experiments with
-      | Some (_, _, f) -> f ()
+      | Some (_, title, f) -> Bench_util.with_experiment ~id ~title f
       | None ->
         Printf.eprintf "unknown experiment %S; available: %s\n" id
           (String.concat ", " (List.map (fun (i, _, _) -> i) experiments));

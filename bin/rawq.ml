@@ -100,16 +100,30 @@ let parse_bytes s =
    (3) from a blown deadline (4) from load shedding (5) without parsing
    stderr: 0 ok, 1 parse/bind, 2 usage/config, 3 malformed data under
    --on-error fail, 4 deadline exceeded, 5 rejected by admission control. *)
-let run_query db ~stats sql =
+let run_query db ~stats ~metrics ~trace_out sql =
   match Raw_db.query db sql with
   | report ->
     Format.printf "%a@." Executor.pp_report report;
     if stats then begin
       Format.printf "-- per-query counters:@.";
+      let w =
+        List.fold_left
+          (fun acc (k, _) -> max acc (String.length k))
+          0 report.counters
+      in
       List.iter
-        (fun (k, v) -> Format.printf "--   %-32s %12.0f@." k v)
+        (fun (k, v) ->
+          if Float.is_integer v then Format.printf "--   %-*s %12.0f@." w k v
+          else Format.printf "--   %-*s %12.6f@." w k v)
         report.counters
     end;
+    (match trace_out with
+     | Some path ->
+       Raw_obs.Export.write_chrome_trace ~path report.Executor.spans;
+       Format.printf "-- trace written to %s (%d spans)@." path
+         (List.length report.Executor.spans)
+     | None -> ());
+    if metrics then print_string (Raw_obs.Export.prometheus ());
     0
   | exception Sql_binder.Bind_error msg ->
     Format.eprintf "bind error: %s@." msg;
@@ -140,7 +154,7 @@ let run_query db ~stats sql =
       limit;
     5
 
-let repl db ~stats =
+let repl db ~stats ~metrics ~trace_out =
   Format.printf "rawq — adaptive query processing on raw data. \\q quits, \\tables lists, \\explain <sql> traces the plan.@.";
   Format.printf "tables: %s@." (String.concat ", " (Raw_db.tables db));
   let rec loop () =
@@ -162,13 +176,14 @@ let repl db ~stats =
       loop ()
     | "" -> loop ()
     | line ->
-      (ignore : int -> unit) (run_query db ~stats line);
+      (ignore : int -> unit) (run_query db ~stats ~metrics ~trace_out line);
       loop ()
   in
   loop ()
 
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
-    par on_error deadline memory_budget max_concurrent repl_flag stats query =
+    par on_error deadline memory_budget max_concurrent repl_flag stats metrics
+    analyze trace_out query =
   try
     let options =
       {
@@ -209,14 +224,15 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
         deadline;
         memory_budget = Option.map parse_bytes memory_budget;
         max_concurrent;
+        observe = analyze || trace_out <> None;
       }
     in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
     match query with
-    | Some q when not repl_flag -> run_query db ~stats q
+    | Some q when not repl_flag -> run_query db ~stats ~metrics ~trace_out q
     | _ ->
-      repl db ~stats;
+      repl db ~stats ~metrics ~trace_out;
       0
   with
   | Failure msg | Sys_error msg ->
@@ -324,6 +340,26 @@ let repl_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print per-query work counters.")
 
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the process's metrics in Prometheus text exposition \
+                 format after the query.")
+
+let analyze_arg =
+  Arg.(value & flag
+       & info [ "analyze" ]
+           ~doc:"EXPLAIN ANALYZE: record the query's span tree and \
+                 adaptive-decision audit log and print both after the \
+                 result.")
+
+let trace_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the query's span tree as Chrome trace-event JSON to \
+                 FILE (load in chrome://tracing or Perfetto). Implies \
+                 span recording.")
+
 let query_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
 
@@ -344,6 +380,7 @@ let cmd =
       $ (const (Option.value ~default:',') $ sep_arg)
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
       $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
-      $ repl_arg $ stats_arg $ query_arg)
+      $ repl_arg $ stats_arg $ metrics_arg $ analyze_arg $ trace_out_arg
+      $ query_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,6 +2,9 @@ open Raw_vector
 open Raw_storage
 open Raw_engine
 open Raw_formats
+module Metrics = Raw_obs.Metrics
+module Trace = Raw_obs.Trace
+module Decisions = Raw_obs.Decisions
 
 type mode = Dbms | External | In_situ | Jit
 
@@ -50,6 +53,21 @@ let all_schema_cols (entry : Catalog.entry) =
    statistics store as a side effect. *)
 let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
   let smode = scan_mode mode in
+  Trace.with_span ~cat:"scan" "scan.full"
+    ~args:
+      [
+        ("table", entry.name);
+        ("format", Format_kind.to_string entry.format);
+        ("kernel", Scan_csv.mode_to_string smode);
+      ]
+  @@ fun () ->
+  Decisions.record ~site:"scan.kernel"
+    ~choice:(Scan_csv.mode_to_string smode)
+    [
+      ("table", entry.name);
+      ("format", Format_kind.to_string entry.format);
+      ("phase", "full");
+    ];
   let observe columns =
     List.iteri
       (fun k c ->
@@ -63,6 +81,12 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
   match entry.format with
   | Format_kind.Csv { sep } ->
     let build_pm = entry.posmap = None && tracked <> [] && mode <> External in
+    Decisions.record ~site:"posmap"
+      ~choice:
+        (if build_pm then "build"
+         else if entry.posmap <> None then "have"
+         else "skip")
+      [ ("table", entry.name); ("tracked", string_of_int (List.length tracked)) ];
     let tracked = if build_pm then tracked else [] in
     charge_template cat ~mode ~kind:"csv.jit"
       (Scan_csv.template_key ~phase:"seq" ~table:entry.name ~sep ~needed:cols
@@ -85,7 +109,7 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
     if mode <> External && entry.row_starts = None then begin
       if Catalog.reserve_bytes cat (8 * Array.length starts) then
         entry.row_starts <- Some starts
-      else Io_stats.incr "gov.fallbacks.posmap"
+      else Metrics.incr Metrics.gov_fallback_posmap
     end;
     columns
   | Format_kind.Jsonl_array _ ->
@@ -130,6 +154,14 @@ let full_scan cat ~mode ~(entry : Catalog.entry) ~tracked ~cols =
    requires a positional map that can reach the columns. *)
 let raw_fetch cat ~mode ~(entry : Catalog.entry) ~cols ~rowids =
   let smode = scan_mode mode in
+  Decisions.record ~site:"scan.kernel"
+    ~choice:(Scan_csv.mode_to_string smode)
+    [
+      ("table", entry.name);
+      ("format", Format_kind.to_string entry.format);
+      ("phase", "fetch");
+      ("rows", string_of_int (Array.length rowids));
+    ];
   match entry.format with
   | Format_kind.Csv { sep } ->
     let posmap =
@@ -137,6 +169,11 @@ let raw_fetch cat ~mode ~(entry : Catalog.entry) ~cols ~rowids =
       | Some pm -> pm
       | None -> failwith "Access.raw_fetch: CSV fetch without positional map"
     in
+    Decisions.record ~site:"posmap" ~choice:"use"
+      [
+        ("table", entry.name);
+        ("tracked", string_of_int (Array.length (Posmap.tracked posmap)));
+      ];
     charge_template cat ~mode ~kind:"csv.jit"
       (Scan_csv.template_key ~phase:"fetch" ~table:entry.name ~sep ~needed:cols
          ~tracked:(Array.to_list (Posmap.tracked posmap)) ~policy:(policy cat));
@@ -212,7 +249,7 @@ let ensure_loaded cat (entry : Catalog.entry) =
   | None ->
     let cols = all_schema_cols entry in
     let columns = full_scan cat ~mode:Dbms ~entry ~tracked:[] ~cols in
-    Io_stats.add "dbms.columns_loaded" (Array.length columns);
+    Metrics.add Metrics.dbms_columns_loaded (Array.length columns);
     entry.loaded <- Some columns
 
 (* ------------------------------------------------------------------ *)
@@ -224,7 +261,7 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
   | Dbms ->
     ensure_loaded cat entry;
     let loaded = Option.get entry.loaded in
-    Io_stats.add "dbms.values_gathered" (Array.length rowids * List.length cols);
+    Metrics.add Metrics.dbms_values_gathered (Array.length rowids * List.length cols);
     Array.of_list (List.map (fun c -> Column.gather loaded.(c) rowids) cols)
   | External ->
     (* the external-table operator re-converts the whole file every time *)
@@ -232,6 +269,10 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
     Array.of_list
       (List.map (fun c -> Column.gather full.(c) rowids) cols)
   | In_situ | Jit ->
+    Trace.with_span ~cat:"scan" "scan.fetch"
+      ~args:
+        [ ("table", entry.name); ("rows", string_of_int (Array.length rowids)) ]
+    @@ fun () ->
     let pool = Catalog.shreds cat in
     let n_rows = Catalog.n_rows cat entry in
     let results : (int, Column.t) Hashtbl.t = Hashtbl.create 8 in
@@ -243,7 +284,7 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
           match Shred_pool.find pool key with
           | Some shred when Shred_pool.subsumes shred rowids ->
             Shred_pool.record_hit pool;
-            Io_stats.add "pool.values_gathered" (Array.length rowids);
+            Metrics.add Metrics.pool_values_gathered (Array.length rowids);
             Hashtbl.replace results c (Column.gather shred rowids);
             false
           | _ ->
@@ -251,11 +292,24 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
             true)
         cols
     in
+    if List.length uncovered < List.length cols then
+      Decisions.record ~site:"shred_pool" ~choice:"reuse"
+        [
+          ("table", entry.name);
+          ( "columns",
+            string_of_int (List.length cols - List.length uncovered) );
+          ("rows", string_of_int (Array.length rowids));
+        ];
     (* 2. split the rest by how the raw file can be reached *)
     let reachable, unreachable = List.partition (fun c -> fetchable entry [ c ]) uncovered in
     (* 2a. columns with no way to navigate point-wise: full scan, pool the
        complete columns *)
     if unreachable <> [] then begin
+      Decisions.record ~site:"access.path" ~choice:"full_scan_pool"
+        [
+          ("table", entry.name);
+          ("columns", string_of_int (List.length unreachable));
+        ];
       let full = full_scan cat ~mode ~entry ~tracked ~cols:unreachable in
       List.iteri
         (fun k c ->
@@ -264,7 +318,7 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
              correctness requirement: under memory pressure skip it *)
           if Catalog.reserve_bytes cat (Column.byte_size full.(k)) then
             Shred_pool.put pool key full.(k)
-          else Io_stats.incr "gov.fallbacks.shred_pool";
+          else Metrics.incr Metrics.gov_fallback_shred_pool;
           Hashtbl.replace results c (Column.gather full.(k) rowids))
         unreachable
     end;
@@ -282,11 +336,22 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
         reachable
     in
     if streaming <> [] then begin
-      Io_stats.add "gov.fallbacks.streaming" (List.length streaming);
+      Metrics.add Metrics.gov_fallback_streaming (List.length streaming);
+      Decisions.record ~site:"access.path" ~choice:"stream"
+        [
+          ("table", entry.name);
+          ("columns", string_of_int (List.length streaming));
+          ("reason", "memory_budget");
+        ];
       let packed = raw_fetch cat ~mode ~entry ~cols:streaming ~rowids in
       List.iteri (fun k c -> Hashtbl.replace results c packed.(k)) streaming
     end;
     if reachable <> [] then begin
+      Decisions.record ~site:"access.path" ~choice:"point_fetch"
+        [
+          ("table", entry.name);
+          ("columns", string_of_int (List.length reachable));
+        ];
       let with_missing =
         List.map
           (fun c ->
@@ -316,7 +381,7 @@ let fetch_columns cat ~mode ~(entry : Catalog.entry) ~tracked ~cols ~rowids =
           end;
           List.iter
             (fun (c, shred) ->
-              Io_stats.add "pool.values_gathered" (Array.length rowids);
+              Metrics.add Metrics.pool_values_gathered (Array.length rowids);
               Hashtbl.replace results c (Column.gather shred rowids))
             members)
         (List.rev !groups)
@@ -364,7 +429,7 @@ let index_range cat ~mode (entry : Catalog.entry) ~col ~lo ~hi =
     else begin
       charge_template cat ~mode ~kind:"ibx.index"
         (Printf.sprintf "ibx-index|%s|field=%d" entry.name src);
-      Io_stats.add "ibx.index_nodes"
+      Metrics.add Metrics.ibx_index_nodes
         (Ibx.index_nodes_visited (Catalog.file cat entry) meta ~lo ~hi);
       Some (Ibx.lookup_range (Catalog.file cat entry) meta ~lo ~hi)
     end

@@ -1,6 +1,7 @@
 open Raw_vector
 open Raw_storage
 open Raw_formats
+module Metrics = Raw_obs.Metrics
 
 type entry = {
   name : string;
@@ -73,8 +74,10 @@ let register_consumers t budget =
             e.posmap <- None;
             e.row_starts <- None;
             freed := !freed + b;
-            Io_stats.incr "gov.evictions";
-            Io_stats.incr "gov.evictions.posmaps"
+            Metrics.incr Metrics.gov_evictions;
+            Io_stats.incr "gov.evictions.posmaps";
+            Raw_obs.Decisions.record ~site:"governance" ~choice:"evict_posmap"
+              [ ("table", e.name); ("freed_bytes", string_of_int b) ]
           end)
         (sorted_entries t);
       !freed);
@@ -93,7 +96,7 @@ let register_consumers t budget =
           if !freed < need && b > 0 then begin
             Mmap_file.drop_cache f;
             freed := !freed + b;
-            Io_stats.incr "gov.evictions";
+            Metrics.incr Metrics.gov_evictions;
             Io_stats.incr "gov.evictions.file_pages"
           end)
         (open_files t);
@@ -116,6 +119,8 @@ let create ?(config = Config.default) () =
     }
   in
   Option.iter (register_consumers t) t.budget;
+  Metrics.set Metrics.gov_budget_capacity_bytes
+    (match config.memory_budget with Some b -> float_of_int b | None -> 0.);
   t
 
 let config t = t.config
@@ -293,7 +298,7 @@ let jsonl_row_starts t entry =
     in
     if reserve_bytes t (8 * Array.length starts) then
       entry.row_starts <- Some starts
-    else Io_stats.incr "gov.fallbacks.posmap";
+    else Metrics.incr Metrics.gov_fallback_posmap;
     starts
 
 let jarr_index t entry =
@@ -354,8 +359,23 @@ let n_rows t entry =
 (* A positional map is only retained if the budget can hold it; otherwise
    the next query re-tokenizes (counted as a governance fallback). *)
 let set_posmap t entry pm =
-  if reserve_bytes t (Posmap.byte_size pm) then entry.posmap <- Some pm
-  else Io_stats.incr "gov.fallbacks.posmap"
+  if reserve_bytes t (Posmap.byte_size pm) then begin
+    entry.posmap <- Some pm;
+    Raw_obs.Decisions.record ~site:"governance" ~choice:"retain_posmap"
+      [
+        ("table", entry.name);
+        ("bytes", string_of_int (Posmap.byte_size pm));
+      ]
+  end
+  else begin
+    Metrics.incr Metrics.gov_fallback_posmap;
+    Raw_obs.Decisions.record ~site:"governance" ~choice:"drop_posmap"
+      [
+        ("table", entry.name);
+        ("bytes", string_of_int (Posmap.byte_size pm));
+        ("reason", "memory_budget");
+      ]
+  end
 
 let drop_file_caches t =
   Hashtbl.iter

@@ -12,6 +12,7 @@ type t = {
   deadline : float option;
   memory_budget : int option;
   max_concurrent : int option;
+  observe : bool;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     deadline = None;
     memory_budget = None;
     max_concurrent = None;
+    observe = false;
   }
 
 (* Validation happens once, at construction ({!Catalog.create} /

@@ -49,6 +49,12 @@ type t = {
           flight; further queries are rejected with a typed
           {!Raw_storage.Resource_error.Overloaded}. [None] (default)
           admits everything. *)
+  observe : bool;
+      (** record a per-query span tree ({!Raw_obs.Trace}) and
+          adaptive-decision audit log ({!Raw_obs.Decisions}), surfaced in
+          [Executor.report.spans]/[.decisions]. [false] (default) leaves
+          both at their no-op sinks: span sites cost one domain-local read
+          and a branch. *)
 }
 
 val default : t

@@ -1,6 +1,9 @@
 open Raw_vector
 open Raw_storage
 open Raw_engine
+module Trace = Raw_obs.Trace
+module Decisions = Raw_obs.Decisions
+module Metrics = Raw_obs.Metrics
 
 type report = {
   chunk : Chunk.t;
@@ -14,6 +17,8 @@ type report = {
   counters : (string * float) list;
   errors : Scan_errors.snapshot;
   degraded : string list;
+  spans : Trace.span list;
+  decisions : Decisions.record list;
 }
 
 let domain_prefix = "par.domain"
@@ -71,7 +76,7 @@ let counter_delta ~before key =
   in
   v -. v0
 
-let run ?(options = Planner.default) ?cancel cat logical =
+let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
   let cancel =
     match cancel with
     | Some c -> c
@@ -85,12 +90,45 @@ let run ?(options = Planner.default) ?cancel cat logical =
   Scan_errors.reset ();
   List.iter Mmap_file.reset_counters (entry_files cat logical);
   ignore (Template_cache.take_charged_seconds (Catalog.templates cat));
+  let obs =
+    if not (Catalog.config cat).Config.observe then None
+    else begin
+      (* anchor the trace at the earliest pre-timed phase (binding happens
+         in Raw_db before this handle exists) so its spans fit the axis *)
+      let epoch =
+        List.fold_left
+          (fun acc (_, t0, _) -> Float.min acc t0)
+          (Timing.now ()) pre_spans
+      in
+      let h = Trace.create ~epoch () in
+      List.iter
+        (fun (name, t0, t1) -> Trace.record h ~start:t0 ~dur:(t1 -. t0) name)
+        pre_spans;
+      Some (h, Decisions.create ())
+    end
+  in
+  let with_obs f =
+    match obs with
+    | None -> f ()
+    | Some (h, d) ->
+      Trace.with_handle h (fun () ->
+          Decisions.with_handle d (fun () ->
+              Trace.with_span ~cat:"query" "query" f))
+  in
   let outcome, cpu_seconds =
     Timing.time (fun () ->
         Cancel.with_current cancel (fun () ->
-            Cancel.check cancel;
-            let op, schema = Planner.plan cat options logical in
-            (Operator.to_chunk op, schema)))
+            with_obs (fun () ->
+                Cancel.check cancel;
+                let op, schema =
+                  Trace.with_span ~cat:"plan" "plan" (fun () ->
+                      Planner.plan cat options logical)
+                in
+                let chunk =
+                  Trace.with_span ~cat:"execute" "execute" (fun () ->
+                      Operator.to_chunk op)
+                in
+                (chunk, schema))))
   in
   let chunk, schema =
     match outcome with
@@ -129,6 +167,9 @@ let run ?(options = Planner.default) ?cancel cat logical =
   let compile_seconds =
     Template_cache.take_charged_seconds (Catalog.templates cat)
   in
+  Metrics.add_float Metrics.io_simulated_seconds io_seconds;
+  Metrics.observe Metrics.query_seconds
+    (cpu_seconds +. io_seconds +. compile_seconds);
   let after = Io_stats.snapshot () in
   let deltas =
     List.filter_map
@@ -154,9 +195,11 @@ let run ?(options = Planner.default) ?cancel cat logical =
     total_seconds = cpu_seconds +. io_seconds +. compile_seconds;
     parallelism = (Catalog.config cat).Config.parallelism;
     domain_seconds;
-    counters;
+    counters = List.sort (fun (a, _) (b, _) -> String.compare a b) counters;
     errors = Scan_errors.snapshot ();
     degraded = degraded_of_counters counters;
+    spans = (match obs with Some (h, _) -> Trace.spans h | None -> []);
+    decisions = (match obs with Some (_, d) -> Decisions.records d | None -> []);
   }
 
 let pp_result ppf r =
@@ -193,4 +236,12 @@ let pp_report ppf r =
   if not (Scan_errors.is_empty r.errors) then
     Format.fprintf ppf "@,-- %a" Scan_errors.pp_snapshot r.errors;
   if r.degraded <> [] then
-    Format.fprintf ppf "@,-- degraded: %s" (String.concat "; " r.degraded)
+    Format.fprintf ppf "@,-- degraded: %s" (String.concat "; " r.degraded);
+  if r.spans <> [] then
+    Format.fprintf ppf "@\n-- spans:@\n%a" Raw_obs.Export.pp_span_tree r.spans;
+  if r.decisions <> [] then begin
+    Format.fprintf ppf "@\n-- decisions (%d):" (List.length r.decisions);
+    List.iter
+      (fun d -> Format.fprintf ppf "@\n--   %a" Decisions.pp d)
+      r.decisions
+  end

@@ -35,10 +35,22 @@ type report = {
   (** human-readable account of the governance actions this query absorbed
       (evictions, streaming fallbacks, structures not retained), derived
       from the query's [gov.*] counter delta; empty when nothing degraded *)
+  spans : Raw_obs.Trace.span list;
+  (** the query's span tree (parse/bind/plan/compile/scan morsels), ordered
+      by start time; empty unless {!Config.observe} is on *)
+  decisions : Raw_obs.Decisions.record list;
+  (** adaptive-decision audit log (JIT vs interpreted, posmap use, shred
+      reuse, cache hits, governance degradation) in recording order; empty
+      unless {!Config.observe} is on *)
 }
 
 val run :
-  ?options:Planner.options -> ?cancel:Cancel.t -> Catalog.t -> Logical.t -> report
+  ?options:Planner.options ->
+  ?cancel:Cancel.t ->
+  ?pre_spans:(string * float * float) list ->
+  Catalog.t ->
+  Logical.t ->
+  report
 (** Runs the query to completion and reports its cost breakdown.
 
     Governance: [cancel] defaults to a fresh token armed from
@@ -49,7 +61,16 @@ val run :
     stats are merged, and [run] raises
     {!Raw_storage.Resource_error.Deadline_exceeded} (or [Cancelled]) whose
     payload accounts the partial progress: rows scanned, simulated I/O and
-    compile seconds consumed, and elapsed wall time. *)
+    compile seconds consumed, and elapsed wall time.
+
+    Observability: when {!Config.observe} is set, the run installs a
+    {!Raw_obs.Trace} handle (morsel workers inherit it) and a
+    {!Raw_obs.Decisions} log for its duration; both land in the report.
+    [pre_spans] stitches in phases timed before this call — each
+    [(name, t0, t1)] triple (absolute {!Raw_storage.Timing.now} instants,
+    e.g. SQL parse/bind in {!Raw_db.query}) becomes a top-level span and
+    the earliest [t0] anchors the trace epoch. Ignored when not
+    observing. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Result rows (with header) followed by the timing line. *)

@@ -33,21 +33,47 @@ let split_range ~lo ~hi ~n =
    cancel token is re-installed as ambient in each worker because
    domain-local storage is not inherited across Domain.spawn. *)
 let map_domains ?(cancel = Cancel.current ()) work items =
+  let module Trace = Raw_obs.Trace in
+  let module Metrics = Raw_obs.Metrics in
+  (* one "morsel" span per item regardless of path, so the span tree's
+     shape is invariant across parallelism levels *)
+  let timed_work item =
+    Trace.with_span ~cat:"scan" "morsel" (fun () ->
+        let r, seconds = Timing.time (fun () -> work item) in
+        Metrics.observe Metrics.morsel_seconds seconds;
+        r)
+  in
   match items with
   | [] -> []
   | [ item ] ->
     let restore = Cancel.current () in
     Cancel.set_current cancel;
     Fun.protect ~finally:(fun () -> Cancel.set_current restore) (fun () ->
-        [ work item ])
+        [ timed_work item ])
   | items ->
-    let run item () =
+    (* DLS is not inherited across Domain.spawn: re-install the cancel
+       token, and the trace/decision contexts when observing, in each
+       worker. Worker spans parent under the coordinator's current span
+       with tid 1 + morsel index. *)
+    let fp = Trace.fork () in
+    let dfork = Raw_obs.Decisions.fork () in
+    let run i item () =
       Cancel.set_current cancel;
+      let with_obs f =
+        let f =
+          match dfork with
+          | Some d -> fun () -> Raw_obs.Decisions.with_handle d f
+          | None -> f
+        in
+        match fp with
+        | Some fp -> Trace.with_fork fp ~tid:(i + 1) f
+        | None -> f ()
+      in
       let t0 = Timing.now () in
-      let r = try Ok (work item) with e -> Error e in
+      let r = try Ok (with_obs (fun () -> timed_work item)) with e -> Error e in
       (r, Io_stats.snapshot (), Scan_errors.snapshot (), Timing.now () -. t0)
     in
-    let domains = List.map (fun item -> Domain.spawn (run item)) items in
+    let domains = List.mapi (fun i item -> Domain.spawn (run i item)) items in
     let parts = List.map Domain.join domains in
     List.iteri
       (fun i (_, stats, errs, seconds) ->

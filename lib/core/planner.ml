@@ -478,10 +478,22 @@ let resolve_adaptive cat (logical : Logical.t) =
         ~n_filter_cols:(List.length filter_positions)
         ~n_post_cols:(max n_post 0) ~selectivity:sel ~textual
     in
-    (match Cost_model.choose costs with
-     | `Full_columns -> Full_columns
-     | `Shreds -> Shreds
-     | `Multi_shreds -> Multi_shreds)
+    let resolved =
+      match Cost_model.choose costs with
+      | `Full_columns -> Full_columns
+      | `Shreds -> Shreds
+      | `Multi_shreds -> Multi_shreds
+    in
+    Raw_obs.Decisions.record ~site:"planner.adaptive"
+      ~choice:(shred_strategy_to_string resolved)
+      [
+        ("table", table);
+        ("selectivity", Printf.sprintf "%.4f" sel);
+        ("cost_full", Printf.sprintf "%.1f" costs.Cost_model.full);
+        ("cost_shreds", Printf.sprintf "%.1f" costs.Cost_model.shreds);
+        ("cost_multishreds", Printf.sprintf "%.1f" costs.Cost_model.multi_shreds);
+      ];
+    resolved
 
 let rec has_join = function
   | Logical.Join _ -> true
@@ -499,7 +511,8 @@ let plan_with_trace cat opts logical =
     | Adaptive ->
       let resolved = resolve_adaptive cat logical in
       Raw_storage.Io_stats.incr
-        ("planner.adaptive_chose_" ^ shred_strategy_to_string resolved);
+        (Raw_obs.Metrics.id Raw_obs.Metrics.planner_adaptive
+        ^ shred_strategy_to_string resolved);
       { opts with shreds = resolved }
     | Full_columns | Shreds | Multi_shreds -> opts
   in

@@ -58,7 +58,7 @@ let with_admission t ~cancel f =
   | Some g ->
     Mutex.protect g.g_mutex (fun () ->
         if g.active >= g.limit then begin
-          Io_stats.incr "gov.rejections";
+          Raw_obs.Metrics.incr Raw_obs.Metrics.gov_rejections;
           raise (Resource_error.Overloaded { active = g.active; limit = g.limit })
         end;
         g.active <- g.active + 1);
@@ -111,14 +111,22 @@ let fresh_cancel t =
   | Some s -> Cancel.create ~deadline_seconds:s ()
   | None -> Cancel.never
 
-let run_plan ?options ?cancel t logical =
+let run_plan ?options ?cancel ?pre_spans t logical =
   let options = Option.value options ~default:t.options in
   let cancel = match cancel with Some c -> c | None -> fresh_cancel t in
   with_admission t ~cancel (fun () ->
-      Executor.run ~options ~cancel t.catalog logical)
+      Executor.run ~options ~cancel ?pre_spans t.catalog logical)
 
 let query ?options ?cancel t sql =
-  run_plan ?options ?cancel t (Sql_binder.bind_string t.catalog sql)
+  if (Catalog.config t.catalog).Config.observe then begin
+    (* binding happens before the executor creates the trace handle; time
+       it here and let the executor stitch it in as a pre-span *)
+    let t0 = Timing.now () in
+    let logical = Sql_binder.bind_string t.catalog sql in
+    let t1 = Timing.now () in
+    run_plan ?options ?cancel ~pre_spans:[ ("bind", t0, t1) ] t logical
+  end
+  else run_plan ?options ?cancel t (Sql_binder.bind_string t.catalog sql)
 
 let explain ?options t q =
   let options = Option.value options ~default:t.options in

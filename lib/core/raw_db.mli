@@ -71,7 +71,11 @@ val query :
 val run_plan :
   ?options:Planner.options ->
   ?cancel:Raw_storage.Cancel.t ->
+  ?pre_spans:(string * float * float) list ->
   t -> Logical.t -> Executor.report
+(** Like {!query} over an already-bound plan; [pre_spans] forwards to
+    {!Executor.run} (used by {!query} to stitch the bind phase into the
+    trace when {!Config.observe} is on). *)
 
 val with_admission :
   t -> cancel:Raw_storage.Cancel.t -> (unit -> 'a) -> 'a

@@ -1,6 +1,7 @@
 open Raw_vector
 open Raw_storage
 open Raw_formats
+module Metrics = Raw_obs.Metrics
 
 type mode = Interpreted | Jit
 
@@ -84,9 +85,9 @@ let seq_scan_interpreted ?range ~file ~sep ~schema ~needed ~tracked () =
     Csv.Cursor.skip_line cur;
     Option.iter Posmap.Build.end_row pm
   done;
-  Io_stats.add "csv.fields_tokenized" !tokenized;
-  Io_stats.add "csv.values_converted" !converted;
-  Io_stats.add "scan.values_built" !converted;
+  Metrics.add Metrics.csv_fields_tokenized !tokenized;
+  Metrics.add Metrics.csv_values_converted !converted;
+  Metrics.add Metrics.scan_values_built !converted;
   let cols =
     Array.of_list (List.map (fun (_, i) ->
         match builder_of_src.((Schema.field schema i).Schema.source_index) with
@@ -229,9 +230,9 @@ let seq_scan_jit ?range ~file ~sep ~schema ~needed ~tracked () =
     incr n_rows
   done;
   let n_needed = List.length needed in
-  Io_stats.add "csv.fields_tokenized" (!n_rows * !fields_per_row);
-  Io_stats.add "csv.values_converted" (!n_rows * n_needed);
-  Io_stats.add "scan.values_built" (!n_rows * n_needed);
+  Metrics.add Metrics.csv_fields_tokenized (!n_rows * !fields_per_row);
+  Metrics.add Metrics.csv_values_converted (!n_rows * n_needed);
+  Metrics.add Metrics.scan_values_built (!n_rows * n_needed);
   let cols = Array.of_list (List.map Builder.to_column builders) in
   (reorder needed srcs cols, Option.map Posmap.Build.finish pm)
 
@@ -367,10 +368,10 @@ let seq_scan_safe ~policy ?(record = true) ?range ~file ~sep ~schema ~needed
       Csv.Cursor.skip_line cur;
       incr skipped
   done;
-  Io_stats.add "csv.fields_tokenized" !tokenized;
-  Io_stats.add "csv.values_converted" !converted;
-  Io_stats.add "scan.values_built" !converted;
-  if !skipped > 0 then Io_stats.add "scan.rows_skipped" !skipped;
+  Metrics.add Metrics.csv_fields_tokenized !tokenized;
+  Metrics.add Metrics.csv_values_converted !converted;
+  Metrics.add Metrics.scan_values_built !converted;
+  if !skipped > 0 then Metrics.add Metrics.scan_rows_skipped !skipped;
   let cols =
     Array.of_list
       (List.map
@@ -502,9 +503,9 @@ let fetch_interpreted ~file ~sep ~schema ~posmap ~cols ~rowids =
           incr converted)
         srcs builders
   done;
-  Io_stats.add "csv.fields_tokenized" !tokenized;
-  Io_stats.add "csv.values_converted" !converted;
-  Io_stats.add "scan.values_built" !converted;
+  Metrics.add Metrics.csv_fields_tokenized !tokenized;
+  Metrics.add Metrics.csv_values_converted !converted;
+  Metrics.add Metrics.scan_values_built !converted;
   reorder cols srcs (Array.of_list (List.map Builder.to_column builders))
 
 let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
@@ -608,17 +609,17 @@ let fetch_jit ~file ~sep ~schema ~posmap ~cols ~rowids =
           Mmap_file.touch file p lens.(r);
           Builder.add_string b (Csv.parse_string buf p lens.(r))
         done);
-     Io_stats.add "csv.fields_tokenized" n
+     Metrics.add Metrics.csv_fields_tokenized n
    | _ ->
      for k = 0 to n - 1 do
        tick ();
        Csv.Cursor.seek cur positions.(rowids.(k));
        row_fn ()
      done;
-     Io_stats.add "csv.fields_tokenized" (n * !fields_per_row));
+     Metrics.add Metrics.csv_fields_tokenized (n * !fields_per_row));
   let n_cols = List.length cols in
-  Io_stats.add "csv.values_converted" (n * n_cols);
-  Io_stats.add "scan.values_built" (n * n_cols);
+  Metrics.add Metrics.csv_values_converted (n * n_cols);
+  Metrics.add Metrics.scan_values_built (n * n_cols);
   reorder cols srcs (Array.of_list (List.map Builder.to_column builders))
 
 (* Null_fill fetch: rows are physical, so a fetched field can still be
@@ -668,9 +669,9 @@ let fetch_safe ~file ~sep ~schema ~posmap ~cols ~rowids =
           incr converted)
         srcs builders
   done;
-  Io_stats.add "csv.fields_tokenized" !tokenized;
-  Io_stats.add "csv.values_converted" !converted;
-  Io_stats.add "scan.values_built" !converted;
+  Metrics.add Metrics.csv_fields_tokenized !tokenized;
+  Metrics.add Metrics.csv_values_converted !converted;
+  Metrics.add Metrics.scan_values_built !converted;
   reorder cols srcs (Array.of_list (List.map Builder.to_column builders))
 
 let fetch ~mode ?(policy = Scan_errors.Fail_fast) ~file ~sep ~schema ~posmap

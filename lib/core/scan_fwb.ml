@@ -1,6 +1,7 @@
 open Raw_vector
 open Raw_storage
 open Raw_formats
+module Metrics = Raw_obs.Metrics
 
 let template_key ~phase ~table ~needed ~policy =
   Printf.sprintf "fwb|%s|%s|needed=%s|err=%s" phase table
@@ -26,8 +27,8 @@ let row_bound ~policy ?(record = true) layout file =
 let source_of schema i = (Schema.field schema i).Schema.source_index
 
 let count_values n_rows n_cols =
-  Io_stats.add "fwb.values_read" (n_rows * n_cols);
-  Io_stats.add "scan.values_built" (n_rows * n_cols)
+  Metrics.add Metrics.fwb_values_read (n_rows * n_cols);
+  Metrics.add Metrics.scan_values_built (n_rows * n_cols)
 
 let read_dispatch file (dt : Dtype.t) pos : Value.t =
   (* general-purpose read: dtype dispatched per value *)
@@ -94,7 +95,7 @@ let seq_scan_jit ~rows ~file ~layout ~schema ~needed () =
       needed
   in
   count_values n (List.length needed);
-  if live then Io_stats.add "scan.rows_scanned" n;
+  if live then Metrics.add Metrics.scan_rows_scanned n;
   Array.of_list cols
 
 let seq_scan ~mode ?(policy = Scan_errors.Fail_fast) ?rows ~file ~layout

@@ -1,6 +1,7 @@
 open Raw_vector
 open Raw_storage
 open Raw_formats
+module Metrics = Raw_obs.Metrics
 
 let template_key ~phase ~table ~needed ~policy =
   Printf.sprintf "hep|%s|%s|needed=%s|err=%s" phase table
@@ -8,8 +9,8 @@ let template_key ~phase ~table ~needed ~policy =
     (Scan_errors.policy_to_string policy)
 
 let count n_rows n_cols =
-  Io_stats.add "hep.fields_read" (n_rows * n_cols);
-  Io_stats.add "scan.values_built" (n_rows * n_cols)
+  Metrics.add Metrics.hep_fields_read (n_rows * n_cols);
+  Metrics.add Metrics.scan_values_built (n_rows * n_cols)
 
 (* [rowids] are always actual entry ids; [policy] only governs what a full
    enumeration ([rowids = None]) means. A HEP record whose structure is
@@ -72,7 +73,7 @@ let scan_events ~mode ?(policy = Scan_errors.Fail_fast) ~reader ~needed
         needed
   in
   count n (List.length needed);
-  if live then Io_stats.add "scan.rows_scanned" n;
+  if live then Metrics.add Metrics.scan_rows_scanned n;
   Array.of_list out
 
 (* ------------------------------------------------------------------ *)
@@ -176,7 +177,7 @@ let scan_particles ~mode ~reader ~coll ~index:(entry_of, item_of) ~needed ~rowid
         needed
   in
   count n (List.length needed);
-  if live then Io_stats.add "scan.rows_scanned" n;
+  if live then Metrics.add Metrics.scan_rows_scanned n;
   Array.of_list out
 
 let par_scan_particles ~mode ~parallelism ~reader ~coll ~index ~needed ~rowids

@@ -1,6 +1,7 @@
 open Raw_vector
 open Raw_storage
 open Raw_formats
+module Metrics = Raw_obs.Metrics
 
 let template_key ~phase ~table ~needed ~policy =
   Printf.sprintf "jsonl|%s|%s|needed=%s|err=%s" phase table
@@ -122,8 +123,8 @@ let make_kernel ~mode ~policy ~file ~schema ~needed =
   (builders, row_at, n_rows)
 
 let finish builders needed n_rows n_cols_touched =
-  Io_stats.add "jsonl.values_extracted" (n_rows * n_cols_touched);
-  Io_stats.add "scan.values_built" (n_rows * List.length needed);
+  Metrics.add Metrics.jsonl_values_extracted (n_rows * n_cols_touched);
+  Metrics.add Metrics.scan_values_built (n_rows * List.length needed);
   Array.of_list (List.map Builder.to_column builders)
 
 let skip_ws buf len p =
@@ -204,7 +205,7 @@ let seq_scan_safe ~mode ~policy ?(record = true) ~file ~schema ~needed () =
       end;
       pos := skip_ws buf len next
   done;
-  if !skipped > 0 then Io_stats.add "scan.rows_skipped" !skipped;
+  if !skipped > 0 then Metrics.add Metrics.scan_rows_skipped !skipped;
   let columns = finish builders scan_cols !n_rows (List.length scan_cols) in
   let columns =
     if skip then Array.of_list (List.map (fun c -> columns.(c)) needed)

@@ -65,7 +65,7 @@ let evict_bytes t ~need =
          | Some c -> freed := !freed + Column.byte_size c
          | None -> ());
         Lru.remove t.lru victim;
-        Io_stats.incr "gov.evictions";
+        Raw_obs.Metrics.incr Raw_obs.Metrics.gov_evictions;
         Io_stats.incr "gov.evictions.shreds";
         go ()
   in
@@ -80,5 +80,10 @@ let clear t =
 let size t = Lru.length t.lru
 let hits t = t.hits
 let misses t = t.misses
-let record_hit t = t.hits <- t.hits + 1
-let record_miss t = t.misses <- t.misses + 1
+let record_hit t =
+  t.hits <- t.hits + 1;
+  Raw_obs.Metrics.incr Raw_obs.Metrics.pool_hits
+
+let record_miss t =
+  t.misses <- t.misses + 1;
+  Raw_obs.Metrics.incr Raw_obs.Metrics.pool_misses

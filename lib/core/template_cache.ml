@@ -36,17 +36,34 @@ let create ~compile_seconds =
 let slot ~kind ~key = kind ^ "/" ^ key
 
 let get t ~kind ~key compile =
+  let bare_key = key in
   let key = slot ~kind ~key in
   Mutex.protect t.mutex (fun () ->
       match Lru.find t.table key with
       | Some artifact ->
         t.hits <- t.hits + 1;
+        Raw_obs.Metrics.incr Raw_obs.Metrics.tmpl_hits;
+        Raw_obs.Decisions.record ~site:"template_cache" ~choice:"hit"
+          [ ("kind", kind); ("key", bare_key) ];
         Obj.obj artifact
       | None ->
         t.misses <- t.misses + 1;
         t.charged <- t.charged +. t.compile_seconds;
         t.pending_charge <- t.pending_charge +. t.compile_seconds;
-        let artifact = compile () in
+        Raw_obs.Metrics.incr Raw_obs.Metrics.tmpl_misses;
+        Raw_obs.Metrics.add_float Raw_obs.Metrics.tmpl_compile_seconds
+          t.compile_seconds;
+        Raw_obs.Decisions.record ~site:"template_cache" ~choice:"compile"
+          [
+            ("kind", kind);
+            ("key", bare_key);
+            ("charged_seconds", Printf.sprintf "%g" t.compile_seconds);
+          ];
+        let artifact =
+          Raw_obs.Trace.with_span ~cat:"compile"
+            ~args:[ ("kind", kind); ("key", bare_key) ]
+            "compile" compile
+        in
         if not (Lru.mem t.table key) then t.bytes <- t.bytes + entry_bytes key;
         ignore (Lru.add t.table key (Obj.repr artifact));
         artifact)
@@ -75,8 +92,10 @@ let evict_cold t ~need =
             let b = entry_bytes victim in
             t.bytes <- t.bytes - b;
             freed := !freed + b;
-            Io_stats.incr "gov.evictions";
+            Raw_obs.Metrics.incr Raw_obs.Metrics.gov_evictions;
             Io_stats.incr "gov.evictions.templates";
+            Raw_obs.Decisions.record ~site:"template_cache" ~choice:"evict"
+              [ ("key", victim); ("freed_bytes", string_of_int b) ];
             go ()
       in
       go ();

@@ -56,6 +56,8 @@ let concat = function
         if s.tracked <> first.tracked then
           invalid_arg "Posmap.concat: segments track different columns")
       segs;
+    (* raw id (declared in Raw_obs.Metrics): this layer sits below obs *)
+    Raw_storage.Io_stats.add "posmap.segments_merged" (List.length segs);
     let n_tracked = Array.length first.tracked in
     {
       tracked = first.tracked;
@@ -122,5 +124,7 @@ module Build = struct
     let pos = Array.map Buffer_int.contents t.pos_bufs in
     let len = Array.map Buffer_int.contents t.len_bufs in
     let n_rows = if Array.length pos = 0 then 0 else Array.length pos.(0) in
+    Raw_storage.Io_stats.add "posmap.entries"
+      (Array.fold_left (fun acc p -> acc + Array.length p) 0 pos);
     { tracked = t.tracked; pos; len; n_rows }
 end

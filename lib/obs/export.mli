@@ -1,0 +1,29 @@
+(** Exporters: Chrome trace-event JSON, Prometheus text exposition, and a
+    human-readable span tree for EXPLAIN ANALYZE output. *)
+
+val chrome_trace : Trace.span list -> string
+(** The span list as a Chrome trace-event JSON document ([traceEvents]
+    array of complete-["X"] events, microsecond timestamps), loadable in
+    [chrome://tracing] or Perfetto. Exact parent links are carried in each
+    event's [args.span_id]/[args.parent_id]. *)
+
+val chrome_trace_json : Trace.span list -> Jsons.t
+
+val write_chrome_trace : path:string -> Trace.span list -> unit
+
+val prometheus : unit -> string
+(** Prometheus text exposition of the calling domain's
+    {!Raw_storage.Io_stats} snapshot: declared metrics get [# HELP]/
+    [# TYPE] headers, histograms are reassembled into cumulative
+    [_bucket{le=...}]/[_sum]/[_count] series, undeclared keys are exposed
+    untyped. Names are sanitized and prefixed [raw_]. *)
+
+val prometheus_of_snapshot : (string * float) list -> string
+(** Same, over an explicit snapshot (e.g. the merged post-query one). *)
+
+val prom_name : string -> string
+(** [raw_] + the id with non-[[a-zA-Z0-9_:]] characters mapped to [_]. *)
+
+val pp_span_tree : Format.formatter -> Trace.span list -> unit
+(** Indented tree (children under parents, ordered by start time) with
+    per-span durations, worker tids and compact args. *)

@@ -1,0 +1,13 @@
+(** Minimal JSON emission (no external dependency). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** nan/inf emit as [0] — they are not JSON *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val write : Buffer.t -> t -> unit

@@ -1,0 +1,225 @@
+open Raw_storage
+
+(* The registry is process-global and append-only: metric ids are declared
+   once (usually at module initialization) and looked up rarely — the hot
+   path is the bump, which goes straight to the domain-local Io_stats
+   shard under the metric's string id. That keeps the PR-1 concurrency
+   story intact: workers bump their own shard, the coordinator merges
+   deterministically after join, and this module adds only the typed
+   vocabulary on top. *)
+
+type kind = Counter | Gauge | Histogram
+
+type t = {
+  id : string;
+  kind : kind;
+  help : string;
+  buckets : float array; (* ascending upper bounds; [||] unless Histogram *)
+  family : bool; (* [id] is a prefix owning "id<suffix>" series *)
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let mutex = Mutex.create ()
+
+let register ~kind ?(buckets = [||]) ?(family = false) ~help id =
+  let m = { id; kind; help; buckets; family } in
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt registry id with
+      | Some existing ->
+        if existing.kind <> kind then
+          invalid_arg
+            (Printf.sprintf "Metrics: %s re-declared with a different kind" id);
+        existing
+      | None ->
+        Hashtbl.replace registry id m;
+        m)
+
+let counter ?family ~help id = register ~kind:Counter ?family ~help id
+let gauge ?family ~help id = register ~kind:Gauge ?family ~help id
+
+let histogram ~buckets ~help id =
+  let buckets = Array.of_list (List.sort_uniq compare buckets) in
+  register ~kind:Histogram ~buckets ~help id
+
+let id m = m.id
+let kind m = m.kind
+let help m = m.help
+let buckets m = Array.to_list m.buckets
+
+(* ------------------------------------------------------------------ *)
+(* Bump API — forwards to the domain-local Io_stats shard              *)
+(* ------------------------------------------------------------------ *)
+
+let incr m = Io_stats.incr m.id
+let add m n = Io_stats.add m.id n
+let add_float m x = Io_stats.add_float m.id x
+
+let set m x =
+  Io_stats.reset m.id;
+  Io_stats.add_float m.id x
+
+let bucket_key m b = Printf.sprintf "%s.bucket.%g" m.id b
+let inf_bucket_key m = m.id ^ ".bucket.inf"
+let sum_key m = m.id ^ ".sum"
+let count_key m = m.id ^ ".count"
+
+let observe m x =
+  Io_stats.incr (count_key m);
+  Io_stats.add_float (sum_key m) x;
+  let n = Array.length m.buckets in
+  let rec go i =
+    if i >= n then Io_stats.incr (inf_bucket_key m)
+    else if x <= m.buckets.(i) then Io_stats.incr (bucket_key m m.buckets.(i))
+    else go (i + 1)
+  in
+  go 0
+
+let value m = Io_stats.get_float m.id
+let count m = Io_stats.get m.id
+
+(* ------------------------------------------------------------------ *)
+(* Lookup                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let find id = Mutex.protect mutex (fun () -> Hashtbl.find_opt registry id)
+
+let all () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+  |> List.sort (fun a b -> String.compare a.id b.id)
+
+(* Resolve a raw Io_stats key to the metric that owns it: an exact id, a
+   histogram's derived series ([.sum]/[.count]/[.bucket.*]), or a family
+   prefix ([par.domain<i>.seconds]...). *)
+let owner key =
+  match find key with
+  | Some m -> Some m
+  | None ->
+    let owns m =
+      (m.family && String.starts_with ~prefix:m.id key)
+      || (m.kind = Histogram
+          && (key = sum_key m || key = count_key m
+              || String.starts_with ~prefix:(m.id ^ ".bucket.") key))
+    in
+    List.find_opt owns (all ())
+
+(* ------------------------------------------------------------------ *)
+(* Builtin vocabulary                                                  *)
+(*                                                                     *)
+(* Every counter the engine bumps is declared here, including the ones *)
+(* written by layers below this library (Raw_storage.Cancel and        *)
+(* Mem_budget bump their ids as raw strings; everything in lib/core    *)
+(* uses the handles). test/test_obs.ml asserts that a query never      *)
+(* touches an undeclared id.                                           *)
+(* ------------------------------------------------------------------ *)
+
+let scan_rows_scanned =
+  counter "scan.rows_scanned"
+    ~help:"Rows enumerated by scan loops under a live cancel token (batch granular)"
+
+let scan_values_built =
+  counter "scan.values_built" ~help:"Typed values materialized by scan kernels"
+
+let scan_rows_skipped =
+  counter "scan.rows_skipped" ~help:"Malformed rows dropped under the skip policy"
+
+let csv_fields_tokenized =
+  counter "csv.fields_tokenized" ~help:"CSV fields the tokenizer walked"
+
+let csv_values_converted =
+  counter "csv.values_converted" ~help:"CSV fields converted to typed values"
+
+let jsonl_values_extracted =
+  counter "jsonl.values_extracted" ~help:"JSONL values located by path extraction"
+
+let fwb_values_read =
+  counter "fwb.values_read" ~help:"Fixed-width binary slots decoded"
+
+let hep_fields_read = counter "hep.fields_read" ~help:"HEP object fields decoded"
+
+let dbms_columns_loaded =
+  counter "dbms.columns_loaded" ~help:"Whole columns loaded by DBMS mode"
+
+let dbms_values_gathered =
+  counter "dbms.values_gathered" ~help:"Values gathered from DBMS-loaded columns"
+
+let pool_values_gathered =
+  counter "pool.values_gathered" ~help:"Values served by pooled column shreds"
+
+let pool_hits = counter "pool.hits" ~help:"Shred-pool lookups served from the pool"
+let pool_misses = counter "pool.misses" ~help:"Shred-pool lookups that missed"
+
+let tmpl_hits =
+  counter "tmpl.hits" ~help:"Template-cache lookups that reused a compiled artifact"
+
+let tmpl_misses =
+  counter "tmpl.misses" ~help:"Template-cache lookups that compiled a new artifact"
+
+let tmpl_compile_seconds =
+  counter "tmpl.compile_seconds"
+    ~help:"Simulated JIT compile latency charged by template-cache misses (seconds)"
+
+let posmap_entries =
+  counter "posmap.entries" ~help:"Positions recorded into positional maps"
+
+let posmap_segments_merged =
+  counter "posmap.segments_merged"
+    ~help:"Per-morsel positional-map segments stitched by concat"
+
+let ibx_index_nodes =
+  counter "ibx.index_nodes" ~help:"Embedded B+-tree nodes visited by index scans"
+
+let gov_evictions =
+  counter "gov.evictions" ~family:true
+    ~help:"Cached items evicted under memory pressure (gov.evictions.<consumer> breaks down)"
+
+let gov_evicted_bytes =
+  counter "gov.evicted_bytes" ~help:"Bytes freed by memory-pressure evictions"
+
+let gov_reservation_failures =
+  counter "gov.reservation_failures"
+    ~help:"Reservations unsatisfiable even after eviction"
+
+let gov_rejections =
+  counter "gov.rejections" ~help:"Queries rejected by admission control"
+
+let gov_fallback_streaming =
+  counter "gov.fallbacks.streaming"
+    ~help:"Fetches streamed from the raw file instead of cached"
+
+let gov_fallback_shred_pool =
+  counter "gov.fallbacks.shred_pool" ~help:"Column shreds not pooled under pressure"
+
+let gov_fallback_posmap =
+  counter "gov.fallbacks.posmap" ~help:"Positional maps not retained under pressure"
+
+let gov_budget_capacity_bytes =
+  gauge "gov.budget_capacity_bytes"
+    ~help:"Configured unified memory budget (0 when unbounded)"
+
+let planner_adaptive =
+  counter "planner.adaptive_chose_" ~family:true
+    ~help:"Adaptive cost-model strategy resolutions, by chosen strategy"
+
+let par_domain =
+  counter "par.domain" ~family:true
+    ~help:"Per-worker-domain wall clocks (par.domain<i>.seconds)"
+
+let obs_decisions_dropped =
+  counter "obs.decisions_dropped"
+    ~help:"Adaptive-decision records dropped past the audit-log cap"
+
+let io_simulated_seconds =
+  counter "io.simulated_seconds"
+    ~help:"Simulated cold-read I/O seconds charged to queries (cost model)"
+
+let latency_buckets =
+  [ 0.0001; 0.0005; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10. ]
+
+let query_seconds =
+  histogram "query.seconds" ~buckets:latency_buckets
+    ~help:"End-to-end query latency (cpu + simulated io + simulated compile)"
+
+let morsel_seconds =
+  histogram "morsel.seconds" ~buckets:latency_buckets
+    ~help:"Wall time of one morsel on a worker domain"

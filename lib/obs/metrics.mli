@@ -1,0 +1,105 @@
+(** Typed metrics registry.
+
+    Declares the engine's metric vocabulary — counters, gauges and
+    fixed-bucket latency histograms — over the domain-local
+    {!Raw_storage.Io_stats} shards. A metric handle is a declared id plus
+    kind and help text; bumping one writes the calling domain's shard, so
+    morsel workers never contend, and the PR-1 deterministic
+    {!Raw_storage.Io_stats.merge} covers every metric kind (histograms are
+    stored as derived [.bucket.*]/[.sum]/[.count] series).
+
+    Declaration is idempotent by id ([Invalid_argument] only if the kind
+    changes), so handles are safely created at module-init time anywhere. *)
+
+type kind = Counter | Gauge | Histogram
+
+type t
+(** A declared metric. *)
+
+val counter : ?family:bool -> help:string -> string -> t
+(** [family:true] declares a prefix owning every ["id<suffix>"] series
+    (e.g. [par.domain] owns [par.domain3.seconds]). *)
+
+val gauge : ?family:bool -> help:string -> string -> t
+
+val histogram : buckets:float list -> help:string -> string -> t
+(** Fixed ascending bucket upper bounds; an implicit [+Inf] bucket is
+    always present. *)
+
+val id : t -> string
+val kind : t -> kind
+val help : t -> string
+val buckets : t -> float list
+
+(** {1 Bumping} *)
+
+val incr : t -> unit
+val add : t -> int -> unit
+val add_float : t -> float -> unit
+val set : t -> float -> unit  (** gauges: overwrite the current value *)
+
+val observe : t -> float -> unit
+(** Histograms: count the observation in its bucket and accumulate
+    [.sum]/[.count]. *)
+
+val value : t -> float
+(** Current value in this domain's shard (0 if never bumped here). *)
+
+val count : t -> int
+(** {!value} rounded to the nearest integer (see
+    {!Raw_storage.Io_stats.get}). *)
+
+(** {1 Introspection} *)
+
+val find : string -> t option
+val all : unit -> t list  (** sorted by id *)
+
+val owner : string -> t option
+(** Resolve a raw {!Raw_storage.Io_stats} key to the metric that owns it:
+    exact id, histogram-derived series, or family prefix. [None] means the
+    key is undeclared. *)
+
+val sum_key : t -> string
+val count_key : t -> string
+val bucket_key : t -> float -> string
+val inf_bucket_key : t -> string
+
+(** {1 Builtin vocabulary}
+
+    Every id the engine bumps, declared once. Layers below this library
+    ({!Raw_storage.Cancel}, {!Raw_storage.Mem_budget}) write their ids as
+    raw strings; these declarations cover them too. *)
+
+val scan_rows_scanned : t
+val scan_values_built : t
+val scan_rows_skipped : t
+val csv_fields_tokenized : t
+val csv_values_converted : t
+val jsonl_values_extracted : t
+val fwb_values_read : t
+val hep_fields_read : t
+val dbms_columns_loaded : t
+val dbms_values_gathered : t
+val pool_values_gathered : t
+val pool_hits : t
+val pool_misses : t
+val tmpl_hits : t
+val tmpl_misses : t
+val tmpl_compile_seconds : t
+val posmap_entries : t
+val posmap_segments_merged : t
+val ibx_index_nodes : t
+val gov_evictions : t
+val gov_evicted_bytes : t
+val gov_reservation_failures : t
+val gov_rejections : t
+val gov_fallback_streaming : t
+val gov_fallback_shred_pool : t
+val gov_fallback_posmap : t
+val gov_budget_capacity_bytes : t
+val planner_adaptive : t
+val par_domain : t
+val obs_decisions_dropped : t
+val io_simulated_seconds : t
+val query_seconds : t
+val morsel_seconds : t

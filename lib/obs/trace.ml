@@ -1,0 +1,153 @@
+open Raw_storage
+
+(* Spans are recorded at close into a handle shared by every domain of the
+   query (mutex-protected append; ids from the handle too, so parent links
+   are exact across domains). The ambient context is domain-local: when no
+   handle is installed — the default — [with_span] is one DLS read and a
+   match, which is what makes disabled observability near-free. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  cat : string;
+  tid : int; (* 0 = coordinator, workers are 1 + morsel index *)
+  start_s : float; (* relative to the handle's epoch *)
+  dur_s : float;
+  args : (string * string) list;
+}
+
+type handle = {
+  mutex : Mutex.t;
+  epoch : float;
+  mutable recorded : span list; (* reverse completion order *)
+  mutable next_id : int;
+}
+
+type frame = {
+  f_id : int;
+  f_name : string;
+  f_cat : string;
+  f_start : float;
+  mutable f_args : (string * string) list; (* reverse order *)
+}
+
+type ctx = {
+  h : handle;
+  tid : int;
+  base : int option; (* parent for this context's toplevel frames *)
+  mutable stack : frame list;
+}
+
+let key : ctx option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let create ?epoch () =
+  {
+    mutex = Mutex.create ();
+    epoch = (match epoch with Some e -> e | None -> Timing.now ());
+    recorded = [];
+    next_id = 0;
+  }
+
+let fresh_id h =
+  Mutex.protect h.mutex (fun () ->
+      let i = h.next_id in
+      h.next_id <- i + 1;
+      i)
+
+let push h sp = Mutex.protect h.mutex (fun () -> h.recorded <- sp :: h.recorded)
+
+let enabled () = Domain.DLS.get key <> None
+
+let with_ctx ctx f =
+  let prev = Domain.DLS.get key in
+  Domain.DLS.set key (Some ctx);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key prev) f
+
+let with_handle h f = with_ctx { h; tid = 0; base = None; stack = [] } f
+
+type fork_point = { fp_h : handle; fp_parent : int option }
+
+let fork () =
+  match Domain.DLS.get key with
+  | None -> None
+  | Some ctx ->
+    let parent =
+      match ctx.stack with fr :: _ -> Some fr.f_id | [] -> ctx.base
+    in
+    Some { fp_h = ctx.h; fp_parent = parent }
+
+let with_fork fp ~tid f =
+  with_ctx { h = fp.fp_h; tid; base = fp.fp_parent; stack = [] } f
+
+let with_span ?(cat = "raw") ?(args = []) name f =
+  match Domain.DLS.get key with
+  | None -> f ()
+  | Some ctx ->
+    let parent =
+      match ctx.stack with fr :: _ -> Some fr.f_id | [] -> ctx.base
+    in
+    let fr =
+      {
+        f_id = fresh_id ctx.h;
+        f_name = name;
+        f_cat = cat;
+        f_start = Timing.now ();
+        f_args = List.rev args;
+      }
+    in
+    ctx.stack <- fr :: ctx.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let now = Timing.now () in
+        (match ctx.stack with _ :: rest -> ctx.stack <- rest | [] -> ());
+        push ctx.h
+          {
+            id = fr.f_id;
+            parent;
+            name = fr.f_name;
+            cat = fr.f_cat;
+            tid = ctx.tid;
+            start_s = fr.f_start -. ctx.h.epoch;
+            dur_s = now -. fr.f_start;
+            args = List.rev fr.f_args;
+          })
+      f
+
+let add_arg k v =
+  match Domain.DLS.get key with
+  | Some { stack = fr :: _; _ } -> fr.f_args <- (k, v) :: fr.f_args
+  | _ -> ()
+
+let record h ?(tid = 0) ?parent ?(cat = "raw") ?(args = []) ~start ~dur name =
+  push h
+    {
+      id = fresh_id h;
+      parent;
+      name;
+      cat;
+      tid;
+      start_s = start -. h.epoch;
+      dur_s = dur;
+      args;
+    }
+
+let spans h =
+  Mutex.protect h.mutex (fun () -> h.recorded)
+  |> List.sort (fun a b ->
+         match compare a.start_s b.start_s with 0 -> compare a.id b.id | c -> c)
+
+(* The tree shape a test can compare across parallelism levels: the set of
+   distinct (parent name, name) edges, domain ids and morsel multiplicity
+   ignored. *)
+let edge_set spans =
+  let by_id = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s.name) spans;
+  List.map
+    (fun s ->
+      ((match s.parent with
+        | Some p -> Hashtbl.find_opt by_id p
+        | None -> None),
+       s.name))
+    spans
+  |> List.sort_uniq compare

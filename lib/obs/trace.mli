@@ -1,0 +1,79 @@
+(** Per-query span tracing.
+
+    A query's executor creates a {!handle}, installs it as the ambient
+    context of the coordinating domain, and wraps the phases of execution
+    in {!with_span}. Morsel workers receive the same handle through
+    {!fork}/{!with_fork}, so their spans land in the same tree with exact
+    parent links and their own [tid].
+
+    When no context is installed — the default — {!with_span} is one
+    domain-local read and a branch: observability off costs (almost)
+    nothing, the no-op sink. *)
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  cat : string;
+  tid : int;  (** 0 = coordinating domain; morsel workers are 1 + index *)
+  start_s : float;  (** seconds since the handle's epoch *)
+  dur_s : float;
+  args : (string * string) list;
+}
+
+type handle
+
+val create : ?epoch:float -> unit -> handle
+(** [epoch] (default now) anchors span timestamps; pass an earlier instant
+    to stitch in work timed before the handle existed. *)
+
+val with_handle : handle -> (unit -> 'a) -> 'a
+(** Install as this domain's ambient context (tid 0) for the duration of
+    the callback; restores the previous context even on exceptions. *)
+
+val enabled : unit -> bool
+(** Is an ambient context installed in this domain? *)
+
+val with_span :
+  ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Record a span around the callback under the innermost open span. No-op
+    (just runs the callback) without an ambient context. The span is
+    recorded even when the callback raises. *)
+
+val add_arg : string -> string -> unit
+(** Attach an annotation to the innermost open span, if any. *)
+
+(** {1 Cross-domain} *)
+
+type fork_point
+
+val fork : unit -> fork_point option
+(** Capture the ambient handle and innermost open span, to parent worker
+    spans under the coordinator's current position. [None] when tracing is
+    off — workers then skip installation entirely. *)
+
+val with_fork : fork_point -> tid:int -> (unit -> 'a) -> 'a
+(** Install the forked context in the calling (worker) domain. *)
+
+(** {1 Extraction} *)
+
+val record :
+  handle ->
+  ?tid:int ->
+  ?parent:int ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  start:float ->
+  dur:float ->
+  string ->
+  unit
+(** Append an already-timed span ([start] is an absolute
+    {!Raw_storage.Timing.now} instant). *)
+
+val spans : handle -> span list
+(** Completed spans, ordered by start time. *)
+
+val edge_set : span list -> (string option * string) list
+(** The tree's shape as the sorted set of distinct (parent name, name)
+    edges — invariant across parallelism levels modulo nothing: domain ids
+    and morsel multiplicity do not appear. *)

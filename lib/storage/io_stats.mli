@@ -14,8 +14,14 @@ val add : string -> int -> unit
 val add_float : string -> float -> unit
 
 val get : string -> int
-(** Rounded to the nearest integer (counters accumulate as floats; merged
-    per-domain deltas must not under-report by truncation). *)
+(** Rounded to the nearest integer, {e at read time only}. Counters
+    accumulate and merge as exact floats — integer bumps stay exact well
+    past any realistic count, and fractional series (simulated seconds,
+    histogram sums) keep full precision through arbitrarily many
+    {!merge}s. Rounding on store would instead compound per-morsel
+    truncation error; here [add_float 0.4] twice reads back as [1]
+    ([0.8] rounded), never [0]. Use {!get_float} when the fraction
+    matters. *)
 
 val get_float : string -> float
 (** Exact accumulated value. *)

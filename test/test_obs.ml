@@ -1,0 +1,374 @@
+(* Observability subsystem: metrics registry, span tracing, decision log,
+   and the exporters (Chrome trace JSON, Prometheus exposition). *)
+
+open Raw_core
+open Test_util
+module Metrics = Raw_obs.Metrics
+module Trace = Raw_obs.Trace
+module Decisions = Raw_obs.Decisions
+module Jsons = Raw_obs.Jsons
+module Export = Raw_obs.Export
+module Io_stats = Raw_storage.Io_stats
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Io_stats shards are domain-local; run counter-sensitive checks in a
+   fresh domain so they see an empty table. *)
+let in_fresh_domain f = Domain.join (Domain.spawn f)
+
+let observed_config ?(parallelism = 1) () =
+  { Config.default with observe = true; parallelism }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry_suite =
+  [
+    Alcotest.test_case "declaration is idempotent by id" `Quick (fun () ->
+        let again =
+          Metrics.counter ~help:"different help" "scan.rows_scanned"
+        in
+        Alcotest.(check bool)
+          "same handle" true
+          (again == Metrics.scan_rows_scanned);
+        Alcotest.check_raises "kind change rejected"
+          (Invalid_argument
+             "Metrics: scan.rows_scanned re-declared with a different kind")
+          (fun () -> ignore (Metrics.gauge ~help:"" "scan.rows_scanned")));
+    Alcotest.test_case "owner resolves exact, family and derived keys" `Quick
+      (fun () ->
+        let owner_id k = Option.map Metrics.id (Metrics.owner k) in
+        Alcotest.(check (option string))
+          "exact" (Some "scan.rows_scanned")
+          (owner_id "scan.rows_scanned");
+        Alcotest.(check (option string))
+          "family" (Some "par.domain")
+          (owner_id "par.domain3.seconds");
+        Alcotest.(check (option string))
+          "bucket" (Some "query.seconds")
+          (owner_id (Metrics.bucket_key Metrics.query_seconds 0.5));
+        Alcotest.(check (option string))
+          "inf bucket" (Some "query.seconds")
+          (owner_id (Metrics.inf_bucket_key Metrics.query_seconds));
+        Alcotest.(check (option string))
+          "sum" (Some "query.seconds")
+          (owner_id (Metrics.sum_key Metrics.query_seconds));
+        Alcotest.(check (option string))
+          "count" (Some "query.seconds")
+          (owner_id (Metrics.count_key Metrics.query_seconds));
+        Alcotest.(check (option string)) "undeclared" None (owner_id "no.such"));
+    Alcotest.test_case "histogram observe fills bucket, sum and count" `Quick
+      (fun () ->
+        let in_range, over, sum, count =
+          in_fresh_domain (fun () ->
+              let m = Metrics.query_seconds in
+              Metrics.observe m 0.003;
+              (* first bucket >= 0.003 is 0.005 *)
+              Metrics.observe m 100.0;
+              (* beyond the last bound -> +Inf *)
+              ( Io_stats.get_float (Metrics.bucket_key m 0.005),
+                Io_stats.get_float (Metrics.inf_bucket_key m),
+                Io_stats.get_float (Metrics.sum_key m),
+                Io_stats.get_float (Metrics.count_key m) ))
+        in
+        Alcotest.(check (float 0.)) "bucket 0.005" 1.0 in_range;
+        Alcotest.(check (float 0.)) "+Inf bucket" 1.0 over;
+        Alcotest.(check (float 1e-9)) "sum" 100.003 sum;
+        Alcotest.(check (float 0.)) "count" 2.0 count);
+    Alcotest.test_case "every key a query bumps is declared" `Quick (fun () ->
+        let db = grid_csv_db ~n:60 ~m:4 () in
+        let before = Io_stats.snapshot () in
+        ignore (Raw_db.query db "SELECT MAX(col1) FROM t WHERE col0 < 3000");
+        let undeclared =
+          List.filter_map
+            (fun (k, v) ->
+              let v0 =
+                match List.assoc_opt k before with Some x -> x | None -> 0.
+              in
+              if v -. v0 <> 0. && Metrics.owner k = None then Some k else None)
+            (Io_stats.snapshot ())
+        in
+        Alcotest.(check (list string)) "no undeclared keys" [] undeclared);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Io_stats semantics (PR documents rounding-at-get)                   *)
+(* ------------------------------------------------------------------ *)
+
+let io_stats_suite =
+  [
+    Alcotest.test_case "get rounds to nearest only at read time" `Quick
+      (fun () ->
+        let g1, f1, g2 =
+          in_fresh_domain (fun () ->
+              Io_stats.add_float "round.a" 0.3;
+              Io_stats.add_float "round.a" 0.4;
+              Io_stats.add_float "round.b" 0.4;
+              ( Io_stats.get "round.a",
+                Io_stats.get_float "round.a",
+                Io_stats.get "round.b" ))
+        in
+        (* 0.7 rounds up; the stored float stays exact *)
+        Alcotest.(check int) "0.7 -> 1" 1 g1;
+        Alcotest.(check (float 1e-9)) "stored exactly" 0.7 f1;
+        Alcotest.(check int) "0.4 -> 0" 0 g2);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Tracing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let trace_suite =
+  [
+    Alcotest.test_case "spans nest with exact parent links" `Quick (fun () ->
+        let h = Trace.create () in
+        Trace.with_handle h (fun () ->
+            Trace.with_span "a" (fun () ->
+                Trace.with_span "b" (fun () -> ());
+                Trace.with_span "b" (fun () -> ());
+                Trace.with_span ~args:[ ("k", "v") ] "c" (fun () -> ())));
+        let spans = Trace.spans h in
+        Alcotest.(check int) "span count" 4 (List.length spans);
+        let a = List.find (fun s -> s.Trace.name = "a") spans in
+        Alcotest.(check (option int)) "a is a root" None a.Trace.parent;
+        List.iter
+          (fun (s : Trace.span) ->
+            if s.name <> "a" then
+              Alcotest.(check (option int))
+                (s.name ^ " under a") (Some a.Trace.id) s.parent)
+          spans;
+        Alcotest.(check (list (pair (option string) string)))
+          "edge set deduplicates"
+          [ (None, "a"); (Some "a", "b"); (Some "a", "c") ]
+          (Trace.edge_set spans));
+    Alcotest.test_case "with_span without a handle is transparent" `Quick
+      (fun () ->
+        Alcotest.(check bool) "disabled" false (Trace.enabled ());
+        Trace.add_arg "ignored" "x";
+        Alcotest.(check int) "value through" 41 (Trace.with_span "n" (fun () -> 41)));
+    Alcotest.test_case "forked worker spans parent under coordinator" `Quick
+      (fun () ->
+        let h = Trace.create () in
+        Trace.with_handle h (fun () ->
+            Trace.with_span "scan" (fun () ->
+                let fp = Option.get (Trace.fork ()) in
+                Domain.join
+                  (Domain.spawn (fun () ->
+                       Trace.with_fork fp ~tid:3 (fun () ->
+                           Trace.with_span "morsel" (fun () -> ()))))));
+        let spans = Trace.spans h in
+        let scan = List.find (fun s -> s.Trace.name = "scan") spans in
+        let morsel = List.find (fun s -> s.Trace.name = "morsel") spans in
+        Alcotest.(check int) "worker tid" 3 morsel.Trace.tid;
+        Alcotest.(check (option int))
+          "parent link crosses domains" (Some scan.Trace.id)
+          morsel.Trace.parent);
+    Alcotest.test_case "parallel and sequential queries: same tree shape"
+      `Quick (fun () ->
+        let report p =
+          let db = grid_csv_db ~config:(observed_config ~parallelism:p ()) ~n:400 ~m:4 () in
+          Raw_db.query db "SELECT MAX(col1) FROM t WHERE col0 < 20000"
+        in
+        let r2 = report 2 and r4 = report 4 in
+        Alcotest.(check bool) "has spans" true (r2.Executor.spans <> []);
+        Alcotest.(check (list (pair (option string) string)))
+          "edge sets equal"
+          (Trace.edge_set r2.Executor.spans)
+          (Trace.edge_set r4.Executor.spans);
+        (* merged work metrics are exactly equal too: drop the wall-clock
+           entries (per-domain seconds, latency histograms, one-per-morsel
+           stitch counts), keep the work counters *)
+        let work (r : Executor.report) =
+          List.filter
+            (fun (k, _) ->
+              k <> "posmap.segments_merged"
+              (* morsel-boundary pages are charged once per touching
+                 worker, so the simulated-I/O bill varies with fan-out *)
+              && k <> "io.simulated_seconds"
+              &&
+              match Metrics.owner k with
+              | Some m -> Metrics.kind m <> Metrics.Histogram
+              | None -> true)
+            r.Executor.counters
+        in
+        Alcotest.(check (list (pair string (float 0.))))
+          "work counters equal" (work r2) (work r4));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Decision log                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let decisions_suite =
+  [
+    Alcotest.test_case "record without a handle is a no-op" `Quick (fun () ->
+        Alcotest.(check bool) "disabled" false (Decisions.enabled ());
+        Decisions.record ~site:"nowhere" ~choice:"x" []);
+    Alcotest.test_case "bounded buffer drops and counts" `Quick (fun () ->
+        let kept, dropped, counter =
+          in_fresh_domain (fun () ->
+              let h = Decisions.create ~cap:2 () in
+              Decisions.with_handle h (fun () ->
+                  for i = 1 to 5 do
+                    Decisions.record ~site:"s" ~choice:(string_of_int i) []
+                  done);
+              ( List.length (Decisions.records h),
+                Decisions.dropped h,
+                Io_stats.get "obs.decisions_dropped" ))
+        in
+        Alcotest.(check int) "kept" 2 kept;
+        Alcotest.(check int) "dropped" 3 dropped;
+        Alcotest.(check int) "counter" 3 counter);
+    Alcotest.test_case "template cache: compile then hit" `Quick (fun () ->
+        let t = Template_cache.create ~compile_seconds:0.01 in
+        let h = Decisions.create () in
+        Decisions.with_handle h (fun () ->
+            ignore (Template_cache.get t ~kind:"k" ~key:"a" (fun () -> ()));
+            ignore (Template_cache.get t ~kind:"k" ~key:"a" (fun () -> ())));
+        match Decisions.by_site (Decisions.records h) "template_cache" with
+        | [ first; second ] ->
+          Alcotest.(check string) "first compiles" "compile" first.Decisions.choice;
+          Alcotest.(check string) "second hits" "hit" second.Decisions.choice;
+          Alcotest.(check bool)
+            "key recorded" true
+            (List.assoc_opt "key" first.Decisions.inputs = Some "a")
+        | l -> Alcotest.failf "expected 2 decisions, got %d" (List.length l));
+    Alcotest.test_case "repeat query reuses: no recompile, pool reuse logged"
+      `Quick (fun () ->
+        let db = grid_csv_db ~config:(observed_config ()) () in
+        let q = "SELECT MAX(col1) FROM t WHERE col0 < 2000" in
+        let first = Raw_db.query db q in
+        let second = Raw_db.query db q in
+        let choices (r : Executor.report) site =
+          List.map
+            (fun (d : Decisions.record) -> d.choice)
+            (Decisions.by_site r.Executor.decisions site)
+        in
+        Alcotest.(check bool)
+          "first compiles" true
+          (List.mem "compile" (choices first "template_cache"));
+        Alcotest.(check bool)
+          "second does not recompile" false
+          (List.mem "compile" (choices second "template_cache"));
+        Alcotest.(check bool)
+          "second reuses pooled shreds" true
+          (List.mem "reuse" (choices second "shred_pool")));
+    Alcotest.test_case "adaptive planner decision carries cost inputs" `Quick
+      (fun () ->
+        let db = grid_csv_db ~config:(observed_config ()) ~n:100 ~m:6 () in
+        let options = { Planner.default with shreds = Planner.Adaptive } in
+        let r =
+          Raw_db.query ~options db "SELECT MAX(col1) FROM t WHERE col0 < 5000"
+        in
+        match Decisions.by_site r.Executor.decisions "planner.adaptive" with
+        | [] -> Alcotest.fail "no planner.adaptive decision recorded"
+        | d :: _ ->
+          Alcotest.(check bool)
+            "resolved to a concrete strategy" true
+            (List.mem d.Decisions.choice [ "full"; "shreds"; "multishreds" ]);
+          List.iter
+            (fun key ->
+              Alcotest.(check bool)
+                (key ^ " input present") true
+                (List.mem_assoc key d.Decisions.inputs))
+            [ "table"; "selectivity"; "cost_full"; "cost_shreds";
+              "cost_multishreds" ]);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The repo already carries a reference JSON parser (Jsonl); use it to
+   validate the hand-rolled writer end-to-end. *)
+let parse_json = Raw_formats.Jsonl.parse
+
+let export_suite =
+  [
+    Alcotest.test_case "chrome trace JSON parses and mirrors the spans" `Quick
+      (fun () ->
+        let db = grid_csv_db ~config:(observed_config ()) () in
+        let r = Raw_db.query db "SELECT MAX(col1) FROM t WHERE col0 < 2000" in
+        let spans = r.Executor.spans in
+        Alcotest.(check bool) "spans recorded" true (spans <> []);
+        match parse_json (Export.chrome_trace spans) with
+        | Raw_formats.Jsonl.Object top ->
+          (match List.assoc "traceEvents" top with
+           | Raw_formats.Jsonl.Array events ->
+             Alcotest.(check int)
+               "one event per span" (List.length spans) (List.length events);
+             List.iter
+               (fun ev ->
+                 match ev with
+                 | Raw_formats.Jsonl.Object fields ->
+                   List.iter
+                     (fun k ->
+                       Alcotest.(check bool)
+                         ("event has " ^ k) true (List.mem_assoc k fields))
+                     [ "name"; "cat"; "ph"; "ts"; "dur"; "pid"; "tid"; "args" ];
+                   Alcotest.(check bool)
+                     "complete event" true
+                     (List.assoc "ph" fields = Raw_formats.Jsonl.String "X")
+                 | _ -> Alcotest.fail "event is not an object")
+               events
+           | _ -> Alcotest.fail "traceEvents is not an array")
+        | _ -> Alcotest.fail "trace is not a JSON object");
+    Alcotest.test_case "json escaping roundtrips through the parser" `Quick
+      (fun () ->
+        let s = "quote\" slash\\ nl\n tab\t ctrl\x01 done" in
+        match parse_json (Jsons.to_string (Jsons.Obj [ ("k", Jsons.Str s) ])) with
+        | Raw_formats.Jsonl.Object [ ("k", Raw_formats.Jsonl.String got) ] ->
+          Alcotest.(check string) "string survives" s got
+        | _ -> Alcotest.fail "bad shape");
+    Alcotest.test_case "prometheus exposition: types, histograms, untyped"
+      `Quick (fun () ->
+        let text =
+          in_fresh_domain (fun () ->
+              Metrics.add Metrics.scan_rows_scanned 5;
+              Metrics.set Metrics.gov_budget_capacity_bytes 1024.;
+              Metrics.observe Metrics.query_seconds 0.003;
+              Io_stats.incr "custom.key";
+              Export.prometheus ())
+        in
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true
+              (contains text needle))
+          [
+            "# TYPE raw_scan_rows_scanned counter";
+            "raw_scan_rows_scanned 5";
+            "# TYPE raw_gov_budget_capacity_bytes gauge";
+            "raw_gov_budget_capacity_bytes 1024";
+            "# TYPE raw_query_seconds histogram";
+            "raw_query_seconds_bucket{le=\"0.005\"} 1";
+            (* cumulative: later buckets include the 0.005 observation *)
+            "raw_query_seconds_bucket{le=\"10\"} 1";
+            "raw_query_seconds_bucket{le=\"+Inf\"} 1";
+            "raw_query_seconds_sum 0.003";
+            "raw_query_seconds_count 1";
+            "# TYPE raw_custom_key untyped";
+            "raw_custom_key 1";
+          ]);
+    Alcotest.test_case "pp_span_tree prints an indented tree" `Quick (fun () ->
+        let h = Trace.create () in
+        Trace.with_handle h (fun () ->
+            Trace.with_span "query" (fun () ->
+                Trace.with_span "plan" (fun () -> ())));
+        let text = Format.asprintf "%a" Export.pp_span_tree (Trace.spans h) in
+        Alcotest.(check bool) "root first" true
+          (String.length text > 5 && String.sub text 0 5 = "query");
+        Alcotest.(check bool) "child indented" true (contains text "\n  plan"));
+  ]
+
+let suites =
+  [
+    ("obs.registry", registry_suite);
+    ("obs.io_stats", io_stats_suite);
+    ("obs.trace", trace_suite);
+    ("obs.decisions", decisions_suite);
+    ("obs.export", export_suite);
+  ]

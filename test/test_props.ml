@@ -445,8 +445,19 @@ let prop_csv_edges =
 (* ---------------- parallel scans vs sequential ---------------- *)
 
 (* Run [f], returning its result plus the Io_stats work-counter delta it
-   caused (the per-domain wall-clock breakdown entries excluded: those are
-   timings, not work, and legitimately vary with parallelism). *)
+   caused (timing entries excluded: the per-domain wall-clock breakdown and
+   latency histograms — morsel.seconds has one observation per morsel and
+   wall-clock-dependent buckets — are timings, not work, and legitimately
+   vary with parallelism). *)
+let timing_key k =
+  String.starts_with ~prefix:"par.domain" k
+  (* one segment per morsel: the stitch count is the morsel count *)
+  || k = "posmap.segments_merged"
+  ||
+  match Raw_obs.Metrics.owner k with
+  | Some m -> Raw_obs.Metrics.kind m = Raw_obs.Metrics.Histogram
+  | None -> false
+
 let delta_counters f =
   let before = Raw_storage.Io_stats.snapshot () in
   let r = f () in
@@ -454,7 +465,7 @@ let delta_counters f =
   let d =
     List.filter_map
       (fun (k, v) ->
-        if String.starts_with ~prefix:"par.domain" k then None
+        if timing_key k then None
         else
           let v0 =
             match List.assoc_opt k before with Some x -> x | None -> 0.
@@ -568,6 +579,35 @@ let prop_parallel_hep =
       && Array.for_all2 Column.equal p1 p4
       && dp1 = dp4)
 
+(* ---------------- io_stats merge algebra ---------------- *)
+
+(* The morsel coordinator folds worker snapshots into its own table; the
+   result must not depend on how the workers' deltas are grouped or
+   ordered. Values are quarter-integers so float addition is exact and the
+   property is about the merge, not rounding. *)
+let snap_gen =
+  Gen.list_size (Gen.int_range 0 10)
+    (Gen.pair
+       (Gen.oneofl [ "m.a"; "m.b"; "m.c"; "m.d" ])
+       (Gen.map (fun i -> float_of_int i /. 4.) (Gen.int_range 0 400)))
+
+(* Each merge runs in a fresh domain: Io_stats tables are domain-local,
+   so a spawned domain starts empty. *)
+let merged snaps =
+  Domain.join
+    (Domain.spawn (fun () ->
+         List.iter Raw_storage.Io_stats.merge snaps;
+         Raw_storage.Io_stats.snapshot ()))
+
+let prop_io_stats_merge =
+  qtest "io_stats merge is associative and order-insensitive" ~count:30
+    (Gen.triple snap_gen snap_gen snap_gen)
+    (fun (a, b, c) ->
+      let abc = merged [ a; b; c ] in
+      abc = merged [ c; a; b ]
+      && abc = merged [ merged [ a; b ]; c ]
+      && abc = merged [ a; merged [ b; c ] ])
+
 (* ---------------- end-to-end: SQL vs naive model ---------------- *)
 
 let prop_sql_selection =
@@ -617,6 +657,7 @@ let suites =
         prop_parallel_csv;
         prop_parallel_fwb;
         prop_parallel_hep;
+        prop_io_stats_merge;
         prop_sql_selection;
       ] );
   ]
