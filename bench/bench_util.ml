@@ -202,9 +202,12 @@ let total (r : Executor.report) = r.total_seconds
 (* Machine-readable output                                             *)
 (*                                                                      *)
 (* Each experiment writes BENCH_<id>.json next to the cwd (or under     *)
-(* RAW_BENCH_OUT): experiment id/title, scale, harness wall time, and   *)
-(* one sample per query run through [run] — simulated io/compile split, *)
-(* rows scanned, and the per-query counter deltas. CI parses these.     *)
+(* RAW_BENCH_OUT): experiment id/title, scale, harness wall time, one   *)
+(* sample per query run through [run] — simulated io/compile split,     *)
+(* rows scanned, the per-query counter deltas — and a flat "metrics"    *)
+(* map for scalar results that are not query runs (the bechamel ns/run  *)
+(* estimates land there). CI parses these, and bench/diff.ml compares   *)
+(* them against the committed baselines under bench/baselines/.         *)
 (* ------------------------------------------------------------------ *)
 
 type sample = {
@@ -218,6 +221,16 @@ type sample = {
 }
 
 let current_samples : sample list ref option ref = ref None
+let current_metrics : (string * float) list ref option ref = ref None
+
+(* Scalar result that is not a query run (e.g. a microbenchmark
+   estimate); lands in the experiment's "metrics" JSON object. Metrics
+   named [micro.*.ns_per_run] double as the machine-speed anchors
+   bench/diff.ml normalizes wall-clock comparisons with. *)
+let record_metric ~name v =
+  match !current_metrics with
+  | None -> ()
+  | Some acc -> acc := (name, v) :: !acc
 
 let record_sample ~label (r : Executor.report) =
   match !current_samples with
@@ -262,11 +275,14 @@ let sample_json s =
 
 let with_experiment ~id ~title f =
   let acc = ref [] in
+  let macc = ref [] in
   current_samples := Some acc;
+  current_metrics := Some macc;
   let t0 = Unix.gettimeofday () in
   Fun.protect
     ~finally:(fun () ->
       current_samples := None;
+      current_metrics := None;
       let wall = Unix.gettimeofday () -. t0 in
       let open Raw_obs.Jsons in
       let json =
@@ -283,6 +299,7 @@ let with_experiment ~id ~title f =
                 ] );
             ("wall_seconds", Float wall);
             ("samples", List (List.rev_map sample_json !acc));
+            ("metrics", Obj (List.rev_map (fun (k, v) -> (k, Float v)) !macc));
           ]
       in
       let path =

@@ -97,6 +97,13 @@ let benchmark () =
         (fun name result ->
           match Analyze.OLS.estimates result with
           | Some [ est ] ->
+            (* strip bechamel's "g/" group prefix for the metric name *)
+            let short =
+              match String.index_opt name '/' with
+              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name
+            in
+            record_metric ~name:("micro." ^ short ^ ".ns_per_run") est;
             Printf.printf "  %-40s %12.1f ns/run\n%!" name est
           | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
         ols)

@@ -181,10 +181,28 @@ let repl db ~stats ~metrics ~trace_out =
   in
   loop ()
 
+(* Standalone reporting over a committed history file: no tables needed. *)
+let print_calibration file =
+  let records, skipped = Raw_obs.History.load file in
+  if records = [] && not (Sys.file_exists file) then begin
+    Format.eprintf "rawq: cannot read history file %s@." file;
+    2
+  end
+  else begin
+    Format.printf "%a@." Raw_obs.Calibration.pp_report
+      (Raw_obs.Calibration.of_records records);
+    if skipped > 0 then
+      Format.printf "-- %d malformed history line(s) skipped@." skipped;
+    0
+  end
+
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
     par on_error deadline memory_budget max_concurrent repl_flag stats metrics
-    analyze trace_out query =
+    analyze trace_out history calibration query =
   try
+    match calibration with
+    | Some file -> print_calibration file
+    | None ->
     let options =
       {
         Planner.access =
@@ -199,6 +217,7 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
            | "full" -> Planner.Full_columns
            | "shreds" -> Planner.Shreds
            | "multi" -> Planner.Multi_shreds
+           | "adaptive" -> Planner.Adaptive
            | s -> failwith ("unknown shred strategy " ^ s));
         join_policy =
           (match join_policy with
@@ -225,15 +244,16 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
         memory_budget = Option.map parse_bytes memory_budget;
         max_concurrent;
         observe = analyze || trace_out <> None;
+        history_path = history;
       }
     in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
-    match query with
-    | Some q when not repl_flag -> run_query db ~stats ~metrics ~trace_out q
-    | _ ->
-      repl db ~stats ~metrics ~trace_out;
-      0
+    (match query with
+     | Some q when not repl_flag -> run_query db ~stats ~metrics ~trace_out q
+     | _ ->
+       repl db ~stats ~metrics ~trace_out;
+       0)
   with
   | Failure msg | Sys_error msg ->
     Format.eprintf "rawq: %s@." msg;
@@ -287,7 +307,9 @@ let mode_arg =
 let shreds_arg =
   Arg.(value & opt string "shreds"
        & info [ "shreds" ] ~docv:"S"
-           ~doc:"Column materialization: shreds (default), full, multi.")
+           ~doc:"Column materialization: shreds (default), full, multi, or \
+                 adaptive (cost model picks per query from accumulated \
+                 statistics).")
 
 let join_arg =
   Arg.(value & opt string "late"
@@ -360,27 +382,76 @@ let trace_out_arg =
                  FILE (load in chrome://tracing or Perfetto). Implies \
                  span recording.")
 
+let history_arg =
+  Arg.(value & opt (some string) None
+       & info [ "history" ] ~docv:"FILE"
+           ~doc:"Append one workload-history record per query (JSONL; \
+                 written even for failed or cancelled queries, rotated to \
+                 FILE.1 past 16 MiB). Feed the file to $(b,rawq report) \
+                 and $(b,rawq --calibration).")
+
+let calibration_arg =
+  Arg.(value & opt (some string) None
+       & info [ "calibration" ] ~docv:"FILE"
+           ~doc:"Print the cost-model calibration report (per-strategy \
+                 predicted-vs-observed selectivity ratios and misprediction \
+                 counts) from a workload-history FILE, then exit.")
+
 let query_arg =
   Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL")
 
+let report_cmd =
+  let run file =
+    let records, skipped = Raw_obs.History.load file in
+    if records = [] && not (Sys.file_exists file) then begin
+      Format.eprintf "rawq report: cannot read %s@." file;
+      2
+    end
+    else begin
+      Format.printf "%a@." Raw_obs.Summary.pp_report records;
+      if skipped > 0 then
+        Format.printf "-- %d malformed history line(s) skipped@." skipped;
+      0
+    end
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"HISTORY.jsonl"
+             ~doc:"Workload-history file written via --history.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Summarize a workload-history file: latency percentiles \
+          (p50/p95/p99) per query shape and per access path, cache \
+          hit-rate trends, and the most regressed shapes.")
+    Term.(const run $ file_arg)
+
 let cmd =
   let doc = "query raw CSV / binary / HEP files in place, adaptively" in
-  Cmd.v
-    (Cmd.info "rawq" ~doc
-       ~man:
-         [
-           `S Manpage.s_description;
-           `P "An implementation of RAW (Karpathiotakis et al., VLDB 2014): \
-               queries run directly over raw files through JIT access paths \
-               and column shreds, with positional maps and result caches \
-               built adaptively as a side effect of the queries themselves.";
-         ])
+  let info =
+    Cmd.info "rawq" ~doc
+      ~man:
+        [
+          `S Manpage.s_description;
+          `P "An implementation of RAW (Karpathiotakis et al., VLDB 2014): \
+              queries run directly over raw files through JIT access paths \
+              and column shreds, with positional maps and result caches \
+              built adaptively as a side effect of the queries themselves.";
+          `P "The $(b,report) subcommand summarizes a workload-history file \
+              recorded with $(b,--history); any other invocation runs a \
+              query (or the REPL).";
+        ]
+  in
+  let default =
     Term.(
       const main $ csv_arg $ jsonl_arg $ jsonl_array_arg $ fwb_arg $ ibx_arg $ hep_arg
       $ (const (Option.value ~default:',') $ sep_arg)
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
       $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
       $ repl_arg $ stats_arg $ metrics_arg $ analyze_arg $ trace_out_arg
-      $ query_arg)
+      $ history_arg $ calibration_arg $ query_arg)
+  in
+  Cmd.group ~default info [ report_cmd ]
 
 let () = exit (Cmd.eval' cmd)

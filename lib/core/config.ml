@@ -13,6 +13,8 @@ type t = {
   memory_budget : int option;
   max_concurrent : int option;
   observe : bool;
+  history_path : string option;
+  history_max_bytes : int;
 }
 
 let default =
@@ -29,6 +31,8 @@ let default =
     memory_budget = None;
     max_concurrent = None;
     observe = false;
+    history_path = None;
+    history_max_bytes = 16 * 1024 * 1024;
   }
 
 (* Validation happens once, at construction ({!Catalog.create} /
@@ -65,7 +69,12 @@ let validate t =
         | _ -> (
           match t.max_concurrent with
           | Some n when n < 1 -> err "max_concurrent must be >= 1 (got %d)" n
-          | _ -> Ok t)))
+          | _ ->
+            if t.history_max_bytes < 1 then
+              err "history_max_bytes must be >= 1 (got %d)" t.history_max_bytes
+            else if t.history_path = Some "" then
+              err "history_path must not be empty (use None to disable)"
+            else Ok t)))
 
 let check t =
   match validate t with

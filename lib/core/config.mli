@@ -55,6 +55,16 @@ type t = {
           [Executor.report.spans]/[.decisions]. [false] (default) leaves
           both at their no-op sinks: span sites cost one domain-local read
           and a branch. *)
+  history_path : string option;
+      (** append one {!Raw_obs.History} record per query (including failed
+          and cancelled ones) to this JSONL file — the workload-history
+          substrate for [rawq report] and cost-model calibration. [None]
+          (default) disables the store entirely; queries pay nothing. *)
+  history_max_bytes : int;
+      (** rotation bound for the history file: when an append would push
+          it past this size it is first renamed to [<path>.1] (replacing
+          any previous one), so on-disk history is bounded by roughly
+          twice this. Default 16 MiB. *)
 }
 
 val default : t

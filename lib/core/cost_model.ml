@@ -69,3 +69,16 @@ let choose c =
   if c.shreds <= c.full && c.shreds <= c.multi_shreds then `Shreds
   else if c.multi_shreds <= c.full then `Multi_shreds
   else `Full_columns
+
+(* Names match Planner.shred_strategy_to_string, so decision records, the
+   planner.adaptive_chose_/planner.mispredict. metric families and the
+   workload history all speak the same vocabulary. *)
+let strategy_name = function
+  | `Full_columns -> "full"
+  | `Shreds -> "shreds"
+  | `Multi_shreds -> "multishreds"
+
+let cost_of c = function
+  | `Full_columns -> c.full
+  | `Shreds -> c.shreds
+  | `Multi_shreds -> c.multi_shreds

@@ -47,3 +47,12 @@ val choose :
   strategy_costs -> [ `Full_columns | `Shreds | `Multi_shreds ]
 (** The cheapest strategy (ties resolve toward shreds, the engine
     default). *)
+
+val strategy_name : [ `Full_columns | `Shreds | `Multi_shreds ] -> string
+(** ["full"] / ["shreds"] / ["multishreds"] — the vocabulary shared by
+    decision records, the [planner.adaptive_chose_]/[planner.mispredict.]
+    metric families and the workload history. *)
+
+val cost_of :
+  strategy_costs -> [ `Full_columns | `Shreds | `Multi_shreds ] -> float
+(** Project one strategy's estimate out of {!strategy_costs}. *)

@@ -76,12 +76,79 @@ let counter_delta ~before key =
   in
   v -. v0
 
+(* The access-path component of a history record: the formats scanned,
+   deduplicated and joined ("csv", "hep", "csv+jsonl", ...). *)
+let access_of cat logical =
+  match Logical.tables logical with
+  | [] -> "none"
+  | ts ->
+    String.concat "+"
+      (List.sort_uniq String.compare
+         (List.map
+            (fun t ->
+              Format_kind.to_string (Catalog.get cat t).Catalog.format)
+            ts))
+
+let strategy_of_name = function
+  | "full" -> Some `Full_columns
+  | "shreds" -> Some `Shreds
+  | "multishreds" -> Some `Multi_shreds
+  | _ -> None
+
+(* The adaptive resolution, parsed back out of its decision record (the
+   planner serialized every cost-model input precisely so the outcome can
+   be joined against the prediction here). *)
+type prediction = {
+  p_choice : string;
+  p_table : string;
+  p_sel : float;
+  p_n_rows : int;
+  p_n_filter : int;
+  p_n_post : int;
+  p_textual : bool;
+}
+
+let prediction_of_decisions decisions =
+  match Decisions.by_site decisions "planner.adaptive" with
+  | [] -> None
+  | d :: _ -> (
+    let get k = List.assoc_opt k d.Decisions.inputs in
+    let flt k = Option.bind (get k) float_of_string_opt in
+    let int k = Option.bind (get k) int_of_string_opt in
+    match
+      ( get "table",
+        flt "selectivity",
+        int "n_rows",
+        int "n_filter_cols",
+        int "n_post_cols" )
+    with
+    | Some table, Some sel, Some n_rows, Some n_filter, Some n_post ->
+      Some
+        {
+          p_choice = d.Decisions.choice;
+          p_table = table;
+          p_sel = sel;
+          p_n_rows = n_rows;
+          p_n_filter = n_filter;
+          p_n_post = n_post;
+          p_textual = get "textual" = Some "true";
+        }
+    | _ -> None)
+
+let history_status_of_exn = function
+  | Cancel.Stop Cancel.Deadline -> Raw_obs.History.Deadline
+  | Cancel.Stop Cancel.User -> Raw_obs.History.Cancelled
+  | Scan_errors.Error _ -> Raw_obs.History.Failed "data"
+  | Resource_error.Invalid_config _ -> Raw_obs.History.Failed "config"
+  | _ -> Raw_obs.History.Failed "exception"
+
 let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
+  let cfg = Catalog.config cat in
   let cancel =
     match cancel with
     | Some c -> c
     | None -> (
-      match (Catalog.config cat).Config.deadline with
+      match cfg.Config.deadline with
       | Some s -> Cancel.create ~deadline_seconds:s ()
       | None -> Cancel.never)
   in
@@ -90,8 +157,8 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
   Scan_errors.reset ();
   List.iter Mmap_file.reset_counters (entry_files cat logical);
   ignore (Template_cache.take_charged_seconds (Catalog.templates cat));
-  let obs =
-    if not (Catalog.config cat).Config.observe then None
+  let trace_h =
+    if not cfg.Config.observe then None
     else begin
       (* anchor the trace at the earliest pre-timed phase (binding happens
          in Raw_db before this handle exists) so its spans fit the axis *)
@@ -104,16 +171,27 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
       List.iter
         (fun (name, t0, t1) -> Trace.record h ~start:t0 ~dur:(t1 -. t0) name)
         pre_spans;
-      Some (h, Decisions.create ())
+      Some h
     end
   in
+  (* decisions are needed whenever either sink is on: the trace/report
+     (observe) or the workload history, whose calibration join reads the
+     planner.adaptive record back *)
+  let dec_h =
+    if cfg.Config.observe || cfg.Config.history_path <> None then
+      Some (Decisions.create ())
+    else None
+  in
   let with_obs f =
-    match obs with
+    let f =
+      match dec_h with
+      | None -> f
+      | Some d -> fun () -> Decisions.with_handle d f
+    in
+    match trace_h with
     | None -> f ()
-    | Some (h, d) ->
-      Trace.with_handle h (fun () ->
-          Decisions.with_handle d (fun () ->
-              Trace.with_span ~cat:"query" "query" f))
+    | Some h ->
+      Trace.with_handle h (fun () -> Trace.with_span ~cat:"query" "query" f)
   in
   let outcome, cpu_seconds =
     Timing.time (fun () ->
@@ -130,19 +208,113 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
                 in
                 (chunk, schema))))
   in
+  (* accounting shared by the success and failure paths *)
+  let io_seconds = io_of_files cat logical in
+  let compile_seconds =
+    Template_cache.take_charged_seconds (Catalog.templates cat)
+  in
+  let delta k = counter_delta ~before k in
+  let rows_scanned =
+    (* scan.rows_scanned only ticks under an armed cancel token (it funds
+       partial-progress accounting); fall back to the rows that entered
+       the filter chain, which every filtered scan produces *)
+    let counted = delta "scan.rows_scanned" in
+    let rows =
+      if counted > 0. then counted else delta (Metrics.id Metrics.filter_rows_in)
+    in
+    int_of_float rows
+  in
+  (* feedback: join the adaptive prediction against the measured filter
+     row flow — partial progress of a failed query is still a measurement *)
+  let sel_obs =
+    let rows_in = delta (Metrics.id Metrics.filter_rows_in) in
+    if rows_in > 0. then
+      Some (delta (Metrics.id Metrics.filter_rows_out) /. rows_in)
+    else None
+  in
+  let decisions =
+    match dec_h with Some d -> Decisions.records d | None -> []
+  in
+  let prediction = prediction_of_decisions decisions in
+  let cost_predicted, mispredicted, better =
+    match prediction with
+    | None -> (None, None, None)
+    | Some p ->
+      let costs_at sel =
+        Cost_model.selection_costs ~n_rows:p.p_n_rows
+          ~n_filter_cols:p.p_n_filter ~n_post_cols:p.p_n_post
+          ~selectivity:sel ~textual:p.p_textual
+      in
+      let cost_predicted =
+        Option.map
+          (Cost_model.cost_of (costs_at p.p_sel))
+          (strategy_of_name p.p_choice)
+      in
+      (match sel_obs with
+       | None -> (cost_predicted, None, None)
+       | Some sel ->
+         Table_stats.note_selectivity (Catalog.stats cat) ~table:p.p_table
+           sel;
+         let preferred = Cost_model.choose (costs_at sel) in
+         let preferred_name = Cost_model.strategy_name preferred in
+         if preferred_name = p.p_choice then (cost_predicted, Some false, None)
+         else begin
+           Io_stats.incr (Metrics.id Metrics.planner_mispredict ^ p.p_choice);
+           (cost_predicted, Some true, Some preferred_name)
+         end)
+  in
+  let append_history ~status ~result_rows ~degraded =
+    match cfg.Config.history_path with
+    | None -> ()
+    | Some path ->
+      let strategy =
+        match prediction with
+        | Some p -> p.p_choice
+        | None -> Planner.shred_strategy_to_string options.Planner.shreds
+      in
+      Raw_obs.History.append ~path ~max_bytes:cfg.Config.history_max_bytes
+        {
+          Raw_obs.History.ts = Unix.gettimeofday ();
+          shape = Logical.fingerprint logical;
+          access = access_of cat logical;
+          strategy;
+          status;
+          cpu_seconds;
+          io_seconds;
+          compile_seconds;
+          total_seconds = cpu_seconds +. io_seconds +. compile_seconds;
+          rows_scanned;
+          result_rows;
+          parallelism = cfg.Config.parallelism;
+          sel_est = Option.map (fun p -> p.p_sel) prediction;
+          sel_obs;
+          cost_predicted;
+          mispredicted;
+          better;
+          tmpl_hits = int_of_float (delta "tmpl.hits");
+          tmpl_misses = int_of_float (delta "tmpl.misses");
+          pool_hits = int_of_float (delta "pool.hits");
+          pool_misses = int_of_float (delta "pool.misses");
+          degraded;
+          errors_tolerated = (Scan_errors.snapshot ()).Scan_errors.total;
+        }
+  in
   let chunk, schema =
     match outcome with
     | Ok r -> r
     | Error e ->
       (* a tripped token unwound the query: account the partial progress
          (all worker domains were joined and merged by Morsel before the
-         Stop re-raise reached us) and surface a typed error *)
+         Stop re-raise reached us), write the history record — failed
+         queries are exactly the ones calibration must see — and surface
+         a typed error *)
+      append_history ~status:(history_status_of_exn e) ~result_rows:0
+        ~degraded:[];
       let progress : Resource_error.progress =
         {
-          rows_scanned = int_of_float (counter_delta ~before "scan.rows_scanned");
-          io_seconds = io_of_files cat logical;
-          compile_seconds =
-            Template_cache.take_charged_seconds (Catalog.templates cat);
+          rows_scanned;
+          io_seconds;
+          compile_seconds;
           elapsed_seconds = cpu_seconds;
         }
       in
@@ -163,10 +335,6 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
               (Schema.fields schema)))
     else chunk
   in
-  let io_seconds = io_of_files cat logical in
-  let compile_seconds =
-    Template_cache.take_charged_seconds (Catalog.templates cat)
-  in
   Metrics.add_float Metrics.io_simulated_seconds io_seconds;
   Metrics.observe Metrics.query_seconds
     (cpu_seconds +. io_seconds +. compile_seconds);
@@ -186,6 +354,9 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
       (fun (k, _) -> String.starts_with ~prefix:domain_prefix k)
       deltas
   in
+  let degraded = degraded_of_counters counters in
+  append_history ~status:Raw_obs.History.Completed
+    ~result_rows:(Chunk.n_rows chunk) ~degraded;
   {
     chunk;
     schema;
@@ -193,13 +364,13 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
     io_seconds;
     compile_seconds;
     total_seconds = cpu_seconds +. io_seconds +. compile_seconds;
-    parallelism = (Catalog.config cat).Config.parallelism;
+    parallelism = cfg.Config.parallelism;
     domain_seconds;
     counters = List.sort (fun (a, _) (b, _) -> String.compare a b) counters;
     errors = Scan_errors.snapshot ();
-    degraded = degraded_of_counters counters;
-    spans = (match obs with Some (h, _) -> Trace.spans h | None -> []);
-    decisions = (match obs with Some (_, d) -> Decisions.records d | None -> []);
+    degraded;
+    spans = (match trace_h with Some h -> Trace.spans h | None -> []);
+    decisions;
   }
 
 let pp_result ppf r =

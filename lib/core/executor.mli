@@ -41,7 +41,9 @@ type report = {
   decisions : Raw_obs.Decisions.record list;
   (** adaptive-decision audit log (JIT vs interpreted, posmap use, shred
       reuse, cache hits, governance degradation) in recording order; empty
-      unless {!Config.observe} is on *)
+      unless {!Config.observe} or {!Config.history_path} is on (the
+      workload history joins the [planner.adaptive] record against the
+      measured outcome) *)
 }
 
 val run :
@@ -70,7 +72,17 @@ val run :
     [(name, t0, t1)] triple (absolute {!Raw_storage.Timing.now} instants,
     e.g. SQL parse/bind in {!Raw_db.query}) becomes a top-level span and
     the earliest [t0] anchors the trace epoch. Ignored when not
-    observing. *)
+    observing.
+
+    Feedback: when the planner resolved an [Adaptive] strategy, the run
+    joins the prediction (decision record) against the measured filter
+    row flow: the observed selectivity feeds
+    {!Table_stats.note_selectivity}, and a choice the cost model would
+    reverse at the observed selectivity bumps
+    [planner.mispredict.<chosen>]. When {!Config.history_path} is set,
+    one {!Raw_obs.History} record per run — completed, failed, cancelled
+    or deadline-exceeded alike — is appended there with the full
+    predicted-vs-actual account. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** Result rows (with header) followed by the timing line. *)

@@ -92,6 +92,104 @@ let tables plan =
   in
   List.sort_uniq String.compare (go [] plan)
 
+(* A stable query-shape key: plan structure, tables, column positions and
+   operators, with every constant wildcarded to '?' — so the 30 variants
+   of "SELECT ... WHERE c < <k>" share one shape in the workload history
+   while structurally different queries never collide. *)
+let fingerprint plan =
+  let buf = Buffer.create 64 in
+  let add = Buffer.add_string buf in
+  let rec expr = function
+    | Expr.Col i -> add (Printf.sprintf "$%d" i)
+    | Expr.Const _ -> add "?"
+    | Expr.Cmp (op, a, b) ->
+      add "(";
+      expr a;
+      add (Kernels.cmp_to_string op);
+      expr b;
+      add ")"
+    | Expr.Arith (op, a, b) ->
+      add "(";
+      expr a;
+      add (Kernels.arith_to_string op);
+      expr b;
+      add ")"
+    | Expr.And (a, b) ->
+      add "(";
+      expr a;
+      add " and ";
+      expr b;
+      add ")"
+    | Expr.Or (a, b) ->
+      add "(";
+      expr a;
+      add " or ";
+      expr b;
+      add ")"
+    | Expr.Not a ->
+      add "not ";
+      expr a
+  in
+  let ints is = add (String.concat "," (List.map string_of_int is)) in
+  let rec node = function
+    | Scan { table; columns } ->
+      add "scan(";
+      add table;
+      add ":";
+      ints columns;
+      add ")"
+    | Filter (e, c) ->
+      add "filter(";
+      expr e;
+      add ")<-";
+      node c
+    | Project (items, c) ->
+      add "project(";
+      List.iteri
+        (fun i (e, _) ->
+          if i > 0 then add ",";
+          expr e)
+        items;
+      add ")<-";
+      node c
+    | Join { left; right; left_key; right_key } ->
+      add (Printf.sprintf "join($%d=$%d," left_key right_key);
+      node left;
+      add ",";
+      node right;
+      add ")"
+    | Aggregate { keys; aggs; input } ->
+      add "agg(";
+      ints keys;
+      add ";";
+      List.iteri
+        (fun i (a : agg_spec) ->
+          if i > 0 then add ",";
+          add (Kernels.agg_to_string a.op);
+          add "(";
+          expr a.expr;
+          add ")")
+        aggs;
+      add ")<-";
+      node input
+    | Order_by (specs, c) ->
+      add "sort(";
+      add
+        (String.concat ","
+           (List.map
+              (fun (i, d) ->
+                Printf.sprintf "$%d%s" i
+                  (match d with `Asc -> "+" | `Desc -> "-"))
+              specs));
+      add ")<-";
+      node c
+    | Limit (_, c) ->
+      add "limit(?)<-";
+      node c
+  in
+  node plan;
+  Buffer.contents buf
+
 let rec pp ppf = function
   | Scan { table; columns } ->
     Format.fprintf ppf "Scan(%s: %a)" table

@@ -34,4 +34,10 @@ val output_schema : Catalog.t -> t -> Schema.t
 val tables : t -> string list
 (** Tables scanned anywhere in the plan (deduplicated). *)
 
+val fingerprint : t -> string
+(** A stable query-shape key: plan structure, tables, column positions and
+    operators, with constants wildcarded to [?]. Parameter variants of the
+    same query share a fingerprint; structurally different plans do not.
+    This keys the workload-history store ({!Raw_obs.History}). *)
+
 val pp : Format.formatter -> t -> unit

@@ -331,25 +331,39 @@ row ids (column never read)"
         in
         (phys, conjuncts)
     in
-    let phys =
-      List.fold_left
-        (fun phys conjunct ->
-          let expand =
-            ctx.opts.shreds = Multi_shreds
-            && List.exists (fun (t, _) -> List.mem t ctx.restricted) phys.rowids
-          in
-          let phys =
-            materialize ctx ~expand phys (Expr.columns_used conjunct)
-          in
-          tr ctx "filter: %s" (Format.asprintf "%a" Expr.pp conjunct);
-          let phys =
-            { phys with op = Operator.filter (remap phys.slots conjunct) phys.op }
-          in
-          mark_restricted ctx phys;
-          phys)
-        phys conjuncts
-    in
-    phys
+    if conjuncts = [] then phys
+    else begin
+      (* meter row flow around the whole conjunct chain: the per-query
+         delta of rows_out/rows_in is the observed selectivity the
+         executor joins against the adaptive estimate *)
+      let count key phys =
+        { phys with op = Operator.count_into (Raw_obs.Metrics.id key) phys.op }
+      in
+      let phys = count Raw_obs.Metrics.filter_rows_in phys in
+      let phys =
+        List.fold_left
+          (fun phys conjunct ->
+            let expand =
+              ctx.opts.shreds = Multi_shreds
+              && List.exists
+                   (fun (t, _) -> List.mem t ctx.restricted)
+                   phys.rowids
+            in
+            let phys =
+              materialize ctx ~expand phys (Expr.columns_used conjunct)
+            in
+            tr ctx "filter: %s" (Format.asprintf "%a" Expr.pp conjunct);
+            let phys =
+              { phys with
+                op = Operator.filter (remap phys.slots conjunct) phys.op
+              }
+            in
+            mark_restricted ctx phys;
+            phys)
+          phys conjuncts
+      in
+      count Raw_obs.Metrics.filter_rows_out phys
+    end
   | Logical.Join { left; right; left_key; right_key } ->
     let pl = plan_node ctx left in
     let pr = plan_node ctx right in
@@ -492,6 +506,12 @@ let resolve_adaptive cat (logical : Logical.t) =
         ("cost_full", Printf.sprintf "%.1f" costs.Cost_model.full);
         ("cost_shreds", Printf.sprintf "%.1f" costs.Cost_model.shreds);
         ("cost_multishreds", Printf.sprintf "%.1f" costs.Cost_model.multi_shreds);
+        (* the cost-model inputs ride along so the executor can re-cost the
+           choice at the observed selectivity (misprediction detection) *)
+        ("n_rows", string_of_int (Catalog.n_rows cat entry));
+        ("n_filter_cols", string_of_int (List.length filter_positions));
+        ("n_post_cols", string_of_int (max n_post 0));
+        ("textual", if textual then "true" else "false");
       ];
     resolved
 

@@ -2,9 +2,16 @@ open Raw_vector
 
 type col_stats = { min_v : float; max_v : float; n_rows : int; n_valid : int }
 
-type t = (string * int, col_stats) Hashtbl.t
+type t = {
+  cols : (string * int, col_stats) Hashtbl.t;
+  (* per-table EWMA of selectivities measured by the executor's filter
+     row-flow counters — the calibration feedback channel. Captured here so
+     a future estimator can blend it with the uniformity model; today it is
+     recorded and reported, not yet consumed by [selectivity]. *)
+  observed_sel : (string, float) Hashtbl.t;
+}
 
-let create () = Hashtbl.create 32
+let create () = { cols = Hashtbl.create 32; observed_sel = Hashtbl.create 8 }
 
 let observe t ~table ~col column =
   let numeric =
@@ -31,11 +38,24 @@ let observe t ~table ~col column =
        done
      | Column.Bool_data _ | Column.String_data _ -> ());
     if !valid > 0 then
-      Hashtbl.replace t (table, col)
+      Hashtbl.replace t.cols (table, col)
         { min_v = !mn; max_v = !mx; n_rows = n; n_valid = !valid }
   end
 
-let get t ~table ~col = Hashtbl.find_opt t (table, col)
+let get t ~table ~col = Hashtbl.find_opt t.cols (table, col)
+
+let note_selectivity t ~table sel =
+  if Float.is_finite sel then begin
+    let sel = Float.max 0. (Float.min 1. sel) in
+    let v =
+      match Hashtbl.find_opt t.observed_sel table with
+      | None -> sel
+      | Some prev -> (0.7 *. prev) +. (0.3 *. sel)
+    in
+    Hashtbl.replace t.observed_sel table v
+  end
+
+let observed_selectivity t ~table = Hashtbl.find_opt t.observed_sel table
 
 let selectivity s (op : Kernels.cmp) x =
   let clamp v = Float.max 0. (Float.min 1. v) in
@@ -57,5 +77,8 @@ let selectivity s (op : Kernels.cmp) x =
     | Kernels.Eq -> clamp (1. /. (width +. 1.))
     | Kernels.Ne -> clamp (1. -. (1. /. (width +. 1.)))
 
-let clear t = Hashtbl.reset t
-let size t = Hashtbl.length t
+let clear t =
+  Hashtbl.reset t.cols;
+  Hashtbl.reset t.observed_sel
+
+let size t = Hashtbl.length t.cols

@@ -59,6 +59,14 @@ let filter pred input =
       in
       go ())
 
+let count_into key input =
+  of_fn () ~close:input.close_fn ~next:(fun () ->
+      match input.next_fn () with
+      | None -> None
+      | Some c ->
+        Raw_storage.Io_stats.add key (Chunk.n_rows c);
+        Some c)
+
 let project exprs input =
   of_fn () ~close:input.close_fn ~next:(fun () ->
       match input.next_fn () with

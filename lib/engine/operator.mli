@@ -24,6 +24,11 @@ val empty : t
 val filter : Expr.t -> t -> t
 (** Evaluates the predicate per chunk and materializes qualifying rows. *)
 
+val count_into : string -> t -> t
+(** Passes chunks through unchanged, adding each chunk's row count to the
+    named {!Raw_storage.Io_stats} counter — one bump per chunk, so the
+    planner can meter row flow (observed selectivity) at negligible cost. *)
+
 val project : Expr.t list -> t -> t
 
 val map_chunks : (Chunk.t -> Chunk.t) -> t -> t

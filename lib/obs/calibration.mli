@@ -1,0 +1,31 @@
+(** Cost-model calibration from the workload history.
+
+    Joins each adaptive-planner decision (the prediction: selectivity
+    estimate, cost-model units, chosen strategy — carried into the history
+    record by the executor) with its measured outcome (observed
+    selectivity, actual cpu/io/compile split), and reduces the pairs to
+    per-strategy error statistics. The paper's E18 claim — "occasional
+    mispredictions at 70–80 % selectivity" — becomes a measured number
+    here: misprediction counts are surfaced live under
+    [planner.mispredict.<strategy>] and historically by this report. *)
+
+type strategy_stats = {
+  strategy : string;
+  queries : int;  (** adaptive resolutions that chose this strategy *)
+  measurable : int;  (** of those, with both [sel_est] and [sel_obs] *)
+  mispredicts : int;
+  sel_ratio_mean : float;  (** mean predicted÷observed selectivity *)
+  sel_ratio_p50 : float;
+  sel_ratio_p95 : float;  (** nearest-rank over measurable records *)
+  cost_per_second_p50 : float;
+      (** median cost-model units per actual total second — the model's
+          scale factor; drift here means the unit costs need retuning *)
+}
+
+val of_records : History.record list -> strategy_stats list
+(** One entry per strategy seen in adaptive records ([sel_est] present),
+    sorted by strategy name. Observed selectivities are clamped away from
+    0 before dividing. *)
+
+val pp_report : Format.formatter -> strategy_stats list -> unit
+(** The [rawq --calibration] rendering. *)

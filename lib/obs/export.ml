@@ -60,32 +60,57 @@ let prom_value v =
   if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
+(* Prometheus text-format escaping: HELP text escapes backslash and
+   newline; label values additionally escape the double quote. *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 (* Expose a counter snapshot (as produced by Io_stats.snapshot) through the
-   declared registry: declared counters/gauges get HELP/TYPE headers,
-   histograms are reassembled into cumulative buckets with sum and count,
-   and any key the registry does not own is exposed untyped rather than
-   dropped — the exposition is complete by construction. *)
+   declared registry: declared counters/gauges get HELP/TYPE headers (one
+   pair per exposed series — family members are distinct metric names in
+   the exposition, so each needs its own metadata), counter names take the
+   conventional _total suffix, histograms are reassembled into cumulative
+   buckets with sum and count, and any key the registry does not own is
+   exposed untyped rather than dropped — the exposition is complete by
+   construction. *)
 let prometheus_of_snapshot snapshot =
   let buf = Buffer.create 4096 in
   let lookup key =
     match List.assoc_opt key snapshot with Some v -> v | None -> 0.
   in
   let covered = Hashtbl.create 64 in
-  let emit_meta m kind_str =
+  let emit_meta name help kind_str =
     Buffer.add_string buf
-      (Printf.sprintf "# HELP %s %s\n" (prom_name (Metrics.id m))
-         (Metrics.help m));
-    Buffer.add_string buf
-      (Printf.sprintf "# TYPE %s %s\n" (prom_name (Metrics.id m)) kind_str)
+      (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind_str)
   in
   List.iter
     (fun m ->
       let mid = Metrics.id m in
       match Metrics.kind m with
       | Metrics.Counter | Metrics.Gauge ->
-        let kind_str =
-          match Metrics.kind m with Metrics.Gauge -> "gauge" | _ -> "counter"
-        in
+        let is_counter = Metrics.kind m = Metrics.Counter in
+        let kind_str = if is_counter then "counter" else "gauge" in
         let series =
           List.filter
             (fun (k, _) ->
@@ -93,19 +118,20 @@ let prometheus_of_snapshot snapshot =
               || (Metrics.owner k = Some m && Metrics.find k = None))
             snapshot
         in
-        if series <> [] then begin
-          emit_meta m kind_str;
-          List.iter
-            (fun (k, v) ->
-              Hashtbl.replace covered k ();
-              Buffer.add_string buf
-                (Printf.sprintf "%s %s\n" (prom_name k) (prom_value v)))
-            series
-        end
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace covered k ();
+            let name =
+              if is_counter then prom_name k ^ "_total" else prom_name k
+            in
+            emit_meta name (Metrics.help m) kind_str;
+            Buffer.add_string buf
+              (Printf.sprintf "%s %s\n" name (prom_value v)))
+          series
       | Metrics.Histogram ->
         let count_k = Metrics.count_key m in
         if List.mem_assoc count_k snapshot then begin
-          emit_meta m "histogram";
+          emit_meta (prom_name mid) (Metrics.help m) "histogram";
           let cumulative = ref 0. in
           List.iter
             (fun b ->
@@ -113,7 +139,8 @@ let prometheus_of_snapshot snapshot =
               Hashtbl.replace covered k ();
               cumulative := !cumulative +. lookup k;
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%g\"} %s\n" (prom_name mid) b
+                (Printf.sprintf "%s_bucket{le=\"%s\"} %s\n" (prom_name mid)
+                   (escape_label_value (Printf.sprintf "%g" b))
                    (prom_value !cumulative)))
             (Metrics.buckets m);
           let inf_k = Metrics.inf_bucket_key m in

@@ -13,16 +13,26 @@ val write_chrome_trace : path:string -> Trace.span list -> unit
 
 val prometheus : unit -> string
 (** Prometheus text exposition of the calling domain's
-    {!Raw_storage.Io_stats} snapshot: declared metrics get [# HELP]/
-    [# TYPE] headers, histograms are reassembled into cumulative
+    {!Raw_storage.Io_stats} snapshot: every exposed series gets its own
+    [# HELP]/[# TYPE] pair (family members are distinct metric names in
+    the exposition), counter names take the conventional [_total] suffix,
+    histograms are reassembled into cumulative
     [_bucket{le=...}]/[_sum]/[_count] series, undeclared keys are exposed
-    untyped. Names are sanitized and prefixed [raw_]. *)
+    untyped. Names are sanitized and prefixed [raw_]; help text and label
+    values are escaped per the text-format rules ({!escape_help},
+    {!escape_label_value}). *)
 
 val prometheus_of_snapshot : (string * float) list -> string
 (** Same, over an explicit snapshot (e.g. the merged post-query one). *)
 
 val prom_name : string -> string
 (** [raw_] + the id with non-[[a-zA-Z0-9_:]] characters mapped to [_]. *)
+
+val escape_help : string -> string
+(** Text-format HELP escaping: backslash and newline. *)
+
+val escape_label_value : string -> string
+(** Label-value escaping: backslash, double quote, and newline. *)
 
 val pp_span_tree : Format.formatter -> Trace.span list -> unit
 (** Indented tree (children under parents, ordered by start time) with

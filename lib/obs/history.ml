@@ -1,0 +1,196 @@
+(* The workload-history store: one JSONL line per executed query, written
+   with a single O_APPEND write so concurrent appenders interleave whole
+   lines. See history.mli for the atomicity/rotation contract. *)
+
+type status = Completed | Deadline | Cancelled | Failed of string
+
+type record = {
+  ts : float;
+  shape : string;
+  access : string;
+  strategy : string;
+  status : status;
+  cpu_seconds : float;
+  io_seconds : float;
+  compile_seconds : float;
+  total_seconds : float;
+  rows_scanned : int;
+  result_rows : int;
+  parallelism : int;
+  sel_est : float option;
+  sel_obs : float option;
+  cost_predicted : float option;
+  mispredicted : bool option;
+  better : string option;
+  tmpl_hits : int;
+  tmpl_misses : int;
+  pool_hits : int;
+  pool_misses : int;
+  degraded : string list;
+  errors_tolerated : int;
+}
+
+let status_to_string = function
+  | Completed -> "ok"
+  | Deadline -> "deadline"
+  | Cancelled -> "cancelled"
+  | Failed tag -> "error:" ^ tag
+
+let status_of_string s =
+  match s with
+  | "ok" -> Completed
+  | "deadline" -> Deadline
+  | "cancelled" -> Cancelled
+  | s when String.starts_with ~prefix:"error:" s ->
+    Failed (String.sub s 6 (String.length s - 6))
+  | s -> Failed s
+
+(* Optional fields are simply omitted from the line — the store is
+   append-only JSONL, so compactness compounds. *)
+let to_json r =
+  let opt name conv = function None -> [] | Some x -> [ (name, conv x) ] in
+  Jsons.Obj
+    (List.concat
+       [
+         [
+           ("ts", Jsons.Float r.ts);
+           ("shape", Jsons.Str r.shape);
+           ("access", Jsons.Str r.access);
+           ("strategy", Jsons.Str r.strategy);
+           ("status", Jsons.Str (status_to_string r.status));
+           ("cpu_s", Jsons.Float r.cpu_seconds);
+           ("io_s", Jsons.Float r.io_seconds);
+           ("compile_s", Jsons.Float r.compile_seconds);
+           ("total_s", Jsons.Float r.total_seconds);
+           ("rows_scanned", Jsons.Int r.rows_scanned);
+           ("result_rows", Jsons.Int r.result_rows);
+           ("parallelism", Jsons.Int r.parallelism);
+         ];
+         opt "sel_est" (fun x -> Jsons.Float x) r.sel_est;
+         opt "sel_obs" (fun x -> Jsons.Float x) r.sel_obs;
+         opt "cost_predicted" (fun x -> Jsons.Float x) r.cost_predicted;
+         opt "mispredicted" (fun b -> Jsons.Bool b) r.mispredicted;
+         opt "better" (fun s -> Jsons.Str s) r.better;
+         [
+           ("tmpl_hits", Jsons.Int r.tmpl_hits);
+           ("tmpl_misses", Jsons.Int r.tmpl_misses);
+           ("pool_hits", Jsons.Int r.pool_hits);
+           ("pool_misses", Jsons.Int r.pool_misses);
+           ( "degraded",
+             Jsons.List (List.map (fun s -> Jsons.Str s) r.degraded) );
+           ("errors_tolerated", Jsons.Int r.errors_tolerated);
+         ];
+       ])
+
+let of_json j =
+  let mem k = Jsons.member k j in
+  let str k = Option.bind (mem k) Jsons.to_string_opt in
+  let flt k = Option.bind (mem k) Jsons.to_float_opt in
+  let int k = Option.bind (mem k) Jsons.to_int_opt in
+  let req name v =
+    match v with Some x -> Ok x | None -> Error ("missing field " ^ name)
+  in
+  let ( let* ) = Result.bind in
+  let* ts = req "ts" (flt "ts") in
+  let* shape = req "shape" (str "shape") in
+  let* access = req "access" (str "access") in
+  let* strategy = req "strategy" (str "strategy") in
+  let* status = req "status" (str "status") in
+  let* cpu_seconds = req "cpu_s" (flt "cpu_s") in
+  let* io_seconds = req "io_s" (flt "io_s") in
+  let* compile_seconds = req "compile_s" (flt "compile_s") in
+  let* total_seconds = req "total_s" (flt "total_s") in
+  let* rows_scanned = req "rows_scanned" (int "rows_scanned") in
+  let* result_rows = req "result_rows" (int "result_rows") in
+  let* parallelism = req "parallelism" (int "parallelism") in
+  let degraded =
+    match Option.bind (mem "degraded") Jsons.to_list_opt with
+    | Some l -> List.filter_map Jsons.to_string_opt l
+    | None -> []
+  in
+  Ok
+    {
+      ts;
+      shape;
+      access;
+      strategy;
+      status = status_of_string status;
+      cpu_seconds;
+      io_seconds;
+      compile_seconds;
+      total_seconds;
+      rows_scanned;
+      result_rows;
+      parallelism;
+      sel_est = flt "sel_est";
+      sel_obs = flt "sel_obs";
+      cost_predicted = flt "cost_predicted";
+      mispredicted = Option.bind (mem "mispredicted") Jsons.to_bool_opt;
+      better = str "better";
+      tmpl_hits = Option.value ~default:0 (int "tmpl_hits");
+      tmpl_misses = Option.value ~default:0 (int "tmpl_misses");
+      pool_hits = Option.value ~default:0 (int "pool_hits");
+      pool_misses = Option.value ~default:0 (int "pool_misses");
+      degraded;
+      errors_tolerated = Option.value ~default:0 (int "errors_tolerated");
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Store                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_bytes = 16 * 1024 * 1024
+
+let rotate_if_needed ~path ~max_bytes ~incoming =
+  match Unix.stat path with
+  | { Unix.st_size; _ } when st_size > 0 && st_size + incoming > max_bytes ->
+    (* rename is atomic on POSIX; a reader holding the old fd keeps a
+       consistent view of the rotated-out generation *)
+    Sys.rename path (path ^ ".1");
+    Metrics.incr Metrics.history_rotations
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let append ~path ?(max_bytes = default_max_bytes) r =
+  match
+    let line = Jsons.to_string (to_json r) ^ "\n" in
+    rotate_if_needed ~path ~max_bytes ~incoming:(String.length line);
+    let fd =
+      Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+    in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        (* one write call: O_APPEND makes whole-line interleaving the unit
+           of concurrency between appenders *)
+        ignore (Unix.write_substring fd line 0 (String.length line)))
+  with
+  | () -> Metrics.incr Metrics.history_records_written
+  | exception _ -> Metrics.incr Metrics.history_write_errors
+
+let load path =
+  match open_in path with
+  | exception Sys_error _ -> ([], 0)
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let records = ref [] in
+        let skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match Jsons.parse line with
+               | Ok j -> (
+                 match of_json j with
+                 | Ok r -> records := r :: !records
+                 | Error _ -> incr skipped)
+               | Error _ -> incr skipped
+           done
+         with End_of_file -> ());
+        (List.rev !records, !skipped))
+
+let pp ppf r =
+  Format.fprintf ppf "%s %s/%s %s %.4fs (%d rows)" r.shape r.access r.strategy
+    (status_to_string r.status) r.total_seconds r.result_rows

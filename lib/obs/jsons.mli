@@ -1,4 +1,9 @@
-(** Minimal JSON emission (no external dependency). *)
+(** Minimal JSON emission and parsing (no external dependency).
+
+    The parser exists because this library sits below [raw_formats] in the
+    layering and cannot borrow its JSONL reader; the workload-history
+    store ({!History}) and its report tooling read back what they wrote
+    through {!parse}. *)
 
 type t =
   | Null
@@ -11,3 +16,26 @@ type t =
 
 val to_string : t -> string
 val write : Buffer.t -> t -> unit
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON document. [Error] carries a short message with
+    the byte offset; trailing non-whitespace input is an error. Numbers
+    without a fraction or exponent that fit in [int] parse as {!Int},
+    everything else as {!Float}. *)
+
+(** {1 Shallow accessors}
+
+    Total lookups for picking records apart; all return [None] on a kind
+    mismatch rather than raising. *)
+
+val member : string -> t -> t option
+
+val to_float_opt : t -> float option
+(** Accepts {!Int} too. *)
+
+val to_int_opt : t -> int option
+(** Accepts integral {!Float}. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

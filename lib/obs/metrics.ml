@@ -78,6 +78,43 @@ let value m = Io_stats.get_float m.id
 let count m = Io_stats.get m.id
 
 (* ------------------------------------------------------------------ *)
+(* Quantile estimation over the fixed-bucket histograms                *)
+(* ------------------------------------------------------------------ *)
+
+(* Standard Prometheus-style estimation: find the bucket the q-th
+   observation falls in and interpolate linearly inside it. Documented
+   edge cases (metrics.mli): empty histogram -> None; the target landing
+   in the +Inf bucket clamps to the largest finite bound (there is no
+   finite upper edge to interpolate toward); a histogram with no finite
+   buckets at all reports 0. *)
+let quantile_of_snapshot snapshot m ~q =
+  if m.kind <> Histogram || not (Float.is_finite q) || q < 0. || q > 1. then
+    None
+  else
+    let lookup k =
+      match List.assoc_opt k snapshot with Some v -> v | None -> 0.
+    in
+    let total = lookup (count_key m) in
+    if total <= 0. then None
+    else begin
+      let target = q *. total in
+      let n = Array.length m.buckets in
+      let rec go i cum lower =
+        if i >= n then Some (if n = 0 then 0. else m.buckets.(n - 1))
+        else
+          let c = lookup (bucket_key m m.buckets.(i)) in
+          let cum' = cum +. c in
+          if cum' >= target && c > 0. then
+            let upper = m.buckets.(i) in
+            Some (lower +. ((upper -. lower) *. ((target -. cum) /. c)))
+          else go (i + 1) cum' m.buckets.(i)
+      in
+      go 0 0. 0.
+    end
+
+let quantile m ~q = quantile_of_snapshot (Io_stats.snapshot ()) m ~q
+
+(* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -200,6 +237,30 @@ let gov_budget_capacity_bytes =
 let planner_adaptive =
   counter "planner.adaptive_chose_" ~family:true
     ~help:"Adaptive cost-model strategy resolutions, by chosen strategy"
+
+let planner_mispredict =
+  counter "planner.mispredict." ~family:true
+    ~help:"Adaptive choices contradicted by observed selectivity, by chosen strategy"
+
+let filter_rows_in =
+  counter "filter.rows_in"
+    ~help:"Rows entering planner-emitted filter chains (observed-selectivity denominator)"
+
+let filter_rows_out =
+  counter "filter.rows_out"
+    ~help:"Rows surviving planner-emitted filter chains (observed-selectivity numerator)"
+
+let history_records_written =
+  counter "history.records_written"
+    ~help:"Workload-history records appended to the JSONL store"
+
+let history_write_errors =
+  counter "history.write_errors"
+    ~help:"Workload-history appends that failed (history is best-effort; queries never fail on it)"
+
+let history_rotations =
+  counter "history.rotations"
+    ~help:"Workload-history files rotated to .1 after exceeding the size bound"
 
 let par_domain =
   counter "par.domain" ~family:true

@@ -49,6 +49,28 @@ val count : t -> int
 (** {!value} rounded to the nearest integer (see
     {!Raw_storage.Io_stats.get}). *)
 
+(** {1 Quantile estimation}
+
+    Prometheus-style estimation over the fixed buckets: locate the bucket
+    containing the [q]-th observation and interpolate linearly inside it
+    (the lower edge of the first bucket is 0). Documented edge cases —
+    these return values, never NaN or an exception:
+
+    - empty histogram (count 0), a non-histogram metric, or [q] outside
+      [[0, 1]]: [None];
+    - all observations in a single bucket: a value inside that bucket
+      (linear interpolation between its edges);
+    - the target falls in the implicit [+Inf] overflow bucket: the largest
+      {e finite} bucket bound — there is no finite upper edge to
+      interpolate toward, so the estimate clamps (a histogram declared
+      with no finite buckets reports 0). *)
+
+val quantile : t -> q:float -> float option
+(** Over this domain's shard. *)
+
+val quantile_of_snapshot : (string * float) list -> t -> q:float -> float option
+(** Same, over an explicit (e.g. merged post-query) snapshot. *)
+
 (** {1 Introspection} *)
 
 val find : string -> t option
@@ -98,8 +120,31 @@ val gov_fallback_shred_pool : t
 val gov_fallback_posmap : t
 val gov_budget_capacity_bytes : t
 val planner_adaptive : t
+
+val planner_mispredict : t
+(** Family: [planner.mispredict.<strategy>] counts adaptive resolutions
+    whose choice the cost model would reverse at the {e observed}
+    selectivity (keyed by the strategy that was chosen). *)
+
+val filter_rows_in : t
+val filter_rows_out : t
+(** Rows entering/surviving planner-emitted filter chains; their per-query
+    delta ratio is the observed selectivity joined against the estimate in
+    the [planner.adaptive] decision record. *)
+
+val history_records_written : t
+val history_write_errors : t
+val history_rotations : t
+
 val par_domain : t
 val obs_decisions_dropped : t
 val io_simulated_seconds : t
+
 val query_seconds : t
+(** End-to-end latency histogram. Bucket upper bounds (seconds):
+    [1e-4], [5e-4], [1e-3], [5e-3], [1e-2], [5e-2], [0.1], [0.5], [1],
+    [5], [10], plus the implicit [+Inf] overflow bucket. *)
+
 val morsel_seconds : t
+(** Per-morsel wall-time histogram; same bucket boundaries as
+    {!query_seconds}. *)

@@ -1,0 +1,42 @@
+(** Cross-query aggregation over the workload history.
+
+    Powers [rawq report <history.jsonl>]: latency percentiles per query
+    shape and per access path, cache hit-rate trends, and the shapes whose
+    latency regressed most across the recorded window. Unlike
+    {!Metrics.quantile} (an interpolated estimate over fixed buckets),
+    these percentiles are exact nearest-rank statistics over the recorded
+    samples. *)
+
+val percentile : float list -> float -> float option
+(** [percentile xs q] is the nearest-rank [q]-th percentile ([q] in
+    [[0, 1]]) of [xs]; [None] on an empty list or out-of-range [q]. *)
+
+type group = {
+  key : string;
+  n : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;  (** of [total_seconds], nearest-rank *)
+}
+
+val by_access : History.record list -> group list
+(** One group per access path, sorted by key. *)
+
+val by_shape : History.record list -> group list
+(** One group per query-shape fingerprint, sorted by key. *)
+
+val hit_rate_trend : History.record list -> (string * float option * float option) list
+(** [(cache, first_half_rate, second_half_rate)] for the template cache
+    and the shred pool, splitting the history at its midpoint; [None] when
+    a half saw no lookups. *)
+
+val top_regressed : ?limit:int -> History.record list -> (string * float) list
+(** Shapes whose mean latency in the second half of the window grew most
+    over the first half, as [(shape, ratio)] sorted descending; shapes
+    seen in only one half are skipped. [limit] defaults to 5. *)
+
+val pp_report : Format.formatter -> History.record list -> unit
+(** The full [rawq report] rendering: per-access-path and per-shape
+    percentile tables, hit-rate trends, top regressed shapes, and a
+    status/misprediction tally. *)

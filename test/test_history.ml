@@ -1,0 +1,269 @@
+(* The feedback tier: workload history, cross-query percentile summary,
+   cost-model calibration, and the executor wiring that joins an adaptive
+   prediction against its measured outcome. *)
+
+open Raw_core
+module History = Raw_obs.History
+module Summary = Raw_obs.Summary
+module Calibration = Raw_obs.Calibration
+module Io_stats = Raw_storage.Io_stats
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let sample_record =
+  {
+    History.ts = 1754400000.125;
+    shape = "agg(;MAX($1))<-filter($0 < ?)<-scan(t:2)";
+    access = "csv(sep=',')";
+    strategy = "shreds";
+    status = History.Completed;
+    cpu_seconds = 0.012;
+    io_seconds = 0.0546;
+    compile_seconds = 0.01;
+    total_seconds = 0.0766;
+    rows_scanned = 20_000;
+    result_rows = 1;
+    parallelism = 1;
+    sel_est = Some 0.5;
+    sel_obs = Some 0.9955;
+    cost_predicted = Some 43_500.;
+    mispredicted = Some true;
+    better = Some "full";
+    tmpl_hits = 0;
+    tmpl_misses = 2;
+    pool_hits = 0;
+    pool_misses = 1;
+    degraded = [ "eviction pressure" ];
+    errors_tolerated = 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Record codec and store mechanics                                    *)
+(* ------------------------------------------------------------------ *)
+
+let store_suite =
+  [
+    Alcotest.test_case "record roundtrips through JSON" `Quick (fun () ->
+        match History.of_json (History.to_json sample_record) with
+        | Ok r ->
+          Alcotest.(check bool) "identical" true (r = sample_record)
+        | Error e -> Alcotest.failf "roundtrip failed: %s" e);
+    Alcotest.test_case "optional fields drop cleanly" `Quick (fun () ->
+        let r =
+          {
+            sample_record with
+            History.sel_est = None;
+            sel_obs = None;
+            cost_predicted = None;
+            mispredicted = None;
+            better = None;
+            status = History.Failed "data";
+            degraded = [];
+          }
+        in
+        let line = Raw_obs.Jsons.to_string (History.to_json r) in
+        Alcotest.(check bool) "no sel_est key" false (contains line "sel_est");
+        Alcotest.(check bool) "status tagged" true (contains line "error:data");
+        match History.of_json (History.to_json r) with
+        | Ok r' -> Alcotest.(check bool) "identical" true (r' = r)
+        | Error e -> Alcotest.failf "roundtrip failed: %s" e);
+    Alcotest.test_case "append rotates at max_bytes and keeps one \
+                        generation" `Quick (fun () ->
+        let path = Test_util.fresh_path ".jsonl" in
+        let line_len =
+          String.length (Raw_obs.Jsons.to_string (History.to_json sample_record)) + 1
+        in
+        History.append ~path ~max_bytes:line_len sample_record;
+        History.append ~path ~max_bytes:line_len sample_record;
+        History.append ~path ~max_bytes:line_len sample_record;
+        let live, s1 = History.load path in
+        let prev, s2 = History.load (path ^ ".1") in
+        Alcotest.(check int) "no skips" 0 (s1 + s2);
+        Alcotest.(check int) "live generation" 1 (List.length live);
+        Alcotest.(check int) "rotated generation" 1 (List.length prev));
+    Alcotest.test_case "load skips malformed lines, keeps the rest" `Quick
+      (fun () ->
+        let path = Test_util.fresh_path ".jsonl" in
+        let good = Raw_obs.Jsons.to_string (History.to_json sample_record) in
+        let oc = open_out path in
+        output_string oc "not json at all\n";
+        output_string oc (good ^ "\n");
+        output_string oc "{\"ts\":1.0}\n";
+        (* torn tail from a crashed writer *)
+        output_string oc (String.sub good 0 (String.length good / 2));
+        close_out oc;
+        let records, skipped = History.load path in
+        Alcotest.(check int) "one survivor" 1 (List.length records);
+        Alcotest.(check int) "three skipped" 3 skipped);
+    Alcotest.test_case "load of a missing file is empty, not an error" `Quick
+      (fun () ->
+        let records, skipped = History.load "/nonexistent/history.jsonl" in
+        Alcotest.(check int) "no records" 0 (List.length records);
+        Alcotest.(check int) "no skips" 0 skipped);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Summary percentiles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let summary_suite =
+  [
+    Alcotest.test_case "percentile is nearest-rank" `Quick (fun () ->
+        let xs = [ 5.; 1.; 4.; 2.; 3. ] in
+        let check name q want =
+          Alcotest.(check (option (float 1e-9))) name want (Summary.percentile xs q)
+        in
+        check "p50 of 1..5" 0.5 (Some 3.);
+        check "p99 takes the max" 0.99 (Some 5.);
+        check "p0 clamps to the min" 0.0 (Some 1.);
+        Alcotest.(check (option (float 1e-9)))
+          "empty" None (Summary.percentile [] 0.5);
+        Alcotest.(check (option (float 1e-9)))
+          "bad q" None (Summary.percentile xs 1.5));
+    Alcotest.test_case "by_access groups and orders percentiles" `Quick
+      (fun () ->
+        let rec_with access total =
+          { sample_record with History.access; total_seconds = total }
+        in
+        let records =
+          List.init 10 (fun i -> rec_with "csv" (float_of_int (i + 1)))
+          @ [ rec_with "fwb" 0.5 ]
+        in
+        match Summary.by_access records with
+        | [ csv; fwb ] ->
+          Alcotest.(check string) "csv first" "csv" csv.Summary.key;
+          Alcotest.(check int) "csv count" 10 csv.Summary.n;
+          Alcotest.(check bool) "ordered" true
+            (csv.Summary.p50 <= csv.Summary.p95
+            && csv.Summary.p95 <= csv.Summary.p99);
+          Alcotest.(check int) "fwb count" 1 fwb.Summary.n
+        | l -> Alcotest.failf "expected 2 groups, got %d" (List.length l));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: a 30-query mixed workload through the executor          *)
+(* ------------------------------------------------------------------ *)
+
+let workload_suite =
+  [
+    Alcotest.test_case "30 adaptive queries: JSONL, percentiles, \
+                        calibration, mispredict counter" `Slow (fun () ->
+        let path = Test_util.fresh_path ".jsonl" in
+        let config =
+          { Config.default with Config.history_path = Some path }
+        in
+        let db = Test_util.grid_csv_db ~config ~n:2_000 ~m:4 () in
+        let options = { Planner.default with Planner.shreds = Planner.Adaptive } in
+        let mispredict_before =
+          Io_stats.get "planner.mispredict.full"
+          + Io_stats.get "planner.mispredict.shreds"
+          + Io_stats.get "planner.mispredict.multishreds"
+        in
+        for i = 0 to 29 do
+          (* col0 = 100 * row, so these sweep high observed selectivities
+             against the stats-free 0.5 default estimate: guaranteed
+             mispredictions on the early queries *)
+          let threshold = 150_000 + (i * 1_000) in
+          let q =
+            match i mod 3 with
+            | 0 -> Printf.sprintf "SELECT MAX(col1) FROM t WHERE col0 < %d" threshold
+            | 1 -> Printf.sprintf "SELECT MIN(col2) FROM t WHERE col0 < %d" threshold
+            | _ -> Printf.sprintf "SELECT MAX(col3) FROM t WHERE col0 < %d" threshold
+          in
+          ignore (Raw_db.query ~options db q)
+        done;
+        let mispredict_after =
+          Io_stats.get "planner.mispredict.full"
+          + Io_stats.get "planner.mispredict.shreds"
+          + Io_stats.get "planner.mispredict.multishreds"
+        in
+        let records, skipped = History.load path in
+        Alcotest.(check int) "every line parses" 0 skipped;
+        Alcotest.(check int) "one record per query" 30 (List.length records);
+        List.iter
+          (fun (r : History.record) ->
+            Alcotest.(check bool) "completed" true (r.status = History.Completed);
+            Alcotest.(check bool)
+              "concrete strategy" true
+              (List.mem r.strategy [ "full"; "shreds"; "multishreds" ]);
+            Alcotest.(check bool) "adaptive estimate joined" true
+              (r.sel_est <> None);
+            Alcotest.(check bool) "selectivity observed" true (r.sel_obs <> None))
+          records;
+        (* three distinct query shapes, one access path *)
+        Alcotest.(check int) "shapes" 3 (List.length (Summary.by_shape records));
+        (match Summary.by_access records with
+        | [ g ] ->
+          Alcotest.(check bool) "csv access path" true
+            (String.length g.Summary.key >= 3 && String.sub g.Summary.key 0 3 = "csv");
+          Alcotest.(check int) "all thirty" 30 g.Summary.n;
+          Alcotest.(check bool) "percentiles ordered" true
+            (g.Summary.p50 <= g.Summary.p95 && g.Summary.p95 <= g.Summary.p99)
+        | l -> Alcotest.failf "expected 1 access group, got %d" (List.length l));
+        (* the 0.5 default estimate against ~1.0 observed selectivity must
+           produce at least one cost-model reversal, live and historical *)
+        Alcotest.(check bool) "mispredict counter bumped" true
+          (mispredict_after > mispredict_before);
+        Alcotest.(check bool) "mispredicted record present" true
+          (List.exists
+             (fun (r : History.record) -> r.History.mispredicted = Some true)
+             records);
+        (match Calibration.of_records records with
+        | [] -> Alcotest.fail "no calibration stats"
+        | stats ->
+          let total_meas =
+            List.fold_left (fun a s -> a + s.Calibration.measurable) 0 stats
+          in
+          let total_mis =
+            List.fold_left (fun a s -> a + s.Calibration.mispredicts) 0 stats
+          in
+          Alcotest.(check int) "all records measurable" 30 total_meas;
+          Alcotest.(check bool) "calibration sees the mispredictions" true
+            (total_mis >= 1);
+          List.iter
+            (fun (s : Calibration.strategy_stats) ->
+              Alcotest.(check bool)
+                (s.Calibration.strategy ^ " ratio positive") true
+                (s.Calibration.sel_ratio_p50 > 0.))
+            stats);
+        (* report renderings stay printable *)
+        let report = Format.asprintf "%a" Summary.pp_report records in
+        Alcotest.(check bool) "report header" true
+          (contains report "workload history");
+        let cal =
+          Format.asprintf "%a" Calibration.pp_report
+            (Calibration.of_records records)
+        in
+        Alcotest.(check bool) "calibration legend" true (contains cal "selratio"));
+    Alcotest.test_case "deadline-exceeded query still lands in history" `Slow
+      (fun () ->
+        let path = Test_util.fresh_path ".jsonl" in
+        let config =
+          {
+            Config.default with
+            Config.history_path = Some path;
+            deadline = Some 1e-9;
+          }
+        in
+        let db = Test_util.grid_csv_db ~config ~n:20_000 ~m:3 () in
+        (match Raw_db.query db "SELECT MAX(col1) FROM t WHERE col0 < 1000000" with
+        | _ -> Alcotest.fail "expected the 1ns deadline to trip"
+        | exception _ -> ());
+        let records, skipped = History.load path in
+        Alcotest.(check int) "parses" 0 skipped;
+        match records with
+        | [ r ] ->
+          Alcotest.(check bool) "status deadline" true
+            (r.History.status = History.Deadline)
+        | l -> Alcotest.failf "expected 1 record, got %d" (List.length l));
+  ]
+
+let suites =
+  [
+    ("history.store", store_suite);
+    ("history.summary", summary_suite);
+    ("history.workload", workload_suite);
+  ]

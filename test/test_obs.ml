@@ -223,6 +223,30 @@ let decisions_suite =
         Alcotest.(check int) "kept" 2 kept;
         Alcotest.(check int) "dropped" 3 dropped;
         Alcotest.(check int) "counter" 3 counter);
+    Alcotest.test_case "default 4096 cap: oldest retained, drops exported"
+      `Quick (fun () ->
+        let first, last, kept, dropped, text =
+          in_fresh_domain (fun () ->
+              let h = Decisions.create () in
+              Decisions.with_handle h (fun () ->
+                  for i = 1 to 5_000 do
+                    Decisions.record ~site:"s" ~choice:(string_of_int i) []
+                  done);
+              let recs = Decisions.records h in
+              ( (List.hd recs).Decisions.choice,
+                (List.nth recs (List.length recs - 1)).Decisions.choice,
+                List.length recs,
+                Decisions.dropped h,
+                Export.prometheus () ))
+        in
+        Alcotest.(check int) "kept the cap" 4096 kept;
+        Alcotest.(check int) "dropped the overflow" 904 dropped;
+        (* retention policy: the FIRST records survive — the planner's
+           decisions land early and must not be evicted by a chatty tail *)
+        Alcotest.(check string) "oldest retained" "1" first;
+        Alcotest.(check string) "newest kept is the 4096th" "4096" last;
+        Alcotest.(check bool) "drop counter exported" true
+          (contains text "raw_obs_decisions_dropped_total 904"));
     Alcotest.test_case "template cache: compile then hit" `Quick (fun () ->
         let t = Template_cache.create ~compile_seconds:0.01 in
         let h = Decisions.create () in
@@ -339,8 +363,9 @@ let export_suite =
             Alcotest.(check bool) ("contains " ^ needle) true
               (contains text needle))
           [
-            "# TYPE raw_scan_rows_scanned counter";
-            "raw_scan_rows_scanned 5";
+            (* counters carry the conventional _total suffix *)
+            "# TYPE raw_scan_rows_scanned_total counter";
+            "raw_scan_rows_scanned_total 5";
             "# TYPE raw_gov_budget_capacity_bytes gauge";
             "raw_gov_budget_capacity_bytes 1024";
             "# TYPE raw_query_seconds histogram";
@@ -353,6 +378,56 @@ let export_suite =
             "# TYPE raw_custom_key untyped";
             "raw_custom_key 1";
           ]);
+    Alcotest.test_case "prometheus escapes hostile help and label text"
+      `Quick (fun () ->
+        let text =
+          in_fresh_domain (fun () ->
+              let m =
+                Metrics.counter "test.hostile"
+                  ~help:"line1\nline2 back\\slash \"quoted\""
+              in
+              Metrics.incr m;
+              Export.prometheus ())
+        in
+        (* the newline and backslash must be escaped so HELP stays one
+           line; quotes are legal in help text and pass through *)
+        Alcotest.(check bool) "single escaped HELP line" true
+          (List.exists
+             (fun l -> contains l "line1\\nline2 back\\\\slash \"quoted\"")
+             (String.split_on_char '\n' text));
+        Alcotest.(check string) "label value escaping"
+          "a\\\"b\\\\c\\nd"
+          (Export.escape_label_value "a\"b\\c\nd"));
+    Alcotest.test_case "histogram quantiles: empty, single-bucket, \
+                        overflow-only" `Quick (fun () ->
+        in_fresh_domain (fun () ->
+            let h =
+              Metrics.histogram "test.quant" ~buckets:[ 0.1; 1.0 ]
+                ~help:"quantile edge cases"
+            in
+            let q v = Metrics.quantile h ~q:v in
+            (* empty: no observations -> None, never NaN *)
+            Alcotest.(check (option (float 1e-9))) "empty" None (q 0.5);
+            (* out-of-range q -> None *)
+            Metrics.observe h 0.05;
+            Alcotest.(check (option (float 1e-9))) "q > 1" None (q 1.5);
+            Alcotest.(check (option (float 1e-9))) "q NaN" None (q Float.nan);
+            (* single populated bucket: interpolated within its bounds *)
+            (match q 0.5 with
+            | Some v ->
+              Alcotest.(check bool) "inside first bucket" true
+                (v > 0. && v <= 0.1)
+            | None -> Alcotest.fail "expected an estimate");
+            (* overflow-only: all mass beyond the last finite bound
+               clamps to that bound rather than inventing +Inf *)
+            let h2 =
+              Metrics.histogram "test.quant2" ~buckets:[ 0.1; 1.0 ]
+                ~help:"overflow only"
+            in
+            Metrics.observe h2 50.;
+            Alcotest.(check (option (float 1e-9)))
+              "overflow clamps to largest finite bound" (Some 1.0)
+              (Metrics.quantile h2 ~q:0.99)));
     Alcotest.test_case "pp_span_tree prints an indented tree" `Quick (fun () ->
         let h = Trace.create () in
         Trace.with_handle h (fun () ->
