@@ -253,6 +253,27 @@ let record_sample ~label (r : Executor.report) =
       }
       :: !acc
 
+(* A sample that does not come from an [Executor.report] — the serving
+   bench times whole client-side passes, where per-query reports live on
+   the other side of the socket. *)
+let record_raw_sample ~label ~wall_seconds ?(io_seconds = 0.)
+    ?(compile_seconds = 0.) ?(rows_scanned = 0) ~result_rows
+    ?(counters = []) () =
+  match !current_samples with
+  | None -> ()
+  | Some acc ->
+    acc :=
+      {
+        label;
+        wall_seconds;
+        io_seconds;
+        compile_seconds;
+        rows_scanned;
+        result_rows;
+        counters;
+      }
+      :: !acc
+
 let bench_out_dir () =
   match Sys.getenv_opt "RAW_BENCH_OUT" with
   | Some dir ->

@@ -1,0 +1,16 @@
+(* Entry point for the serving bench (e24). It is a separate executable
+   because it links threads.posix for the client sessions, and the
+   systhreads runtime perturbs the millisecond-scale warm-query timings
+   of the single-threaded experiments in main.exe (see bench/dune). Run
+   it with the same RAW_BENCH_SCALE / RAW_BENCH_OUT environment as
+   main.exe; it writes BENCH_e24.json next to the other results. *)
+
+let () =
+  Printf.printf
+    "RAW serving bench — multi-client throughput over a live rawq server\n";
+  Printf.printf "scale: q30=%d rows, q120=%d rows (RAW_BENCH_SCALE)\n"
+    Bench_util.scale.q30_rows Bench_util.scale.q120_rows;
+  let t0 = Unix.gettimeofday () in
+  Bench_util.with_experiment ~id:"e24"
+    ~title:"extension — multi-client serving throughput" Exp_serve.e24;
+  Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. t0)

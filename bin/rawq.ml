@@ -196,6 +196,51 @@ let print_calibration file =
     0
   end
 
+let build_options ~mode ~shreds ~join_policy ~every =
+  {
+    Planner.access =
+      (match mode with
+       | "dbms" -> Access.Dbms
+       | "external" -> Access.External
+       | "insitu" -> Access.In_situ
+       | "jit" -> Access.Jit
+       | m -> failwith ("unknown mode " ^ m));
+    shreds =
+      (match shreds with
+       | "full" -> Planner.Full_columns
+       | "shreds" -> Planner.Shreds
+       | "multi" -> Planner.Multi_shreds
+       | "adaptive" -> Planner.Adaptive
+       | s -> failwith ("unknown shred strategy " ^ s));
+    join_policy =
+      (match join_policy with
+       | "early" -> Planner.Early
+       | "intermediate" -> Planner.Intermediate
+       | "late" -> Planner.Late
+       | j -> failwith ("unknown join policy " ^ j));
+    tracked = `Every every;
+    use_indexes = true;
+  }
+
+let build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
+    ~observe ~history =
+  if par < 1 then failwith "--parallelism must be >= 1";
+  let on_error =
+    match Scan_errors.policy_of_string on_error with
+    | Some p -> p
+    | None -> failwith ("unknown error policy " ^ on_error)
+  in
+  {
+    Config.default with
+    Config.parallelism = par;
+    on_error;
+    deadline;
+    memory_budget = Option.map parse_bytes memory_budget;
+    max_concurrent;
+    observe;
+    history_path = history;
+  }
+
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
     par on_error deadline memory_budget max_concurrent repl_flag stats metrics
     analyze trace_out history calibration query =
@@ -203,49 +248,11 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
     match calibration with
     | Some file -> print_calibration file
     | None ->
-    let options =
-      {
-        Planner.access =
-          (match mode with
-           | "dbms" -> Access.Dbms
-           | "external" -> Access.External
-           | "insitu" -> Access.In_situ
-           | "jit" -> Access.Jit
-           | m -> failwith ("unknown mode " ^ m));
-        shreds =
-          (match shreds with
-           | "full" -> Planner.Full_columns
-           | "shreds" -> Planner.Shreds
-           | "multi" -> Planner.Multi_shreds
-           | "adaptive" -> Planner.Adaptive
-           | s -> failwith ("unknown shred strategy " ^ s));
-        join_policy =
-          (match join_policy with
-           | "early" -> Planner.Early
-           | "intermediate" -> Planner.Intermediate
-           | "late" -> Planner.Late
-           | j -> failwith ("unknown join policy " ^ j));
-        tracked = `Every every;
-        use_indexes = true;
-      }
-    in
-    if par < 1 then failwith "--parallelism must be >= 1";
-    let on_error =
-      match Scan_errors.policy_of_string on_error with
-      | Some p -> p
-      | None -> failwith ("unknown error policy " ^ on_error)
-    in
+    let options = build_options ~mode ~shreds ~join_policy ~every in
     let config =
-      {
-        Config.default with
-        Config.parallelism = par;
-        on_error;
-        deadline;
-        memory_budget = Option.map parse_bytes memory_budget;
-        max_concurrent;
-        observe = analyze || trace_out <> None;
-        history_path = history;
-      }
+      build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
+        ~observe:(analyze || trace_out <> None)
+        ~history
     in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
@@ -427,6 +434,211 @@ let report_cmd =
           hit-rate trends, and the most regressed shapes.")
     Term.(const run $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / client: the long-lived multi-client server (PR 6)           *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(required & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Unix socket path the server listens on (an existing \
+                 socket file is replaced).")
+
+let batch_window_arg =
+  Arg.(value & opt float 2.0
+       & info [ "batch-window" ] ~docv:"MS"
+           ~doc:"Shared-scan batching window in milliseconds (default 2): \
+                 queries on the same table arriving within it are served \
+                 by one raw-file traversal. 0 disables batching delay.")
+
+let no_result_cache_arg =
+  Arg.(value & flag
+       & info [ "no-result-cache" ]
+           ~doc:"Disable the result cache (statement caching and shared \
+                 scans stay on).")
+
+let serve_main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy
+    every par on_error deadline memory_budget max_concurrent history socket
+    batch_window no_result_cache =
+  try
+    let options = build_options ~mode ~shreds ~join_policy ~every in
+    let config =
+      build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
+        ~observe:false ~history
+    in
+    let db = Raw_db.create ~config ~options () in
+    register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
+    if Raw_db.tables db = [] then
+      failwith "no tables registered; pass --csv/--jsonl/--fwb/--ibx/--hep";
+    (* printed (and flushed) before serving so a supervisor — e.g. the CI
+       smoke job — can wait for readiness on this line *)
+    Format.printf "rawq: serving [%s] on %s@."
+      (String.concat ", " (Raw_db.tables db))
+      socket;
+    Format.print_flush ();
+    Server.serve
+      ~batch_window:(batch_window /. 1000.)
+      ~cache_results:(not no_result_cache) ~socket_path:socket db;
+    Format.printf "rawq: server on %s shut down cleanly@." socket;
+    0
+  with
+  | Failure msg | Sys_error msg ->
+    Format.eprintf "rawq serve: %s@." msg;
+    2
+  | Resource_error.Invalid_config msg ->
+    Format.eprintf "rawq serve: invalid configuration: %s@." msg;
+    2
+  | Unix.Unix_error (e, fn, _) ->
+    Format.eprintf "rawq serve: %s: %s@." fn (Unix.error_message e);
+    2
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the registered tables to concurrent clients over a Unix \
+          socket: one JSON request/response line per query, with shared \
+          scans (concurrent queries on one table within the batching \
+          window execute as a single raw-file traversal) and a statement \
+          + result cache invalidated when the underlying files change. \
+          Shut down with $(b,rawq client --socket PATH --shutdown).")
+    Term.(
+      const serve_main $ csv_arg $ jsonl_arg $ jsonl_array_arg $ fwb_arg
+      $ ibx_arg $ hep_arg
+      $ (const (Option.value ~default:',') $ sep_arg)
+      $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
+      $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
+      $ history_arg $ socket_arg $ batch_window_arg $ no_result_cache_arg)
+
+let render_cell =
+  let module J = Raw_obs.Jsons in
+  function
+  | J.Null -> ""
+  | J.Int n -> string_of_int n
+  | J.Float f -> Printf.sprintf "%g" f
+  | J.Bool b -> string_of_bool b
+  | J.Str s -> s
+  | j -> J.to_string j
+
+let print_response j =
+  let module J = Raw_obs.Jsons in
+  match J.member "rows" j with
+  | Some (J.List rows) ->
+    (match J.member "columns" j with
+     | Some (J.List cols) when cols <> [] ->
+       print_endline (String.concat "\t" (List.map render_cell cols))
+     | _ -> ());
+    List.iter
+      (function
+        | J.List cells ->
+          print_endline (String.concat "\t" (List.map render_cell cells))
+        | _ -> ())
+      rows;
+    let n =
+      match J.member "row_count" j with
+      | Some (J.Int n) -> n
+      | _ -> List.length rows
+    in
+    let seconds =
+      match J.member "seconds" j with
+      | Some (J.Float s) -> s
+      | Some (J.Int s) -> float_of_int s
+      | _ -> 0.
+    in
+    let flag name =
+      match J.member name j with
+      | Some (J.Bool true) -> " (" ^ name ^ ")"
+      | _ -> ""
+    in
+    Printf.printf "-- %d row(s) in %.4fs%s%s\n" n seconds (flag "cached")
+      (flag "shared")
+  | _ -> print_endline (J.to_string j)
+
+let client_main socket do_ping do_stats do_shutdown query =
+  let module J = Raw_obs.Jsons in
+  let one = function
+    | Error msg ->
+      Format.eprintf "rawq client: %s@." msg;
+      3
+    | Ok j ->
+      if match J.member "ok" j with Some (J.Bool true) -> true | _ -> false
+      then begin
+        print_response j;
+        0
+      end
+      else begin
+        let code =
+          match J.member "code" j with Some (J.Int c) -> c | _ -> 3
+        in
+        let msg =
+          match J.member "error" j with
+          | Some (J.Str m) -> m
+          | _ -> "unknown error"
+        in
+        Format.eprintf "rawq client: %s@." msg;
+        code
+      end
+  in
+  let actions =
+    (if do_ping then [ `Ping ] else [])
+    @ (match query with Some q -> [ `Query q ] | None -> [])
+    @ (if do_stats then [ `Stats ] else [])
+    @ if do_shutdown then [ `Shutdown ] else []
+  in
+  if actions = [] then begin
+    Format.eprintf
+      "rawq client: nothing to do (pass SQL, --ping, --stats or --shutdown)@.";
+    2
+  end
+  else
+    match Server.Client.connect socket with
+    | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "rawq client: cannot reach %s: %s@." socket
+        (Unix.error_message e);
+      3
+    | c ->
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          List.fold_left
+            (fun rc action ->
+              if rc <> 0 then rc
+              else
+                one
+                  (match action with
+                  | `Ping -> Server.Client.ping c
+                  | `Query sql -> Server.Client.query c sql
+                  | `Stats -> Server.Client.stats c
+                  | `Shutdown -> Server.Client.shutdown c))
+            0 actions)
+
+let ping_arg =
+  Arg.(value & flag
+       & info [ "ping" ] ~doc:"Check that the server is answering.")
+
+let client_stats_arg =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print the server's server.*/cache.*/gov.* counters.")
+
+let shutdown_arg =
+  Arg.(value & flag
+       & info [ "shutdown" ]
+           ~doc:"Ask the server to shut down (after the query, if one is \
+                 given).")
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send a query (and/or ping, stats, shutdown) to a running \
+          $(b,rawq serve) over its Unix socket. Exit code mirrors the \
+          server's error code: 0 ok, 1 parse/bind, 3 data/transport, 4 \
+          deadline, 5 overloaded.")
+    Term.(
+      const client_main $ socket_arg $ ping_arg $ client_stats_arg
+      $ shutdown_arg $ query_arg)
+
 let cmd =
   let doc = "query raw CSV / binary / HEP files in place, adaptively" in
   let info =
@@ -452,6 +664,6 @@ let cmd =
       $ repl_arg $ stats_arg $ metrics_arg $ analyze_arg $ trace_out_arg
       $ history_arg $ calibration_arg $ query_arg)
   in
-  Cmd.group ~default info [ report_cmd ]
+  Cmd.group ~default info [ report_cmd; serve_cmd; client_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -17,6 +17,9 @@ type entry = {
   mutable row_starts : int array option;
   mutable jarr_index : (int array * int array) option;
   mutable ibx : Ibx.meta option;
+  mutable identity : File_id.t option;
+      (* dev/ino/mtime/size stamped when the file was opened; every cached
+         structure above is valid only for this version of the file *)
 }
 
 type t = {
@@ -44,23 +47,25 @@ let sorted_entries t =
   |> List.sort (fun a b -> String.compare a.name b.name)
 
 (* The degradation ladder: under pressure the budget shrinks consumers in
-   this priority order. Cold shreds go first (cheapest to rebuild — the
-   next query re-fetches the rows it needs), then templates (recompiling
-   re-charges simulated compile latency), then positional maps and JSONL
-   structure indexes (the next query re-tokenizes), and only last the
-   simulated file page cache (re-reads charge simulated I/O). *)
+   this priority order. Priority 0 is reserved for the result cache
+   (registered by Stmt_cache — pure derived data, cheapest to lose), then
+   cold shreds (the next query re-fetches the rows it needs), then
+   templates (recompiling re-charges simulated compile latency), then
+   positional maps and JSONL structure indexes (the next query
+   re-tokenizes), and only last the simulated file page cache (re-reads
+   charge simulated I/O). *)
 let register_consumers t budget =
-  Mem_budget.register budget ~name:"shreds" ~priority:0
+  Mem_budget.register budget ~name:"shreds" ~priority:1
     ~usage:(fun () -> Shred_pool.byte_usage t.shreds)
     ~shrink:(fun ~need -> Shred_pool.evict_bytes t.shreds ~need);
-  Mem_budget.register budget ~name:"templates" ~priority:1
+  Mem_budget.register budget ~name:"templates" ~priority:2
     ~usage:(fun () -> Template_cache.byte_usage t.templates)
     ~shrink:(fun ~need -> Template_cache.evict_cold t.templates ~need);
   let posmap_bytes e =
     (match e.posmap with Some pm -> Posmap.byte_size pm | None -> 0)
     + match e.row_starts with Some s -> 8 * Array.length s | None -> 0
   in
-  Mem_budget.register budget ~name:"posmaps" ~priority:2
+  Mem_budget.register budget ~name:"posmaps" ~priority:3
     ~usage:(fun () ->
       Hashtbl.fold (fun _ e acc -> acc + posmap_bytes e) t.entries 0)
     ~shrink:(fun ~need ->
@@ -81,7 +86,7 @@ let register_consumers t budget =
           end)
         (sorted_entries t);
       !freed);
-  Mem_budget.register budget ~name:"file_pages" ~priority:3
+  Mem_budget.register budget ~name:"file_pages" ~priority:4
     ~usage:(fun () ->
       let ps = t.config.Config.mmap.Mmap_file.Config.page_size in
       List.fold_left
@@ -167,6 +172,7 @@ let register t ~name ~path ~format ~schema =
       row_starts = None;
       jarr_index = None;
       ibx = None;
+      identity = None;
     }
 
 let register_hep t ~name_prefix ~path =
@@ -200,6 +206,7 @@ let file t entry =
   | None ->
     let f = Mmap_file.open_file ~config:t.config.mmap entry.path in
     entry.file <- Some f;
+    entry.identity <- File_id.stat entry.path;
     f
 
 let hep_reader t entry =
@@ -220,6 +227,7 @@ let hep_reader t entry =
     entry.hep <- Some r;
     (* share the underlying mapped file so page accounting is unified *)
     entry.file <- Some (Hep.Reader.file r);
+    entry.identity <- File_id.stat entry.path;
     r
 
 let dtypes_of_schema schema =
@@ -400,3 +408,61 @@ let forget_adaptive_state t =
   forget_data_state t;
   Table_stats.clear t.stats;
   Template_cache.clear t.templates
+
+(* ------------------------------------------------------------------ *)
+(* File identity and invalidation (PR 6)                               *)
+(* ------------------------------------------------------------------ *)
+
+let identity entry = entry.identity
+
+(* Drop every per-file structure for every entry sharing [path] (the four
+   HEP views share one file). Pooled shreds hold the stale values too, so
+   those tables' shreds go with it. Does nothing to stats/templates: the
+   selectivity EWMA re-adapts, and compiled templates key on schema, not
+   content. *)
+let invalidate_path t path =
+  let touched = ref [] in
+  Hashtbl.iter
+    (fun _ e ->
+      if String.equal e.path path then begin
+        if e.identity <> None || e.file <> None then
+          touched := e.name :: !touched;
+        e.file <- None;
+        e.hep <- None;
+        e.posmap <- None;
+        e.loaded <- None;
+        e.n_rows <- None;
+        e.hep_index <- None;
+        e.row_starts <- None;
+        e.jarr_index <- None;
+        e.ibx <- None;
+        e.identity <- None;
+        let stale =
+          Shred_pool.fold
+            (fun (k : Shred_pool.key) _ acc ->
+              if String.equal k.table e.name then k :: acc else acc)
+            t.shreds []
+        in
+        List.iter (Shred_pool.remove t.shreds) stale
+      end)
+    t.entries;
+  Hashtbl.remove t.hep_readers path;
+  List.sort String.compare !touched
+
+let refresh_path t path =
+  let stamped =
+    Hashtbl.fold
+      (fun _ e acc ->
+        if acc = None && String.equal e.path path then e.identity else acc)
+      t.entries None
+  in
+  match stamped with
+  | None -> [] (* never opened: nothing cached to go stale *)
+  | Some old -> (
+    match File_id.stat path with
+    | Some now when File_id.equal now old -> []
+    | _ ->
+      let touched = invalidate_path t path in
+      Raw_obs.Decisions.record ~site:"catalog" ~choice:"invalidate_file"
+        [ ("path", path); ("tables", String.concat "," touched) ];
+      touched)

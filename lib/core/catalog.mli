@@ -29,6 +29,9 @@ type entry = {
   mutable jarr_index : (int array * int array) option;
       (** JSONL child tables: dense row id -> (parent row, element offset) *)
   mutable ibx : Ibx.meta option;  (** IBX footer + index metadata *)
+  mutable identity : File_id.t option;
+      (** dev/ino/mtime/size stamped when the file was opened — the version
+          of the file every cached structure above was derived from *)
 }
 
 type t
@@ -38,8 +41,9 @@ val create : ?config:Config.t -> unit -> t
     {!Raw_storage.Resource_error.Invalid_config} on a bad knob — and, when
     [config.memory_budget] is set, creates the unified {!Raw_storage.Mem_budget}
     with the shred pool, template cache, positional maps and simulated file
-    page caches registered as its consumers (eviction priority in that
-    order). *)
+    page caches registered as its consumers (eviction priorities 1..4 in
+    that order — priority 0 is reserved for the result cache, registered
+    separately by {!Stmt_cache.register_budget}). *)
 
 val config : t -> Config.t
 val shreds : t -> Shred_pool.t
@@ -119,3 +123,28 @@ val forget_data_state : t -> unit
 val forget_adaptive_state : t -> unit
 (** {!forget_data_state} plus the template cache — as if no query had ever
     run. Keeps files registered. *)
+
+(** {1 File identity and invalidation}
+
+    A long-lived server must notice when a raw file is rewritten under it:
+    positional maps, shreds, loaded columns and row counts derived from
+    the old bytes are all wrong. Entries are stamped with a
+    {!Raw_storage.File_id} when their file is opened; {!refresh_path}
+    re-stats and drops everything on mismatch. *)
+
+val identity : entry -> File_id.t option
+(** The stamp taken when the entry's file was opened; [None] if the file
+    has not been opened (or was invalidated) — nothing cached depends on
+    it in that case. *)
+
+val invalidate_path : t -> string -> string list
+(** Unconditionally drop all per-file state (mmap handle, posmap, loaded
+    columns, row counts, structure indexes, identity stamp) of every entry
+    backed by [path], plus those tables' pooled shreds and the shared HEP
+    reader. Returns the affected table names (sorted); tables whose file
+    was never opened are not reported. *)
+
+val refresh_path : t -> string -> string list
+(** Re-stat [path] and, iff its identity changed since it was opened (or
+    it disappeared), {!invalidate_path} it. Returns the invalidated table
+    names ([[]] when the file is unchanged or was never opened). *)

@@ -92,16 +92,24 @@ let tables plan =
   in
   List.sort_uniq String.compare (go [] plan)
 
-(* A stable query-shape key: plan structure, tables, column positions and
-   operators, with every constant wildcarded to '?' — so the 30 variants
-   of "SELECT ... WHERE c < <k>" share one shape in the workload history
-   while structurally different queries never collide. *)
-let fingerprint plan =
+(* A stable query key. With [exact = false] every constant is wildcarded
+   to '?' — so the 30 variants of "SELECT ... WHERE c < <k>" share one
+   shape in the workload history while structurally different queries
+   never collide. With [exact = true] constants (and the LIMIT count) are
+   printed verbatim, which is what a result cache must key on: the shape
+   key would alias WHERE c < 10 with WHERE c < 20. *)
+let key ~exact plan =
   let buf = Buffer.create 64 in
   let add = Buffer.add_string buf in
   let rec expr = function
     | Expr.Col i -> add (Printf.sprintf "$%d" i)
-    | Expr.Const _ -> add "?"
+    | Expr.Const v ->
+      if exact then
+        (* strings are escaped so a constant can never forge key syntax *)
+        match v with
+        | Value.String s -> add (Printf.sprintf "%S" s)
+        | v -> add (Value.to_string v)
+      else add "?"
     | Expr.Cmp (op, a, b) ->
       add "(";
       expr a;
@@ -183,12 +191,15 @@ let fingerprint plan =
               specs));
       add ")<-";
       node c
-    | Limit (_, c) ->
-      add "limit(?)<-";
+    | Limit (n, c) ->
+      add (if exact then Printf.sprintf "limit(%d)<-" n else "limit(?)<-");
       node c
   in
   node plan;
   Buffer.contents buf
+
+let fingerprint = key ~exact:false
+let exact_key = key ~exact:true
 
 let rec pp ppf = function
   | Scan { table; columns } ->

@@ -40,4 +40,12 @@ val fingerprint : t -> string
     same query share a fingerprint; structurally different plans do not.
     This keys the workload-history store ({!Raw_obs.History}). *)
 
+val exact_key : t -> string
+(** Like {!fingerprint} but constant-preserving: literals and the LIMIT
+    count are printed verbatim (strings escaped), so two plans share an
+    exact key iff they compute the same result over the same file
+    contents. This — joined with per-table {!Raw_storage.File_id}
+    stamps — keys the result cache; the wildcarded {!fingerprint} must
+    never be used there ([WHERE c < 10] and [WHERE c < 20] would alias). *)
+
 val pp : Format.formatter -> t -> unit

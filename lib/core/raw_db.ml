@@ -20,6 +20,7 @@ type t = {
   catalog : Catalog.t;
   mutable options : Planner.options;
   gate : gate option;
+  stmt_cache : Stmt_cache.t;
 }
 
 let create ?config ?(options = Planner.default) () =
@@ -30,9 +31,12 @@ let create ?config ?(options = Planner.default) () =
         { g_mutex = Mutex.create (); limit; active = 0; exec = Mutex.create () })
       (Catalog.config catalog).Config.max_concurrent
   in
-  { catalog; options; gate }
+  let stmt_cache = Stmt_cache.create () in
+  Option.iter (Stmt_cache.register_budget stmt_cache) (Catalog.budget catalog);
+  { catalog; options; gate; stmt_cache }
 
 let catalog t = t.catalog
+let stmt_cache t = t.stmt_cache
 let options t = t.options
 let set_options t o = t.options <- o
 
@@ -149,6 +153,31 @@ let tables t = Catalog.tables t.catalog
 let hep_reader t name =
   let entry = Catalog.get t.catalog name in
   Catalog.hep_reader t.catalog entry
+
+let bind_cached t sql =
+  match Stmt_cache.find_stmt t.stmt_cache sql with
+  | Some plan -> plan
+  | None ->
+    let plan = Sql_binder.bind_string t.catalog sql in
+    Stmt_cache.put_stmt t.stmt_cache sql plan;
+    plan
+
+let refresh_tables t names =
+  let paths =
+    List.filter_map
+      (fun n -> Option.map (fun e -> e.Catalog.path) (Catalog.find t.catalog n))
+      names
+    |> List.sort_uniq String.compare
+  in
+  List.concat_map
+    (fun path ->
+      match Catalog.refresh_path t.catalog path with
+      | [] -> []
+      | stale ->
+        Raw_obs.Metrics.incr Raw_obs.Metrics.cache_invalidations;
+        List.iter (Stmt_cache.invalidate_table t.stmt_cache) stale;
+        stale)
+    paths
 
 let drop_file_caches t = Catalog.drop_file_caches t.catalog
 let forget_data_state t = Catalog.forget_data_state t.catalog

@@ -23,6 +23,11 @@ val catalog : t -> Catalog.t
 val options : t -> Planner.options
 val set_options : t -> Planner.options -> unit
 
+val stmt_cache : t -> Stmt_cache.t
+(** The session's statement + result cache. Created with the session; when
+    a memory budget is configured it is registered as the budget's
+    priority-0 [results] consumer (first to shrink). *)
+
 (** {1 Registration} *)
 
 val register_csv :
@@ -77,6 +82,11 @@ val run_plan :
     {!Executor.run} (used by {!query} to stitch the bind phase into the
     trace when {!Config.observe} is on). *)
 
+val fresh_cancel : t -> Raw_storage.Cancel.t
+(** A new cancel token armed from {!Config.deadline} ({!Raw_storage.Cancel.never}
+    when no deadline is configured) — what {!query} arms when no [cancel]
+    is passed. The server arms one per shared-scan batch. *)
+
 val with_admission :
   t -> cancel:Raw_storage.Cancel.t -> (unit -> 'a) -> 'a
 (** Run [f] under the admission gate (identity when [max_concurrent] is
@@ -85,6 +95,21 @@ val with_admission :
     the execution lock, checking [cancel] while waiting. Exposed so tests
     and drivers can hold an admission slot deterministically; {!query} and
     {!run_plan} use it internally. *)
+
+val bind_cached : t -> string -> Logical.t
+(** Parse + bind [sql] through the statement cache: a repeated statement
+    (byte-identical SQL text) returns its bound plan without re-parsing.
+    Raises the same exceptions as {!query} on bad input. Counts
+    [cache.stmt.hits]/[.misses]. *)
+
+val refresh_tables : t -> string list -> string list
+(** Re-stat the files behind the named tables (unknown names ignored) and,
+    for any whose identity changed since it was opened, drop the per-file
+    adaptive state ({!Catalog.refresh_path}) and every cached statement
+    and result that mentions an affected table. Returns the invalidated
+    table names; counts one [cache.invalidations] per changed file. The
+    server calls this for a batch's tables before consulting the result
+    cache, which is what makes cached answers track file overwrites. *)
 
 val explain : ?options:Planner.options -> t -> string -> string list
 (** The planner's decision trace for a SQL query (strategy, eager vs

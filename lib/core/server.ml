@@ -1,0 +1,499 @@
+(* See server.mli. Threading model: systhreads (one per session + one
+   batcher), which share the domain's runtime lock — sessions block on
+   socket I/O, the batcher does the engine work, and morsel parallelism
+   inside a query still fans out to domains as usual. The batcher is the
+   only thread that touches the engine, so the single-writer discipline
+   of the adaptive state needs no further locking here. *)
+
+open Raw_vector
+open Raw_storage
+module Metrics = Raw_obs.Metrics
+module Jsons = Raw_obs.Jsons
+
+type outcome =
+  | Rows of {
+      chunk : Chunk.t;
+      schema : Schema.t;
+      seconds : float;
+      cached : bool;
+      shared : bool;
+    }
+  | Err of { code : int; message : string }
+
+type pending = {
+  sql : string;
+  pm : Mutex.t;
+  pc : Condition.t;
+  mutable outcome : outcome option;
+}
+
+type t = {
+  db : Raw_db.t;
+  batch_window : float;
+  max_pending : int;
+  cache_results : bool;
+  qm : Mutex.t;
+  qc : Condition.t;
+  mutable queue : pending list; (* newest first *)
+  mutable stopping : bool;
+  mutable session_fds : (int * Unix.file_descr) list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Outcomes                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Error codes mirror the CLI exit codes (bin/rawq.ml): 1 parse/bind,
+   2 bad request, 3 data error, 4 deadline/cancelled, 5 overloaded. *)
+let outcome_of_exn = function
+  | Raw_sql.Parser.Error msg -> Err { code = 1; message = "parse error: " ^ msg }
+  | Sql_binder.Bind_error msg -> Err { code = 1; message = "bind error: " ^ msg }
+  | Scan_errors.Error e ->
+    Err
+      {
+        code = 3;
+        message =
+          Printf.sprintf "data error: %s at byte %d" e.Scan_errors.cause
+            e.Scan_errors.offset;
+      }
+  | Resource_error.Deadline_exceeded _ ->
+    Err { code = 4; message = "deadline exceeded" }
+  | Resource_error.Cancelled _ -> Err { code = 4; message = "cancelled" }
+  | Resource_error.Overloaded { active; limit } ->
+    Err
+      {
+        code = 5;
+        message =
+          Printf.sprintf "overloaded: %d active (limit %d); retry later" active
+            limit;
+      }
+  | e -> Err { code = 3; message = Printexc.to_string e }
+
+let fulfill p o =
+  Mutex.protect p.pm (fun () ->
+      p.outcome <- Some o;
+      Condition.signal p.pc)
+
+let await p =
+  Mutex.protect p.pm (fun () ->
+      while p.outcome = None do
+        Condition.wait p.pc p.pm
+      done;
+      Option.get p.outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Batch processing (runs on the batcher thread only)                  *)
+(* ------------------------------------------------------------------ *)
+
+let try_put_result t plan key chunk schema =
+  match key with
+  | Some key when t.cache_results ->
+    Stmt_cache.put_result (Raw_db.stmt_cache t.db) (Raw_db.catalog t.db) ~key
+      ~tables:(Logical.tables plan) chunk schema
+  | _ -> ()
+
+let run_individual t (p, plan, key) =
+  match Raw_db.run_plan t.db plan with
+  | report ->
+    try_put_result t plan key report.Executor.chunk report.Executor.schema;
+    fulfill p
+      (Rows
+         {
+           chunk = report.Executor.chunk;
+           schema = report.Executor.schema;
+           seconds = report.Executor.total_seconds;
+           cached = false;
+           shared = false;
+         })
+  | exception e -> fulfill p (outcome_of_exn e)
+
+let run_shared t members =
+  let plans = List.map (fun (_, plan, _) -> plan) members in
+  match
+    let cancel = Raw_db.fresh_cancel t.db in
+    Raw_db.with_admission t.db ~cancel (fun () ->
+        Shared_scan.run_group (Raw_db.catalog t.db) (Raw_db.options t.db) plans)
+  with
+  | group ->
+    Metrics.incr Metrics.server_batches;
+    Metrics.add Metrics.server_batched_queries (List.length members);
+    List.iter2
+      (fun (p, plan, key) (r : Shared_scan.member_result) ->
+        try_put_result t plan key r.chunk r.schema;
+        fulfill p
+          (Rows
+             {
+               chunk = r.chunk;
+               schema = r.schema;
+               seconds = group.Shared_scan.wall_seconds;
+               cached = false;
+               shared = true;
+             }))
+      members group.Shared_scan.results
+  | exception e ->
+    let o = outcome_of_exn e in
+    List.iter (fun (p, _, _) -> fulfill p o) members
+
+let process_batch t batch =
+  (* bind through the statement cache; bind errors answer immediately *)
+  let bound =
+    List.filter_map
+      (fun p ->
+        match Raw_db.bind_cached t.db p.sql with
+        | plan -> Some (p, plan)
+        | exception e ->
+          fulfill p (outcome_of_exn e);
+          None)
+      batch
+  in
+  (* freshness: a rewritten raw file invalidates cached state up front,
+     so neither the result cache nor the shared pass can serve stale
+     bytes to this batch *)
+  ignore
+    (Raw_db.refresh_tables t.db
+       (List.concat_map (fun (_, plan) -> Logical.tables plan) bound));
+  let cache = Raw_db.stmt_cache t.db in
+  let cat = Raw_db.catalog t.db in
+  let missed =
+    List.filter_map
+      (fun (p, plan) ->
+        let key =
+          if t.cache_results then Stmt_cache.result_key cat plan else None
+        in
+        match Option.map (Stmt_cache.find_result cache) key with
+        | Some (Some (chunk, schema)) ->
+          fulfill p (Rows { chunk; schema; seconds = 0.; cached = true; shared = false });
+          None
+        | _ -> Some (p, plan, key))
+      bound
+  in
+  (* group by table; >= 2 members on one table share one traversal *)
+  let groups : (string, (pending * Logical.t * string option) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let singles = ref [] in
+  List.iter
+    (fun ((_, plan, _) as m) ->
+      match Shared_scan.shareable_table plan with
+      | Some table ->
+        let prev = Option.value ~default:[] (Hashtbl.find_opt groups table) in
+        Hashtbl.replace groups table (prev @ [ m ])
+      | None -> singles := m :: !singles)
+    missed;
+  let shared_groups, lone =
+    Hashtbl.fold (fun _ ms acc -> ms :: acc) groups []
+    |> List.partition (fun ms -> List.length ms >= 2)
+  in
+  List.iter (run_shared t) shared_groups;
+  List.iter (run_individual t) (List.concat lone @ List.rev !singles)
+
+let batcher_loop t =
+  let rec loop () =
+    let proceed =
+      Mutex.protect t.qm (fun () ->
+          while t.queue = [] && not t.stopping do
+            Condition.wait t.qc t.qm
+          done;
+          t.queue <> [])
+    in
+    if proceed then begin
+      (* the batching window: let contemporaries join the batch *)
+      if t.batch_window > 0. then Thread.delay t.batch_window;
+      let batch =
+        Mutex.protect t.qm (fun () ->
+            let b = List.rev t.queue in
+            t.queue <- [];
+            b)
+      in
+      (if batch <> [] then
+         try process_batch t batch
+         with e ->
+           (* the batcher must survive anything: fail the batch, not the
+              server *)
+           let o = outcome_of_exn e in
+           List.iter (fun p -> if p.outcome = None then fulfill p o) batch);
+      loop ()
+    end
+    (* stopping and drained: exit *)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Wire protocol                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_of_value = function
+  | Value.Int n -> Jsons.Int n
+  | Value.Float f -> Jsons.Float f
+  | Value.Bool b -> Jsons.Bool b
+  | Value.String s -> Jsons.Str s
+  | Value.Null -> Jsons.Null
+
+let response_of_outcome id = function
+  | Rows { chunk; schema; seconds; cached; shared } ->
+    let fields = Schema.fields schema in
+    Jsons.Obj
+      [
+        ("id", id);
+        ("ok", Jsons.Bool true);
+        ( "columns",
+          Jsons.List
+            (List.map (fun (f : Schema.field) -> Jsons.Str f.name) fields) );
+        ( "types",
+          Jsons.List
+            (List.map
+               (fun (f : Schema.field) -> Jsons.Str (Dtype.to_string f.dtype))
+               fields) );
+        ( "rows",
+          Jsons.List
+            (List.init (Chunk.n_rows chunk) (fun i ->
+                 Jsons.List (List.map json_of_value (Chunk.row chunk i)))) );
+        ("row_count", Jsons.Int (Chunk.n_rows chunk));
+        ("seconds", Jsons.Float seconds);
+        ("cached", Jsons.Bool cached);
+        ("shared", Jsons.Bool shared);
+      ]
+  | Err { code; message } ->
+    Metrics.incr Metrics.server_errors;
+    Jsons.Obj
+      [
+        ("id", id);
+        ("ok", Jsons.Bool false);
+        ("code", Jsons.Int code);
+        ("error", Jsons.Str message);
+      ]
+
+let submit t sql =
+  let p = { sql; pm = Mutex.create (); pc = Condition.create (); outcome = None } in
+  let accepted =
+    Mutex.protect t.qm (fun () ->
+        if t.stopping then `Stopping
+        else if List.length t.queue >= t.max_pending then `Full
+        else begin
+          t.queue <- p :: t.queue;
+          Condition.signal t.qc;
+          `Queued
+        end)
+  in
+  match accepted with
+  | `Queued -> await p
+  | `Stopping -> Err { code = 5; message = "server is shutting down" }
+  | `Full ->
+    Err
+      {
+        code = 5;
+        message =
+          Printf.sprintf "overloaded: %d requests queued; retry later"
+            t.max_pending;
+      }
+
+let stats_response id =
+  let interesting (k, _) =
+    String.starts_with ~prefix:"server." k
+    || String.starts_with ~prefix:"cache." k
+    || String.starts_with ~prefix:"gov." k
+    || String.starts_with ~prefix:"history." k
+  in
+  Jsons.Obj
+    [
+      ("id", id);
+      ("ok", Jsons.Bool true);
+      ("op", Jsons.Str "stats");
+      ( "counters",
+        Jsons.Obj
+          (Io_stats.snapshot ()
+          |> List.filter interesting
+          |> List.map (fun (k, v) -> (k, Jsons.Float v))) );
+    ]
+
+(* Shut down: stop accepting, wake the batcher (it drains the queue and
+   exits), and half-close every session socket so blocked [input_line]
+   calls return EOF. Responses in flight still go out: only the receive
+   side is shut. *)
+let initiate_stop t =
+  Mutex.protect t.qm (fun () ->
+      if not t.stopping then begin
+        t.stopping <- true;
+        Condition.broadcast t.qc;
+        List.iter
+          (fun (_, fd) ->
+            try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+          t.session_fds
+      end)
+
+let register_session t id fd =
+  Mutex.protect t.qm (fun () ->
+      t.session_fds <- (id, fd) :: t.session_fds;
+      if t.stopping then (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ()))
+
+let unregister_session t id =
+  Mutex.protect t.qm (fun () ->
+      t.session_fds <- List.filter (fun (i, _) -> i <> id) t.session_fds)
+
+let handle_session t session_id fd =
+  Metrics.incr Metrics.server_connections;
+  register_session t session_id fd;
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let send j =
+    output_string oc (Jsons.to_string j);
+    output_char oc '\n';
+    flush oc
+  in
+  let handle line =
+    match Jsons.parse line with
+    | Error e ->
+      send
+        (Jsons.Obj
+           [
+             ("ok", Jsons.Bool false);
+             ("code", Jsons.Int 2);
+             ("error", Jsons.Str ("bad request: " ^ e));
+           ]);
+      Metrics.incr Metrics.server_errors;
+      `Continue
+    | Ok j -> (
+      let id = Option.value (Jsons.member "id" j) ~default:Jsons.Null in
+      match (Jsons.member "op" j, Jsons.member "sql" j) with
+      | Some (Jsons.Str "ping"), _ ->
+        send (Jsons.Obj [ ("id", id); ("ok", Jsons.Bool true); ("op", Jsons.Str "ping") ]);
+        `Continue
+      | Some (Jsons.Str "stats"), _ ->
+        send (stats_response id);
+        `Continue
+      | Some (Jsons.Str "shutdown"), _ ->
+        send
+          (Jsons.Obj
+             [ ("id", id); ("ok", Jsons.Bool true); ("op", Jsons.Str "shutdown") ]);
+        initiate_stop t;
+        `Stop
+      | _, Some (Jsons.Str sql) ->
+        Metrics.incr Metrics.server_requests;
+        Io_stats.incr (Printf.sprintf "server.session%d.requests" session_id);
+        send (response_of_outcome id (submit t sql));
+        `Continue
+      | _ ->
+        send
+          (Jsons.Obj
+             [
+               ("id", id);
+               ("ok", Jsons.Bool false);
+               ("code", Jsons.Int 2);
+               ("error", Jsons.Str "request needs \"sql\" or \"op\"");
+             ]);
+        Metrics.incr Metrics.server_errors;
+        `Continue)
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception (End_of_file | Sys_error _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | line -> (
+      if String.trim line = "" then loop ()
+      else
+        match handle line with
+        | `Continue -> loop ()
+        | `Stop -> ()
+        | exception _ -> () (* client went away mid-response *))
+  in
+  loop ();
+  unregister_session t session_id;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+  (* closing the input channel closes the shared fd; the out channel is
+     already flushed and must not be used past this point *)
+  close_in_noerr ic
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
+    ~socket_path db =
+  (* a client vanishing mid-write must not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let t =
+    {
+      db;
+      batch_window;
+      max_pending;
+      cache_results;
+      qm = Mutex.create ();
+      qc = Condition.create ();
+      queue = [];
+      stopping = false;
+      session_fds = [];
+    }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind listener (Unix.ADDR_UNIX socket_path);
+      Unix.listen listener 64;
+      let batcher = Thread.create batcher_loop t in
+      let sessions = ref [] in
+      let next_session = ref 0 in
+      let rec accept_loop () =
+        if not (Mutex.protect t.qm (fun () -> t.stopping)) then begin
+          (match Unix.select [ listener ] [] [] 0.25 with
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept listener with
+            | fd, _ ->
+              incr next_session;
+              let id = !next_session in
+              sessions := Thread.create (handle_session t id) fd :: !sessions
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ();
+      (* drain: the batcher exits once the queue is empty, sessions exit
+         on the half-closed sockets *)
+      Mutex.protect t.qm (fun () -> Condition.broadcast t.qc);
+      Thread.join batcher;
+      List.iter Thread.join !sessions)
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Client = struct
+  type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+  let connect socket_path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+  let rpc c request =
+    output_string c.oc (Jsons.to_string request);
+    output_char c.oc '\n';
+    flush c.oc;
+    match input_line c.ic with
+    | line -> (
+      match Jsons.parse line with
+      | Ok j -> Ok j
+      | Error e -> Error ("bad server response: " ^ e))
+    | exception End_of_file -> Error "server closed the connection"
+
+  let query ?id c sql =
+    let id = match id with Some i -> Jsons.Int i | None -> Jsons.Null in
+    rpc c (Jsons.Obj [ ("id", id); ("sql", Jsons.Str sql) ])
+
+  let ping c = rpc c (Jsons.Obj [ ("op", Jsons.Str "ping") ])
+  let stats c = rpc c (Jsons.Obj [ ("op", Jsons.Str "stats") ])
+  let shutdown c = rpc c (Jsons.Obj [ ("op", Jsons.Str "shutdown") ])
+
+  let close c =
+    (try flush c.oc with Sys_error _ -> ());
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    close_in_noerr c.ic
+end

@@ -1,0 +1,77 @@
+(** [rawq serve]: a long-lived multi-client server over a Unix socket.
+
+    The one-shot CLI throws away every template, positional map and shred
+    between invocations — exactly the state the paper's adaptivity story
+    is about. {!serve} keeps one {!Raw_db.t} alive and lets any number of
+    clients query it over a line protocol: one JSON object per line in
+    each direction.
+
+    {b Protocol.} Requests are single-line JSON objects:
+    - [{"id": <any>, "sql": "SELECT ..."}] — run a query;
+    - [{"op": "ping"}], [{"op": "stats"}], [{"op": "shutdown"}].
+
+    A query response echoes ["id"] and carries ["ok"], ["columns"],
+    ["types"], ["rows"] (row-major values), ["row_count"], ["seconds"],
+    and two provenance flags: ["cached"] (served from the result cache)
+    and ["shared"] (computed by a shared scan). Errors carry ["code"]
+    mirroring the CLI exit codes (1 parse/bind, 2 bad request, 3 data,
+    4 deadline/cancelled, 5 overloaded) and ["error"].
+
+    {b Execution model.} Each accepted session gets a thread that parses
+    requests and blocks per query; queries funnel into a single batcher
+    thread, which waits a [batch_window] after the first arrival so
+    contemporaries join the batch, then (1) binds through the statement
+    cache, (2) re-stats the batch's files, invalidating caches for any
+    that changed ({!Raw_db.refresh_tables}), (3) answers what it can from
+    the result cache, and (4) groups the rest by table: groups of two or
+    more shareable queries execute as one {!Shared_scan} traversal under
+    one admission slot, the rest run individually through the normal
+    executor. The batcher is the only thread driving the engine, so the
+    adaptive state keeps its single-writer discipline.
+
+    {b Shutdown.} A [{"op": "shutdown"}] request answers, stops the accept
+    loop, drains in-flight queries, half-closes the sessions and removes
+    the socket file; {!serve} then returns.
+
+    Counters: [server.connections], [server.requests], [server.errors],
+    [server.batches], [server.batched_queries], per-session
+    [server.session<i>.requests], and the [cache.*] family from
+    {!Stmt_cache}. *)
+
+val serve :
+  ?batch_window:float ->
+  ?max_pending:int ->
+  ?cache_results:bool ->
+  socket_path:string ->
+  Raw_db.t ->
+  unit
+(** Listen on [socket_path] (an existing socket file is replaced) and
+    block until a client requests shutdown. [batch_window] (seconds,
+    default 2 ms) is the shared-scan batching window — 0 disables
+    batching delay; [max_pending] (default 1024) bounds the queue, beyond
+    which requests are rejected with code 5; [cache_results] (default
+    [true]) enables the result cache. Raises [Unix.Unix_error] if the
+    socket cannot be bound. *)
+
+(** A minimal client for the line protocol — what [rawq client], the
+    throughput bench and the tests use. Not thread-safe; use one
+    connection per thread. *)
+module Client : sig
+  type conn
+
+  val connect : string -> conn
+  (** Raises [Unix.Unix_error] if the socket cannot be reached. *)
+
+  val query : ?id:int -> conn -> string -> (Raw_obs.Jsons.t, string) result
+  (** One request/response round trip; [Error] means a transport or
+      framing failure (server-side query errors come back as [Ok]
+      responses with ["ok": false]). *)
+
+  val ping : conn -> (Raw_obs.Jsons.t, string) result
+  val stats : conn -> (Raw_obs.Jsons.t, string) result
+
+  val shutdown : conn -> (Raw_obs.Jsons.t, string) result
+  (** Ask the server to shut down (acknowledged before it stops). *)
+
+  val close : conn -> unit
+end

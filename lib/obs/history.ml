@@ -141,29 +141,55 @@ let of_json j =
 
 let default_max_bytes = 16 * 1024 * 1024
 
+(* In-process appenders (worker domains, server session threads) serialize
+   here so the rotation check and the line write form one atomic step — a
+   concurrent rotation can no longer slip between an appender's stat and
+   its write. Cross-process appenders still interleave safely at line
+   granularity via O_APPEND; the losing side of a cross-process rotation
+   race is tolerated in [rotate_if_needed]. *)
+let append_mutex = Mutex.create ()
+
 let rotate_if_needed ~path ~max_bytes ~incoming =
   match Unix.stat path with
-  | { Unix.st_size; _ } when st_size > 0 && st_size + incoming > max_bytes ->
+  | { Unix.st_size; _ } when st_size > 0 && st_size + incoming > max_bytes -> (
     (* rename is atomic on POSIX; a reader holding the old fd keeps a
        consistent view of the rotated-out generation *)
-    Sys.rename path (path ^ ".1");
-    Metrics.incr Metrics.history_rotations
+    match Unix.rename path (path ^ ".1") with
+    | () -> Metrics.incr Metrics.history_rotations
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+      (* Another appender rotated between our stat and rename: its
+         generation is already in place, and the append below recreates
+         the live file — losing the race is not a write error. *)
+      ())
   | _ -> ()
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
 
+(* A single write on an O_APPEND fd is the interleaving unit between
+   processes, but POSIX allows it to return short (signals, quotas). A
+   torn JSONL line would be silently skipped by [load], so keep writing
+   until the line is complete; only a genuine failure surfaces as
+   [history.write_errors]. *)
+let rec write_fully fd line pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd line pos len in
+    if n <= 0 then raise (Unix.Unix_error (Unix.EIO, "write", "history"));
+    if n < len then Metrics.incr Metrics.history_write_retries;
+    write_fully fd line (pos + n) (len - n)
+  end
+
 let append ~path ?(max_bytes = default_max_bytes) r =
   match
-    let line = Jsons.to_string (to_json r) ^ "\n" in
-    rotate_if_needed ~path ~max_bytes ~incoming:(String.length line);
-    let fd =
-      Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
-    in
-    Fun.protect
-      ~finally:(fun () -> Unix.close fd)
-      (fun () ->
-        (* one write call: O_APPEND makes whole-line interleaving the unit
-           of concurrency between appenders *)
-        ignore (Unix.write_substring fd line 0 (String.length line)))
+    Mutex.protect append_mutex (fun () ->
+        let line = Jsons.to_string (to_json r) ^ "\n" in
+        rotate_if_needed ~path ~max_bytes ~incoming:(String.length line);
+        let fd =
+          Unix.openfile path
+            [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
+            0o644
+        in
+        Fun.protect
+          ~finally:(fun () -> Unix.close fd)
+          (fun () -> write_fully fd line 0 (String.length line)))
   with
   | () -> Metrics.incr Metrics.history_records_written
   | exception _ -> Metrics.incr Metrics.history_write_errors

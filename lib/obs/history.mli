@@ -8,15 +8,23 @@
     deadline are exactly the signal calibration needs.
 
     {b Atomicity.} {!append} serializes the record to one line and writes
-    it with a single [write] on an [O_APPEND] descriptor, so concurrent
-    appenders (multiple processes sharing a history file) interleave whole
-    lines, never bytes. There is no fsync: history is an observability
-    artifact, not a ledger.
+    it on an [O_APPEND] descriptor, so concurrent appenders (multiple
+    processes sharing a history file) interleave whole lines, never bytes.
+    The write loops until the full line is out — a short write (signals,
+    quotas) resumes rather than emitting a torn line (resumptions are
+    counted under [history.write_retries]). In-process appenders (worker
+    domains, server sessions) additionally serialize on a module mutex so
+    rotation and write form one atomic step. There is no fsync: history is
+    an observability artifact, not a ledger.
 
     {b Rotation.} When the file would exceed [max_bytes] the current file
     is renamed to [<path>.1] (replacing any previous [.1]) and a fresh
     file starts, so history is bounded by roughly [2 * max_bytes] on disk.
-    Rotations are counted under [history.rotations].
+    Rotations are counted under [history.rotations]. If two appenders
+    (different processes) race the rotation, the loser's [ENOENT] rename
+    is tolerated: the winner's rotation already took effect, and the
+    loser's record is appended to the fresh generation rather than being
+    dropped or miscounted as a write error.
 
     {b Robustness.} {!load} skips unparseable lines (counting them) rather
     than failing, so a torn tail from a crashed writer cannot poison

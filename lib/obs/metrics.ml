@@ -262,6 +262,52 @@ let history_rotations =
   counter "history.rotations"
     ~help:"Workload-history files rotated to .1 after exceeding the size bound"
 
+let history_write_retries =
+  counter "history.write_retries"
+    ~help:"Workload-history appends resumed after a short write (torn-line prevention)"
+
+let server_connections =
+  counter "server.connections" ~help:"Client sessions accepted by rawq serve"
+
+let server_requests =
+  counter "server.requests" ~help:"Query requests received by the server"
+
+let server_errors =
+  counter "server.errors"
+    ~help:"Server requests answered with an error response (parse, bind, data, overload)"
+
+let server_batches =
+  counter "server.batches"
+    ~help:"Shared-scan batches executed (one raw-file traversal feeding >= 2 queries)"
+
+let server_batched_queries =
+  counter "server.batched_queries"
+    ~help:"Queries answered from a shared scan instead of a private traversal"
+
+let server_session =
+  counter "server.session" ~family:true
+    ~help:"Per-session request attribution (server.session<i>.requests)"
+
+let cache_stmt_hits =
+  counter "cache.stmt.hits"
+    ~help:"Statement-cache lookups that reused a bound plan (parse+bind skipped)"
+
+let cache_stmt_misses =
+  counter "cache.stmt.misses"
+    ~help:"Statement-cache lookups that parsed and bound a fresh plan"
+
+let cache_result_hits =
+  counter "cache.result.hits"
+    ~help:"Result-cache lookups answered without touching the raw file"
+
+let cache_result_misses =
+  counter "cache.result.misses"
+    ~help:"Result-cache lookups that fell through to execution"
+
+let cache_invalidations =
+  counter "cache.invalidations"
+    ~help:"File-identity changes that dropped cached statements/results and per-file adaptive state"
+
 let par_domain =
   counter "par.domain" ~family:true
     ~help:"Per-worker-domain wall clocks (par.domain<i>.seconds)"

@@ -135,6 +135,30 @@ val filter_rows_out : t
 val history_records_written : t
 val history_write_errors : t
 val history_rotations : t
+val history_write_retries : t
+
+(** {2 Server and cache vocabulary (PR 6)} *)
+
+val server_connections : t
+val server_requests : t
+val server_errors : t
+
+val server_batches : t
+(** Shared-scan batches: one raw-file traversal that fed [>= 2] queries. *)
+
+val server_batched_queries : t
+
+val server_session : t
+(** Family: [server.session<i>.requests] attributes requests to sessions. *)
+
+val cache_stmt_hits : t
+val cache_stmt_misses : t
+val cache_result_hits : t
+val cache_result_misses : t
+
+val cache_invalidations : t
+(** File-identity changes (dev/ino/mtime/size) that dropped cached
+    statements/results and the per-file adaptive state. *)
 
 val par_domain : t
 val obs_decisions_dropped : t

@@ -1,0 +1,20 @@
+(* See file_id.mli. The identity is a point-in-time stamp: caches keyed
+   by it go stale exactly when a re-stat disagrees, which covers
+   in-place rewrites (mtime/size), atomic rename-replace (inode), and
+   cross-filesystem moves (device). *)
+
+type t = { dev : int; ino : int; mtime : float; size : int }
+
+let of_stats (st : Unix.stats) =
+  { dev = st.st_dev; ino = st.st_ino; mtime = st.st_mtime; size = st.st_size }
+
+let stat path =
+  match Unix.stat path with
+  | st -> Some (of_stats st)
+  | exception Unix.Unix_error (_, _, _) -> None
+
+let equal a b =
+  a.dev = b.dev && a.ino = b.ino && a.mtime = b.mtime && a.size = b.size
+
+let to_string t =
+  Printf.sprintf "%d:%d:%h:%d" t.dev t.ino t.mtime t.size

@@ -1,0 +1,27 @@
+(** File identity: the (device, inode, mtime, size) stamp of a raw file.
+
+    Every cache derived from a raw file's bytes — positional maps, column
+    shreds, loaded columns, and the PR-6 statement/result cache — is only
+    valid for one version of that file. A [File_id.t] captured when the
+    file is opened names that version: if a later {!stat} disagrees in any
+    component, the file changed (in-place rewrite bumps mtime/size,
+    rename-replace swaps the inode, a cross-filesystem move swaps the
+    device) and everything keyed by the old stamp must be dropped.
+
+    mtime granularity is filesystem-dependent (can be whole seconds), so
+    same-second in-place rewrites that also preserve the byte count are
+    indistinguishable; tests force distinct stamps via [Unix.utimes]. *)
+
+type t = { dev : int; ino : int; mtime : float; size : int }
+
+val of_stats : Unix.stats -> t
+
+val stat : string -> t option
+(** Current identity, or [None] if the file cannot be stat'ed (missing,
+    permissions). Never raises. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** Compact, injective-enough rendering for cache-key embedding (mtime is
+    printed in hex float, so sub-second precision survives). *)

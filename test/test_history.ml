@@ -261,9 +261,84 @@ let workload_suite =
         | l -> Alcotest.failf "expected 1 record, got %d" (List.length l));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Concurrent appenders                                                *)
+(*                                                                     *)
+(* The server gives the history file real concurrency for the first    *)
+(* time: session threads and worker domains share one path. These      *)
+(* tests drive it from parallel domains and require exactly N*M whole  *)
+(* parseable lines — a torn line, dropped record, or double-rotation   *)
+(* shows up as a count mismatch or a skip.                             *)
+(* ------------------------------------------------------------------ *)
+
+(* A record whose serialized length does not depend on [tag] as long as
+   tag stays in [10_000, 99_999]: rotation thresholds computed from one
+   line's length then hold for every line. *)
+let tagged_record tag = { sample_record with History.rows_scanned = tag }
+
+let concurrent_append ~path ~max_bytes ~domains ~per_domain =
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for j = 0 to per_domain - 1 do
+              History.append ~path ?max_bytes
+                (tagged_record (10_000 + (d * per_domain) + j))
+            done))
+  in
+  List.iter Domain.join spawned
+
+let concurrency_suite =
+  [
+    Alcotest.test_case "4 domains x 50 appends: every record lands whole"
+      `Slow (fun () ->
+        let path = Test_util.fresh_path ".jsonl" in
+        concurrent_append ~path ~max_bytes:None ~domains:4 ~per_domain:50;
+        let records, skipped = History.load path in
+        Alcotest.(check int) "no torn lines" 0 skipped;
+        Alcotest.(check int) "all 200 records" 200 (List.length records);
+        Alcotest.(check bool) "no rotation" false
+          (Sys.file_exists (path ^ ".1"));
+        let tags =
+          List.sort_uniq compare
+            (List.map (fun (r : History.record) -> r.History.rows_scanned)
+               records)
+        in
+        Alcotest.(check int) "every append distinct, none lost" 200
+          (List.length tags));
+    Alcotest.test_case "rotation under concurrency loses nothing" `Slow
+      (fun () ->
+        let path = Test_util.fresh_path ".jsonl" in
+        let line_len =
+          String.length
+            (Raw_obs.Jsons.to_string (History.to_json (tagged_record 10_000)))
+          + 1
+        in
+        (* threshold at 120 of 200 lines: exactly one rotation, wherever
+           the domain interleaving puts it *)
+        concurrent_append ~path
+          ~max_bytes:(Some (120 * line_len))
+          ~domains:4 ~per_domain:50;
+        let live, s1 = History.load path in
+        let prev, s2 = History.load (path ^ ".1") in
+        Alcotest.(check bool) "rotated once" true
+          (Sys.file_exists (path ^ ".1"));
+        Alcotest.(check int) "no torn lines" 0 (s1 + s2);
+        Alcotest.(check int) "rotated generation" 120 (List.length prev);
+        Alcotest.(check int) "live generation" 80 (List.length live);
+        let tags =
+          List.sort_uniq compare
+            (List.map
+               (fun (r : History.record) -> r.History.rows_scanned)
+               (live @ prev))
+        in
+        Alcotest.(check int) "every append accounted for" 200
+          (List.length tags));
+  ]
+
 let suites =
   [
     ("history.store", store_suite);
     ("history.summary", summary_suite);
     ("history.workload", workload_suite);
+    ("history.concurrency", concurrency_suite);
   ]

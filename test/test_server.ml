@@ -1,0 +1,388 @@
+(* The serving tier (PR 6): shared scans, the statement/result cache and
+   its staleness rule, budget-driven result eviction, and the Unix-socket
+   server end to end. *)
+
+open Raw_vector
+open Raw_core
+module Jsons = Raw_obs.Jsons
+module Io_stats = Raw_storage.Io_stats
+
+(* 1000 rows with enough structure for filters, grouping and arithmetic:
+   col0 = i, col1 = i mod 7, col2 = (i * 37) mod 100, col3 = i / 10. *)
+let mk_rows n =
+  List.init n (fun i -> [ i; i mod 7; i * 37 mod 100; i / 10 ])
+
+let db_over path =
+  let db = Raw_db.create () in
+  Raw_db.register_csv db ~name:"t" ~path ~columns:(Test_util.int_cols 4) ();
+  db
+
+(* Query shapes covering every operator a shared-scan member replays:
+   filter, project, aggregate, group-by, order-by, limit, expressions. *)
+let member_queries =
+  [
+    "SELECT col0, col2 FROM t WHERE col0 < 250";
+    "SELECT COUNT(*) FROM t";
+    "SELECT SUM(col0), MIN(col2) FROM t WHERE col1 = 3";
+    "SELECT col1, COUNT(*) FROM t GROUP BY col1 ORDER BY col1 ASC";
+    "SELECT col0 FROM t ORDER BY col0 DESC LIMIT 5";
+    "SELECT col0 + col2 FROM t WHERE NOT (col1 = 0) LIMIT 10";
+  ]
+
+let shared_scan_suite =
+  [
+    Alcotest.test_case "shareable_table accepts single-table, rejects joins"
+      `Quick (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 50) in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"t" ~path ~columns:(Test_util.int_cols 4) ();
+        Raw_db.register_csv db ~name:"u" ~path ~columns:(Test_util.int_cols 4) ();
+        let bind q = Raw_db.bind_cached db q in
+        Alcotest.(check (option string))
+          "plain scan" (Some "t")
+          (Shared_scan.shareable_table (bind "SELECT col0 FROM t WHERE col1 = 2"));
+        Alcotest.(check (option string))
+          "aggregate" (Some "t")
+          (Shared_scan.shareable_table (bind "SELECT COUNT(*) FROM t"));
+        Alcotest.(check (option string))
+          "join refused" None
+          (Shared_scan.shareable_table
+             (bind "SELECT t.col0 FROM t JOIN u ON t.col0 = u.col0")));
+    Alcotest.test_case "shared group results are bit-identical to one-shot"
+      `Slow (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 1000) in
+        (* expected answers from private sessions, one per query, so no
+           adaptive state crosses between members *)
+        let expected =
+          List.map (fun q -> Raw_db.sql (db_over path) q) member_queries
+        in
+        let db = db_over path in
+        let plans = List.map (Raw_db.bind_cached db) member_queries in
+        let group =
+          Shared_scan.run_group (Raw_db.catalog db) (Raw_db.options db) plans
+        in
+        Alcotest.(check int) "all members answered"
+          (List.length member_queries)
+          (List.length group.Shared_scan.results);
+        Alcotest.(check bool) "one traversal's rows" true
+          (group.Shared_scan.rows_scanned = 1000);
+        List.iteri
+          (fun i (want, (got : Shared_scan.member_result)) ->
+            Test_util.check_chunk
+              (Printf.sprintf "member %d: %s" i (List.nth member_queries i))
+              want got.Shared_scan.chunk)
+          (List.combine expected group.Shared_scan.results);
+        (* and again through the same session: adaptive state warmed by the
+           shared pass must not change answers *)
+        let group2 =
+          Shared_scan.run_group (Raw_db.catalog db) (Raw_db.options db) plans
+        in
+        List.iteri
+          (fun i (want, (got : Shared_scan.member_result)) ->
+            Test_util.check_chunk
+              (Printf.sprintf "warm member %d" i)
+              want got.Shared_scan.chunk)
+          (List.combine expected group2.Shared_scan.results));
+    Alcotest.test_case "mixed-table group is refused" `Quick (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 50) in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"t" ~path ~columns:(Test_util.int_cols 4) ();
+        Raw_db.register_csv db ~name:"u" ~path ~columns:(Test_util.int_cols 4) ();
+        let plans =
+          [
+            Raw_db.bind_cached db "SELECT col0 FROM t";
+            Raw_db.bind_cached db "SELECT col0 FROM u";
+          ]
+        in
+        match
+          Shared_scan.run_group (Raw_db.catalog db) (Raw_db.options db) plans
+        with
+        | _ -> Alcotest.fail "expected Invalid_argument"
+        | exception Invalid_argument _ -> ());
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Statement + result cache                                            *)
+(* ------------------------------------------------------------------ *)
+
+let overwrite_with_bump path rows =
+  (* same-second overwrites are real on fast filesystems; force the mtime
+     forward so the identity check cannot depend on timestamp luck *)
+  let st = Unix.stat path in
+  let oc = open_out path in
+  List.iter
+    (fun r ->
+      output_string oc (String.concat "," (List.map string_of_int r) ^ "\n"))
+    rows;
+  close_out oc;
+  Unix.utimes path (st.Unix.st_mtime +. 2.0) (st.Unix.st_mtime +. 2.0)
+
+let cache_suite =
+  [
+    Alcotest.test_case "statement cache returns the identical bound plan"
+      `Quick (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 100) in
+        let db = db_over path in
+        let q = "SELECT col0 FROM t WHERE col1 = 2" in
+        let p1 = Raw_db.bind_cached db q in
+        let p2 = Raw_db.bind_cached db q in
+        Alcotest.(check bool) "physically shared" true (p1 == p2));
+    Alcotest.test_case "exact_key separates constants, fingerprint does not"
+      `Quick (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 100) in
+        let db = db_over path in
+        let a = Raw_db.bind_cached db "SELECT col0 FROM t WHERE col1 < 3" in
+        let b = Raw_db.bind_cached db "SELECT col0 FROM t WHERE col1 < 5" in
+        Alcotest.(check string)
+          "same shape" (Logical.fingerprint a) (Logical.fingerprint b);
+        Alcotest.(check bool)
+          "different exact keys" false
+          (Logical.exact_key a = Logical.exact_key b));
+    Alcotest.test_case "overwriting the file invalidates cached results"
+      `Slow (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 100) in
+        let db = db_over path in
+        let cache = Raw_db.stmt_cache db in
+        let q = "SELECT SUM(col0) FROM t" in
+        let plan = Raw_db.bind_cached db q in
+        let r1 = Raw_db.sql db q in
+        let key1 =
+          match Stmt_cache.result_key (Raw_db.catalog db) plan with
+          | Some k -> k
+          | None -> Alcotest.fail "expected a cacheable key"
+        in
+        Stmt_cache.put_result cache (Raw_db.catalog db) ~key:key1
+          ~tables:(Logical.tables plan) r1 (Raw_db.describe db "t");
+        Alcotest.(check bool) "hit while fresh" true
+          (Stmt_cache.find_result cache key1 <> None);
+        (* no change on disk -> refresh is a no-op *)
+        Alcotest.(check (list string)) "no false invalidation" []
+          (Raw_db.refresh_tables db [ "t" ]);
+        (* overwrite with different bytes *)
+        overwrite_with_bump path (mk_rows 50);
+        Alcotest.(check (list string))
+          "t invalidated" [ "t" ]
+          (Raw_db.refresh_tables db [ "t" ]);
+        Alcotest.(check bool) "entry dropped" true
+          (Stmt_cache.find_result cache key1 = None);
+        let key2 =
+          match
+            Stmt_cache.result_key (Raw_db.catalog db)
+              (Raw_db.bind_cached db q)
+          with
+          | Some k -> k
+          | None -> Alcotest.fail "expected a cacheable key"
+        in
+        Alcotest.(check bool) "key tracks the file version" false (key1 = key2);
+        (* the session must now answer from the new bytes, equal to a cold
+           session over the same file *)
+        Test_util.check_chunk "recomputed from new bytes"
+          (Raw_db.sql (db_over path) q)
+          (Raw_db.sql db q));
+    Alcotest.test_case "budget evicts LRU results first" `Quick (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 1000) in
+        let config =
+          { Config.default with Config.memory_budget = Some 200_000 }
+        in
+        let db = Raw_db.create ~config () in
+        Raw_db.register_csv db ~name:"t" ~path ~columns:(Test_util.int_cols 4) ();
+        let cache = Raw_db.stmt_cache db in
+        let cat = Raw_db.catalog db in
+        let big = Raw_db.sql db "SELECT col0, col1, col2, col3 FROM t" in
+        let schema = Raw_db.describe db "t" in
+        Io_stats.reset "gov.evictions.results";
+        (* each entry is ~4 cols x 1000 rows; a 200 KB budget (shared with
+           the file pages already charged) cannot hold many *)
+        for i = 0 to 9 do
+          Stmt_cache.put_result cache cat
+            ~key:(Printf.sprintf "synthetic-key-%d" i)
+            ~tables:[ "t" ] big schema
+        done;
+        Alcotest.(check bool) "evictions happened" true
+          (Io_stats.get "gov.evictions.results" > 0
+          || Stmt_cache.n_results cache < 10);
+        Alcotest.(check bool) "usage stays within reason" true
+          (Stmt_cache.byte_usage cache <= 200_000));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The server, end to end over a Unix socket                           *)
+(* ------------------------------------------------------------------ *)
+
+let connect_when_ready socket_path =
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    match Server.Client.connect socket_path with
+    | c -> c
+    | exception Unix.Unix_error _ ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "server did not come up within 10s";
+      Thread.delay 0.01;
+      go ()
+  in
+  go ()
+
+let int_rows j =
+  match Jsons.member "rows" j with
+  | Some (Jsons.List rows) ->
+    List.map
+      (function
+        | Jsons.List cells ->
+          List.map
+            (function
+              | Jsons.Int n -> n
+              | c -> Alcotest.failf "non-int cell %s" (Jsons.to_string c))
+            cells
+        | r -> Alcotest.failf "non-list row %s" (Jsons.to_string r))
+      rows
+  | _ -> Alcotest.failf "no rows in %s" (Jsons.to_string j)
+
+let server_suite =
+  [
+    Alcotest.test_case "concurrent sessions get correct, cached answers"
+      `Slow (fun () ->
+        let path_a = Test_util.write_csv_rows (mk_rows 1000) in
+        let path_b = Test_util.write_csv_rows (mk_rows 400) in
+        let socket_path = Test_util.fresh_path ".sock" in
+        (* oracle counts from a private session before the server exists *)
+        let oracle = Raw_db.create () in
+        Raw_db.register_csv oracle ~name:"a" ~path:path_a
+          ~columns:(Test_util.int_cols 4) ();
+        Raw_db.register_csv oracle ~name:"b" ~path:path_b
+          ~columns:(Test_util.int_cols 4) ();
+        let expect table k =
+          match
+            Raw_db.scalar oracle
+              (Printf.sprintf "SELECT COUNT(*) FROM %s WHERE col0 < %d" table k)
+          with
+          | Value.Int n -> n
+          | v -> Alcotest.failf "non-int count %s" (Value.to_string v)
+        in
+        let db = Raw_db.create () in
+        Raw_db.register_csv db ~name:"a" ~path:path_a
+          ~columns:(Test_util.int_cols 4) ();
+        Raw_db.register_csv db ~name:"b" ~path:path_b
+          ~columns:(Test_util.int_cols 4) ();
+        let server =
+          Thread.create
+            (fun () -> Server.serve ~batch_window:0.002 ~socket_path db)
+            ()
+        in
+        let failures = ref [] in
+        let fail_mutex = Mutex.create () in
+        let sessions = 8 and per_session = 4 in
+        let run_round () =
+          let threads =
+            List.init sessions (fun si ->
+                Thread.create
+                  (fun () ->
+                    let table = if si mod 2 = 0 then "a" else "b" in
+                    let c = connect_when_ready socket_path in
+                    Fun.protect
+                      ~finally:(fun () -> Server.Client.close c)
+                      (fun () ->
+                        for q = 0 to per_session - 1 do
+                          let k = ((si * per_session) + q + 1) * 13 in
+                          let sql =
+                            Printf.sprintf
+                              "SELECT COUNT(*) FROM %s WHERE col0 < %d" table k
+                          in
+                          match Server.Client.query c sql with
+                          | Error e ->
+                            Mutex.protect fail_mutex (fun () ->
+                                failures := (sql ^ ": " ^ e) :: !failures)
+                          | Ok j -> (
+                            match (Jsons.member "ok" j, int_rows j) with
+                            | Some (Jsons.Bool true), [ [ got ] ]
+                              when got = expect table k -> ()
+                            | _ ->
+                              Mutex.protect fail_mutex (fun () ->
+                                  failures :=
+                                    (sql ^ " -> " ^ Jsons.to_string j)
+                                    :: !failures))
+                        done))
+                  ())
+          in
+          List.iter Thread.join threads
+        in
+        run_round ();
+        (* second round repeats every statement: the result cache serves it *)
+        run_round ();
+        (match !failures with
+        | [] -> ()
+        | f :: _ ->
+          Alcotest.failf "%d bad response(s), e.g. %s" (List.length !failures) f);
+        let c = connect_when_ready socket_path in
+        (match Server.Client.ping c with
+        | Ok j ->
+          Alcotest.(check bool) "pong" true
+            (Jsons.member "ok" j = Some (Jsons.Bool true))
+        | Error e -> Alcotest.failf "ping: %s" e);
+        (match Server.Client.stats c with
+        | Ok j -> (
+          match Jsons.member "counters" j with
+          | Some (Jsons.Obj kvs) ->
+            let get k =
+              match List.assoc_opt k kvs with
+              | Some (Jsons.Int n) -> n
+              | Some (Jsons.Float f) -> int_of_float f
+              | _ -> 0
+            in
+            Alcotest.(check bool) "all requests counted" true
+              (get "server.requests" >= 2 * sessions * per_session);
+            Alcotest.(check bool) "warm round hit the result cache" true
+              (get "cache.result.hits" >= sessions * per_session)
+          | _ -> Alcotest.failf "no counters in %s" (Jsons.to_string j))
+        | Error e -> Alcotest.failf "stats: %s" e);
+        (* a bad statement answers code 1 without killing the session *)
+        (match Server.Client.query c "SELECT nope FROM a" with
+        | Ok j ->
+          Alcotest.(check bool) "bind error reported" true
+            (Jsons.member "code" j = Some (Jsons.Int 1))
+        | Error e -> Alcotest.failf "error query: %s" e);
+        (match Server.Client.shutdown c with
+        | Ok j ->
+          Alcotest.(check bool) "shutdown acked" true
+            (Jsons.member "ok" j = Some (Jsons.Bool true))
+        | Error e -> Alcotest.failf "shutdown: %s" e);
+        Server.Client.close c;
+        Thread.join server;
+        Alcotest.(check bool) "socket file removed" false
+          (Sys.file_exists socket_path));
+    Alcotest.test_case "file overwrite between requests invalidates the \
+                        served cache" `Slow (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 100) in
+        let socket_path = Test_util.fresh_path ".sock" in
+        let db = db_over path in
+        let server =
+          Thread.create
+            (fun () -> Server.serve ~batch_window:0.0 ~socket_path db)
+            ()
+        in
+        let c = connect_when_ready socket_path in
+        let count () =
+          match Server.Client.query c "SELECT COUNT(*) FROM t" with
+          | Ok j -> (
+            match int_rows j with
+            | [ [ n ] ] -> n
+            | _ -> Alcotest.failf "bad shape %s" (Jsons.to_string j))
+          | Error e -> Alcotest.failf "query: %s" e
+        in
+        Alcotest.(check int) "cold count" 100 (count ());
+        Alcotest.(check int) "cached count" 100 (count ());
+        overwrite_with_bump path (mk_rows 42);
+        Alcotest.(check int) "post-overwrite count tracks the file" 42
+          (count ());
+        (match Server.Client.shutdown c with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "shutdown: %s" e);
+        Server.Client.close c;
+        Thread.join server);
+  ]
+
+let suites =
+  [
+    ("server.shared_scan", shared_scan_suite);
+    ("server.cache", cache_suite);
+    ("server.socket", server_suite);
+  ]
