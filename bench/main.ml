@@ -32,6 +32,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("e21", "extension — error-policy overhead on clean data", Exp_faults.e21);
     ("e22", "extension — governance overhead when unconstrained", Exp_governance.e22);
     ("e23", "extension — observability overhead when disabled", Exp_obs.e23);
+    ("e25", "extension — online aggregation, time-to-eps vs full scan", Exp_approx.e25);
     ("stress", "robustness — concurrent mix under tight governance", Exp_governance.stress);
     ("micro", "bechamel — scan kernel microbenchmarks", Micro.benchmark);
   ]

@@ -223,7 +223,7 @@ let build_options ~mode ~shreds ~join_policy ~every =
   }
 
 let build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
-    ~observe ~history =
+    ~observe ~history ~approx ~approx_seed ~chunk_rows =
   if par < 1 then failwith "--parallelism must be >= 1";
   let on_error =
     match Scan_errors.policy_of_string on_error with
@@ -233,17 +233,21 @@ let build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
   {
     Config.default with
     Config.parallelism = par;
+    chunk_rows;
     on_error;
     deadline;
     memory_budget = Option.map parse_bytes memory_budget;
     max_concurrent;
     observe;
     history_path = history;
+    approx;
+    approx_seed;
   }
 
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
-    par on_error deadline memory_budget max_concurrent repl_flag stats metrics
-    analyze trace_out history calibration query =
+    par on_error deadline memory_budget max_concurrent approx approx_seed
+    chunk_rows repl_flag stats metrics analyze trace_out history calibration
+    query =
   try
     match calibration with
     | Some file -> print_calibration file
@@ -252,7 +256,7 @@ let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
     let config =
       build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
         ~observe:(analyze || trace_out <> None)
-        ~history
+        ~history ~approx ~approx_seed ~chunk_rows
     in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
@@ -363,6 +367,32 @@ let max_concurrent_arg =
                  queries are rejected (exit code 5) instead of queueing \
                  without bound.")
 
+let approx_arg =
+  Arg.(value & opt (some float) None
+       & info [ "approx" ] ~docv:"EPS"
+           ~doc:"Online aggregation: answer eligible COUNT/SUM/AVG queries \
+                 from a seeded random sample of the file, stopping once \
+                 every aggregate's 95% confidence half-width is below EPS \
+                 relative to its estimate (EPS in (0,1) exclusive, e.g. \
+                 0.05 = within 5%). If the file is exhausted first the \
+                 answer is exact. The report carries estimate, bound and \
+                 the fraction of rows scanned; ineligible queries (GROUP \
+                 BY, joins, MIN/MAX) run exactly.")
+
+let approx_seed_arg =
+  Arg.(value & opt int 42
+       & info [ "approx-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the --approx sampling order (default 42). The \
+                 order — and the estimate — is a pure function of the seed \
+                 and the file's morsel count, identical at any \
+                 --parallelism.")
+
+let chunk_rows_arg =
+  Arg.(value & opt int 4096
+       & info [ "chunk-rows" ] ~docv:"N"
+           ~doc:"Rows per vector exchanged between operators, and the \
+                 morsel size --approx samples at (default 4096).")
+
 let repl_arg =
   Arg.(value & flag & info [ "repl" ] ~doc:"Start an interactive prompt.")
 
@@ -458,13 +488,13 @@ let no_result_cache_arg =
                  scans stay on).")
 
 let serve_main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy
-    every par on_error deadline memory_budget max_concurrent history socket
-    batch_window no_result_cache =
+    every par on_error deadline memory_budget max_concurrent approx
+    approx_seed chunk_rows history socket batch_window no_result_cache =
   try
     let options = build_options ~mode ~shreds ~join_policy ~every in
     let config =
       build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
-        ~observe:false ~history
+        ~observe:false ~history ~approx ~approx_seed ~chunk_rows
     in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
@@ -508,6 +538,7 @@ let serve_cmd =
       $ (const (Option.value ~default:',') $ sep_arg)
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
       $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
+      $ approx_arg $ approx_seed_arg $ chunk_rows_arg
       $ history_arg $ socket_arg $ batch_window_arg $ no_result_cache_arg)
 
 let render_cell =
@@ -551,7 +582,33 @@ let print_response j =
       | _ -> ""
     in
     Printf.printf "-- %d row(s) in %.4fs%s%s\n" n seconds (flag "cached")
-      (flag "shared")
+      (flag "shared");
+    (match J.member "approx" j with
+     | Some (J.Obj _ as a) ->
+       let num name =
+         match J.member name a with
+         | Some (J.Float f) -> f
+         | Some (J.Int i) -> float_of_int i
+         | _ -> 0.
+       in
+       Printf.printf "-- approx: sampled %.1f%% of rows%s\n"
+         (100. *. num "fraction")
+         (match J.member "exact" a with
+          | Some (J.Bool true) -> " (exact)"
+          | _ -> "");
+       (match J.member "aggs" a with
+        | Some (J.List aggs) ->
+          List.iter
+            (fun agg ->
+              match (J.member "name" agg, J.member "estimate" agg,
+                     J.member "bound" agg) with
+              | Some (J.Str name), Some est, Some bound ->
+                Printf.printf "-- approx: %s = %s +- %s\n" name
+                  (render_cell est) (render_cell bound)
+              | _ -> ())
+            aggs
+        | _ -> ())
+     | _ -> ())
   | _ -> print_endline (J.to_string j)
 
 let client_main socket do_ping do_stats do_shutdown query =
@@ -661,6 +718,7 @@ let cmd =
       $ (const (Option.value ~default:',') $ sep_arg)
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
       $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
+      $ approx_arg $ approx_seed_arg $ chunk_rows_arg
       $ repl_arg $ stats_arg $ metrics_arg $ analyze_arg $ trace_out_arg
       $ history_arg $ calibration_arg $ query_arg)
   in

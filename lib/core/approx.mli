@@ -1,0 +1,77 @@
+(** Online aggregation over raw files (paper §2 "queries with early,
+    approximate answers"; the OLA-RAW line of follow-up work).
+
+    When [Config.approx = Some eps], eligible scalar-aggregate queries —
+    [COUNT]/[SUM]/[AVG] over a single (optionally filtered) scan, no
+    grouping — are answered from a {e sample} of the file: morsels are
+    visited in the seeded pseudo-random order of
+    {!Raw_storage.Sampling.permutation}, each one feeding the streaming
+    ratio estimator ({!Raw_engine.Estimator}), and the scan stops as soon
+    as every aggregate's 95% confidence half-width falls below [eps]
+    relative to its estimate. If the file runs out first the answer is
+    {e exact} — the executor then replays the ordinary plan over the
+    now-warm data so the result is bit-identical to a non-approx run.
+
+    The morsel order, and therefore the estimate, is a pure function of
+    [(seed, morsel count)]: identical at every [Config.parallelism], and
+    across runs. Deadlines compose: the sampling loop checks the ambient
+    {!Raw_storage.Cancel} token per morsel, so a deadline still aborts
+    with the usual [Deadline_exceeded]/exit-4 path while an approx early
+    stop is a {e successful} (exit-0, non-degraded) result. *)
+
+open Raw_vector
+
+type band = {
+  name : string;  (** output column name *)
+  estimate : float;
+  half_width : float;  (** 95% CI half-width, same units as [estimate] *)
+  relative : float;
+      (** [half_width /. |estimate|]; [0.] when the band is exact,
+          [infinity] when the estimate is 0 or undefined *)
+}
+
+type info = {
+  eps : float;
+  seed : int;
+  morsels_total : int;
+  morsels_sampled : int;
+  rows_total : int;
+  rows_sampled : int;
+  exact : bool;
+      (** the whole file was consumed — the answer is exact, bands have
+          zero width *)
+  bands : band list;  (** one per output column, in output order *)
+}
+
+type outcome =
+  | Estimate of Chunk.t * info
+      (** stopped early at target precision; the 1-row chunk holds the
+          point estimates, typed per the query's output schema *)
+  | Exhausted of info
+      (** sampled every morsel without converging: the caller must run
+          the exact plan (data is warm) and {!finalize_exact} the info *)
+  | Ineligible of string
+      (** the plan shape has no sampling semantics (grouping, joins,
+          MIN/MAX, ...); reason is recorded under the
+          ["scan.approx_stop"] decision site and the query runs exactly *)
+
+val fraction : info -> float
+(** Fraction of file rows sampled, in [(0, 1]]; [1.] for empty tables. *)
+
+val run :
+  Catalog.t ->
+  options:Planner.options ->
+  eps:float ->
+  seed:int ->
+  Logical.t ->
+  outcome
+(** Drive the sampled scan. Bumps the [approx.*] metrics and records one
+    ["scan.approx_stop"] decision (choice [early_stop] / [exhausted] /
+    [ineligible]). Morsel fetches go through {!Access.fetch_columns}, so
+    positional maps, pooled shreds and JIT templates build and serve
+    exactly as on the ordinary path. *)
+
+val finalize_exact : info -> Chunk.t -> info
+(** Stamp the exact 1-row result chunk's values into the bands
+    ([half_width = 0.]); used by the executor after an [Exhausted] replay
+    so the report's bands agree bit-for-bit with the returned rows. *)

@@ -15,6 +15,8 @@ type t = {
   observe : bool;
   history_path : string option;
   history_max_bytes : int;
+  approx : float option;
+  approx_seed : int;
 }
 
 let default =
@@ -33,6 +35,8 @@ let default =
     observe = false;
     history_path = None;
     history_max_bytes = 16 * 1024 * 1024;
+    approx = None;
+    approx_seed = 42;
   }
 
 (* Validation happens once, at construction ({!Catalog.create} /
@@ -74,7 +78,15 @@ let validate t =
               err "history_max_bytes must be >= 1 (got %d)" t.history_max_bytes
             else if t.history_path = Some "" then
               err "history_path must not be empty (use None to disable)"
-            else Ok t)))
+            else (
+              (* NaN first: it compares false against everything, so the
+                 range checks alone would wave it through *)
+              match t.approx with
+              | Some e when Float.is_nan e ->
+                err "approx must be a number in (0, 1) (got nan)"
+              | Some e when e <= 0. || e >= 1. ->
+                err "approx must be in (0, 1) exclusive (got %g)" e
+              | _ -> Ok t))))
 
 let check t =
   match validate t with

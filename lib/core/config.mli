@@ -65,6 +65,19 @@ type t = {
           it past this size it is first renamed to [<path>.1] (replacing
           any previous one), so on-disk history is bounded by roughly
           twice this. Default 16 MiB. *)
+  approx : float option;
+      (** online aggregation: when set, eligible scalar-aggregate queries
+          (COUNT/SUM/AVG, single table, no GROUP BY) scan morsels in a
+          seeded random order and stop early once every aggregate's 95%
+          confidence half-width falls below this relative target —
+          reporting estimate ± bound and the fraction scanned in
+          [Executor.report.approx]. Must lie in (0, 1) exclusive.
+          Ineligible queries run exactly. [None] (default) disables the
+          sampled path entirely. *)
+  approx_seed : int;
+      (** seed of the morsel sampling order (default 42). The order — and
+          therefore the approximate answer — is a pure function of
+          [(seed, morsel count)], identical at every parallelism level. *)
 }
 
 val default : t

@@ -19,6 +19,7 @@ type report = {
   degraded : string list;
   spans : Trace.span list;
   decisions : Decisions.record list;
+  approx : Approx.info option;
 }
 
 let domain_prefix = "par.domain"
@@ -198,15 +199,38 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
         Cancel.with_current cancel (fun () ->
             with_obs (fun () ->
                 Cancel.check cancel;
-                let op, schema =
-                  Trace.with_span ~cat:"plan" "plan" (fun () ->
-                      Planner.plan cat options logical)
+                let exact () =
+                  let op, schema =
+                    Trace.with_span ~cat:"plan" "plan" (fun () ->
+                        Planner.plan cat options logical)
+                  in
+                  let chunk =
+                    Trace.with_span ~cat:"execute" "execute" (fun () ->
+                        Operator.to_chunk op)
+                  in
+                  (chunk, schema)
                 in
-                let chunk =
-                  Trace.with_span ~cat:"execute" "execute" (fun () ->
-                      Operator.to_chunk op)
-                in
-                (chunk, schema))))
+                match cfg.Config.approx with
+                | None ->
+                  let chunk, schema = exact () in
+                  (chunk, schema, None)
+                | Some eps -> (
+                  match
+                    Trace.with_span ~cat:"execute" "approx" (fun () ->
+                        Approx.run cat ~options ~eps
+                          ~seed:cfg.Config.approx_seed logical)
+                  with
+                  | Approx.Estimate (chunk, info) ->
+                    (chunk, Logical.output_schema cat logical, Some info)
+                  | Approx.Exhausted info ->
+                    (* the sample was the whole file: replay the exact plan
+                       over the now-warm data so the answer is bit-identical
+                       to a non-approx run, and stamp it into the bands *)
+                    let chunk, schema = exact () in
+                    (chunk, schema, Some (Approx.finalize_exact info chunk))
+                  | Approx.Ineligible _ ->
+                    let chunk, schema = exact () in
+                    (chunk, schema, None)))))
   in
   (* accounting shared by the success and failure paths *)
   let io_seconds = io_of_files cat logical in
@@ -299,7 +323,7 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
           errors_tolerated = (Scan_errors.snapshot ()).Scan_errors.total;
         }
   in
-  let chunk, schema =
+  let chunk, schema, approx =
     match outcome with
     | Ok r -> r
     | Error e ->
@@ -371,6 +395,7 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
     degraded;
     spans = (match trace_h with Some h -> Trace.spans h | None -> []);
     decisions;
+    approx;
   }
 
 let pp_result ppf r =
@@ -391,6 +416,21 @@ let pp_report ppf r =
     "-- %d row(s); total %.4fs = cpu %.4fs + io(sim) %.4fs + compile(sim) %.4fs"
     (Chunk.n_rows r.chunk) r.total_seconds r.cpu_seconds r.io_seconds
     r.compile_seconds;
+  (match r.approx with
+   | None -> ()
+   | Some info ->
+     Format.fprintf ppf "@\n-- approx: eps=%g seed=%d sampled %d/%d morsels (%.1f%% of rows)%s"
+       info.Approx.eps info.Approx.seed info.Approx.morsels_sampled
+       info.Approx.morsels_total
+       (100. *. Approx.fraction info)
+       (if info.Approx.exact then " [exact]" else "");
+     List.iter
+       (fun (b : Approx.band) ->
+         Format.fprintf ppf "@\n-- approx: %s = %g +- %g" b.Approx.name
+           b.Approx.estimate b.Approx.half_width;
+         if Float.is_finite b.Approx.relative && b.Approx.relative > 0. then
+           Format.fprintf ppf " (%.2f%%)" (100. *. b.Approx.relative))
+       info.Approx.bands);
   if r.domain_seconds <> [] then begin
     Format.fprintf ppf "@,-- domains(%d):" r.parallelism;
     List.iter

@@ -44,6 +44,12 @@ type report = {
       unless {!Config.observe} or {!Config.history_path} is on (the
       workload history joins the [planner.adaptive] record against the
       measured outcome) *)
+  approx : Approx.info option;
+  (** online-aggregation account when {!Config.approx} drove this query:
+      estimate ± bound per output column, sampled fraction, and whether
+      the answer is exact (file exhausted before convergence — the chunk
+      then holds the bit-identical exact result). [None] when approx is
+      off {e or} the query was ineligible and ran exactly. *)
 }
 
 val run :

@@ -17,6 +17,7 @@ type outcome =
       seconds : float;
       cached : bool;
       shared : bool;
+      approx : Approx.info option;
     }
   | Err of { code : int; message : string }
 
@@ -104,6 +105,7 @@ let run_individual t (p, plan, key) =
            seconds = report.Executor.total_seconds;
            cached = false;
            shared = false;
+           approx = report.Executor.approx;
          })
   | exception e -> fulfill p (outcome_of_exn e)
 
@@ -128,6 +130,7 @@ let run_shared t members =
                seconds = group.Shared_scan.wall_seconds;
                cached = false;
                shared = true;
+               approx = None;
              }))
       members group.Shared_scan.results
   | exception e ->
@@ -154,15 +157,31 @@ let process_batch t batch =
        (List.concat_map (fun (_, plan) -> Logical.tables plan) bound));
   let cache = Raw_db.stmt_cache t.db in
   let cat = Raw_db.catalog t.db in
+  (* approximate answers are sample artifacts, not facts about the file:
+     they must never be served from the result cache (a later identical
+     query deserves a fresh — possibly exact — run) nor folded into a
+     shared exact traversal (the whole point is to NOT scan everything) *)
+  let approx_on = (Catalog.config cat).Config.approx <> None in
   let missed =
     List.filter_map
       (fun (p, plan) ->
         let key =
-          if t.cache_results then Stmt_cache.result_key cat plan else None
+          if t.cache_results && not approx_on then
+            Stmt_cache.result_key cat plan
+          else None
         in
         match Option.map (Stmt_cache.find_result cache) key with
         | Some (Some (chunk, schema)) ->
-          fulfill p (Rows { chunk; schema; seconds = 0.; cached = true; shared = false });
+          fulfill p
+            (Rows
+               {
+                 chunk;
+                 schema;
+                 seconds = 0.;
+                 cached = true;
+                 shared = false;
+                 approx = None;
+               });
           None
         | _ -> Some (p, plan, key))
       bound
@@ -174,7 +193,9 @@ let process_batch t batch =
   let singles = ref [] in
   List.iter
     (fun ((_, plan, _) as m) ->
-      match Shared_scan.shareable_table plan with
+      match
+        if approx_on then None else Shared_scan.shareable_table plan
+      with
       | Some table ->
         let prev = Option.value ~default:[] (Hashtbl.find_opt groups table) in
         Hashtbl.replace groups table (prev @ [ m ])
@@ -229,11 +250,40 @@ let json_of_value = function
   | Value.String s -> Jsons.Str s
   | Value.Null -> Jsons.Null
 
+(* non-finite band values (a zero estimate makes [relative] infinite)
+   must not leak into the wire JSON *)
+let fin f = if Float.is_finite f then Jsons.Float f else Jsons.Null
+
+let json_of_approx (info : Approx.info) =
+  Jsons.Obj
+    [
+      ("eps", Jsons.Float info.Approx.eps);
+      ("seed", Jsons.Int info.Approx.seed);
+      ("exact", Jsons.Bool info.Approx.exact);
+      ("fraction", Jsons.Float (Approx.fraction info));
+      ("morsels_sampled", Jsons.Int info.Approx.morsels_sampled);
+      ("morsels_total", Jsons.Int info.Approx.morsels_total);
+      ("rows_sampled", Jsons.Int info.Approx.rows_sampled);
+      ("rows_total", Jsons.Int info.Approx.rows_total);
+      ( "aggs",
+        Jsons.List
+          (List.map
+             (fun (b : Approx.band) ->
+               Jsons.Obj
+                 [
+                   ("name", Jsons.Str b.Approx.name);
+                   ("estimate", fin b.Approx.estimate);
+                   ("bound", fin b.Approx.half_width);
+                   ("relative", fin b.Approx.relative);
+                 ])
+             info.Approx.bands) );
+    ]
+
 let response_of_outcome id = function
-  | Rows { chunk; schema; seconds; cached; shared } ->
+  | Rows { chunk; schema; seconds; cached; shared; approx } ->
     let fields = Schema.fields schema in
     Jsons.Obj
-      [
+      ([
         ("id", id);
         ("ok", Jsons.Bool true);
         ( "columns",
@@ -253,6 +303,9 @@ let response_of_outcome id = function
         ("cached", Jsons.Bool cached);
         ("shared", Jsons.Bool shared);
       ]
+      @ match approx with
+        | None -> []
+        | Some info -> [ ("approx", json_of_approx info) ])
   | Err { code; message } ->
     Metrics.incr Metrics.server_errors;
     Jsons.Obj

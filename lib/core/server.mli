@@ -13,7 +13,15 @@
     A query response echoes ["id"] and carries ["ok"], ["columns"],
     ["types"], ["rows"] (row-major values), ["row_count"], ["seconds"],
     and two provenance flags: ["cached"] (served from the result cache)
-    and ["shared"] (computed by a shared scan). Errors carry ["code"]
+    and ["shared"] (computed by a shared scan). When the engine runs with
+    {!Config.approx} and the query took the sampled path, the response
+    additionally carries an ["approx"] object: ["eps"], ["seed"],
+    ["exact"], ["fraction"] (of rows sampled), morsel/row totals, and
+    per-aggregate ["aggs"] entries with ["name"], ["estimate"],
+    ["bound"] (95% CI half-width) and ["relative"] (non-finite values
+    serialize as [null]). Approximate results are never served from the
+    result cache and never fold into a shared scan — each run re-samples.
+    Errors carry ["code"]
     mirroring the CLI exit codes (1 parse/bind, 2 bad request, 3 data,
     4 deadline/cancelled, 5 overloaded) and ["error"].
 

@@ -308,6 +308,30 @@ let cache_invalidations =
   counter "cache.invalidations"
     ~help:"File-identity changes that dropped cached statements/results and per-file adaptive state"
 
+let approx_queries =
+  counter "approx.queries"
+    ~help:"Queries that ran the sampled (online-aggregation) scan path"
+
+let approx_early_stops =
+  counter "approx.early_stops"
+    ~help:"Approximate queries stopped at the target precision before exhausting the file"
+
+let approx_exhausted =
+  counter "approx.exhausted"
+    ~help:"Approximate queries that exhausted the file and returned the exact answer"
+
+let approx_ineligible =
+  counter "approx.ineligible"
+    ~help:"Queries run exactly under --approx because the plan shape is not estimable"
+
+let approx_morsels_sampled =
+  counter "approx.morsels_sampled"
+    ~help:"Morsels fetched by the sampled scan path"
+
+let approx_rows_sampled =
+  counter "approx.rows_sampled"
+    ~help:"Rows fetched by the sampled scan path"
+
 let par_domain =
   counter "par.domain" ~family:true
     ~help:"Per-worker-domain wall clocks (par.domain<i>.seconds)"

@@ -156,6 +156,15 @@ val cache_stmt_misses : t
 val cache_result_hits : t
 val cache_result_misses : t
 
+(** {2 Online aggregation vocabulary (PR 7)} *)
+
+val approx_queries : t
+val approx_early_stops : t
+val approx_exhausted : t
+val approx_ineligible : t
+val approx_morsels_sampled : t
+val approx_rows_sampled : t
+
 val cache_invalidations : t
 (** File-identity changes (dev/ino/mtime/size) that dropped cached
     statements/results and the per-file adaptive state. *)

@@ -1,0 +1,33 @@
+(* See sampling.mli. The generator is splitmix64: a counter-based PRNG
+   with a single 64-bit word of state, chosen because its output for a
+   given seed is a pure function of (seed, draw index) — no global state,
+   no dependence on how the consuming loop is scheduled. *)
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let permutation ~seed n =
+  if n < 0 then invalid_arg "Sampling.permutation: negative size";
+  let a = Array.init n Fun.id in
+  let state = ref (Int64.of_int seed) in
+  let next () =
+    state := Int64.add !state golden_gamma;
+    mix !state
+  in
+  (* Fisher-Yates over the identity: every permutation of [0, n) is
+     reachable and the result depends only on (seed, n). Draws are taken
+     as unsigned remainders; the modulo bias over 2^64 is far below
+     anything a morsel-sampling order could observe. *)
+  for i = n - 1 downto 1 do
+    let j = Int64.to_int (Int64.unsigned_rem (next ()) (Int64.of_int (i + 1))) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a

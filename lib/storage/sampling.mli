@@ -1,0 +1,13 @@
+(** Deterministic seeded sampling orders.
+
+    The online-aggregation path visits a file's morsels in a seeded
+    pseudo-random order so that any prefix of the visit sequence is a
+    simple random sample (without replacement) of the morsels. The order
+    is a pure function of [(seed, n)] — it does not depend on parallelism,
+    timing, or any global state — which is what makes approximate answers
+    reproducible and identical at every parallelism level. *)
+
+val permutation : seed:int -> int -> int array
+(** [permutation ~seed n] is a permutation of [0 .. n-1]: each index
+    appears exactly once. Deterministic in [(seed, n)]; [n = 0] yields the
+    empty array. Raises [Invalid_argument] on negative [n]. *)

@@ -1,0 +1,485 @@
+(* Online aggregation (PR 7), proven correct rather than plausible:
+   permutation properties of the sampling order, unit tests of the
+   streaming ratio estimator, a 200-run statistical coverage harness
+   against known ground truth, differential exactness (approx driven to
+   100% is bit-identical to the exact engine, per format / error policy /
+   parallelism), config validation, and the exit semantics separating an
+   approx early stop (success) from governance cancellation. *)
+
+open Raw_vector
+open Raw_storage
+open Raw_engine
+open Raw_core
+
+let approx_config ?(eps = 0.05) ?(seed = 42) ?(chunk_rows = 64) ?(par = 1)
+    ?(on_error = Scan_errors.Fail_fast) () =
+  {
+    Config.default with
+    Config.approx = Some eps;
+    approx_seed = seed;
+    chunk_rows;
+    parallelism = par;
+    on_error;
+  }
+
+let exact_config ?(chunk_rows = 64) ?(par = 1)
+    ?(on_error = Scan_errors.Fail_fast) () =
+  { Config.default with Config.chunk_rows = chunk_rows; parallelism = par; on_error }
+
+let info_of (report : Executor.report) =
+  match report.Executor.approx with
+  | Some info -> info
+  | None -> Alcotest.fail "expected an approx account in the report"
+
+(* ------------------------------------------------------------------ *)
+(* The sampling permutation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let is_permutation a =
+  let n = Array.length a in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun x -> x >= 0 && x < n && not seen.(x) && (seen.(x) <- true; true))
+    a
+
+let sampling_suite =
+  [
+    Alcotest.test_case "permutation at adversarial sizes" `Quick (fun () ->
+        (* empty, singleton, pair, power of two, prime, big power of two *)
+        List.iter
+          (fun n ->
+            let p = Sampling.permutation ~seed:42 n in
+            Alcotest.(check int) (Printf.sprintf "length %d" n) n
+              (Array.length p);
+            Alcotest.(check bool)
+              (Printf.sprintf "true permutation at n=%d" n)
+              true (is_permutation p))
+          [ 0; 1; 2; 64; 97; 4096 ]);
+    Alcotest.test_case "pure function of (seed, n)" `Quick (fun () ->
+        Alcotest.(check (array int))
+          "same seed, same order"
+          (Sampling.permutation ~seed:7 1000)
+          (Sampling.permutation ~seed:7 1000);
+        Alcotest.(check bool)
+          "different seeds diverge" true
+          (Sampling.permutation ~seed:1 256 <> Sampling.permutation ~seed:2 256);
+        (* actually shuffled, not the identity *)
+        Alcotest.(check bool)
+          "seed 42 moves something" true
+          (Sampling.permutation ~seed:42 256 <> Array.init 256 Fun.id));
+    Alcotest.test_case "negative size rejected" `Quick (fun () ->
+        Alcotest.check_raises "n = -1"
+          (Invalid_argument "Sampling.permutation: negative size")
+          (fun () -> ignore (Sampling.permutation ~seed:1 (-1))));
+    Test_util.qtest "every (seed, n) yields a permutation"
+      QCheck2.Gen.(pair (int_range 0 300) (int_range 0 1_000_000))
+      (fun (n, seed) -> is_permutation (Sampling.permutation ~seed n));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The estimator in isolation                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic pseudo-random morsel stream, no Random dependency *)
+let synth_morsel i =
+  let rows = 64 in
+  let qualifying = 20 + (i * 37 mod 25) in
+  let sum = float_of_int (qualifying * 50 + (i * 13 mod 100)) in
+  (rows, qualifying, sum)
+
+let estimator_suite =
+  [
+    Alcotest.test_case "unfiltered COUNT is exact after the floor" `Quick
+      (fun () ->
+        (* y_i = x_i for every morsel: the ratio estimator has zero
+           variance, so the bound collapses the moment the min-morsel
+           floor is reached — no degenerate wide-CI phase *)
+        let est =
+          Estimator.create ~eps:0.05 ~total_rows:6400 ~total_morsels:100
+            [ Estimator.Count ]
+        in
+        for _ = 1 to 16 do
+          Estimator.observe est ~rows:64
+            [ { Estimator.c_sum = 0.; c_count = 64. } ]
+        done;
+        Alcotest.(check bool) "converged at the floor" true
+          (Estimator.converged est);
+        let b = List.hd (Estimator.bands est) in
+        Alcotest.(check (float 1e-9)) "estimate is the full count" 6400.
+          b.Estimator.estimate;
+        Alcotest.(check (float 1e-9)) "zero half-width" 0.
+          b.Estimator.half_width);
+    Alcotest.test_case "half-width envelope is monotone non-increasing"
+      `Quick (fun () ->
+        let est =
+          Estimator.create ~eps:0.0001 ~total_rows:(64 * 200)
+            ~total_morsels:200
+            [ Estimator.Count; Estimator.Sum; Estimator.Avg ]
+        in
+        let prev = ref [ infinity; infinity; infinity ] in
+        for i = 0 to 199 do
+          let rows, q, sum = synth_morsel i in
+          Estimator.observe est ~rows
+            [
+              { Estimator.c_sum = 0.; c_count = float_of_int q };
+              { Estimator.c_sum = sum; c_count = float_of_int q };
+              { Estimator.c_sum = sum; c_count = float_of_int q };
+            ];
+          let widths =
+            List.map (fun b -> b.Estimator.half_width) (Estimator.bands est)
+          in
+          List.iter2
+            (fun w p ->
+              Alcotest.(check bool)
+                (Printf.sprintf "width %g <= %g after morsel %d" w p i)
+                true (w <= p +. 1e-12))
+            widths !prev;
+          prev := widths
+        done;
+        (* the full sample is the population: bounds collapse to zero *)
+        List.iter
+          (fun b ->
+            Alcotest.(check (float 1e-6)) "exhausted sample has no width" 0.
+              b.Estimator.half_width)
+          (Estimator.bands est));
+    Alcotest.test_case "no convergence before the morsel floor" `Quick
+      (fun () ->
+        let est =
+          Estimator.create ~eps:0.5 ~total_rows:6400 ~total_morsels:100
+            [ Estimator.Count ]
+        in
+        for _ = 1 to 15 do
+          Estimator.observe est ~rows:64
+            [ { Estimator.c_sum = 0.; c_count = 64. } ]
+        done;
+        Alcotest.(check bool) "15 < min_morsels" false
+          (Estimator.converged est));
+    Alcotest.test_case "create rejects a non-positive eps" `Quick (fun () ->
+        Alcotest.check_raises "eps = 0"
+          (Invalid_argument "Estimator.create: eps must be > 0")
+          (fun () ->
+            ignore
+              (Estimator.create ~eps:0. ~total_rows:1 ~total_morsels:1
+                 [ Estimator.Count ])));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Statistical coverage: the 95% CI must contain the truth             *)
+(* ------------------------------------------------------------------ *)
+
+(* One generated FWB file shared by the coverage and semantics suites:
+   8192 rows of (int uniform [0, 1e9), float uniform [0, 1e9)), scanned
+   as 128 morsels of 64 rows. *)
+let coverage_dtypes = [| Dtype.Int; Dtype.Float |]
+
+let coverage_path =
+  lazy
+    (let path = Test_util.fresh_path ".fwb" in
+     Raw_formats.Fwb.generate ~path ~n_rows:8192 ~dtypes:coverage_dtypes
+       ~seed:11 ();
+     path)
+
+let coverage_db config =
+  let db = Raw_db.create ~config () in
+  Raw_db.register_fwb db ~name:"t" ~path:(Lazy.force coverage_path)
+    ~columns:[ ("col0", Dtype.Int); ("col1", Dtype.Float) ];
+  db
+
+let coverage_query =
+  "SELECT COUNT(*), SUM(col1), AVG(col1) FROM t WHERE col0 < 500000000"
+
+let float_of_value = function
+  | Value.Int n -> float_of_int n
+  | Value.Float f -> f
+  | v -> Alcotest.failf "non-numeric cell %s" (Value.to_string v)
+
+let coverage_suite =
+  [
+    Alcotest.test_case "95% CI contains ground truth in >= 90% of 200 seeds"
+      `Slow (fun () ->
+        let truth_chunk = Raw_db.sql (coverage_db (exact_config ())) coverage_query in
+        let truth =
+          List.init 3 (fun i -> float_of_value (Column.get (Chunk.column truth_chunk i) 0))
+        in
+        let runs = 200 in
+        let covered = Array.make 3 0 in
+        let fractions = ref 0. in
+        for seed = 0 to runs - 1 do
+          let report =
+            Raw_db.query (coverage_db (approx_config ~eps:0.05 ~seed ())) coverage_query
+          in
+          let info = info_of report in
+          fractions := !fractions +. Approx.fraction info;
+          List.iteri
+            (fun i (b : Approx.band) ->
+              let t = List.nth truth i in
+              (* tiny absolute slack so float rounding at the boundary
+                 cannot flip a verdict *)
+              if Float.abs (b.Approx.estimate -. t)
+                 <= b.Approx.half_width +. (1e-9 *. Float.abs t)
+              then covered.(i) <- covered.(i) + 1)
+            info.Approx.bands
+        done;
+        Array.iteri
+          (fun i c ->
+            let agg = List.nth [ "count"; "sum"; "avg" ] i in
+            if c < runs * 9 / 10 then
+              Alcotest.failf "%s: truth covered in only %d/%d runs" agg c runs)
+          covered;
+        (* the harness is pointless if every run just scanned the file *)
+        Alcotest.(check bool) "sampling actually stops early" true
+          (!fractions /. float_of_int runs < 0.9));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Differential exactness at 100%                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* eps so tight the sample always exhausts the file: the reported chunk
+   must then be BIT-identical to the exact engine's — same formats, same
+   error policies, same parallelism levels. *)
+let tiny_eps = 1e-9
+
+let differential_case ~policy ~par register query =
+  let exact_db = Raw_db.create ~config:(exact_config ~par ~on_error:policy ()) () in
+  register exact_db;
+  let expected = Raw_db.sql exact_db query in
+  let adb =
+    Raw_db.create
+      ~config:(approx_config ~eps:tiny_eps ~par ~on_error:policy ())
+      ()
+  in
+  register adb;
+  let report = Raw_db.query adb query in
+  let info = info_of report in
+  Alcotest.(check bool) "file was exhausted" true info.Approx.exact;
+  Alcotest.(check int) "all morsels sampled" info.Approx.morsels_total
+    info.Approx.morsels_sampled;
+  Test_util.check_chunk "bit-identical to the exact engine" expected
+    report.Executor.chunk;
+  (* finalize_exact stamped the exact values into the bands *)
+  List.iteri
+    (fun i (b : Approx.band) ->
+      Alcotest.(check (float 0.))
+        (b.Approx.name ^ " band agrees with the chunk")
+        (float_of_value (Column.get (Chunk.column expected i) 0))
+        b.Approx.estimate;
+      Alcotest.(check (float 0.)) (b.Approx.name ^ " zero width") 0.
+        b.Approx.half_width)
+    info.Approx.bands
+
+let differential_suite =
+  let csv_path, fwb_path =
+    lazy (Test_util.twin_files ~n_rows:700 ~dtypes:[| Dtype.Int; Dtype.Float |] ~seed:5)
+    |> fun l -> (lazy (fst (Lazy.force l)), lazy (snd (Lazy.force l)))
+  in
+  let jsonl_path =
+    lazy
+      (let path = Test_util.fresh_path ".jsonl" in
+       Raw_formats.Jsonl.generate ~path ~n_rows:700
+         ~fields:[ ("a", Dtype.Int); ("x", Dtype.Float) ]
+         ~seed:5 ();
+       path)
+  in
+  let hep_path =
+    lazy
+      (let path = Test_util.fresh_path ".hep" in
+       Raw_formats.Hep.generate ~path ~n_events:300 ~seed:5 ();
+       path)
+  in
+  let cols = [ ("col0", Dtype.Int); ("col1", Dtype.Float) ] in
+  let num_query =
+    "SELECT COUNT(*), SUM(col1), AVG(col1) FROM t WHERE col0 < 500000000"
+  in
+  let cases =
+    [
+      ( "csv",
+        (fun db ->
+          Raw_db.register_csv db ~name:"t" ~path:(Lazy.force csv_path)
+            ~columns:cols ()),
+        num_query );
+      ( "fwb",
+        (fun db ->
+          Raw_db.register_fwb db ~name:"t" ~path:(Lazy.force fwb_path)
+            ~columns:cols),
+        num_query );
+      ( "jsonl",
+        (fun db ->
+          Raw_db.register_jsonl db ~name:"t" ~path:(Lazy.force jsonl_path)
+            ~columns:[ ("a", Dtype.Int); ("x", Dtype.Float) ]),
+        "SELECT COUNT(*), SUM(x), AVG(x) FROM t WHERE a < 500000000" );
+      ( "hep",
+        (fun db ->
+          Raw_db.register_hep db ~name_prefix:"h" ~path:(Lazy.force hep_path)),
+        "SELECT COUNT(*), AVG(run_number) FROM h_events WHERE run_number < 3"
+      );
+    ]
+  in
+  let policies =
+    [
+      ("fail", Scan_errors.Fail_fast);
+      ("skip", Scan_errors.Skip_row);
+      ("null", Scan_errors.Null_fill);
+    ]
+  in
+  List.concat_map
+    (fun (fmt, register, query) ->
+      List.concat_map
+        (fun (pname, policy) ->
+          List.map
+            (fun par ->
+              Alcotest.test_case
+                (Printf.sprintf "%s / --on-error %s / par %d" fmt pname par)
+                `Slow
+                (fun () -> differential_case ~policy ~par register query))
+            [ 1; 3 ])
+        policies)
+    cases
+
+let invariance_suite =
+  [
+    Alcotest.test_case "estimate is parallelism-invariant" `Quick (fun () ->
+        let run par =
+          Raw_db.query
+            (coverage_db (approx_config ~eps:0.05 ~seed:3 ~par ()))
+            coverage_query
+        in
+        let r1 = run 1 and r4 = run 4 in
+        Test_util.check_chunk "identical chunks" r1.Executor.chunk
+          r4.Executor.chunk;
+        let i1 = info_of r1 and i4 = info_of r4 in
+        Alcotest.(check int) "same morsels sampled" i1.Approx.morsels_sampled
+          i4.Approx.morsels_sampled;
+        List.iter2
+          (fun (a : Approx.band) (b : Approx.band) ->
+            Alcotest.(check (float 0.)) "same estimate" a.Approx.estimate
+              b.Approx.estimate;
+            Alcotest.(check (float 0.)) "same bound" a.Approx.half_width
+              b.Approx.half_width)
+          i1.Approx.bands i4.Approx.bands);
+    Alcotest.test_case "seed changes the sample, same seed repeats it" `Quick
+      (fun () ->
+        let run seed =
+          info_of
+            (Raw_db.query
+               (coverage_db (approx_config ~eps:0.05 ~seed ()))
+               coverage_query)
+        in
+        let a = run 1 and a' = run 1 and b = run 2 in
+        Alcotest.(check bool) "same seed, same estimates" true
+          (List.map (fun (x : Approx.band) -> x.Approx.estimate) a.Approx.bands
+          = List.map (fun (x : Approx.band) -> x.Approx.estimate) a'.Approx.bands);
+        Alcotest.(check bool) "different seed, different sample" true
+          (List.map (fun (x : Approx.band) -> x.Approx.estimate) a.Approx.bands
+          <> List.map (fun (x : Approx.band) -> x.Approx.estimate) b.Approx.bands));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Config validation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let config_suite =
+  [
+    Alcotest.test_case "eps outside (0,1) and NaN are typed config errors"
+      `Quick (fun () ->
+        List.iter
+          (fun eps ->
+            match
+              Raw_db.create ~config:(approx_config ~eps ()) ()
+            with
+            | _ -> Alcotest.failf "eps %g accepted" eps
+            | exception Resource_error.Invalid_config msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "message names approx for %g" eps)
+                true
+                (String.length msg >= 6 && String.sub msg 0 6 = "approx"))
+          [ 0.; -0.5; 1.; 1.5; Float.nan ]);
+    Alcotest.test_case "valid eps and approx=None pass validation" `Quick
+      (fun () ->
+        ignore (Raw_db.create ~config:(approx_config ~eps:0.5 ()) ());
+        ignore (Raw_db.create ~config:Config.default ()));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exit semantics: early stop is success, cancellation still trips     *)
+(* ------------------------------------------------------------------ *)
+
+let semantics_suite =
+  [
+    Alcotest.test_case
+      "early stop is a non-degraded success, distinct from deadline" `Quick
+      (fun () ->
+        let report =
+          Raw_db.query (coverage_db (approx_config ~eps:0.2 ~seed:1 ())) coverage_query
+        in
+        let info = info_of report in
+        Alcotest.(check bool) "stopped before the end" false info.Approx.exact;
+        Alcotest.(check bool) "sampled a strict subset" true
+          (Approx.fraction info < 1.);
+        Alcotest.(check (list string)) "nothing degraded" []
+          report.Executor.degraded;
+        (* the same query under a tripped governance token still raises
+           the typed cancellation (CLI exit 4), unchanged by approx *)
+        let cancel = Cancel.create ~trip_after_checks:2 () in
+        match
+          Raw_db.query ~cancel
+            (coverage_db (approx_config ~eps:0.2 ~seed:1 ()))
+            coverage_query
+        with
+        | _ -> Alcotest.fail "tripped token did not cancel the sampled scan"
+        | exception Resource_error.Cancelled _ -> ());
+    Alcotest.test_case "ineligible queries run exactly, without an account"
+      `Quick (fun () ->
+        let db = coverage_db (approx_config ~eps:0.05 ()) in
+        let report = Raw_db.query db "SELECT MAX(col1) FROM t" in
+        Alcotest.(check bool) "no approx account" true
+          (report.Executor.approx = None);
+        let expected =
+          Raw_db.sql (coverage_db (exact_config ())) "SELECT MAX(col1) FROM t"
+        in
+        Test_util.check_chunk "exact result" expected report.Executor.chunk;
+        (* grouping is also ineligible *)
+        let r2 =
+          Raw_db.query db
+            "SELECT col0, COUNT(*) FROM t GROUP BY col0 ORDER BY col0 LIMIT 3"
+        in
+        Alcotest.(check bool) "grouped query has no account" true
+          (r2.Executor.approx = None));
+    Alcotest.test_case "unfiltered COUNT(*) stops at the morsel floor with \
+                        the exact answer" `Quick (fun () ->
+        let report =
+          Raw_db.query
+            (coverage_db (approx_config ~eps:0.05 ~seed:9 ()))
+            "SELECT COUNT(*) FROM t"
+        in
+        let info = info_of report in
+        Alcotest.(check bool) "early stop" false info.Approx.exact;
+        Alcotest.(check int) "stopped at the floor" 16
+          info.Approx.morsels_sampled;
+        Alcotest.check Test_util.value_testable "cardinality is exact"
+          (Value.Int 8192)
+          (Test_util.scalar_of report));
+    Alcotest.test_case "approx queries bump their own metric family" `Quick
+      (fun () ->
+        let before = Io_stats.get "approx.queries" in
+        let stops = Io_stats.get "approx.early_stops" in
+        ignore
+          (Raw_db.query
+             (coverage_db (approx_config ~eps:0.2 ~seed:1 ()))
+             coverage_query);
+        Alcotest.(check int) "approx.queries +1" (before + 1)
+          (Io_stats.get "approx.queries");
+        Alcotest.(check int) "approx.early_stops +1" (stops + 1)
+          (Io_stats.get "approx.early_stops"));
+  ]
+
+let suites =
+  [
+    ("approx.sampling", sampling_suite);
+    ("approx.estimator", estimator_suite);
+    ("approx.coverage", coverage_suite);
+    ("approx.differential", differential_suite);
+    ("approx.invariance", invariance_suite);
+    ("approx.config", config_suite);
+    ("approx.semantics", semantics_suite);
+  ]

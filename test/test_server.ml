@@ -380,9 +380,115 @@ let server_suite =
         Thread.join server);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Online aggregation over the server path (PR 7)                      *)
+(* ------------------------------------------------------------------ *)
+
+let approx_suite =
+  [
+    Alcotest.test_case
+      "approx responses carry bands, skip the result cache and never fold \
+       into shared scans" `Slow (fun () ->
+        let path = Test_util.write_csv_rows (mk_rows 8192) in
+        let socket_path = Test_util.fresh_path ".sock" in
+        let config =
+          {
+            Config.default with
+            Config.approx = Some 0.1;
+            approx_seed = 7;
+            chunk_rows = 64;
+          }
+        in
+        let db = Raw_db.create ~config () in
+        Raw_db.register_csv db ~name:"t" ~path ~columns:(Test_util.int_cols 4) ();
+        let server =
+          (* a generous batch window so concurrent queries WOULD fold if
+             approx didn't force them apart *)
+          Thread.create
+            (fun () -> Server.serve ~batch_window:0.05 ~socket_path db)
+            ()
+        in
+        let sql = "SELECT COUNT(*), SUM(col2), AVG(col2) FROM t WHERE col0 < 4000" in
+        let query c =
+          match Server.Client.query c sql with
+          | Ok j -> j
+          | Error e -> Alcotest.failf "query: %s" e
+        in
+        let flag name j =
+          match Jsons.member name j with Some (Jsons.Bool b) -> b | _ -> false
+        in
+        let approx_of j =
+          match Jsons.member "approx" j with
+          | Some (Jsons.Obj _ as a) -> a
+          | _ -> Alcotest.failf "no approx object in %s" (Jsons.to_string j)
+        in
+        let c = connect_when_ready socket_path in
+        Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () ->
+            let j1 = query c in
+            let a1 = approx_of j1 in
+            Alcotest.(check bool) "not cached" false (flag "cached" j1);
+            Alcotest.(check bool) "not shared" false (flag "shared" j1);
+            (match Jsons.member "fraction" a1 with
+             | Some (Jsons.Float f) ->
+               Alcotest.(check bool) "sampled a strict subset" true
+                 (f > 0. && f < 1.)
+             | _ -> Alcotest.fail "no fraction field");
+            (match Jsons.member "aggs" a1 with
+             | Some (Jsons.List aggs) ->
+               Alcotest.(check int) "three bands" 3 (List.length aggs);
+               List.iter
+                 (fun agg ->
+                   match
+                     ( Jsons.member "name" agg,
+                       Jsons.member "estimate" agg,
+                       Jsons.member "bound" agg,
+                       Jsons.member "relative" agg )
+                   with
+                   | Some (Jsons.Str _), Some (Jsons.Float _),
+                     Some (Jsons.Float b), Some (Jsons.Float rel) ->
+                     Alcotest.(check bool) "bound non-negative" true (b >= 0.);
+                     Alcotest.(check bool) "band met the eps target" true
+                       (rel <= 0.1)
+                   | _ -> Alcotest.failf "bad band %s" (Jsons.to_string agg))
+                 aggs
+             | _ -> Alcotest.fail "no aggs field");
+            (* an identical repeat must re-sample, not serve the cache *)
+            let j2 = query c in
+            Alcotest.(check bool) "repeat not cache-served" false
+              (flag "cached" j2);
+            ignore (approx_of j2);
+            (* concurrent same-table queries inside one batch window stay
+               individual runs *)
+            let results = Array.make 2 Jsons.Null in
+            let threads =
+              List.init 2 (fun i ->
+                  Thread.create
+                    (fun () ->
+                      let c2 = connect_when_ready socket_path in
+                      Fun.protect
+                        ~finally:(fun () -> Server.Client.close c2)
+                        (fun () -> results.(i) <- query c2))
+                    ())
+            in
+            List.iter Thread.join threads;
+            Array.iter
+              (fun j ->
+                Alcotest.(check bool) "concurrent query not shared" false
+                  (flag "shared" j);
+                Alcotest.(check bool) "concurrent query not cached" false
+                  (flag "cached" j);
+                ignore (approx_of j))
+              results;
+            match Server.Client.shutdown c with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "shutdown: %s" e);
+        Thread.join server);
+  ]
+
 let suites =
   [
     ("server.shared_scan", shared_scan_suite);
     ("server.cache", cache_suite);
     ("server.socket", server_suite);
+    ("server.approx", approx_suite);
   ]
