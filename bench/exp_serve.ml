@@ -21,6 +21,11 @@ module Jsons = Raw_obs.Jsons
 
 let queries_per_client = 8
 
+(* e24's 32-session cold-phase throughput, read by e26 as the reference
+   for its chaos-off gate (serve_main runs e24 first, then e26, in the
+   same process). *)
+let s32_cold_qps : float option ref = ref None
+
 (* All col0 values of [table], sorted — the oracle for count-star under a
    [col0 < k] predicate. *)
 let sorted_col0 db table =
@@ -91,7 +96,7 @@ let e24 () =
       let probe = connect_when_ready socket_path in
       (match Server.Client.ping probe with
       | Ok _ -> ()
-      | Error e -> failwith ("e24: ping failed: " ^ e));
+      | Error e -> failwith ("e24: ping failed: " ^ Server.Client.err_to_string e));
       Server.Client.close probe;
       let run_pass phase =
         let t0 = Unix.gettimeofday () in
@@ -121,7 +126,7 @@ let e24 () =
                             "SELECT COUNT(*) FROM %s WHERE col0 < %d" table k
                         in
                         match Server.Client.query c sql with
-                        | Error e -> note_failure (sql ^ ": transport: " ^ e)
+                        | Error e -> note_failure (sql ^ ": transport: " ^ Server.Client.err_to_string e)
                         | Ok j -> (
                           let expect = count_below sorted k in
                           match
@@ -148,6 +153,7 @@ let e24 () =
         Bench_util.record_metric
           ~name:(Printf.sprintf "serve.s%d.%s.qps" sessions phase)
           qps;
+        if sessions = 32 && phase = "cold" then s32_cold_qps := Some qps;
         Bench_util.record_raw_sample
           ~label:(Printf.sprintf "serve sessions=%d %s" sessions phase)
           ~wall_seconds:wall ~result_rows:nq ()
@@ -157,7 +163,9 @@ let e24 () =
       let c = connect_when_ready socket_path in
       (match Server.Client.shutdown c with
       | Ok _ -> ()
-      | Error e -> Printf.eprintf "  e24: shutdown rpc failed: %s\n%!" e);
+      | Error e ->
+        Printf.eprintf "  e24: shutdown rpc failed: %s\n%!"
+          (Server.Client.err_to_string e));
       Server.Client.close c;
       Thread.join server)
     [ 8; 32; 64 ];

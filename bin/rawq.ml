@@ -487,14 +487,56 @@ let no_result_cache_arg =
            ~doc:"Disable the result cache (statement caching and shared \
                  scans stay on).")
 
+let max_request_bytes_arg =
+  Arg.(value & opt string "1m"
+       & info [ "max-request-bytes" ] ~docv:"BYTES"
+           ~doc:"Longest accepted request line (k/m/g suffixes; default 1m). \
+                 A longer line is answered with a typed too_large error and \
+                 drained without buffering; the session stays usable and \
+                 memory stays bounded.")
+
+let request_timeout_arg =
+  Arg.(value & opt float 30.
+       & info [ "request-timeout" ] ~docv:"SECONDS"
+           ~doc:"Once a request's first byte arrives, the rest of the line \
+                 must follow — and the response write complete — within \
+                 this budget (default 30; 0 disables). Slow-loris sessions \
+                 are reaped instead of wedging a thread.")
+
+let idle_timeout_arg =
+  Arg.(value & opt float 300.
+       & info [ "idle-timeout" ] ~docv:"SECONDS"
+           ~doc:"A session may sit between requests at most this long \
+                 (default 300; 0 disables). Reaped sessions are counted \
+                 under server.session_end.timeout_idle.")
+
+let max_sessions_arg =
+  Arg.(value & opt int 256
+       & info [ "max-sessions" ] ~docv:"N"
+           ~doc:"Concurrent-session cap (default 256; 0 removes it). A \
+                 connection past the cap receives a single code-5 line \
+                 with a retry_after hint and is closed — shed at the door, \
+                 never a thread.")
+
 let serve_main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy
     every par on_error deadline memory_budget max_concurrent approx
-    approx_seed chunk_rows history socket batch_window no_result_cache =
+    approx_seed chunk_rows history socket batch_window no_result_cache
+    max_request_bytes request_timeout idle_timeout max_sessions =
   try
     let options = build_options ~mode ~shreds ~join_policy ~every in
     let config =
       build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
         ~observe:false ~history ~approx ~approx_seed ~chunk_rows
+    in
+    let config =
+      {
+        config with
+        Config.max_request_bytes = parse_bytes max_request_bytes;
+        request_timeout =
+          (if request_timeout <= 0. then None else Some request_timeout);
+        idle_timeout = (if idle_timeout <= 0. then None else Some idle_timeout);
+        max_sessions = (if max_sessions <= 0 then None else Some max_sessions);
+      }
     in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
@@ -531,6 +573,9 @@ let serve_cmd =
           scans (concurrent queries on one table within the batching \
           window execute as a single raw-file traversal) and a statement \
           + result cache invalidated when the underlying files change. \
+          Hostile or broken clients are contained by protocol armor: \
+          bounded request lines, request/idle timeouts, and session/queue \
+          caps that shed load with retry hints. \
           Shut down with $(b,rawq client --socket PATH --shutdown).")
     Term.(
       const serve_main $ csv_arg $ jsonl_arg $ jsonl_array_arg $ fwb_arg
@@ -539,7 +584,9 @@ let serve_cmd =
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
       $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
       $ approx_arg $ approx_seed_arg $ chunk_rows_arg
-      $ history_arg $ socket_arg $ batch_window_arg $ no_result_cache_arg)
+      $ history_arg $ socket_arg $ batch_window_arg $ no_result_cache_arg
+      $ max_request_bytes_arg $ request_timeout_arg $ idle_timeout_arg
+      $ max_sessions_arg)
 
 let render_cell =
   let module J = Raw_obs.Jsons in
@@ -611,12 +658,15 @@ let print_response j =
      | _ -> ())
   | _ -> print_endline (J.to_string j)
 
-let client_main socket do_ping do_stats do_shutdown query =
+let client_main socket connect_timeout request_timeout retry do_ping do_stats
+    do_shutdown query =
   let module J = Raw_obs.Jsons in
   let one = function
-    | Error msg ->
-      Format.eprintf "rawq client: %s@." msg;
-      3
+    | Error (e : Server.Client.err) ->
+      Format.eprintf "rawq client: %s@." (Server.Client.err_to_string e);
+      (match e.Server.Client.kind with
+       | Server.Client.Response_timeout -> 4
+       | _ -> 3)
     | Ok j ->
       if match J.member "ok" j with Some (J.Bool true) -> true | _ -> false
       then begin
@@ -647,27 +697,43 @@ let client_main socket do_ping do_stats do_shutdown query =
       "rawq client: nothing to do (pass SQL, --ping, --stats or --shutdown)@.";
     2
   end
-  else
-    match Server.Client.connect socket with
-    | exception Unix.Unix_error (e, _, _) ->
-      Format.eprintf "rawq client: cannot reach %s: %s@." socket
-        (Unix.error_message e);
-      3
-    | c ->
-      Fun.protect
-        ~finally:(fun () -> Server.Client.close c)
-        (fun () ->
-          List.fold_left
-            (fun rc action ->
-              if rc <> 0 then rc
-              else
-                one
-                  (match action with
-                  | `Ping -> Server.Client.ping c
-                  | `Query sql -> Server.Client.query c sql
-                  | `Stats -> Server.Client.stats c
-                  | `Shutdown -> Server.Client.shutdown c))
-            0 actions)
+  else begin
+    let run_action action c =
+      match action with
+      | `Ping -> Server.Client.ping c
+      | `Query sql -> Server.Client.query c sql
+      | `Stats -> Server.Client.stats c
+      | `Shutdown -> Server.Client.shutdown c
+    in
+    if retry > 0 then
+      (* one connection per attempt: with_retry only replays failures the
+         server provably never executed *)
+      let policy =
+        { Server.Client.default_retry with Server.Client.attempts = retry + 1 }
+      in
+      List.fold_left
+        (fun rc action ->
+          if rc <> 0 then rc
+          else
+            one
+              (Server.Client.with_retry ~policy ?connect_timeout
+                 ?request_timeout ~socket (run_action action)))
+        0 actions
+    else
+      match Server.Client.connect ?connect_timeout ?request_timeout socket with
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "rawq client: cannot reach %s: %s@." socket
+          (Unix.error_message e);
+        3
+      | c ->
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close c)
+          (fun () ->
+            List.fold_left
+              (fun rc action ->
+                if rc <> 0 then rc else one (run_action action c))
+              0 actions)
+  end
 
 let ping_arg =
   Arg.(value & flag
@@ -684,6 +750,27 @@ let shutdown_arg =
            ~doc:"Ask the server to shut down (after the query, if one is \
                  given).")
 
+let connect_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "connect-timeout" ] ~docv:"SECONDS"
+           ~doc:"Give up connecting after this long (default: wait \
+                 indefinitely).")
+
+let client_request_timeout_arg =
+  Arg.(value & opt (some float) None
+       & info [ "request-timeout" ] ~docv:"SECONDS"
+           ~doc:"Per round-trip budget: writing the request and waiting for \
+                 its response line. A blown budget exits 4.")
+
+let retry_arg =
+  Arg.(value & opt int 0
+       & info [ "retry" ] ~docv:"N"
+           ~doc:"Retry up to N extra times with seeded exponential backoff \
+                 — but only failures the server provably never executed: \
+                 connection refused/absent, or a code-5 shed response \
+                 carrying retry_after. Timeouts and mid-response drops are \
+                 ambiguous and never retried.")
+
 let client_cmd =
   Cmd.v
     (Cmd.info "client"
@@ -691,9 +778,10 @@ let client_cmd =
          "Send a query (and/or ping, stats, shutdown) to a running \
           $(b,rawq serve) over its Unix socket. Exit code mirrors the \
           server's error code: 0 ok, 1 parse/bind, 3 data/transport, 4 \
-          deadline, 5 overloaded.")
+          deadline/timeout, 5 overloaded.")
     Term.(
-      const client_main $ socket_arg $ ping_arg $ client_stats_arg
+      const client_main $ socket_arg $ connect_timeout_arg
+      $ client_request_timeout_arg $ retry_arg $ ping_arg $ client_stats_arg
       $ shutdown_arg $ query_arg)
 
 let cmd =

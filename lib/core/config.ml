@@ -17,6 +17,10 @@ type t = {
   history_max_bytes : int;
   approx : float option;
   approx_seed : int;
+  max_request_bytes : int;
+  request_timeout : float option;
+  idle_timeout : float option;
+  max_sessions : int option;
 }
 
 let default =
@@ -37,6 +41,10 @@ let default =
     history_max_bytes = 16 * 1024 * 1024;
     approx = None;
     approx_seed = 42;
+    max_request_bytes = 1024 * 1024;
+    request_timeout = Some 30.;
+    idle_timeout = Some 300.;
+    max_sessions = Some 256;
   }
 
 (* Validation happens once, at construction ({!Catalog.create} /
@@ -86,7 +94,25 @@ let validate t =
                 err "approx must be a number in (0, 1) (got nan)"
               | Some e when e <= 0. || e >= 1. ->
                 err "approx must be in (0, 1) exclusive (got %g)" e
-              | _ -> Ok t))))
+              | _ ->
+                if t.max_request_bytes < 1 then
+                  err "max_request_bytes must be >= 1 (got %d)"
+                    t.max_request_bytes
+                else (
+                  (* NaN timeouts would disarm every comparison below,
+                     wedging sessions forever — reject like approx does *)
+                  match t.request_timeout with
+                  | Some s when Float.is_nan s || s <= 0. ->
+                    err "request_timeout must be positive (got %g s)" s
+                  | _ -> (
+                    match t.idle_timeout with
+                    | Some s when Float.is_nan s || s <= 0. ->
+                      err "idle_timeout must be positive (got %g s)" s
+                    | _ -> (
+                      match t.max_sessions with
+                      | Some n when n < 1 ->
+                        err "max_sessions must be >= 1 (got %d)" n
+                      | _ -> Ok t)))))))
 
 let check t =
   match validate t with

@@ -78,6 +78,29 @@ type t = {
       (** seed of the morsel sampling order (default 42). The order — and
           therefore the approximate answer — is a pure function of
           [(seed, morsel count)], identical at every parallelism level. *)
+  max_request_bytes : int;
+      (** serving tier: longest request line {!Server} will buffer, in
+          bytes (terminator excluded; default 1 MiB). A longer line is
+          answered with a typed [too_large] error (code 2) and drained
+          without buffering — the session stays usable, memory stays
+          bounded. *)
+  request_timeout : float option;
+      (** serving tier: wall-clock budget, in seconds, for reading one
+          request line once its first byte has arrived (default 30 s).
+          A client that trickles bytes slower than this — the slow-loris
+          shape — is reaped with a [server.session_end.timeout_request]
+          account. [None] disables the check. *)
+  idle_timeout : float option;
+      (** serving tier: how long a session may sit between requests with
+          no bytes sent before it is reaped (default 300 s), counted under
+          [server.session_end.timeout_idle]. [None] keeps idle sessions
+          forever. *)
+  max_sessions : int option;
+      (** serving tier: cap on concurrent client sessions (default 256).
+          A connection past the cap is answered with one code-5 overload
+          line carrying a [retry_after] hint, then closed — load is shed
+          at the door instead of accumulating threads. [None] accepts
+          without bound. *)
 }
 
 val default : t

@@ -3,12 +3,150 @@
    socket I/O, the batcher does the engine work, and morsel parallelism
    inside a query still fans out to domains as usual. The batcher is the
    only thread that touches the engine, so the single-writer discipline
-   of the adaptive state needs no further locking here. *)
+   of the adaptive state needs no further locking here.
+
+   All session and client I/O goes through nonblocking fds with
+   select-based deadlines (Line_reader / write_all below) rather than
+   stdlib channels: input_line on a channel has no length bound and no
+   timeout, which is exactly the pair of holes a hostile client needs. *)
 
 open Raw_vector
 open Raw_storage
 module Metrics = Raw_obs.Metrics
 module Jsons = Raw_obs.Jsons
+module Decisions = Raw_obs.Decisions
+
+(* ------------------------------------------------------------------ *)
+(* Deadline-bounded fd I/O                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Line_reader = struct
+  type result =
+    | Line of string
+    | Too_large
+    | Eof of [ `Clean | `Mid_request ]
+    | Timed_out of [ `Idle | `Request ]
+    | Io_error of string
+
+  type t = {
+    fd : Unix.file_descr;
+    max_bytes : int;
+    idle_timeout : float option;
+    request_timeout : float option;
+    mutable pending : string; (* bytes received but not yet consumed *)
+  }
+
+  let make fd ~max_bytes ~idle_timeout ~request_timeout =
+    { fd; max_bytes; idle_timeout; request_timeout; pending = "" }
+
+  let chunk_size = 65536
+
+  (* One call = one line (or a terminal condition). The newline scan runs
+     before the length check so a line of exactly [max_bytes] is accepted
+     even when it arrives batched with following bytes; only once the
+     buffer exceeds [max_bytes] with no newline in sight do we drop it
+     and drain to the next newline — user-space memory stays bounded by
+     [max_bytes + chunk_size] no matter what the peer sends. The idle
+     deadline runs from the start of the wait, the request deadline from
+     the request's first byte, so a one-byte-per-second drip trips one or
+     the other. *)
+  let next t =
+    let start = Unix.gettimeofday () in
+    let first_byte = ref (if t.pending = "" then None else Some start) in
+    let overflowed = ref false in
+    let rec refill () =
+      let now = Unix.gettimeofday () in
+      let limit, phase =
+        match !first_byte with
+        | None -> (Option.map (fun s -> start +. s) t.idle_timeout, `Idle)
+        | Some tb -> (Option.map (fun s -> tb +. s) t.request_timeout, `Request)
+      in
+      match limit with
+      | Some d when now >= d -> Timed_out phase
+      | _ -> (
+        let tick =
+          match limit with
+          | None -> 0.5
+          | Some d -> Float.min 0.5 (Float.max 0. (d -. now))
+        in
+        match Unix.select [ t.fd ] [] [] tick with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> refill ()
+        | [], _, _ -> refill ()
+        | _ -> (
+          let bytes = Bytes.create chunk_size in
+          match Unix.read t.fd bytes 0 chunk_size with
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            refill ()
+          | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _)
+            ->
+            Eof (if t.pending = "" && not !overflowed then `Clean else `Mid_request)
+          | exception Unix.Unix_error (e, _, _) ->
+            Io_error (Unix.error_message e)
+          | 0 ->
+            Eof (if t.pending = "" && not !overflowed then `Clean else `Mid_request)
+          | n ->
+            if !first_byte = None then first_byte := Some (Unix.gettimeofday ());
+            t.pending <- t.pending ^ Bytes.sub_string bytes 0 n;
+            scan ()))
+    and scan () =
+      match String.index_opt t.pending '\n' with
+      | Some i ->
+        let line = String.sub t.pending 0 i in
+        let line =
+          if i > 0 && line.[i - 1] = '\r' then String.sub line 0 (i - 1)
+          else line
+        in
+        t.pending <-
+          String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+        if !overflowed || String.length line > t.max_bytes then Too_large
+        else Line line
+      | None ->
+        if String.length t.pending > t.max_bytes then begin
+          overflowed := true;
+          t.pending <- ""
+        end;
+        refill ()
+    in
+    scan ()
+end
+
+(* Write the whole string or say why not; a peer that stops reading runs
+   into the deadline instead of wedging the writer forever. *)
+let write_all fd s ~timeout =
+  let deadline = Option.map (fun t -> Unix.gettimeofday () +. t) timeout in
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      let now = Unix.gettimeofday () in
+      match deadline with
+      | Some d when now >= d -> Error "write timed out"
+      | _ -> (
+        let tick =
+          match deadline with
+          | None -> 0.5
+          | Some d -> Float.min 0.5 (Float.max 0. (d -. now))
+        in
+        match Unix.select [] [ fd ] [] tick with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | _, [], _ -> go off
+        | _ -> (
+          match Unix.write_substring fd s off (len - off) with
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            go off
+          | exception Unix.Unix_error (e, _, _) ->
+            Error (Unix.error_message e)
+          | n -> go (off + n)))
+  in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+(* ------------------------------------------------------------------ *)
 
 type outcome =
   | Rows of {
@@ -19,7 +157,14 @@ type outcome =
       shared : bool;
       approx : Approx.info option;
     }
-  | Err of { code : int; message : string }
+  | Err of {
+      code : int;
+      kind : string option;
+      message : string;
+      retry_after : float option;
+    }
+
+let err ?kind ?retry_after code message = Err { code; kind; message; retry_after }
 
 type pending = {
   sql : string;
@@ -33,12 +178,22 @@ type t = {
   batch_window : float;
   max_pending : int;
   cache_results : bool;
+  (* armor knobs, copied out of the db's Config at serve time *)
+  max_request_bytes : int;
+  request_timeout : float option;
+  idle_timeout : float option;
+  max_sessions : int option;
+  log : Decisions.handle; (* always-on armor audit log *)
   qm : Mutex.t;
   qc : Condition.t;
   mutable queue : pending list; (* newest first *)
   mutable stopping : bool;
   mutable session_fds : (int * Unix.file_descr) list;
 }
+
+(* the hint we attach to shed responses: long enough to clear a batch
+   window, never silly-small *)
+let retry_hint t = Float.max (4. *. t.batch_window) 0.05
 
 (* ------------------------------------------------------------------ *)
 (* Outcomes                                                            *)
@@ -47,33 +202,29 @@ type t = {
 (* Error codes mirror the CLI exit codes (bin/rawq.ml): 1 parse/bind,
    2 bad request, 3 data error, 4 deadline/cancelled, 5 overloaded. *)
 let outcome_of_exn = function
-  | Raw_sql.Parser.Error msg -> Err { code = 1; message = "parse error: " ^ msg }
-  | Sql_binder.Bind_error msg -> Err { code = 1; message = "bind error: " ^ msg }
+  | Raw_sql.Parser.Error msg -> err 1 ("parse error: " ^ msg)
+  | Sql_binder.Bind_error msg -> err 1 ("bind error: " ^ msg)
   | Scan_errors.Error e ->
-    Err
-      {
-        code = 3;
-        message =
-          Printf.sprintf "data error: %s at byte %d" e.Scan_errors.cause
-            e.Scan_errors.offset;
-      }
-  | Resource_error.Deadline_exceeded _ ->
-    Err { code = 4; message = "deadline exceeded" }
-  | Resource_error.Cancelled _ -> Err { code = 4; message = "cancelled" }
+    err 3
+      (Printf.sprintf "data error: %s at byte %d" e.Scan_errors.cause
+         e.Scan_errors.offset)
+  | Resource_error.Deadline_exceeded _ -> err 4 "deadline exceeded"
+  | Resource_error.Cancelled _ -> err 4 "cancelled"
   | Resource_error.Overloaded { active; limit } ->
-    Err
-      {
-        code = 5;
-        message =
-          Printf.sprintf "overloaded: %d active (limit %d); retry later" active
-            limit;
-      }
-  | e -> Err { code = 3; message = Printexc.to_string e }
+    (* admission rejects before executing anything, so a retry is safe *)
+    err ~kind:"overloaded" ~retry_after:0.05 5
+      (Printf.sprintf "overloaded: %d active (limit %d); retry later" active
+         limit)
+  | e -> err 3 (Printexc.to_string e)
 
+(* idempotent: the first outcome wins, so the shared-scan fallback can
+   re-run a group member without ever double-answering it *)
 let fulfill p o =
   Mutex.protect p.pm (fun () ->
-      p.outcome <- Some o;
-      Condition.signal p.pc)
+      if p.outcome = None then begin
+        p.outcome <- Some o;
+        Condition.signal p.pc
+      end)
 
 let await p =
   Mutex.protect p.pm (fun () ->
@@ -134,8 +285,17 @@ let run_shared t members =
              }))
       members group.Shared_scan.results
   | exception e ->
-    let o = outcome_of_exn e in
-    List.iter (fun (p, _, _) -> fulfill p o) members
+    (* one poisoned member must not take the group down with it: replay
+       the members individually so each gets its own verdict (the
+       poisoned one fails alone, the rest still answer) *)
+    Metrics.incr Metrics.server_shared_fallbacks;
+    Decisions.record_into t.log ~site:"server.shared_scan"
+      ~choice:"fallback_individual"
+      [
+        ("members", string_of_int (List.length members));
+        ("error", Printexc.to_string e);
+      ];
+    List.iter (run_individual t) members
 
 let process_batch t batch =
   (* bind through the statement cache; bind errors answer immediately *)
@@ -232,12 +392,36 @@ let batcher_loop t =
            (* the batcher must survive anything: fail the batch, not the
               server *)
            let o = outcome_of_exn e in
-           List.iter (fun p -> if p.outcome = None then fulfill p o) batch);
+           List.iter (fun p -> fulfill p o) batch);
       loop ()
     end
     (* stopping and drained: exit *)
   in
   loop ()
+
+(* Watchdog around the batcher: if anything escapes the per-batch guard
+   above (it should not, but the serving tier assumes it will), fail the
+   orphaned requests, count the restart, and relaunch the loop — the
+   process never dies with client requests parked on the queue. *)
+let rec batcher_supervisor t =
+  match batcher_loop t with
+  | () -> ()
+  | exception e ->
+    Metrics.incr Metrics.server_batcher_restarts;
+    Decisions.record_into t.log ~site:"server.watchdog"
+      ~choice:"batcher_restart"
+      [ ("error", Printexc.to_string e) ];
+    Printf.eprintf "rawq serve: batcher restarted after: %s\n%!"
+      (Printexc.to_string e);
+    let orphans =
+      Mutex.protect t.qm (fun () ->
+          let q = t.queue in
+          t.queue <- [];
+          q)
+    in
+    let o = outcome_of_exn e in
+    List.iter (fun p -> fulfill p o) orphans;
+    if not (Mutex.protect t.qm (fun () -> t.stopping)) then batcher_supervisor t
 
 (* ------------------------------------------------------------------ *)
 (* Wire protocol                                                       *)
@@ -306,18 +490,25 @@ let response_of_outcome id = function
       @ match approx with
         | None -> []
         | Some info -> [ ("approx", json_of_approx info) ])
-  | Err { code; message } ->
+  | Err { code; kind; message; retry_after } ->
     Metrics.incr Metrics.server_errors;
     Jsons.Obj
-      [
+      ([
         ("id", id);
         ("ok", Jsons.Bool false);
         ("code", Jsons.Int code);
         ("error", Jsons.Str message);
       ]
+      @ (match kind with None -> [] | Some k -> [ ("kind", Jsons.Str k) ])
+      @
+      match retry_after with
+      | None -> []
+      | Some s -> [ ("retry_after", Jsons.Float s) ])
 
-let submit t sql =
-  let p = { sql; pm = Mutex.create (); pc = Condition.create (); outcome = None } in
+let submit t session_id sql =
+  let p =
+    { sql; pm = Mutex.create (); pc = Condition.create (); outcome = None }
+  in
   let accepted =
     Mutex.protect t.qm (fun () ->
         if t.stopping then `Stopping
@@ -330,22 +521,32 @@ let submit t sql =
   in
   match accepted with
   | `Queued -> await p
-  | `Stopping -> Err { code = 5; message = "server is shutting down" }
+  | `Stopping -> err ~kind:"shutting_down" 5 "server is shutting down"
   | `Full ->
-    Err
-      {
-        code = 5;
-        message =
-          Printf.sprintf "overloaded: %d requests queued; retry later"
-            t.max_pending;
-      }
+    Metrics.incr Metrics.server_shed_requests;
+    Decisions.record_into t.log ~site:"server.shed" ~choice:"queue_full"
+      [
+        ("session", string_of_int session_id);
+        ("max_pending", string_of_int t.max_pending);
+      ];
+    err ~kind:"overloaded" ~retry_after:(retry_hint t) 5
+      (Printf.sprintf "overloaded: %d requests queued; retry later"
+         t.max_pending)
 
-let stats_response id =
+let stats_response t id =
   let interesting (k, _) =
     String.starts_with ~prefix:"server." k
     || String.starts_with ~prefix:"cache." k
     || String.starts_with ~prefix:"gov." k
     || String.starts_with ~prefix:"history." k
+  in
+  (* last few armor records: why recent connections were shed/reaped *)
+  let recent =
+    let all = Decisions.records t.log in
+    let rec drop k l =
+      match l with _ :: tl when k > 0 -> drop (k - 1) tl | l -> l
+    in
+    drop (List.length all - 32) all
   in
   Jsons.Obj
     [
@@ -357,12 +558,26 @@ let stats_response id =
           (Io_stats.snapshot ()
           |> List.filter interesting
           |> List.map (fun (k, v) -> (k, Jsons.Float v))) );
+      ( "armor",
+        Jsons.List
+          (List.map
+             (fun (r : Decisions.record) ->
+               Jsons.Obj
+                 [
+                   ("site", Jsons.Str r.Decisions.site);
+                   ("choice", Jsons.Str r.Decisions.choice);
+                   ( "inputs",
+                     Jsons.Obj
+                       (List.map
+                          (fun (k, v) -> (k, Jsons.Str v))
+                          r.Decisions.inputs) );
+                 ])
+             recent) );
     ]
 
 (* Shut down: stop accepting, wake the batcher (it drains the queue and
-   exits), and half-close every session socket so blocked [input_line]
-   calls return EOF. Responses in flight still go out: only the receive
-   side is shut. *)
+   exits), and half-close every session socket so blocked reads return
+   EOF. Responses in flight still go out: only the receive side is shut. *)
 let initiate_stop t =
   Mutex.protect t.qm (fun () ->
       if not t.stopping then begin
@@ -374,87 +589,146 @@ let initiate_stop t =
           t.session_fds
       end)
 
-let register_session t id fd =
-  Mutex.protect t.qm (fun () ->
-      t.session_fds <- (id, fd) :: t.session_fds;
-      if t.stopping then (try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ()))
-
 let unregister_session t id =
   Mutex.protect t.qm (fun () ->
       t.session_fds <- List.filter (fun (i, _) -> i <> id) t.session_fds)
 
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* The session fd is already registered by the accept loop (registration
+   must happen under the same lock as the session-cap check, or a burst
+   of connections races past the cap). *)
 let handle_session t session_id fd =
   Metrics.incr Metrics.server_connections;
-  register_session t session_id fd;
-  let ic = Unix.in_channel_of_descr fd in
-  let oc = Unix.out_channel_of_descr fd in
-  let send j =
-    output_string oc (Jsons.to_string j);
-    output_char oc '\n';
-    flush oc
+  Unix.set_nonblock fd;
+  let reader =
+    Line_reader.make fd ~max_bytes:t.max_request_bytes
+      ~idle_timeout:t.idle_timeout ~request_timeout:t.request_timeout
   in
+  (* response writes share the request-timeout budget: a client that
+     sends but never reads is a write-side slow loris *)
+  let send j =
+    write_all fd (Jsons.to_string j ^ "\n") ~timeout:t.request_timeout
+  in
+  let reply j k = match send j with Ok () -> k | Error _ -> `Write_error in
   let handle line =
     match Jsons.parse line with
     | Error e ->
-      send
-        (Jsons.Obj
-           [
-             ("ok", Jsons.Bool false);
-             ("code", Jsons.Int 2);
-             ("error", Jsons.Str ("bad request: " ^ e));
-           ]);
-      Metrics.incr Metrics.server_errors;
-      `Continue
+      reply
+        (response_of_outcome Jsons.Null (err 2 ("bad request: " ^ e)))
+        `Continue
     | Ok j -> (
       let id = Option.value (Jsons.member "id" j) ~default:Jsons.Null in
       match (Jsons.member "op" j, Jsons.member "sql" j) with
       | Some (Jsons.Str "ping"), _ ->
-        send (Jsons.Obj [ ("id", id); ("ok", Jsons.Bool true); ("op", Jsons.Str "ping") ]);
-        `Continue
-      | Some (Jsons.Str "stats"), _ ->
-        send (stats_response id);
-        `Continue
-      | Some (Jsons.Str "shutdown"), _ ->
-        send
+        reply
           (Jsons.Obj
-             [ ("id", id); ("ok", Jsons.Bool true); ("op", Jsons.Str "shutdown") ]);
-        initiate_stop t;
-        `Stop
+             [ ("id", id); ("ok", Jsons.Bool true); ("op", Jsons.Str "ping") ])
+          `Continue
+      | Some (Jsons.Str "stats"), _ -> reply (stats_response t id) `Continue
+      | Some (Jsons.Str "shutdown"), _ -> (
+        match
+          send
+            (Jsons.Obj
+               [
+                 ("id", id);
+                 ("ok", Jsons.Bool true);
+                 ("op", Jsons.Str "shutdown");
+               ])
+        with
+        | Ok () ->
+          initiate_stop t;
+          `Stop
+        | Error _ ->
+          initiate_stop t;
+          `Write_error)
       | _, Some (Jsons.Str sql) ->
         Metrics.incr Metrics.server_requests;
         Io_stats.incr (Printf.sprintf "server.session%d.requests" session_id);
-        send (response_of_outcome id (submit t sql));
-        `Continue
+        reply (response_of_outcome id (submit t session_id sql)) `Continue
       | _ ->
-        send
-          (Jsons.Obj
-             [
-               ("id", id);
-               ("ok", Jsons.Bool false);
-               ("code", Jsons.Int 2);
-               ("error", Jsons.Str "request needs \"sql\" or \"op\"");
-             ]);
-        Metrics.incr Metrics.server_errors;
-        `Continue)
+        reply
+          (response_of_outcome id (err 2 "request needs \"sql\" or \"op\""))
+          `Continue)
+  in
+  let reap choice =
+    Decisions.record_into t.log ~site:"server.reap" ~choice
+      [
+        ("session", string_of_int session_id);
+        ( "limit_seconds",
+          match
+            if choice = "idle" then t.idle_timeout else t.request_timeout
+          with
+          | Some s -> Printf.sprintf "%g" s
+          | None -> "none" );
+      ]
   in
   let rec loop () =
-    match input_line ic with
-    | exception (End_of_file | Sys_error _) -> ()
-    | exception Unix.Unix_error _ -> ()
-    | line -> (
+    match Line_reader.next reader with
+    | Line line ->
       if String.trim line = "" then loop ()
-      else
+      else (
         match handle line with
         | `Continue -> loop ()
-        | `Stop -> ()
-        | exception _ -> () (* client went away mid-response *))
+        | `Stop -> "clean"
+        | `Write_error -> "write_error")
+    | Too_large ->
+      (* typed response, session stays usable: the oversized line was
+         drained, the next line parses normally *)
+      Metrics.incr Metrics.server_too_large;
+      Decisions.record_into t.log ~site:"server.protocol" ~choice:"too_large"
+        [
+          ("session", string_of_int session_id);
+          ("limit_bytes", string_of_int t.max_request_bytes);
+        ];
+      (match
+         send
+           (response_of_outcome Jsons.Null
+              (err ~kind:"too_large" 2
+                 (Printf.sprintf
+                    "request line exceeds max_request_bytes (%d)"
+                    t.max_request_bytes)))
+       with
+      | Ok () -> loop ()
+      | Error _ -> "write_error")
+    | Eof `Clean -> "clean"
+    | Eof `Mid_request -> "eof_mid_request"
+    | Timed_out `Idle ->
+      reap "idle";
+      "timeout_idle"
+    | Timed_out `Request ->
+      reap "request_timeout";
+      "timeout_request"
+    | Io_error msg ->
+      Printf.eprintf "rawq serve: session %d read error: %s\n%!" session_id
+        msg;
+      "error"
   in
-  loop ();
+  let cause = try loop () with _ -> "error" in
+  Io_stats.incr ("server.session_end." ^ cause);
+  if cause <> "clean" then
+    Printf.eprintf "rawq serve: session %d ended: %s\n%!" session_id cause;
   unregister_session t session_id;
   (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
-  (* closing the input channel closes the shared fd; the out channel is
-     already flushed and must not be used past this point *)
-  close_in_noerr ic
+  try Unix.close fd with _ -> ()
+
+(* Past the session cap a connection gets exactly one line — code 5 with
+   a retry hint — and the door closed; it never gets a session thread
+   that could hold engine-side state. *)
+let shed_session t fd =
+  Unix.set_nonblock fd;
+  let line =
+    Jsons.to_string
+      (response_of_outcome Jsons.Null
+         (err ~kind:"overloaded" ~retry_after:(retry_hint t) 5
+            "overloaded: session limit reached; retry later"))
+    ^ "\n"
+  in
+  ignore (write_all fd line ~timeout:(Some 1.0));
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+  try Unix.close fd with _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop                                                         *)
@@ -466,12 +740,18 @@ let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cfg = Catalog.config (Raw_db.catalog db) in
   let t =
     {
       db;
       batch_window;
       max_pending;
       cache_results;
+      max_request_bytes = cfg.Config.max_request_bytes;
+      request_timeout = cfg.Config.request_timeout;
+      idle_timeout = cfg.Config.idle_timeout;
+      max_sessions = cfg.Config.max_sessions;
+      log = Decisions.create ~cap:65536 ();
       qm = Mutex.create ();
       qc = Condition.create ();
       queue = [];
@@ -486,25 +766,68 @@ let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
     (fun () ->
       Unix.bind listener (Unix.ADDR_UNIX socket_path);
       Unix.listen listener 64;
-      let batcher = Thread.create batcher_loop t in
+      let batcher = Thread.create batcher_supervisor t in
       let sessions = ref [] in
       let next_session = ref 0 in
-      let rec accept_loop () =
+      let rec accept_loop backoff =
         if not (Mutex.protect t.qm (fun () -> t.stopping)) then begin
-          (match Unix.select [ listener ] [] [] 0.25 with
-          | [], _, _ -> ()
+          match Unix.select [ listener ] [] [] 0.25 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop backoff
+          | [], _, _ -> accept_loop backoff
           | _ -> (
             match Unix.accept listener with
+            | exception
+                Unix.Unix_error
+                  ( ( Unix.EINTR | Unix.ECONNABORTED | Unix.EAGAIN
+                    | Unix.EWOULDBLOCK ),
+                    _,
+                    _ ) ->
+              accept_loop backoff
+            | exception
+                Unix.Unix_error
+                  ( (Unix.EMFILE | Unix.ENFILE | Unix.ENOBUFS | Unix.ENOMEM)
+                    as e,
+                    _,
+                    _ ) ->
+              (* fd exhaustion is weather, not a crash: back off and let
+                 sessions drain fds back to us *)
+              Metrics.incr Metrics.server_accept_retries;
+              Printf.eprintf "rawq serve: accept: %s; backing off %.2fs\n%!"
+                (Unix.error_message e) backoff;
+              Thread.delay backoff;
+              accept_loop (Float.min 1.0 (backoff *. 2.))
             | fd, _ ->
               incr next_session;
               let id = !next_session in
-              sessions := Thread.create (handle_session t id) fd :: !sessions
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-          accept_loop ()
+              let admitted =
+                Mutex.protect t.qm (fun () ->
+                    match t.max_sessions with
+                    | Some cap when List.length t.session_fds >= cap -> false
+                    | _ ->
+                      t.session_fds <- (id, fd) :: t.session_fds;
+                      if t.stopping then (
+                        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+                        with _ -> ());
+                      true)
+              in
+              if admitted then
+                sessions := Thread.create (handle_session t id) fd :: !sessions
+              else begin
+                Metrics.incr Metrics.server_shed_sessions;
+                Decisions.record_into t.log ~site:"server.shed"
+                  ~choice:"session_cap"
+                  [
+                    ( "max_sessions",
+                      match t.max_sessions with
+                      | Some n -> string_of_int n
+                      | None -> "none" );
+                  ];
+                sessions := Thread.create (shed_session t) fd :: !sessions
+              end;
+              accept_loop 0.05)
         end
       in
-      accept_loop ();
+      accept_loop 0.05;
       (* drain: the batcher exits once the queue is empty, sessions exit
          on the half-closed sockets *)
       Mutex.protect t.qm (fun () -> Condition.broadcast t.qc);
@@ -516,26 +839,78 @@ let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
 (* ------------------------------------------------------------------ *)
 
 module Client = struct
-  type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+  type conn = {
+    fd : Unix.file_descr;
+    reader : Line_reader.t;
+    request_timeout : float option;
+  }
 
-  let connect socket_path =
+  type err_kind = Refused | Send_failed | Response_timeout | Closed_mid_response | Bad_frame
+  type err = { kind : err_kind; detail : string }
+
+  let err_to_string e =
+    let k =
+      match e.kind with
+      | Refused -> "connection refused"
+      | Send_failed -> "send failed"
+      | Response_timeout -> "response timed out"
+      | Closed_mid_response -> "connection closed mid-response"
+      | Bad_frame -> "bad response frame"
+    in
+    if e.detail = "" then k else k ^ ": " ^ e.detail
+
+  let connect ?connect_timeout ?request_timeout socket_path =
+    (* a server vanishing mid-write must not kill the client either *)
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+    (try
+       match connect_timeout with
+       | None -> Unix.connect fd (Unix.ADDR_UNIX socket_path)
+       | Some limit -> (
+         Unix.set_nonblock fd;
+         try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+         with Unix.Unix_error
+             ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> (
+           match Unix.select [] [ fd ] [] limit with
+           | _, [], _ ->
+             raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", socket_path))
+           | _ -> (
+             match Unix.getsockopt_error fd with
+             | None -> ()
+             | Some e -> raise (Unix.Unix_error (e, "connect", socket_path)))))
      with e ->
        (try Unix.close fd with Unix.Unix_error _ -> ());
        raise e);
-    { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+    Unix.set_nonblock fd;
+    {
+      fd;
+      (* responses can be arbitrarily large result sets: no line bound on
+         the client side, just the deadlines *)
+      reader =
+        Line_reader.make fd ~max_bytes:Sys.max_string_length
+          ~idle_timeout:request_timeout ~request_timeout;
+      request_timeout;
+    }
 
   let rpc c request =
-    output_string c.oc (Jsons.to_string request);
-    output_char c.oc '\n';
-    flush c.oc;
-    match input_line c.ic with
-    | line -> (
-      match Jsons.parse line with
-      | Ok j -> Ok j
-      | Error e -> Error ("bad server response: " ^ e))
-    | exception End_of_file -> Error "server closed the connection"
+    let line = Jsons.to_string request ^ "\n" in
+    match write_all c.fd line ~timeout:c.request_timeout with
+    | Error detail ->
+      Metrics.incr Metrics.server_client_send_errors;
+      Error { kind = Send_failed; detail }
+    | Ok () -> (
+      match Line_reader.next c.reader with
+      | Line l -> (
+        match Jsons.parse l with
+        | Ok j -> Ok j
+        | Error e -> Error { kind = Bad_frame; detail = e })
+      | Too_large -> Error { kind = Bad_frame; detail = "oversized response" }
+      | Eof _ ->
+        Error
+          { kind = Closed_mid_response; detail = "server closed the connection" }
+      | Timed_out _ -> Error { kind = Response_timeout; detail = "" }
+      | Io_error d -> Error { kind = Closed_mid_response; detail = d })
 
   let query ?id c sql =
     let id = match id with Some i -> Jsons.Int i | None -> Jsons.Null in
@@ -546,7 +921,70 @@ module Client = struct
   let shutdown c = rpc c (Jsons.Obj [ ("op", Jsons.Str "shutdown") ])
 
   let close c =
-    (try flush c.oc with Sys_error _ -> ());
     (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    close_in_noerr c.ic
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  type retry_policy = {
+    attempts : int;
+    base_delay : float;
+    max_delay : float;
+    seed : int;
+  }
+
+  let default_retry =
+    { attempts = 4; base_delay = 0.05; max_delay = 2.0; seed = 0x5eed }
+
+  (* The only response worth retrying: ok:false, code 5, with an explicit
+     retry_after — the server is saying "I shed this before running it". *)
+  let retryable_response = function
+    | Error _ -> None
+    | Ok j -> (
+      match
+        (Jsons.member "ok" j, Jsons.member "code" j, Jsons.member "retry_after" j)
+      with
+      | Some (Jsons.Bool false), Some (Jsons.Int 5), Some hint -> (
+        match hint with
+        | Jsons.Float f -> Some f
+        | Jsons.Int n -> Some (float_of_int n)
+        | _ -> Some 0.)
+      | _ -> None)
+
+  let with_retry ?(policy = default_retry) ?connect_timeout ?request_timeout
+      ~socket f =
+    let stream = Net_fault.Stream.make ~seed:policy.seed in
+    let rec attempt k =
+      let backoff () =
+        Float.min policy.max_delay
+          (policy.base_delay *. (2. ** float_of_int k))
+        *. Net_fault.Stream.jitter stream
+      in
+      (* None = out of attempts, caller keeps the terminal result *)
+      let retry hint =
+        if k + 1 >= policy.attempts then None
+        else begin
+          Metrics.incr Metrics.server_client_retries;
+          Thread.delay (Float.max hint (backoff ()));
+          Some (attempt (k + 1))
+        end
+      in
+      match connect ?connect_timeout ?request_timeout socket with
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT) as e, _, _)
+        -> (
+        match retry 0. with
+        | Some r -> r
+        | None -> Error { kind = Refused; detail = Unix.error_message e })
+      | exception Unix.Unix_error (e, fn, _) ->
+        Error
+          {
+            kind = Refused;
+            detail = Printf.sprintf "%s (%s)" (Unix.error_message e) fn;
+          }
+      | c -> (
+        let result = Fun.protect ~finally:(fun () -> close c) (fun () -> f c) in
+        match retryable_response result with
+        | Some hint -> (
+          match retry hint with Some r -> r | None -> result)
+        | None -> result)
+    in
+    attempt 0
 end

@@ -21,9 +21,45 @@
     ["bound"] (95% CI half-width) and ["relative"] (non-finite values
     serialize as [null]). Approximate results are never served from the
     result cache and never fold into a shared scan — each run re-samples.
-    Errors carry ["code"]
-    mirroring the CLI exit codes (1 parse/bind, 2 bad request, 3 data,
-    4 deadline/cancelled, 5 overloaded) and ["error"].
+    Errors carry ["code"] mirroring the CLI exit codes (1 parse/bind, 2
+    bad request, 3 data, 4 deadline/cancelled, 5 overloaded), ["error"],
+    and for machine classification optionally ["kind"] (e.g.
+    ["too_large"], ["overloaded"], ["shutting_down"]) and
+    ["retry_after"] — a float hint, in seconds, that the request was shed
+    by a transient cap and is worth retrying after that long.
+
+    {b Failure model (protocol armor).} The server assumes every client
+    is slow, hostile, or both; the armor knobs live in {!Config}:
+    - a request line is buffered at most [Config.max_request_bytes]
+      deep; a longer line is answered with a typed [too_large] error
+      (code 2, ["kind":"too_large"]) and drained without buffering — the
+      session stays usable for its next request and memory stays bounded;
+    - once a request's first byte arrives the rest must follow within
+      [Config.request_timeout], and a session may idle between requests
+      at most [Config.idle_timeout] — a one-byte-per-second slow-loris
+      is reaped by whichever limit it trickles into, and response writes
+      to a client that stops reading share the request-timeout budget;
+    - at most [Config.max_sessions] sessions run concurrently; a
+      connection past the cap receives one code-5 line with
+      ["retry_after"] and is closed (shed at the door, counted under
+      [server.shed_sessions]). Past [max_pending] queued requests the
+      response is the same shed shape ([server.shed_requests]).
+      Per-session in-flight is structurally 1: a session's requests are
+      read and answered strictly in order, so pipelined bytes wait in
+      the kernel buffer and user-space buffering stays bounded by
+      [max_request_bytes];
+    - [accept] failures from fd exhaustion ([EMFILE]/[ENFILE]...) back
+      off exponentially instead of crashing ([server.accept_retries]);
+    - the batcher thread runs under a watchdog: an escaped exception
+      fails the in-flight requests — never the process — and the thread
+      is relaunched ([server.batcher_restarts]); a shared-scan group
+      that raises is replayed member-by-member so only the poisoned
+      request fails ([server.shared_fallbacks]).
+
+    Every armor event is also recorded into a server-owned
+    {!Raw_obs.Decisions} handle (sites [server.shed], [server.reap],
+    [server.protocol], [server.watchdog], [server.shared_scan]); the
+    [stats] op returns the most recent records alongside the counters.
 
     {b Execution model.} Each accepted session gets a thread that parses
     requests and blocks per query; queries funnel into a single batcher
@@ -43,8 +79,12 @@
 
     Counters: [server.connections], [server.requests], [server.errors],
     [server.batches], [server.batched_queries], per-session
-    [server.session<i>.requests], and the [cache.*] family from
-    {!Stmt_cache}. *)
+    [server.session<i>.requests], the armor family ([server.too_large],
+    [server.shed_sessions], [server.shed_requests],
+    [server.accept_retries], [server.shared_fallbacks],
+    [server.batcher_restarts], [server.session_end.<cause>]), and the
+    [cache.*] family from {!Stmt_cache}. Abnormal session ends are also
+    logged to stderr with their session id and cause. *)
 
 val serve :
   ?batch_window:float ->
@@ -57,29 +97,85 @@ val serve :
     block until a client requests shutdown. [batch_window] (seconds,
     default 2 ms) is the shared-scan batching window — 0 disables
     batching delay; [max_pending] (default 1024) bounds the queue, beyond
-    which requests are rejected with code 5; [cache_results] (default
-    [true]) enables the result cache. Raises [Unix.Unix_error] if the
-    socket cannot be bound. *)
+    which requests are rejected with code 5 and a [retry_after] hint;
+    [cache_results] (default [true]) enables the result cache. The armor
+    knobs ([max_request_bytes], [request_timeout], [idle_timeout],
+    [max_sessions]) come from the database's {!Config}. Raises
+    [Unix.Unix_error] if the socket cannot be bound. *)
 
 (** A minimal client for the line protocol — what [rawq client], the
     throughput bench and the tests use. Not thread-safe; use one
-    connection per thread. *)
+    connection per thread.
+
+    Transport failures are typed so a retry layer can classify them:
+    only {!Refused} (the server was never reached) and an overload
+    response carrying [retry_after] are known-idempotent-safe to retry;
+    a {!Closed_mid_response} or {!Response_timeout} is ambiguous — the
+    server may have executed the request — and is never retried by
+    {!with_retry}. *)
 module Client : sig
   type conn
 
-  val connect : string -> conn
-  (** Raises [Unix.Unix_error] if the socket cannot be reached. *)
+  (** Why a round trip failed, from the client's point of view. *)
+  type err_kind =
+    | Refused
+        (** the connection could not be established — the server was
+            never reached, so retrying is always safe *)
+    | Send_failed
+        (** the request could not be written; counted under
+            [server.client.send_errors] *)
+    | Response_timeout  (** no complete response line within the budget *)
+    | Closed_mid_response
+        (** the connection dropped before a full response line arrived *)
+    | Bad_frame  (** the response line was not valid JSON *)
 
-  val query : ?id:int -> conn -> string -> (Raw_obs.Jsons.t, string) result
+  type err = { kind : err_kind; detail : string }
+
+  val err_to_string : err -> string
+
+  val connect : ?connect_timeout:float -> ?request_timeout:float -> string -> conn
+  (** Raises [Unix.Unix_error] if the socket cannot be reached —
+      [ETIMEDOUT] if [connect_timeout] (seconds) elapses first.
+      [request_timeout] (seconds, default none) bounds each later round
+      trip on this connection: the write of the request and the wait for
+      its response line. *)
+
+  val query : ?id:int -> conn -> string -> (Raw_obs.Jsons.t, err) result
   (** One request/response round trip; [Error] means a transport or
       framing failure (server-side query errors come back as [Ok]
       responses with ["ok": false]). *)
 
-  val ping : conn -> (Raw_obs.Jsons.t, string) result
-  val stats : conn -> (Raw_obs.Jsons.t, string) result
+  val ping : conn -> (Raw_obs.Jsons.t, err) result
+  val stats : conn -> (Raw_obs.Jsons.t, err) result
 
-  val shutdown : conn -> (Raw_obs.Jsons.t, string) result
+  val shutdown : conn -> (Raw_obs.Jsons.t, err) result
   (** Ask the server to shut down (acknowledged before it stops). *)
 
   val close : conn -> unit
+
+  (** Seeded exponential backoff for the two retryable failure classes. *)
+  type retry_policy = {
+    attempts : int;  (** total attempts, including the first *)
+    base_delay : float;  (** first backoff, seconds *)
+    max_delay : float;  (** backoff cap, seconds *)
+    seed : int;  (** jitter stream seed ({!Raw_storage.Net_fault.Stream}) *)
+  }
+
+  val default_retry : retry_policy
+  (** 4 attempts, 50 ms base doubling to a 2 s cap. *)
+
+  val with_retry :
+    ?policy:retry_policy ->
+    ?connect_timeout:float ->
+    ?request_timeout:float ->
+    socket:string ->
+    (conn -> (Raw_obs.Jsons.t, err) result) ->
+    (Raw_obs.Jsons.t, err) result
+  (** Connect, run the request, close; on a retryable failure — connect
+      refused/absent, or an [ok:false] code-5 response carrying
+      [retry_after] — sleep [max retry_after backoff] scaled by a seeded
+      jitter in [0.5, 1.5) and try again, up to [policy.attempts] total.
+      Anything ambiguous (send failure, timeout, mid-response drop) is
+      returned as-is, never retried. Retries are counted under
+      [server.client.retries]. *)
 end

@@ -288,6 +288,43 @@ let server_session =
   counter "server.session" ~family:true
     ~help:"Per-session request attribution (server.session<i>.requests)"
 
+let server_session_end =
+  counter "server.session_end" ~family:true
+    ~help:"Session teardown causes (server.session_end.clean / .eof_mid_request / \
+           .timeout_idle / .timeout_request / .write_error / .error)"
+
+let server_too_large =
+  counter "server.too_large"
+    ~help:"Request lines rejected (and drained unbuffered) for exceeding max_request_bytes"
+
+let server_shed_sessions =
+  counter "server.shed_sessions"
+    ~help:"Connections refused at the max_sessions cap with an overload + retry_after line"
+
+let server_shed_requests =
+  counter "server.shed_requests"
+    ~help:"Requests refused at the pending-queue cap with an overload + retry_after response"
+
+let server_accept_retries =
+  counter "server.accept_retries"
+    ~help:"accept() failures (EMFILE/ENFILE/ECONNABORTED...) absorbed by backoff instead of a crash"
+
+let server_shared_fallbacks =
+  counter "server.shared_fallbacks"
+    ~help:"Shared-scan groups that failed and were re-run member by member so only poisoned queries fail"
+
+let server_batcher_restarts =
+  counter "server.batcher_restarts"
+    ~help:"Batcher thread deaths absorbed by the watchdog (in-flight batch failed, thread relaunched)"
+
+let server_client_send_errors =
+  counter "server.client.send_errors"
+    ~help:"Client-side request sends that failed before a response arrived (typed, never swallowed)"
+
+let server_client_retries =
+  counter "server.client.retries"
+    ~help:"Client requests re-attempted after a retryable failure (connect refused, overload with retry_after)"
+
 let cache_stmt_hits =
   counter "cache.stmt.hits"
     ~help:"Statement-cache lookups that reused a bound plan (parse+bind skipped)"

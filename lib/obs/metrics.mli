@@ -151,6 +151,33 @@ val server_batched_queries : t
 val server_session : t
 (** Family: [server.session<i>.requests] attributes requests to sessions. *)
 
+(** {2 Serving-tier armor vocabulary (PR 8)} *)
+
+val server_session_end : t
+(** Family: one bump per session teardown, by cause —
+    [server.session_end.clean] (EOF at a request boundary or shutdown),
+    [.eof_mid_request] (connection dropped with a partial line buffered),
+    [.timeout_idle], [.timeout_request] (reaped by the respective limit),
+    [.write_error] (client vanished mid-response), [.error] (unexpected
+    session exception). *)
+
+val server_too_large : t
+val server_shed_sessions : t
+val server_shed_requests : t
+
+val server_accept_retries : t
+(** [accept] failures (fd exhaustion and kin) absorbed by exponential
+    backoff in the accept loop; the server never crashes on [EMFILE]. *)
+
+val server_shared_fallbacks : t
+(** Shared-scan groups that raised and were replayed member-by-member so
+    only the poisoned request fails. *)
+
+val server_batcher_restarts : t
+
+val server_client_send_errors : t
+val server_client_retries : t
+
 val cache_stmt_hits : t
 val cache_stmt_misses : t
 val cache_result_hits : t

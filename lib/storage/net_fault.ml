@@ -1,0 +1,127 @@
+(* See net_fault.mli. The generator is the same avalanche mix as
+   Mmap_file.Fault (splitmix-style over OCaml's 63-bit ints): state
+   advances by a Weyl constant and each draw hashes the new state, so a
+   stream is a pure function of its seed and no draw depends on wall
+   clock, scheduling or Random. *)
+
+type action =
+  | Well_formed
+  | Torn_write of float
+  | Stall of float
+  | Disconnect_mid_request
+  | Disconnect_before_read
+  | Garbage of string
+  | Oversized of int
+  | Wrong_shape of string
+
+module Stream = struct
+  type t = { mutable state : int }
+
+  (* identical constants to Mmap_file.Fault.mix, kept local so the two
+     modules stay independently readable *)
+  let mix x =
+    let x = x land max_int in
+    let x = x lxor (x lsr 16) in
+    let x = x * 0x7feb352d land max_int in
+    let x = x lxor (x lsr 15) in
+    let x = x * 0x846ca68b land max_int in
+    x lxor (x lsr 16)
+
+  let weyl = 0x1e3779b97f4a7c15 (* 63-bit golden-ratio Weyl increment *)
+
+  let make ~seed = { state = mix (seed lxor 0x5deece66d) }
+
+  let fork t ~label = { state = mix ((t.state * 0x1000193) + (label * 0x811c9dc5) + 1) }
+
+  let next t =
+    t.state <- (t.state + weyl) land max_int;
+    mix t.state
+
+  let float t = Stdlib.float_of_int (next t land 0xFFFFFFFF) /. 4294967296.0
+
+  let int t ~bound =
+    if bound <= 0 then invalid_arg "Net_fault.Stream.int: bound must be positive";
+    next t mod bound
+
+  let jitter t = 0.5 +. float t
+end
+
+type t = {
+  seed : int;
+  chaos_per_request : float;
+  max_stall_seconds : float;
+  oversize_bytes : int;
+}
+
+let make ?(seed = 0) ?(chaos_per_request = 0.5) ?(max_stall_seconds = 0.2)
+    ?(oversize_bytes = 2 * 1024 * 1024) () =
+  { seed; chaos_per_request; max_stall_seconds; oversize_bytes }
+
+let from_env () =
+  match Option.bind (Sys.getenv_opt "RAW_NET_FAULT_SEED") int_of_string_opt with
+  | None -> None
+  | Some seed ->
+    let getf k d =
+      Option.value ~default:d
+        (Option.bind (Sys.getenv_opt k) float_of_string_opt)
+    in
+    let geti k d =
+      Option.value ~default:d
+        (Option.bind (Sys.getenv_opt k) int_of_string_opt)
+    in
+    Some
+      {
+        seed;
+        chaos_per_request = getf "RAW_NET_FAULT_CHAOS" 0.5;
+        max_stall_seconds = getf "RAW_NET_FAULT_STALL" 0.2;
+        oversize_bytes = geti "RAW_NET_FAULT_OVERSIZE" (2 * 1024 * 1024);
+      }
+
+let stream t ~client = Stream.fork (Stream.make ~seed:t.seed) ~label:client
+
+(* Fixed corpora: every entry is a protocol edge the server must answer
+   (or survive) without ending the process. Garbage lines are raw bytes
+   that must draw a code-2 parse answer; wrong-shape lines are valid JSON
+   the dispatcher must refuse — including the duplicate-"id" document,
+   where the parser keeps both pairs and [member] answers the first. *)
+let garbage_corpus =
+  [|
+    "\x00\x01\x02\xff\xfe binary noise";
+    "{\"op\": \"ping\""; (* unterminated object *)
+    "SELECT 1 FROM t"; (* bare SQL, not JSON *)
+    "}{";
+    "\"";
+    "{\"sql\": \"SELECT 1\"} trailing junk";
+  |]
+
+let wrong_shape_corpus =
+  [|
+    "42";
+    "[\"not\", \"an\", \"object\"]";
+    "\"just a string\"";
+    "null";
+    "{\"op\": \"unknown\"}";
+    "{\"op\": 7}";
+    "{\"sql\": 42}";
+    "{}";
+    "{\"id\": 1, \"id\": 2, \"op\": \"ping\"}";
+  |]
+
+let plan t s =
+  if Stream.float s >= t.chaos_per_request then Well_formed
+  else
+    let stall () = Stream.float s *. t.max_stall_seconds in
+    match Stream.int s ~bound:7 with
+    | 0 -> Torn_write (stall ())
+    | 1 -> Stall (stall ())
+    | 2 -> Disconnect_mid_request
+    | 3 -> Disconnect_before_read
+    | 4 ->
+      Garbage garbage_corpus.(Stream.int s ~bound:(Array.length garbage_corpus))
+    | 5 ->
+      (* at least one byte past any sane bound; the draw varies the
+         overshoot so boundary arithmetic gets poked at many lengths *)
+      Oversized (t.oversize_bytes + 1 + Stream.int s ~bound:4096)
+    | _ ->
+      Wrong_shape
+        wrong_shape_corpus.(Stream.int s ~bound:(Array.length wrong_shape_corpus))

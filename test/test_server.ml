@@ -290,7 +290,7 @@ let server_suite =
                           match Server.Client.query c sql with
                           | Error e ->
                             Mutex.protect fail_mutex (fun () ->
-                                failures := (sql ^ ": " ^ e) :: !failures)
+                                failures := (sql ^ ": " ^ Server.Client.err_to_string e) :: !failures)
                           | Ok j -> (
                             match (Jsons.member "ok" j, int_rows j) with
                             | Some (Jsons.Bool true), [ [ got ] ]
@@ -317,7 +317,7 @@ let server_suite =
         | Ok j ->
           Alcotest.(check bool) "pong" true
             (Jsons.member "ok" j = Some (Jsons.Bool true))
-        | Error e -> Alcotest.failf "ping: %s" e);
+        | Error e -> Alcotest.failf "ping: %s" (Server.Client.err_to_string e));
         (match Server.Client.stats c with
         | Ok j -> (
           match Jsons.member "counters" j with
@@ -333,18 +333,18 @@ let server_suite =
             Alcotest.(check bool) "warm round hit the result cache" true
               (get "cache.result.hits" >= sessions * per_session)
           | _ -> Alcotest.failf "no counters in %s" (Jsons.to_string j))
-        | Error e -> Alcotest.failf "stats: %s" e);
+        | Error e -> Alcotest.failf "stats: %s" (Server.Client.err_to_string e));
         (* a bad statement answers code 1 without killing the session *)
         (match Server.Client.query c "SELECT nope FROM a" with
         | Ok j ->
           Alcotest.(check bool) "bind error reported" true
             (Jsons.member "code" j = Some (Jsons.Int 1))
-        | Error e -> Alcotest.failf "error query: %s" e);
+        | Error e -> Alcotest.failf "error query: %s" (Server.Client.err_to_string e));
         (match Server.Client.shutdown c with
         | Ok j ->
           Alcotest.(check bool) "shutdown acked" true
             (Jsons.member "ok" j = Some (Jsons.Bool true))
-        | Error e -> Alcotest.failf "shutdown: %s" e);
+        | Error e -> Alcotest.failf "shutdown: %s" (Server.Client.err_to_string e));
         Server.Client.close c;
         Thread.join server;
         Alcotest.(check bool) "socket file removed" false
@@ -366,7 +366,7 @@ let server_suite =
             match int_rows j with
             | [ [ n ] ] -> n
             | _ -> Alcotest.failf "bad shape %s" (Jsons.to_string j))
-          | Error e -> Alcotest.failf "query: %s" e
+          | Error e -> Alcotest.failf "query: %s" (Server.Client.err_to_string e)
         in
         Alcotest.(check int) "cold count" 100 (count ());
         Alcotest.(check int) "cached count" 100 (count ());
@@ -375,7 +375,7 @@ let server_suite =
           (count ());
         (match Server.Client.shutdown c with
         | Ok _ -> ()
-        | Error e -> Alcotest.failf "shutdown: %s" e);
+        | Error e -> Alcotest.failf "shutdown: %s" (Server.Client.err_to_string e));
         Server.Client.close c;
         Thread.join server);
   ]
@@ -412,7 +412,7 @@ let approx_suite =
         let query c =
           match Server.Client.query c sql with
           | Ok j -> j
-          | Error e -> Alcotest.failf "query: %s" e
+          | Error e -> Alcotest.failf "query: %s" (Server.Client.err_to_string e)
         in
         let flag name j =
           match Jsons.member name j with Some (Jsons.Bool b) -> b | _ -> false
@@ -481,7 +481,7 @@ let approx_suite =
               results;
             match Server.Client.shutdown c with
             | Ok _ -> ()
-            | Error e -> Alcotest.failf "shutdown: %s" e);
+            | Error e -> Alcotest.failf "shutdown: %s" (Server.Client.err_to_string e));
         Thread.join server);
   ]
 
