@@ -518,10 +518,25 @@ let max_sessions_arg =
                  with a retry_after hint and is closed — shed at the door, \
                  never a thread.")
 
+let telemetry_tick_arg =
+  Arg.(value & opt float 1.0
+       & info [ "telemetry-tick" ] ~docv:"SECONDS"
+           ~doc:"Seconds between windowed-metrics snapshots (default 1; 0 \
+                 disables). Powers the 10s/60s/5m q/s and percentile \
+                 blocks in stats responses and $(b,rawq top).")
+
+let trace_retain_arg =
+  Arg.(value & opt int 32
+       & info [ "trace-retain" ] ~docv:"N"
+           ~doc:"Retain the N slowest request traces of the last 5 minutes \
+                 for the trace op (default 32; 0 disables request tracing \
+                 entirely).")
+
 let serve_main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy
     every par on_error deadline memory_budget max_concurrent approx
     approx_seed chunk_rows history socket batch_window no_result_cache
-    max_request_bytes request_timeout idle_timeout max_sessions =
+    max_request_bytes request_timeout idle_timeout max_sessions telemetry_tick
+    trace_retain =
   try
     let options = build_options ~mode ~shreds ~join_policy ~every in
     let config =
@@ -536,6 +551,8 @@ let serve_main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy
           (if request_timeout <= 0. then None else Some request_timeout);
         idle_timeout = (if idle_timeout <= 0. then None else Some idle_timeout);
         max_sessions = (if max_sessions <= 0 then None else Some max_sessions);
+        telemetry_tick = Float.max 0. telemetry_tick;
+        trace_retain = max 0 trace_retain;
       }
     in
     let db = Raw_db.create ~config ~options () in
@@ -586,7 +603,7 @@ let serve_cmd =
       $ approx_arg $ approx_seed_arg $ chunk_rows_arg
       $ history_arg $ socket_arg $ batch_window_arg $ no_result_cache_arg
       $ max_request_bytes_arg $ request_timeout_arg $ idle_timeout_arg
-      $ max_sessions_arg)
+      $ max_sessions_arg $ telemetry_tick_arg $ trace_retain_arg)
 
 let render_cell =
   let module J = Raw_obs.Jsons in
@@ -598,10 +615,31 @@ let render_cell =
   | J.Str s -> s
   | j -> J.to_string j
 
-let print_response j =
+let print_response ?(timing = false) j =
   let module J = Raw_obs.Jsons in
-  match J.member "rows" j with
-  | Some (J.List rows) ->
+  let num tm name =
+    match J.member name tm with
+    | Some (J.Float f) -> f
+    | Some (J.Int n) -> float_of_int n
+    | _ -> 0.
+  in
+  let timing_footer () =
+    if timing then
+      match J.member "timing" j with
+      | Some tm ->
+        let ms name = 1000. *. num tm name in
+        Printf.printf
+          "-- timing: read %.2fms  queue %.2fms  execute %.2fms  total %.2fms\n"
+          (ms "read_s") (ms "queue_s") (ms "execute_s") (ms "total_s")
+      | None -> ()
+  in
+  match (J.member "op" j, J.member "rows" j) with
+  | Some (J.Str "metrics"), _ ->
+    (* the exposition is the payload: print it raw, ready to scrape *)
+    (match J.member "exposition" j with
+     | Some (J.Str s) -> print_string s
+     | _ -> print_endline (J.to_string j))
+  | _, Some (J.List rows) ->
     (match J.member "columns" j with
      | Some (J.List cols) when cols <> [] ->
        print_endline (String.concat "\t" (List.map render_cell cols))
@@ -630,6 +668,7 @@ let print_response j =
     in
     Printf.printf "-- %d row(s) in %.4fs%s%s\n" n seconds (flag "cached")
       (flag "shared");
+    timing_footer ();
     (match J.member "approx" j with
      | Some (J.Obj _ as a) ->
        let num name =
@@ -659,7 +698,7 @@ let print_response j =
   | _ -> print_endline (J.to_string j)
 
 let client_main socket connect_timeout request_timeout retry do_ping do_stats
-    do_shutdown query =
+    do_metrics do_trace do_timing do_shutdown query =
   let module J = Raw_obs.Jsons in
   let one = function
     | Error (e : Server.Client.err) ->
@@ -670,7 +709,7 @@ let client_main socket connect_timeout request_timeout retry do_ping do_stats
     | Ok j ->
       if match J.member "ok" j with Some (J.Bool true) -> true | _ -> false
       then begin
-        print_response j;
+        print_response ~timing:do_timing j;
         0
       end
       else begin
@@ -690,11 +729,14 @@ let client_main socket connect_timeout request_timeout retry do_ping do_stats
     (if do_ping then [ `Ping ] else [])
     @ (match query with Some q -> [ `Query q ] | None -> [])
     @ (if do_stats then [ `Stats ] else [])
+    @ (if do_metrics then [ `Metrics ] else [])
+    @ (if do_trace then [ `Trace ] else [])
     @ if do_shutdown then [ `Shutdown ] else []
   in
   if actions = [] then begin
     Format.eprintf
-      "rawq client: nothing to do (pass SQL, --ping, --stats or --shutdown)@.";
+      "rawq client: nothing to do (pass SQL, --ping, --stats, --metrics, \
+       --trace or --shutdown)@.";
     2
   end
   else begin
@@ -703,6 +745,8 @@ let client_main socket connect_timeout request_timeout retry do_ping do_stats
       | `Ping -> Server.Client.ping c
       | `Query sql -> Server.Client.query c sql
       | `Stats -> Server.Client.stats c
+      | `Metrics -> Server.Client.metrics c
+      | `Trace -> Server.Client.trace c
       | `Shutdown -> Server.Client.shutdown c
     in
     if retry > 0 then
@@ -742,7 +786,26 @@ let ping_arg =
 let client_stats_arg =
   Arg.(value & flag
        & info [ "stats" ]
-           ~doc:"Print the server's server.*/cache.*/gov.* counters.")
+           ~doc:"Print the server's server.*/cache.*/gov.* counters, \
+                 latency percentiles and recent armor decisions.")
+
+let client_metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Fetch the server's metrics as Prometheus text exposition \
+                 and print them raw (the {\"op\":\"metrics\"} op).")
+
+let client_trace_arg =
+  Arg.(value & flag
+       & info [ "trace" ]
+           ~doc:"Fetch the server's retained slowest request traces \
+                 (Chrome trace-event JSON; the {\"op\":\"trace\"} op).")
+
+let client_timing_arg =
+  Arg.(value & flag
+       & info [ "timing" ]
+           ~doc:"After each query, print the server's request-lifecycle \
+                 breakdown (read/queue/execute/total) as a footer line.")
 
 let shutdown_arg =
   Arg.(value & flag
@@ -782,7 +845,167 @@ let client_cmd =
     Term.(
       const client_main $ socket_arg $ connect_timeout_arg
       $ client_request_timeout_arg $ retry_arg $ ping_arg $ client_stats_arg
+      $ client_metrics_arg $ client_trace_arg $ client_timing_arg
       $ shutdown_arg $ query_arg)
+
+(* ------------------------------------------------------------------ *)
+(* top: a refreshing one-screen live view over the stats op (PR 9)     *)
+(* ------------------------------------------------------------------ *)
+
+let top_main socket interval iterations no_clear =
+  let module J = Raw_obs.Jsons in
+  let num j name =
+    match J.member name j with
+    | Some (J.Float f) -> f
+    | Some (J.Int n) -> float_of_int n
+    | _ -> 0.
+  in
+  let counters j = Option.value (J.member "counters" j) ~default:(J.Obj []) in
+  let pct_line j =
+    (* "p50/p95/p99 ms" from a latency sub-object; "-" where empty *)
+    let p name =
+      match J.member name j with
+      | Some (J.Float f) -> Printf.sprintf "%.2f" (1000. *. f)
+      | Some (J.Int n) -> Printf.sprintf "%.2f" (1000. *. float_of_int n)
+      | _ -> "-"
+    in
+    Printf.sprintf "%s/%s/%s" (p "p50") (p "p95") (p "p99")
+  in
+  let ratio hits misses =
+    let total = hits +. misses in
+    if total <= 0. then "-"
+    else Printf.sprintf "%.1f%% (%.0f/%.0f)" (100. *. hits /. total) hits total
+  in
+  let render j ~poll_qps =
+    let c = counters j in
+    let n k = num c k in
+    if not no_clear then print_string "\027[H\027[2J";
+    Printf.printf "rawq top — %s   uptime %.0fs   sessions %.0f   refresh %gs\n"
+      socket (num j "uptime_s")
+      (num j "sessions_active")
+      interval;
+    Printf.printf "requests  %.0f total   %.0f errors   q/s since poll: %s\n"
+      (n "server.requests") (n "server.errors")
+      (match poll_qps with
+       | Some q -> Printf.sprintf "%.1f" q
+       | None -> "-");
+    let latency =
+      Option.value (J.member "latency" j) ~default:(J.Obj [])
+    in
+    let windows =
+      Option.value (J.member "windows" latency) ~default:(J.Obj [])
+    in
+    let window_field name f =
+      match J.member name windows with Some w -> f w | None -> "-"
+    in
+    Printf.printf "q/s       10s %s   60s %s   5m %s\n"
+      (window_field "10s" (fun w -> Printf.sprintf "%.1f" (num w "qps")))
+      (window_field "60s" (fun w -> Printf.sprintf "%.1f" (num w "qps")))
+      (window_field "300s" (fun w -> Printf.sprintf "%.1f" (num w "qps")));
+    let cum = Option.value (J.member "cumulative" latency) ~default:(J.Obj []) in
+    Printf.printf
+      "latency   ms p50/p95/p99   cum %s   10s %s   60s %s   5m %s\n"
+      (pct_line cum)
+      (window_field "10s" pct_line)
+      (window_field "60s" pct_line)
+      (window_field "300s" pct_line);
+    Printf.printf "cache     stmt %s   result %s   invalidations %.0f\n"
+      (ratio (n "cache.stmt.hits") (n "cache.stmt.misses"))
+      (ratio (n "cache.result.hits") (n "cache.result.misses"))
+      (n "cache.invalidations");
+    Printf.printf "shared    batches %.0f   folded queries %.0f   fallbacks %.0f\n"
+      (n "server.batches")
+      (n "server.batched_queries")
+      (n "server.shared_fallbacks");
+    Printf.printf
+      "shed      sessions %.0f   requests %.0f   reaped idle %.0f / slow %.0f   too_large %.0f\n"
+      (n "server.shed_sessions")
+      (n "server.shed_requests")
+      (n "server.session_end.timeout_idle")
+      (n "server.session_end.timeout_request")
+      (n "server.too_large");
+    (match J.member "armor" j with
+     | Some (J.List records) when records <> [] ->
+       let last3 =
+         let len = List.length records in
+         List.filteri (fun i _ -> i >= len - 3) records
+       in
+       print_string "armor     ";
+       print_endline
+         (String.concat "   "
+            (List.map
+               (fun r ->
+                 let s name =
+                   match J.member name r with Some (J.Str s) -> s | _ -> "?"
+                 in
+                 s "site" ^ "/" ^ s "choice")
+               last3))
+     | _ -> print_endline "armor     (no recent decisions)");
+    flush stdout
+  in
+  match
+    Server.Client.connect ~connect_timeout:5. ~request_timeout:10. socket
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Format.eprintf "rawq top: cannot reach %s: %s@." socket
+      (Unix.error_message e);
+    3
+  | c ->
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () ->
+        let rec poll i prev =
+          match Server.Client.stats c with
+          | Error e ->
+            Format.eprintf "rawq top: %s@." (Server.Client.err_to_string e);
+            3
+          | Ok j ->
+            let now = Unix.gettimeofday () in
+            let requests = num (counters j) "server.requests" in
+            let poll_qps =
+              match prev with
+              | Some (t0, r0) when now > t0 ->
+                (* single-snapshot stats makes this delta non-negative *)
+                Some ((requests -. r0) /. (now -. t0))
+              | _ -> None
+            in
+            render j ~poll_qps;
+            if iterations > 0 && i + 1 >= iterations then 0
+            else begin
+              Unix.sleepf interval;
+              poll (i + 1) (Some (now, requests))
+            end
+        in
+        poll 0 None)
+
+let top_interval_arg =
+  Arg.(value & opt float 2.0
+       & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Seconds between refreshes (default 2).")
+
+let top_iterations_arg =
+  Arg.(value & opt int 0
+       & info [ "iterations" ] ~docv:"N"
+           ~doc:"Stop after N refreshes (default 0 = run until \
+                 interrupted). Useful with --no-clear for scripts.")
+
+let top_no_clear_arg =
+  Arg.(value & flag
+       & info [ "no-clear" ]
+           ~doc:"Append frames instead of clearing the screen between \
+                 refreshes (for logs and scripts).")
+
+let top_cmd =
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live one-screen view of a running $(b,rawq serve): q/s and \
+          latency percentiles over 10s/60s/5m sliding windows, in-flight \
+          sessions, cache hit rates, shared-scan and shed/reap counters, \
+          and the latest armor decisions — polled from the stats op.")
+    Term.(
+      const top_main $ socket_arg $ top_interval_arg $ top_iterations_arg
+      $ top_no_clear_arg)
 
 let cmd =
   let doc = "query raw CSV / binary / HEP files in place, adaptively" in
@@ -810,6 +1033,6 @@ let cmd =
       $ repl_arg $ stats_arg $ metrics_arg $ analyze_arg $ trace_out_arg
       $ history_arg $ calibration_arg $ query_arg)
   in
-  Cmd.group ~default info [ report_cmd; serve_cmd; client_cmd ]
+  Cmd.group ~default info [ report_cmd; serve_cmd; client_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' cmd)

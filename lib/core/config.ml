@@ -21,6 +21,8 @@ type t = {
   request_timeout : float option;
   idle_timeout : float option;
   max_sessions : int option;
+  telemetry_tick : float;
+  trace_retain : int;
 }
 
 let default =
@@ -45,6 +47,8 @@ let default =
     request_timeout = Some 30.;
     idle_timeout = Some 300.;
     max_sessions = Some 256;
+    telemetry_tick = 1.0;
+    trace_retain = 32;
   }
 
 (* Validation happens once, at construction ({!Catalog.create} /
@@ -112,7 +116,16 @@ let validate t =
                       match t.max_sessions with
                       | Some n when n < 1 ->
                         err "max_sessions must be >= 1 (got %d)" n
-                      | _ -> Ok t)))))))
+                      | _ ->
+                        if Float.is_nan t.telemetry_tick then
+                          err "telemetry_tick must be >= 0 (got nan)"
+                        else if t.telemetry_tick < 0. then
+                          err "telemetry_tick must be >= 0 (got %g s)"
+                            t.telemetry_tick
+                        else if t.trace_retain < 0 then
+                          err "trace_retain must be >= 0 (got %d)"
+                            t.trace_retain
+                        else Ok t)))))))
 
 let check t =
   match validate t with

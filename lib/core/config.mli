@@ -101,6 +101,21 @@ type t = {
           line carrying a [retry_after] hint, then closed — load is shed
           at the door instead of accumulating threads. [None] accepts
           without bound. *)
+  telemetry_tick : float;
+      (** serving tier: seconds between windowed-metrics snapshots
+          (default 1.0). A dedicated ticker thread pushes one
+          {!Raw_storage.Io_stats} snapshot per tick into a bounded
+          {!Raw_obs.Window} ring, from which the [stats] op derives
+          10s/60s/5m rates and percentiles. [0] disables the ticker and
+          the window blocks of [stats]; must not be negative or NaN. *)
+  trace_retain : int;
+      (** serving tier: how many of the slowest recent request traces the
+          server retains for the [{"op":"trace"}] protocol op (default
+          32). Each query request gets a
+          [session -> read / queue-wait / batch -> (shared-scan | execute)
+          / write] span tree; the ring keeps the [trace_retain] slowest
+          from the last 5 minutes. [0] disables request tracing entirely
+          (spans are never built); must not be negative. *)
 }
 
 val default : t

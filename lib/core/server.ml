@@ -15,6 +15,9 @@ open Raw_storage
 module Metrics = Raw_obs.Metrics
 module Jsons = Raw_obs.Jsons
 module Decisions = Raw_obs.Decisions
+module Trace = Raw_obs.Trace
+module Export = Raw_obs.Export
+module Window = Raw_obs.Window
 
 (* ------------------------------------------------------------------ *)
 (* Deadline-bounded fd I/O                                             *)
@@ -34,10 +37,20 @@ module Line_reader = struct
     idle_timeout : float option;
     request_timeout : float option;
     mutable pending : string; (* bytes received but not yet consumed *)
+    mutable req_start : float;
+        (* when the most recently returned line's first byte arrived —
+           the "read" edge of that request's lifecycle *)
   }
 
   let make fd ~max_bytes ~idle_timeout ~request_timeout =
-    { fd; max_bytes; idle_timeout; request_timeout; pending = "" }
+    {
+      fd;
+      max_bytes;
+      idle_timeout;
+      request_timeout;
+      pending = "";
+      req_start = 0.;
+    }
 
   let chunk_size = 65536
 
@@ -100,6 +113,7 @@ module Line_reader = struct
         in
         t.pending <-
           String.sub t.pending (i + 1) (String.length t.pending - i - 1);
+        t.req_start <- (match !first_byte with Some tb -> tb | None -> start);
         if !overflowed || String.length line > t.max_bytes then Too_large
         else Line line
       | None ->
@@ -166,12 +180,68 @@ type outcome =
 
 let err ?kind ?retry_after code message = Err { code; kind; message; retry_after }
 
+(* Per-request lifecycle breakdown, filled in as the request moves from
+   the session thread to the batcher and back; returned to the client as
+   the response's "timing" object. *)
+type req_timing = {
+  read_s : float; (* first request byte -> line parsed *)
+  mutable queue_s : float; (* submit -> batch pickup *)
+  mutable exec_s : float; (* engine time (execute / shared scan; 0 cached) *)
+}
+
 type pending = {
   sql : string;
+  submitted : float;
+  (* trace handle + pre-allocated root ("session") span id, when request
+     tracing is on: the batcher records queue-wait/batch/execute spans
+     under the root, the session thread closes the root after the write *)
+  trace : (Trace.handle * int) option;
+  timing : req_timing;
   pm : Mutex.t;
   pc : Condition.t;
   mutable outcome : outcome option;
 }
+
+(* The N slowest recent request traces, kept for the [{"op":"trace"}]
+   op. Insert-time eviction: entries older than [max_age] fall out, then
+   the slowest [cap] survive — so the ring answers "where did recent slow
+   requests spend their time", not "what was slow since boot". *)
+module Trace_ring = struct
+  type entry = {
+    sql : string;
+    session : int;
+    total_s : float;
+    captured : float; (* absolute completion time *)
+    spans : Trace.span list;
+  }
+
+  type t = {
+    mutex : Mutex.t;
+    cap : int;
+    max_age : float;
+    mutable entries : entry list; (* slowest first, length <= cap *)
+  }
+
+  let create ~cap = { mutex = Mutex.create (); cap; max_age = 300.; entries = [] }
+
+  let offer t e =
+    if t.cap > 0 then
+      Mutex.protect t.mutex (fun () ->
+          let live =
+            List.filter
+              (fun x -> e.captured -. x.captured <= t.max_age)
+              t.entries
+          in
+          let by_slowest a b = compare b.total_s a.total_s in
+          t.entries <-
+            List.filteri
+              (fun i _ -> i < t.cap)
+              (List.stable_sort by_slowest (e :: live)))
+
+  let snapshot t ~now =
+    Mutex.protect t.mutex (fun () ->
+        List.filter (fun x -> now -. x.captured <= t.max_age) t.entries)
+end
 
 type t = {
   db : Raw_db.t;
@@ -183,6 +253,12 @@ type t = {
   request_timeout : float option;
   idle_timeout : float option;
   max_sessions : int option;
+  (* telemetry knobs, also from Config *)
+  telemetry_tick : float;
+  trace_retain : int;
+  started : float;
+  window : Window.t; (* ring of periodic counter snapshots *)
+  traces : Trace_ring.t; (* slowest recent request traces *)
   log : Decisions.handle; (* always-on armor audit log *)
   qm : Mutex.t;
   qc : Condition.t;
@@ -244,9 +320,30 @@ let try_put_result t plan key chunk schema =
       ~tables:(Logical.tables plan) chunk schema
   | _ -> ()
 
-let run_individual t (p, plan, key) =
+(* Close this member's "batch" span: the child (execute / shared-scan /
+   cached) is recorded first under a pre-allocated parent id, then the
+   parent closes covering bind + cache check + execution for the batch.
+   Must run before [fulfill] — once fulfilled, the session thread may
+   export the tree at any moment. *)
+let record_batch_span ?child p ~t_batch =
+  match p.trace with
+  | None -> ()
+  | Some (h, root) ->
+    let batch_id = Trace.alloc h in
+    (match child with
+     | Some (name, start, dur) ->
+       Trace.record h ~parent:batch_id ~start ~dur name
+     | None -> ());
+    Trace.record h ~id:batch_id ~parent:root ~start:t_batch
+      ~dur:(Timing.now () -. t_batch) "batch"
+
+let run_individual t ~t_batch (p, plan, key) =
+  let t0 = Timing.now () in
   match Raw_db.run_plan t.db plan with
   | report ->
+    let dur = Timing.now () -. t0 in
+    p.timing.exec_s <- dur;
+    record_batch_span p ~t_batch ~child:("execute", t0, dur);
     try_put_result t plan key report.Executor.chunk report.Executor.schema;
     fulfill p
       (Rows
@@ -258,20 +355,28 @@ let run_individual t (p, plan, key) =
            shared = false;
            approx = report.Executor.approx;
          })
-  | exception e -> fulfill p (outcome_of_exn e)
+  | exception e ->
+    let dur = Timing.now () -. t0 in
+    p.timing.exec_s <- dur;
+    record_batch_span p ~t_batch ~child:("execute", t0, dur);
+    fulfill p (outcome_of_exn e)
 
-let run_shared t members =
+let run_shared t ~t_batch members =
   let plans = List.map (fun (_, plan, _) -> plan) members in
+  let t0 = Timing.now () in
   match
     let cancel = Raw_db.fresh_cancel t.db in
     Raw_db.with_admission t.db ~cancel (fun () ->
         Shared_scan.run_group (Raw_db.catalog t.db) (Raw_db.options t.db) plans)
   with
   | group ->
+    let dur = Timing.now () -. t0 in
     Metrics.incr Metrics.server_batches;
     Metrics.add Metrics.server_batched_queries (List.length members);
     List.iter2
       (fun (p, plan, key) (r : Shared_scan.member_result) ->
+        p.timing.exec_s <- dur;
+        record_batch_span p ~t_batch ~child:("shared-scan", t0, dur);
         try_put_result t plan key r.chunk r.schema;
         fulfill p
           (Rows
@@ -295,9 +400,22 @@ let run_shared t members =
         ("members", string_of_int (List.length members));
         ("error", Printexc.to_string e);
       ];
-    List.iter (run_individual t) members
+    List.iter (run_individual t ~t_batch) members
 
 let process_batch t batch =
+  let t_batch = Timing.now () in
+  (* queue-wait closes for the whole batch at pickup: one instant, one
+     span and one histogram observation per member *)
+  List.iter
+    (fun p ->
+      let q = Float.max 0. (t_batch -. p.submitted) in
+      p.timing.queue_s <- q;
+      Metrics.observe Metrics.server_queue_seconds q;
+      match p.trace with
+      | Some (h, root) ->
+        Trace.record h ~parent:root ~start:p.submitted ~dur:q "queue-wait"
+      | None -> ())
+    batch;
   (* bind through the statement cache; bind errors answer immediately *)
   let bound =
     List.filter_map
@@ -305,6 +423,7 @@ let process_batch t batch =
         match Raw_db.bind_cached t.db p.sql with
         | plan -> Some (p, plan)
         | exception e ->
+          record_batch_span p ~t_batch;
           fulfill p (outcome_of_exn e);
           None)
       batch
@@ -332,6 +451,7 @@ let process_batch t batch =
         in
         match Option.map (Stmt_cache.find_result cache) key with
         | Some (Some (chunk, schema)) ->
+          record_batch_span p ~t_batch ~child:("cached", Timing.now (), 0.);
           fulfill p
             (Rows
                {
@@ -365,8 +485,8 @@ let process_batch t batch =
     Hashtbl.fold (fun _ ms acc -> ms :: acc) groups []
     |> List.partition (fun ms -> List.length ms >= 2)
   in
-  List.iter (run_shared t) shared_groups;
-  List.iter (run_individual t) (List.concat lone @ List.rev !singles)
+  List.iter (run_shared t ~t_batch) shared_groups;
+  List.iter (run_individual t ~t_batch) (List.concat lone @ List.rev !singles)
 
 let batcher_loop t =
   let rec loop () =
@@ -463,7 +583,21 @@ let json_of_approx (info : Approx.info) =
              info.Approx.bands) );
     ]
 
-let response_of_outcome id = function
+(* The breakdown a client sees without asking for the full trace:
+   [total_s] runs from the request's first byte to response serialization
+   (the write itself cannot appear in its own response; it lives in the
+   retained trace as the "write" span). *)
+let timing_json (tm, total_s) =
+  ( "timing",
+    Jsons.Obj
+      [
+        ("read_s", Jsons.Float tm.read_s);
+        ("queue_s", Jsons.Float tm.queue_s);
+        ("execute_s", Jsons.Float tm.exec_s);
+        ("total_s", Jsons.Float total_s);
+      ] )
+
+let response_of_outcome ?timing id = function
   | Rows { chunk; schema; seconds; cached; shared; approx } ->
     let fields = Schema.fields schema in
     Jsons.Obj
@@ -487,9 +621,10 @@ let response_of_outcome id = function
         ("cached", Jsons.Bool cached);
         ("shared", Jsons.Bool shared);
       ]
-      @ match approx with
-        | None -> []
-        | Some info -> [ ("approx", json_of_approx info) ])
+      @ (match approx with
+         | None -> []
+         | Some info -> [ ("approx", json_of_approx info) ])
+      @ match timing with None -> [] | Some tm -> [ timing_json tm ])
   | Err { code; kind; message; retry_after } ->
     Metrics.incr Metrics.server_errors;
     Jsons.Obj
@@ -500,14 +635,22 @@ let response_of_outcome id = function
         ("error", Jsons.Str message);
       ]
       @ (match kind with None -> [] | Some k -> [ ("kind", Jsons.Str k) ])
-      @
-      match retry_after with
-      | None -> []
-      | Some s -> [ ("retry_after", Jsons.Float s) ])
+      @ (match retry_after with
+         | None -> []
+         | Some s -> [ ("retry_after", Jsons.Float s) ])
+      @ match timing with None -> [] | Some tm -> [ timing_json tm ])
 
-let submit t session_id sql =
+let submit t session_id ~trace ~timing sql =
   let p =
-    { sql; pm = Mutex.create (); pc = Condition.create (); outcome = None }
+    {
+      sql;
+      submitted = Timing.now ();
+      trace;
+      timing;
+      pm = Mutex.create ();
+      pc = Condition.create ();
+      outcome = None;
+    }
   in
   let accepted =
     Mutex.protect t.qm (fun () ->
@@ -533,12 +676,54 @@ let submit t session_id sql =
       (Printf.sprintf "overloaded: %d requests queued; retry later"
          t.max_pending)
 
+(* p50/p95/p99 of a (possibly delta) snapshot; keys omitted when the
+   histogram is empty there, so "p99 present" means "requests happened". *)
+let percentile_fields snap =
+  List.filter_map
+    (fun (name, q) ->
+      Option.map
+        (fun v -> (name, Jsons.Float v))
+        (Metrics.quantile_of_snapshot snap Metrics.server_request_seconds ~q))
+    [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
+
 let stats_response t id =
+  (* one snapshot feeds every cumulative figure in the response, so a
+     client diffing successive stats (rawq top) never sees one counter
+     from before a batch and another from after it *)
+  let snap = Io_stats.snapshot () in
+  let now = Timing.now () in
   let interesting (k, _) =
     String.starts_with ~prefix:"server." k
     || String.starts_with ~prefix:"cache." k
     || String.starts_with ~prefix:"gov." k
     || String.starts_with ~prefix:"history." k
+  in
+  let lookup_delta d k =
+    match List.assoc_opt k d with Some v -> v | None -> 0.
+  in
+  let windows =
+    if t.telemetry_tick <= 0. then []
+    else
+      List.filter_map
+        (fun w ->
+          match Window.delta t.window ~window:w with
+          | None -> None
+          | Some (elapsed, d) when elapsed > 0. ->
+            let requests = lookup_delta d "server.requests" in
+            Some
+              ( Printf.sprintf "%gs" w,
+                Jsons.Obj
+                  ([
+                     ("seconds", Jsons.Float elapsed);
+                     ("requests", Jsons.Float requests);
+                     ("qps", Jsons.Float (requests /. elapsed));
+                   ]
+                  @ percentile_fields d) )
+          | Some _ -> None)
+        Window.standard_windows
+  in
+  let sessions_active =
+    Mutex.protect t.qm (fun () -> List.length t.session_fds)
   in
   (* last few armor records: why recent connections were shed/reaped *)
   let recent =
@@ -553,11 +738,25 @@ let stats_response t id =
       ("id", id);
       ("ok", Jsons.Bool true);
       ("op", Jsons.Str "stats");
+      ("uptime_s", Jsons.Float (now -. t.started));
+      ("sessions_active", Jsons.Int sessions_active);
       ( "counters",
         Jsons.Obj
-          (Io_stats.snapshot ()
+          (snap
           |> List.filter interesting
           |> List.map (fun (k, v) -> (k, Jsons.Float v))) );
+      ( "latency",
+        Jsons.Obj
+          [
+            ( "cumulative",
+              Jsons.Obj
+                (( "count",
+                   Jsons.Float
+                     (lookup_delta snap
+                        (Metrics.count_key Metrics.server_request_seconds)) )
+                :: percentile_fields snap) );
+            ("windows", Jsons.Obj windows);
+          ] );
       ( "armor",
         Jsons.List
           (List.map
@@ -573,6 +772,43 @@ let stats_response t id =
                           r.Decisions.inputs) );
                  ])
              recent) );
+    ]
+
+(* Prometheus text exposition tunneled through the line protocol: the
+   exposition rides in a JSON string field (the wire is one JSON object
+   per line), scrapers unwrap ["exposition"]. *)
+let metrics_response id =
+  Jsons.Obj
+    [
+      ("id", id);
+      ("ok", Jsons.Bool true);
+      ("op", Jsons.Str "metrics");
+      ("content_type", Jsons.Str "text/plain; version=0.0.4");
+      ( "exposition",
+        Jsons.Str (Export.prometheus_of_snapshot (Io_stats.snapshot ())) );
+    ]
+
+let trace_response t id =
+  let now = Timing.now () in
+  Jsons.Obj
+    [
+      ("id", id);
+      ("ok", Jsons.Bool true);
+      ("op", Jsons.Str "trace");
+      ("retain", Jsons.Int t.trace_retain);
+      ( "traces",
+        Jsons.List
+          (List.map
+             (fun (e : Trace_ring.entry) ->
+               Jsons.Obj
+                 [
+                   ("sql", Jsons.Str e.Trace_ring.sql);
+                   ("session", Jsons.Int e.Trace_ring.session);
+                   ("seconds", Jsons.Float e.Trace_ring.total_s);
+                   ("age_s", Jsons.Float (now -. e.Trace_ring.captured));
+                   ("trace", Export.chrome_trace_json e.Trace_ring.spans);
+                 ])
+             (Trace_ring.snapshot t.traces ~now)) );
     ]
 
 (* Shut down: stop accepting, wake the batcher (it drains the queue and
@@ -628,6 +864,8 @@ let handle_session t session_id fd =
              [ ("id", id); ("ok", Jsons.Bool true); ("op", Jsons.Str "ping") ])
           `Continue
       | Some (Jsons.Str "stats"), _ -> reply (stats_response t id) `Continue
+      | Some (Jsons.Str "metrics"), _ -> reply (metrics_response id) `Continue
+      | Some (Jsons.Str "trace"), _ -> reply (trace_response t id) `Continue
       | Some (Jsons.Str "shutdown"), _ -> (
         match
           send
@@ -647,7 +885,51 @@ let handle_session t session_id fd =
       | _, Some (Jsons.Str sql) ->
         Metrics.incr Metrics.server_requests;
         Io_stats.incr (Printf.sprintf "server.session%d.requests" session_id);
-        reply (response_of_outcome id (submit t session_id sql)) `Continue
+        (* lifecycle clock starts at the request's first byte *)
+        let t_read = reader.Line_reader.req_start in
+        let t_parsed = Timing.now () in
+        let trace =
+          if t.trace_retain > 0 then begin
+            let h = Trace.create ~epoch:t_read () in
+            let root = Trace.alloc h in
+            Trace.record h ~parent:root ~start:t_read
+              ~dur:(t_parsed -. t_read) "read";
+            Some (h, root)
+          end
+          else None
+        in
+        let timing =
+          { read_s = t_parsed -. t_read; queue_s = 0.; exec_s = 0. }
+        in
+        let outcome = submit t session_id ~trace ~timing sql in
+        let t_write = Timing.now () in
+        let sent =
+          send
+            (response_of_outcome ~timing:(timing, t_write -. t_read) id
+               outcome)
+        in
+        let t_done = Timing.now () in
+        Metrics.observe Metrics.server_request_seconds (t_done -. t_read);
+        (match trace with
+         | Some (h, root) ->
+           Trace.record h ~parent:root ~start:t_write
+             ~dur:(t_done -. t_write) "write";
+           Trace.record h ~id:root ~start:t_read ~dur:(t_done -. t_read)
+             ~args:
+               [
+                 ("sql", sql); ("session", string_of_int session_id);
+               ]
+             "session";
+           Trace_ring.offer t.traces
+             {
+               Trace_ring.sql;
+               session = session_id;
+               total_s = t_done -. t_read;
+               captured = t_done;
+               spans = Trace.spans h;
+             }
+         | None -> ());
+        (match sent with Ok () -> `Continue | Error _ -> `Write_error)
       | _ ->
         reply
           (response_of_outcome id (err 2 "request needs \"sql\" or \"op\""))
@@ -734,6 +1016,21 @@ let shed_session t fd =
 (* Accept loop                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Telemetry ticker: its own thread, because the batcher blocks on its
+   condition indefinitely when idle (Condition has no timed wait) and
+   windows must advance even on an idle server. One ~hundred-key
+   snapshot per tick; Window.observe enforces the tick spacing, so the
+   short sleep only bounds shutdown latency. *)
+let ticker_loop t =
+  let rec loop () =
+    if not (Mutex.protect t.qm (fun () -> t.stopping)) then begin
+      Thread.delay (Float.min t.telemetry_tick 0.25);
+      ignore (Window.observe t.window (Io_stats.snapshot ()));
+      loop ()
+    end
+  in
+  loop ()
+
 let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
     ~socket_path db =
   (* a client vanishing mid-write must not kill the process *)
@@ -751,6 +1048,11 @@ let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
       request_timeout = cfg.Config.request_timeout;
       idle_timeout = cfg.Config.idle_timeout;
       max_sessions = cfg.Config.max_sessions;
+      telemetry_tick = cfg.Config.telemetry_tick;
+      trace_retain = cfg.Config.trace_retain;
+      started = Timing.now ();
+      window = Window.create ~interval:(Float.max cfg.Config.telemetry_tick 0.01) ();
+      traces = Trace_ring.create ~cap:cfg.Config.trace_retain;
       log = Decisions.create ~cap:65536 ();
       qm = Mutex.create ();
       qc = Condition.create ();
@@ -767,6 +1069,14 @@ let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
       Unix.bind listener (Unix.ADDR_UNIX socket_path);
       Unix.listen listener 64;
       let batcher = Thread.create batcher_supervisor t in
+      let ticker =
+        if t.telemetry_tick > 0. then begin
+          (* seed the ring now so the first tick already yields a delta *)
+          ignore (Window.observe t.window (Io_stats.snapshot ()));
+          Some (Thread.create ticker_loop t)
+        end
+        else None
+      in
       let sessions = ref [] in
       let next_session = ref 0 in
       let rec accept_loop backoff =
@@ -832,6 +1142,7 @@ let serve ?(batch_window = 0.002) ?(max_pending = 1024) ?(cache_results = true)
          on the half-closed sockets *)
       Mutex.protect t.qm (fun () -> Condition.broadcast t.qc);
       Thread.join batcher;
+      Option.iter Thread.join ticker;
       List.iter Thread.join !sessions)
 
 (* ------------------------------------------------------------------ *)
@@ -918,6 +1229,8 @@ module Client = struct
 
   let ping c = rpc c (Jsons.Obj [ ("op", Jsons.Str "ping") ])
   let stats c = rpc c (Jsons.Obj [ ("op", Jsons.Str "stats") ])
+  let metrics c = rpc c (Jsons.Obj [ ("op", Jsons.Str "metrics") ])
+  let trace c = rpc c (Jsons.Obj [ ("op", Jsons.Str "trace") ])
   let shutdown c = rpc c (Jsons.Obj [ ("op", Jsons.Str "shutdown") ])
 
   let close c =

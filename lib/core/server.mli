@@ -8,12 +8,20 @@
 
     {b Protocol.} Requests are single-line JSON objects:
     - [{"id": <any>, "sql": "SELECT ..."}] — run a query;
-    - [{"op": "ping"}], [{"op": "stats"}], [{"op": "shutdown"}].
+    - [{"op": "ping"}], [{"op": "stats"}], [{"op": "metrics"}],
+      [{"op": "trace"}], [{"op": "shutdown"}].
 
     A query response echoes ["id"] and carries ["ok"], ["columns"],
     ["types"], ["rows"] (row-major values), ["row_count"], ["seconds"],
     and two provenance flags: ["cached"] (served from the result cache)
-    and ["shared"] (computed by a shared scan). When the engine runs with
+    and ["shared"] (computed by a shared scan). Every query response
+    (success or error) also carries a ["timing"] object — ["read_s"]
+    (first request byte to line parsed), ["queue_s"] (submit to batch
+    pickup), ["execute_s"] (engine time; 0 for cache hits) and
+    ["total_s"] (first byte to response serialization) — so a client
+    can tell a slow engine from a slow queue without fetching a trace
+    (the response write itself can only appear in the retained trace, as
+    the "write" span). When the engine runs with
     {!Config.approx} and the query took the sampled path, the response
     additionally carries an ["approx"] object: ["eps"], ["seed"],
     ["exact"], ["fraction"] (of rows sampled), morsel/row totals, and
@@ -60,6 +68,34 @@
     {!Raw_obs.Decisions} handle (sites [server.shed], [server.reap],
     [server.protocol], [server.watchdog], [server.shared_scan]); the
     [stats] op returns the most recent records alongside the counters.
+
+    {b Continuous telemetry.} Governed by two {!Config} knobs:
+    - [Config.telemetry_tick] (default 1 s; 0 disables): a ticker thread
+      pushes one {!Raw_storage.Io_stats} snapshot per tick into a bounded
+      {!Raw_obs.Window} ring. The [stats] response then carries, beside
+      ["uptime_s"], ["sessions_active"] and the ["counters"] object (all
+      read from {e one} snapshot, so successive responses diff cleanly),
+      a ["latency"] object: ["cumulative"] (["count"] plus
+      [p50]/[p95]/[p99] of the [server.request.seconds] histogram since
+      boot) and ["windows"] — one entry per 10s/60s/5m window with
+      ["seconds"] (actual span), ["requests"], ["qps"] and the window's
+      own percentiles, derived from snapshot deltas. Percentile keys are
+      present only when the (window's) histogram is non-empty.
+    - [Config.trace_retain] (default 32; 0 disables): every query
+      request gets a span tree
+      [session -> read / queue-wait / batch -> (shared-scan | execute |
+      cached) / write] built on {!Raw_obs.Trace} across the session and
+      batcher threads; the [trace_retain] slowest traces of the last 5
+      minutes are retained and returned by [{"op": "trace"}] as
+      [{"traces": [{"sql", "session", "seconds", "age_s", "trace":
+      <Chrome trace-event JSON, same exporter as --trace-out>}]}],
+      slowest first.
+
+    [{"op": "metrics"}] returns the full Prometheus text exposition
+    ({!Raw_obs.Export.prometheus_of_snapshot}) in an ["exposition"]
+    string field (the wire protocol is one JSON object per line, so the
+    exposition is tunneled as a string; ["content_type"] carries the
+    conventional exposition content type for scrapers that re-serve it).
 
     {b Execution model.} Each accepted session gets a thread that parses
     requests and blocks per query; queries funnel into a single batcher
@@ -147,6 +183,14 @@ module Client : sig
 
   val ping : conn -> (Raw_obs.Jsons.t, err) result
   val stats : conn -> (Raw_obs.Jsons.t, err) result
+
+  val metrics : conn -> (Raw_obs.Jsons.t, err) result
+  (** The [{"op": "metrics"}] round trip: Prometheus text exposition in
+      the response's ["exposition"] field. *)
+
+  val trace : conn -> (Raw_obs.Jsons.t, err) result
+  (** The [{"op": "trace"}] round trip: the retained slowest request
+      traces as Chrome trace-event JSON. *)
 
   val shutdown : conn -> (Raw_obs.Jsons.t, err) result
   (** Ask the server to shut down (acknowledged before it stops). *)

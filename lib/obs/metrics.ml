@@ -391,3 +391,11 @@ let query_seconds =
 let morsel_seconds =
   histogram "morsel.seconds" ~buckets:latency_buckets
     ~help:"Wall time of one morsel on a worker domain"
+
+let server_request_seconds =
+  histogram "server.request.seconds" ~buckets:latency_buckets
+    ~help:"Server request latency, first request byte to response written"
+
+let server_queue_seconds =
+  histogram "server.queue.seconds" ~buckets:latency_buckets
+    ~help:"Time a request waited on the queue before its batch started"

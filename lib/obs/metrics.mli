@@ -208,3 +208,15 @@ val query_seconds : t
 val morsel_seconds : t
 (** Per-morsel wall-time histogram; same bucket boundaries as
     {!query_seconds}. *)
+
+(** {2 Serving-tier telemetry (PR 9)} *)
+
+val server_request_seconds : t
+(** End-to-end server request latency — first request byte to response
+    written — observed once per query request; same buckets as
+    {!query_seconds}. Cumulative and windowed percentiles in the [stats]
+    response derive from this histogram. *)
+
+val server_queue_seconds : t
+(** Queue-wait: submit to batch pickup, the "queue-wait" span of the
+    request trace as a histogram. *)

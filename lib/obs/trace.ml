@@ -119,10 +119,13 @@ let add_arg k v =
   | Some { stack = fr :: _; _ } -> fr.f_args <- (k, v) :: fr.f_args
   | _ -> ()
 
-let record h ?(tid = 0) ?parent ?(cat = "raw") ?(args = []) ~start ~dur name =
+let alloc = fresh_id
+
+let record h ?id ?(tid = 0) ?parent ?(cat = "raw") ?(args = []) ~start ~dur
+    name =
   push h
     {
-      id = fresh_id h;
+      id = (match id with Some i -> i | None -> fresh_id h);
       parent;
       name;
       cat;

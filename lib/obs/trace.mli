@@ -57,8 +57,15 @@ val with_fork : fork_point -> tid:int -> (unit -> 'a) -> 'a
 
 (** {1 Extraction} *)
 
+val alloc : handle -> int
+(** Reserve a span id without recording anything yet. Lets a caller hand
+    the id to children recorded first (even from other threads) and
+    {!record} the parent afterwards with [?id] — how the server builds a
+    request's span tree across its session and batcher threads. *)
+
 val record :
   handle ->
+  ?id:int ->
   ?tid:int ->
   ?parent:int ->
   ?cat:string ->
@@ -68,7 +75,9 @@ val record :
   string ->
   unit
 (** Append an already-timed span ([start] is an absolute
-    {!Raw_storage.Timing.now} instant). *)
+    {!Raw_storage.Timing.now} instant). [id] defaults to a fresh one;
+    pass an {!alloc}ed id to close a span whose children were recorded
+    under it first. *)
 
 val spans : handle -> span list
 (** Completed spans, ordered by start time. *)

@@ -1,0 +1,122 @@
+open Raw_storage
+
+(* A bounded ring of (timestamp, Io_stats snapshot) pairs. The server's
+   telemetry ticker pushes one snapshot per tick; sliding-window rates
+   and quantiles are then pure arithmetic over two retained snapshots —
+   nothing here touches the hot path, and nothing is computed until
+   somebody asks. Counters are monotone within a domain, so a windowed
+   delta reuses the exact fixed-bucket histogram representation and
+   [Metrics.quantile_of_snapshot] works on it unchanged. *)
+
+type entry = { ts : float; snap : (string * float) list }
+
+type t = {
+  mutex : Mutex.t;
+  interval : float;
+  cap : int;
+  ring : entry option array;
+  mutable head : int; (* next write position *)
+  mutable count : int;
+}
+
+let standard_windows = [ 10.; 60.; 300. ]
+
+(* capacity sized to cover the largest standard window at the configured
+   tick, bounded so a silly-small tick cannot balloon memory (the window
+   then covers what the ring can hold; [coverage] tells the truth). *)
+let create ?(interval = 1.0) ?capacity () =
+  let interval = if Float.is_nan interval || interval <= 0. then 1.0 else interval in
+  let cap =
+    match capacity with
+    | Some c -> max 2 c
+    | None ->
+      max 2 (min 1024 (1 + int_of_float (Float.ceil (300. /. interval))))
+  in
+  {
+    mutex = Mutex.create ();
+    interval;
+    cap;
+    ring = Array.make cap None;
+    head = 0;
+    count = 0;
+  }
+
+let interval t = t.interval
+let size t = Mutex.protect t.mutex (fun () -> t.count)
+
+(* chronological index: 0 = oldest retained *)
+let nth_locked t i =
+  match t.ring.((t.head - t.count + i + (2 * t.cap)) mod t.cap) with
+  | Some e -> e
+  | None -> assert false
+
+let newest_locked t = if t.count = 0 then None else Some (nth_locked t (t.count - 1))
+
+let observe t ?now snap =
+  let now = match now with Some n -> n | None -> Timing.now () in
+  Mutex.protect t.mutex (fun () ->
+      let due =
+        match newest_locked t with
+        | None -> true
+        (* a hair of slack so a ticker sleeping exactly [interval] is not
+           starved by scheduler jitter *)
+        | Some e -> now -. e.ts >= t.interval *. 0.95
+      in
+      if due then begin
+        t.ring.(t.head) <- Some { ts = now; snap };
+        t.head <- (t.head + 1) mod t.cap;
+        t.count <- min (t.count + 1) t.cap
+      end;
+      due)
+
+let latest t =
+  Mutex.protect t.mutex (fun () ->
+      Option.map (fun e -> (e.ts, e.snap)) (newest_locked t))
+
+let coverage t =
+  Mutex.protect t.mutex (fun () ->
+      if t.count < 2 then 0.
+      else (nth_locked t (t.count - 1)).ts -. (nth_locked t 0).ts)
+
+(* Baseline for a window anchored at the newest snapshot: the newest
+   entry at least [window] old — the smallest span fully covering the
+   window — or the oldest retained entry when history is shorter than
+   the window. The actual span comes back as [elapsed] so rates stay
+   honest either way. *)
+let delta t ~window =
+  if Float.is_nan window || window <= 0. then None
+  else
+    Mutex.protect t.mutex (fun () ->
+        if t.count < 2 then None
+        else begin
+          let newest = nth_locked t (t.count - 1) in
+          let cutoff = newest.ts -. window in
+          let base = ref (nth_locked t 0) in
+          for i = 0 to t.count - 2 do
+            let e = nth_locked t i in
+            if e.ts <= cutoff then base := e
+          done;
+          let base = !base in
+          let old k =
+            match List.assoc_opt k base.snap with Some v -> v | None -> 0.
+          in
+          (* counters are monotone; a negative delta means a reset (or a
+             gauge, whose windowed delta is meaningless) — clamp so the
+             histogram arithmetic downstream stays well-formed *)
+          let d =
+            List.map (fun (k, v) -> (k, Float.max 0. (v -. old k))) newest.snap
+          in
+          Some (newest.ts -. base.ts, d)
+        end)
+
+let rate t ~window key =
+  match delta t ~window with
+  | Some (elapsed, d) when elapsed > 0. ->
+    let v = match List.assoc_opt key d with Some v -> v | None -> 0. in
+    Some (v /. elapsed)
+  | _ -> None
+
+let quantile t ~window m ~q =
+  match delta t ~window with
+  | Some (_, d) -> Metrics.quantile_of_snapshot d m ~q
+  | None -> None

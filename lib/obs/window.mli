@@ -1,0 +1,66 @@
+(** Sliding-window metrics over periodic {!Raw_storage.Io_stats} snapshots.
+
+    Cumulative-since-boot counters answer the wrong questions about a
+    long-lived server; an operator wants "q/s over the last minute" and
+    "p99 over the last 10 seconds". This module keeps a bounded ring of
+    timestamped registry snapshots (one per telemetry tick) and derives
+    windowed deltas, rates and quantiles from pairs of them on demand.
+
+    Because histograms are stored as monotone [.bucket.*]/[.sum]/[.count]
+    counter series, the delta of two snapshots {e is} a histogram snapshot
+    of exactly the observations made in between — so
+    {!Metrics.quantile_of_snapshot} applies to window deltas unchanged,
+    with the same documented edge cases (empty delta: [None]; delta
+    entirely in the overflow bucket: the largest finite bound).
+
+    Pushing a snapshot is O(snapshot) and mutex-protected; nothing else
+    runs until a reader asks. All reads are anchored at the {e newest}
+    retained snapshot, not the wall clock, so results are deterministic
+    given the pushed history (tests pass explicit [now] values). *)
+
+type t
+
+val standard_windows : float list
+(** The windows the serving tier reports: 10 s, 60 s, 300 s. *)
+
+val create : ?interval:float -> ?capacity:int -> unit -> t
+(** [interval] (seconds, default 1.0; non-positive or NaN coerces to 1.0)
+    is the minimum spacing between retained snapshots — {!observe} calls
+    arriving sooner are dropped. [capacity] defaults to enough entries to
+    cover the largest standard window at [interval], bounded to 1024 (a
+    tiny interval then shortens {!coverage}, it does not balloon memory). *)
+
+val observe : t -> ?now:float -> (string * float) list -> bool
+(** Offer a snapshot stamped [now] (default {!Raw_storage.Timing.now}).
+    Retained — evicting the oldest entry past capacity — iff at least
+    [interval] has passed since the newest retained entry; returns whether
+    it was retained. *)
+
+val interval : t -> float
+
+val size : t -> int
+(** Retained snapshots. *)
+
+val coverage : t -> float
+(** Seconds between the oldest and newest retained snapshots (0 until two
+    are retained). *)
+
+val latest : t -> (float * (string * float) list) option
+(** The newest retained (timestamp, snapshot). *)
+
+val delta : t -> window:float -> (float * (string * float) list) option
+(** [(elapsed, newest - baseline)] where the baseline is the newest entry
+    at least [window] seconds older than the newest snapshot — the
+    smallest fully-covering span — or the oldest retained entry when
+    history is shorter ([elapsed] reports the actual span either way).
+    Negative per-key deltas (counter resets, gauges) clamp to 0 so the
+    result is a well-formed counter snapshot. [None] until two snapshots
+    are retained, or for a non-positive/NaN [window]. *)
+
+val rate : t -> window:float -> string -> float option
+(** Per-second rate of one key over the window: delta / elapsed. A key
+    absent from the delta reads as 0. [None] when {!delta} is. *)
+
+val quantile : t -> window:float -> Metrics.t -> q:float -> float option
+(** {!Metrics.quantile_of_snapshot} over the window delta: the quantile
+    of the observations made {e during} the window. *)

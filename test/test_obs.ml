@@ -439,6 +439,167 @@ let export_suite =
         Alcotest.(check bool) "child indented" true (contains text "\n  plan"));
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Windowed metrics (PR 9)                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Window = Raw_obs.Window
+
+(* A snapshot delta is itself a histogram snapshot; build deltas by hand
+   to pin quantile_of_snapshot's documented edge cases on them. *)
+let delta_quantile_suite =
+  let h =
+    Metrics.histogram "test.window.delta" ~buckets:[ 0.1; 1.0 ]
+      ~help:"delta-snapshot quantile edge cases"
+  in
+  [
+    Alcotest.test_case "empty delta (B = A) yields None" `Quick (fun () ->
+        let d =
+          [
+            (Metrics.bucket_key h 0.1, 0.);
+            (Metrics.bucket_key h 1.0, 0.);
+            (Metrics.inf_bucket_key h, 0.);
+            (Metrics.sum_key h, 0.);
+            (Metrics.count_key h, 0.);
+          ]
+        in
+        Alcotest.(check (option (float 1e-9)))
+          "no observations in the window" None
+          (Metrics.quantile_of_snapshot d h ~q:0.99);
+        Alcotest.(check (option (float 1e-9)))
+          "missing keys read as 0" None
+          (Metrics.quantile_of_snapshot [] h ~q:0.5));
+    Alcotest.test_case "single-bucket delta interpolates inside the bucket"
+      `Quick (fun () ->
+        let d =
+          [
+            (Metrics.bucket_key h 0.1, 4.);
+            (Metrics.sum_key h, 0.2);
+            (Metrics.count_key h, 4.);
+          ]
+        in
+        match Metrics.quantile_of_snapshot d h ~q:0.5 with
+        | Some v ->
+          Alcotest.(check bool) "inside (0, 0.1]" true (v > 0. && v <= 0.1)
+        | None -> Alcotest.fail "expected an estimate");
+    Alcotest.test_case "overflow-only delta clamps to largest finite bound"
+      `Quick (fun () ->
+        let d =
+          [ (Metrics.inf_bucket_key h, 3.); (Metrics.count_key h, 3.) ]
+        in
+        Alcotest.(check (option (float 1e-9)))
+          "clamped" (Some 1.0)
+          (Metrics.quantile_of_snapshot d h ~q:0.99));
+  ]
+
+let window_suite =
+  (* snapshots are plain assoc lists; stamp them explicitly so the tests
+     are deterministic *)
+  let snap v = [ ("k", v) ] in
+  [
+    Alcotest.test_case "delta needs two retained snapshots" `Quick (fun () ->
+        let w = Window.create ~interval:1.0 () in
+        Alcotest.(check (option (pair (float 0.) (list (pair string (float 0.))))))
+          "empty" None
+          (Window.delta w ~window:10.);
+        Alcotest.(check bool) "first retained" true
+          (Window.observe w ~now:100. (snap 1.));
+        Alcotest.(check int) "size 1" 1 (Window.size w);
+        Alcotest.(check (option (pair (float 0.) (list (pair string (float 0.))))))
+          "one is not enough" None
+          (Window.delta w ~window:10.));
+    Alcotest.test_case "observe dedups under the tick interval" `Quick
+      (fun () ->
+        let w = Window.create ~interval:1.0 () in
+        Alcotest.(check bool) "t=100 kept" true
+          (Window.observe w ~now:100. (snap 0.));
+        Alcotest.(check bool) "t=100.5 dropped" false
+          (Window.observe w ~now:100.5 (snap 1.));
+        Alcotest.(check bool) "t=101.2 kept" true
+          (Window.observe w ~now:101.2 (snap 2.));
+        Alcotest.(check int) "two retained" 2 (Window.size w);
+        Alcotest.(check (float 1e-9)) "coverage" 1.2 (Window.coverage w));
+    Alcotest.test_case "baseline is the smallest fully-covering span" `Quick
+      (fun () ->
+        let w = Window.create ~interval:1.0 ~capacity:8 () in
+        List.iter
+          (fun (t, v) -> ignore (Window.observe w ~now:t (snap v)))
+          [ (0., 0.); (10., 1.); (20., 2.); (30., 3.) ];
+        (* window 15 anchored at t=30 wants a baseline at ts <= 15: t=10 *)
+        (match Window.delta w ~window:15. with
+        | Some (elapsed, d) ->
+          Alcotest.(check (float 1e-9)) "spans 20 s" 20. elapsed;
+          Alcotest.(check (float 1e-9)) "delta 2" 2. (List.assoc "k" d)
+        | None -> Alcotest.fail "expected a delta");
+        (* a window longer than history falls back to the oldest entry *)
+        (match Window.delta w ~window:1000. with
+        | Some (elapsed, d) ->
+          Alcotest.(check (float 1e-9)) "whole history" 30. elapsed;
+          Alcotest.(check (float 1e-9)) "delta 3" 3. (List.assoc "k" d)
+        | None -> Alcotest.fail "expected a delta");
+        Alcotest.(check (option (float 1e-9)))
+          "rate = delta / elapsed" (Some 0.1)
+          (Window.rate w ~window:15. "k");
+        Alcotest.(check (option (float 1e-9)))
+          "absent key rates as 0" (Some 0.)
+          (Window.rate w ~window:15. "no.such"));
+    Alcotest.test_case "negative deltas clamp to zero" `Quick (fun () ->
+        let w = Window.create ~interval:1.0 () in
+        ignore (Window.observe w ~now:0. (snap 5.));
+        ignore (Window.observe w ~now:10. (snap 3.));
+        match Window.delta w ~window:10. with
+        | Some (_, d) ->
+          Alcotest.(check (float 0.)) "clamped" 0. (List.assoc "k" d)
+        | None -> Alcotest.fail "expected a delta");
+    Alcotest.test_case "capacity bounds the ring, evicting oldest" `Quick
+      (fun () ->
+        let w = Window.create ~interval:1.0 ~capacity:3 () in
+        for i = 0 to 9 do
+          ignore (Window.observe w ~now:(float_of_int i) (snap (float_of_int i)))
+        done;
+        Alcotest.(check int) "capped" 3 (Window.size w);
+        match Window.delta w ~window:1000. with
+        | Some (elapsed, d) ->
+          (* entries 7, 8, 9 survive *)
+          Alcotest.(check (float 1e-9)) "oldest is 7" 2. elapsed;
+          Alcotest.(check (float 1e-9)) "delta from 7" 2. (List.assoc "k" d)
+        | None -> Alcotest.fail "expected a delta");
+    Alcotest.test_case "window quantile matches an exact oracle" `Quick
+      (fun () ->
+        (* Observe phase A, snapshot; observe phase B, snapshot; the
+           window delta must reproduce exactly the quantile of a twin
+           histogram that saw only phase B — identical bucket counts,
+           identical float arithmetic. *)
+        let got, want =
+          in_fresh_domain (fun () ->
+              let buckets = [ 0.001; 0.01; 0.1; 1.0 ] in
+              let m =
+                Metrics.histogram "test.window.oracle" ~buckets
+                  ~help:"windowed phase"
+              in
+              let oracle =
+                Metrics.histogram "test.window.oracle.twin" ~buckets
+                  ~help:"phase B only"
+              in
+              let phase_a = [ 0.0005; 0.0005; 0.05; 2.0 ] in
+              let phase_b = [ 0.002; 0.004; 0.03; 0.03; 0.7; 5.0 ] in
+              List.iter (Metrics.observe m) phase_a;
+              let sa = Io_stats.snapshot () in
+              List.iter (Metrics.observe m) phase_b;
+              let sb = Io_stats.snapshot () in
+              List.iter (Metrics.observe oracle) phase_b;
+              let w = Window.create ~interval:1.0 () in
+              ignore (Window.observe w ~now:0. sa);
+              ignore (Window.observe w ~now:10. sb);
+              let qs = [ 0.5; 0.9; 0.95; 0.99 ] in
+              ( List.map (fun q -> Window.quantile w ~window:10. m ~q) qs,
+                List.map (fun q -> Metrics.quantile oracle ~q) qs ))
+        in
+        (* exact equality: same bucket counts must mean same floats *)
+        Alcotest.(check (list (option (float 0.))))
+          "window delta = phase-B oracle" want got);
+  ]
+
 let suites =
   [
     ("obs.registry", registry_suite);
@@ -446,4 +607,6 @@ let suites =
     ("obs.trace", trace_suite);
     ("obs.decisions", decisions_suite);
     ("obs.export", export_suite);
+    ("obs.delta_quantile", delta_quantile_suite);
+    ("obs.window", window_suite);
   ]

@@ -485,10 +485,286 @@ let approx_suite =
         Thread.join server);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Continuous telemetry (PR 9): timing, trace trees, metrics, windows   *)
+(* ------------------------------------------------------------------ *)
+
+(* Rebuild the parent-edge set of a request trace from the Chrome JSON's
+   args.span_id/args.parent_id — the same tree Trace.edge_set computes
+   server-side, but recovered from the wire format. *)
+let edges_of_trace trace_json =
+  match Jsons.member "traceEvents" trace_json with
+  | Some (Jsons.List events) ->
+    let info ev =
+      let name =
+        match Jsons.member "name" ev with
+        | Some (Jsons.Str s) -> s
+        | _ -> Alcotest.failf "event without name: %s" (Jsons.to_string ev)
+      in
+      let args =
+        match Jsons.member "args" ev with Some a -> a | None -> Jsons.Obj []
+      in
+      let id =
+        match Jsons.member "span_id" args with
+        | Some (Jsons.Int n) -> n
+        | _ -> Alcotest.failf "event without span_id: %s" (Jsons.to_string ev)
+      in
+      let parent =
+        match Jsons.member "parent_id" args with
+        | Some (Jsons.Int n) -> Some n
+        | _ -> None
+      in
+      (id, name, parent)
+    in
+    let infos = List.map info events in
+    let name_of id =
+      match List.find_opt (fun (i, _, _) -> i = id) infos with
+      | Some (_, n, _) -> Some n
+      | None -> None
+    in
+    List.sort_uniq compare
+      (List.map
+         (fun (_, n, p) -> (Option.bind p name_of, n))
+         infos)
+  | _ -> Alcotest.failf "no traceEvents in %s" (Jsons.to_string trace_json)
+
+let executed_edge_set =
+  [
+    (None, "session");
+    (Some "batch", "execute");
+    (Some "session", "batch");
+    (Some "session", "queue-wait");
+    (Some "session", "read");
+    (Some "session", "write");
+  ]
+
+let with_telemetry_server ~parallelism f =
+  let path = Test_util.write_csv_rows (mk_rows 500) in
+  let socket_path = Test_util.fresh_path ".sock" in
+  let config =
+    {
+      Config.default with
+      Config.parallelism;
+      telemetry_tick = 0.05;
+      trace_retain = 8;
+    }
+  in
+  let db = Raw_db.create ~config () in
+  Raw_db.register_csv db ~name:"t" ~path ~columns:(Test_util.int_cols 4) ();
+  let server =
+    Thread.create
+      (fun () -> Server.serve ~batch_window:0.002 ~socket_path db)
+      ()
+  in
+  let c = connect_when_ready socket_path in
+  Fun.protect
+    ~finally:(fun () ->
+      (match Server.Client.shutdown c with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "shutdown: %s" (Server.Client.err_to_string e));
+      Server.Client.close c;
+      Thread.join server)
+    (fun () -> f c)
+
+let query_ok c sql =
+  match Server.Client.query c sql with
+  | Ok j when Jsons.member "ok" j = Some (Jsons.Bool true) -> j
+  | Ok j -> Alcotest.failf "query failed: %s" (Jsons.to_string j)
+  | Error e -> Alcotest.failf "query: %s" (Server.Client.err_to_string e)
+
+(* All retained traces for [sql], slowest first (the ring keeps every run
+   of a repeated statement separately). *)
+let trace_all_edges_for c sql =
+  match Server.Client.trace c with
+  | Error e -> Alcotest.failf "trace: %s" (Server.Client.err_to_string e)
+  | Ok j -> (
+    match Jsons.member "traces" j with
+    | Some (Jsons.List traces) -> (
+      match
+        List.filter_map
+          (fun e ->
+            if Jsons.member "sql" e = Some (Jsons.Str sql) then
+              match Jsons.member "trace" e with
+              | Some tj -> Some (edges_of_trace tj)
+              | None -> Alcotest.failf "no trace in %s" (Jsons.to_string e)
+            else None)
+          traces
+      with
+      | [] -> Alcotest.failf "sql not retained: %s" (Jsons.to_string j)
+      | l -> l)
+    | _ -> Alcotest.failf "no traces in %s" (Jsons.to_string j))
+
+let trace_edges_for c sql =
+  match trace_all_edges_for c sql with
+  | [ e ] -> e
+  | l -> Alcotest.failf "expected one retained trace, got %d" (List.length l)
+
+let telemetry_suite =
+  let edge = Alcotest.(list (pair (option string) string)) in
+  [
+    Alcotest.test_case "responses carry a consistent timing object" `Slow
+      (fun () ->
+        with_telemetry_server ~parallelism:1 (fun c ->
+            let j = query_ok c "SELECT COUNT(*) FROM t WHERE col0 < 111" in
+            match Jsons.member "timing" j with
+            | Some tm ->
+              let f name =
+                match Jsons.member name tm with
+                | Some (Jsons.Float x) -> x
+                | Some (Jsons.Int n) -> float_of_int n
+                | _ -> Alcotest.failf "timing lacks %s" (Jsons.to_string tm)
+              in
+              List.iter
+                (fun n ->
+                  Alcotest.(check bool) (n ^ " >= 0") true (f n >= 0.))
+                [ "read_s"; "queue_s"; "execute_s"; "total_s" ];
+              Alcotest.(check bool) "total covers queue + execute" true
+                (f "total_s" >= f "queue_s" +. f "execute_s")
+            | None -> Alcotest.failf "no timing in %s" (Jsons.to_string j)));
+    Alcotest.test_case "request trace tree has the exact edge set" `Slow
+      (fun () ->
+        with_telemetry_server ~parallelism:1 (fun c ->
+            let sql = "SELECT SUM(col2) FROM t WHERE col0 < 222" in
+            ignore (query_ok c sql);
+            Alcotest.check edge "session -> read/queue-wait/batch/write"
+              executed_edge_set (trace_edges_for c sql);
+            (* a repeat of the same statement is answered by the result
+               cache: same tree, execute replaced by cached; both runs are
+               retained, slowest first *)
+            ignore (query_ok c sql);
+            let cached_edge_set =
+              List.map
+                (function
+                  | Some "batch", "execute" -> (Some "batch", "cached")
+                  | e -> e)
+                executed_edge_set
+            in
+            Alcotest.check
+              Alcotest.(slist edge compare)
+              "executed and cached variants both retained"
+              [ executed_edge_set; cached_edge_set ]
+              (trace_all_edges_for c sql)));
+    Alcotest.test_case "trace tree parenting is parallelism-invariant" `Slow
+      (fun () ->
+        let edges_at p =
+          with_telemetry_server ~parallelism:p (fun c ->
+              let sql = "SELECT MAX(col1) FROM t WHERE col0 < 333" in
+              ignore (query_ok c sql);
+              trace_edges_for c sql)
+        in
+        let e1 = edges_at 1 and e2 = edges_at 2 in
+        Alcotest.check edge "p=1 matches the spec" executed_edge_set e1;
+        Alcotest.check edge "p=2 identical" e1 e2);
+    Alcotest.test_case "metrics op returns Prometheus exposition" `Slow
+      (fun () ->
+        with_telemetry_server ~parallelism:1 (fun c ->
+            ignore (query_ok c "SELECT COUNT(*) FROM t");
+            match Server.Client.metrics c with
+            | Error e ->
+              Alcotest.failf "metrics: %s" (Server.Client.err_to_string e)
+            | Ok j ->
+              let expo =
+                match Jsons.member "exposition" j with
+                | Some (Jsons.Str s) -> s
+                | _ -> Alcotest.failf "no exposition in %s" (Jsons.to_string j)
+              in
+              Alcotest.(check (option Alcotest.string))
+                "content type"
+                (Some "text/plain; version=0.0.4")
+                (match Jsons.member "content_type" j with
+                | Some (Jsons.Str s) -> Some s
+                | _ -> None);
+              let contains needle =
+                let nh = String.length expo and nn = String.length needle in
+                let rec go i =
+                  i + nn <= nh
+                  && (String.sub expo i nn = needle || go (i + 1))
+                in
+                nn = 0 || go 0
+              in
+              List.iter
+                (fun needle ->
+                  Alcotest.(check bool)
+                    ("exposition contains " ^ needle)
+                    true (contains needle))
+                [
+                  "# TYPE raw_server_requests_total counter";
+                  "# TYPE raw_server_request_seconds histogram";
+                  "raw_server_request_seconds_bucket";
+                ]));
+    Alcotest.test_case "stats carries cumulative and windowed percentiles"
+      `Slow (fun () ->
+        with_telemetry_server ~parallelism:1 (fun c ->
+            for i = 1 to 6 do
+              ignore
+                (query_ok c
+                   (Printf.sprintf "SELECT COUNT(*) FROM t WHERE col0 < %d"
+                      (100 + i)))
+            done;
+            (* the ticker snapshots every 50 ms; poll until a window delta
+               that includes the queries above materializes *)
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            let rec poll () =
+              let j =
+                match Server.Client.stats c with
+                | Ok j -> j
+                | Error e ->
+                  Alcotest.failf "stats: %s" (Server.Client.err_to_string e)
+              in
+              let win10 =
+                Option.bind (Jsons.member "latency" j) (fun l ->
+                    Option.bind (Jsons.member "windows" l) (fun w ->
+                        Jsons.member "10s" w))
+              in
+              match Option.bind win10 (Jsons.member "p99") with
+              | Some _ ->
+                let cum =
+                  match
+                    Option.bind (Jsons.member "latency" j)
+                      (Jsons.member "cumulative")
+                  with
+                  | Some cum -> cum
+                  | None ->
+                    Alcotest.failf "no cumulative latency in %s"
+                      (Jsons.to_string j)
+                in
+                Alcotest.(check bool) "cumulative count > 0" true
+                  (match Jsons.member "count" cum with
+                  | Some (Jsons.Int n) -> n > 0
+                  | Some (Jsons.Float f) -> f > 0.
+                  | _ -> false);
+                List.iter
+                  (fun p ->
+                    Alcotest.(check bool) ("cumulative " ^ p) true
+                      (Jsons.member p cum <> None))
+                  [ "p50"; "p95"; "p99" ];
+                let requests =
+                  match
+                    Option.bind win10 (Jsons.member "requests")
+                  with
+                  | Some (Jsons.Float f) -> f
+                  | Some (Jsons.Int n) -> float_of_int n
+                  | _ -> 0.
+                in
+                Alcotest.(check bool) "window saw the queries" true
+                  (requests > 0.)
+              | None ->
+                if Unix.gettimeofday () > deadline then
+                  Alcotest.failf "no 10s-window p99 within 5s: %s"
+                    (Jsons.to_string j)
+                else begin
+                  Thread.delay 0.05;
+                  poll ()
+                end
+            in
+            poll ()));
+  ]
+
 let suites =
   [
     ("server.shared_scan", shared_scan_suite);
     ("server.cache", cache_suite);
     ("server.socket", server_suite);
     ("server.approx", approx_suite);
+    ("server.telemetry", telemetry_suite);
   ]

@@ -47,11 +47,26 @@ let start_server ?(config = Config.default) ?(batch_window = 0.002) ~rows () =
   (socket_path, path, thread)
 
 let stop_server socket_path thread =
-  let c = connect_when_ready socket_path in
-  (match Server.Client.shutdown c with
-  | Ok _ -> ()
-  | Error e -> Alcotest.failf "shutdown: %s" (Server.Client.err_to_string e));
-  Server.Client.close c;
+  (* a just-closed client's session slot is released asynchronously, so
+     connecting right away can still be shed at the door (a code-5 line,
+     or EPIPE when the server closes first) — retry until the shutdown
+     rpc is actually accepted *)
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  let rec go () =
+    let c = connect_when_ready socket_path in
+    let r = Server.Client.shutdown c in
+    Server.Client.close c;
+    match r with
+    | Ok j when Jsons.member "ok" j = Some (Jsons.Bool true) -> ()
+    | Ok _ | Error _ ->
+      if Unix.gettimeofday () > deadline then
+        Alcotest.fail "shutdown not accepted within 10s"
+      else begin
+        Thread.delay 0.02;
+        go ()
+      end
+  in
+  go ();
   Thread.join thread;
   Alcotest.(check bool) "socket file removed" false (Sys.file_exists socket_path)
 
