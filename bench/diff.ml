@@ -146,11 +146,23 @@ let is_anchor name =
 let regressions = ref 0
 let checks = ref 0
 
-let check ~ok fmt =
+(* every tripped check is remembered with a severity so the summary can
+   name the worst offenders: the ratio observed/allowed-ish quantity for
+   perf checks, +inf for correctness checks (changed rows, missing
+   samples) which always outrank a slowdown *)
+let offenders : (string * float * string) list ref = ref []
+let current_experiment = ref "?"
+
+let check ?severity ~ok fmt =
   incr checks;
   if not ok then incr regressions;
   Printf.ksprintf
-    (fun msg -> if not ok then Printf.printf "  REGRESSION %s\n" msg)
+    (fun msg ->
+      if not ok then begin
+        Printf.printf "  REGRESSION %s\n" msg;
+        let s = match severity with Some s -> s | None -> infinity in
+        offenders := (!current_experiment, s, msg) :: !offenders
+      end)
     fmt
 
 (* single labels on a shared runner spike 2-4x from scheduling noise, so
@@ -160,6 +172,7 @@ let min_wall = 0.001
 let compare_experiment ~norm ~wall_tol ~io_tol ~micro_tol ~inject id
     (base_j, fresh_j) =
   Printf.printf "%s:\n" id;
+  current_experiment := id;
   let base_s = samples_of (id ^ " (baseline)") base_j in
   let fresh_s = samples_of (id ^ " (fresh)") fresh_j in
   let labels =
@@ -187,10 +200,13 @@ let compare_experiment ~norm ~wall_tol ~io_tol ~micro_tol ~inject id
           (truncate_label label) b.rows_scanned f.rows_scanned b.result_rows
           f.result_rows;
         check
+          ?severity:(if b.io > 0. then Some (f.io /. b.io) else None)
           ~ok:(f.io <= (b.io *. (1. +. io_tol)) +. 1e-9)
           "%s: io_seconds %.4f -> %.4f (> %+.0f%%)" (truncate_label label) b.io
           f.io (io_tol *. 100.);
         check
+          ?severity:
+            (if b.compile > 0. then Some (f.compile /. b.compile) else None)
           ~ok:(f.compile <= (b.compile *. (1. +. io_tol)) +. 1e-9)
           "%s: compile_seconds %.4f -> %.4f (> %+.0f%%)" (truncate_label label)
           b.compile f.compile (io_tol *. 100.);
@@ -207,7 +223,7 @@ let compare_experiment ~norm ~wall_tol ~io_tol ~micro_tol ~inject id
     in
     Printf.printf "  wall geomean %.2fx over %d label(s)\n" geo
       (List.length rs);
-    check
+    check ~severity:geo
       ~ok:(geo <= 1. +. wall_tol)
       "wall clock: normalized fresh/baseline geomean %.2fx over %d label(s) \
        (> %+.0f%%)"
@@ -220,7 +236,7 @@ let compare_experiment ~norm ~wall_tol ~io_tol ~micro_tol ~inject id
         | None -> check ~ok:false "%s: anchor missing from fresh run" name
         | Some fv ->
           let adj = fv /. bv /. norm in
-          check
+          check ~severity:adj
             ~ok:(adj <= 1. +. micro_tol)
             "%s: %.1f -> %.1f ns/run (%.2fx the fleet)" name bv fv adj)
     base_m;
@@ -332,6 +348,22 @@ let () =
         ~micro_tol:!micro_tol ~inject:!inject id pair)
     pairs;
   if !regressions > 0 then begin
+    (* name the worst offenders up front so a red CI log leads with the
+       metric that moved, not a wall of per-label noise: correctness
+       trips (infinite severity) first, then by how far past baseline *)
+    let top =
+      List.sort (fun (_, a, _) (_, b, _) -> compare b a) !offenders
+    in
+    Printf.printf "bench/diff: top offender(s):\n";
+    List.iteri
+      (fun i (id, s, msg) ->
+        if i < 5 then
+          if Float.is_finite s then
+            Printf.printf "  %5.2fx  %s: %s\n" s id msg
+          else Printf.printf "      !  %s: %s\n" id msg)
+      top;
+    if List.length top > 5 then
+      Printf.printf "  ... and %d more\n" (List.length top - 5);
     Printf.printf "bench/diff: %d regression(s) in %d check(s)\n" !regressions
       !checks;
     exit 1

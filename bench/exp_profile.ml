@@ -1,0 +1,189 @@
+(* e28 — cost of the per-query resource profiler on the serving hot path.
+
+   The profiler (Obs.Prof + Prof_gate) threads two kinds of
+   instrumentation through the engine: Gc.quick_stat sampling at span
+   boundaries (paid only when Config.profile is set) and Prof_gate.copy
+   calls at every intermediate-copy site in the format kernels and
+   buffer builders (always present in the code, gated by a domain-local
+   bool). Both must be near-free when disabled, and cheap enough when
+   enabled that a profiled deployment is still a usable deployment.
+
+   Two checks:
+
+   1. Disabled cost. One million Prof_gate.copy calls with the gate
+      down must average under a microsecond each (they should be ~ns:
+      one DLS read plus a branch). This is the e23 pattern and is what
+      licenses leaving the call sites in the hot paths permanently.
+
+   2. Enabled cost, end to end. A duel in the e26/e27 mold: a server
+      running with Config.profile = true (every query pays GC sampling,
+      copy accounting, and alloc span args) races an unprofiled server
+      through the identical 32-session workload in the same wall-clock
+      window, with a poller session pulling the profile op from the
+      profiled side throughout (a deliberately attached flamegraph
+      consumer). The best per-duel throughput ratio over [duels] rounds
+      must stay above [gate_fraction] (overhead <= 3%), with one
+      re-measure retry for stray scheduler spikes. Every response is
+      still verified against the one-shot oracle — profiling must not
+      change results, only record where the time and bytes went. *)
+
+open Raw_core
+
+let duels = 2
+
+(* profiled throughput must stay within 3% of unprofiled *)
+let gate_fraction = 0.97
+
+let profile_on_config = { Config.default with Config.profile = true }
+let profile_off_config = Config.default
+
+(* -- check 1: the gate-down copy call is ~free ---------------------- *)
+
+let bench_site = Raw_storage.Prof_gate.site "bench.disabled_cost"
+
+let assert_disabled_cost () =
+  Raw_storage.Prof_gate.set false;
+  let n = 1_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    Raw_storage.Prof_gate.copy bench_site i
+  done;
+  let per_call = (Unix.gettimeofday () -. t0) /. float_of_int n in
+  Printf.printf "  disabled Prof_gate.copy: %.1f ns/call over %d calls\n%!"
+    (per_call *. 1e9) n;
+  if per_call >= 1e-6 then
+    failwith
+      (Printf.sprintf
+         "e28: disabled Prof_gate.copy costs %.0f ns/call (>= 1 us) — the \
+          copy-site instrumentation is taxing unprofiled queries"
+         (per_call *. 1e9));
+  Bench_util.record_metric ~name:"prof.disabled_copy.ns_per_call"
+    (per_call *. 1e9)
+
+(* -- check 2: profiled vs unprofiled duel --------------------------- *)
+
+let result_of ~phase (wall, latencies) =
+  let nq = Exp_chaos.sessions * Exp_chaos.queries_per_client in
+  let qps = float_of_int nq /. wall in
+  Array.sort compare latencies;
+  let p99_ms = 1000. *. Exp_chaos.percentile latencies 0.99 in
+  Printf.printf
+    "  profile=%-4s %4d queries in %7.3fs -> %8.1f q/s   p99 %6.2f ms\n%!"
+    phase nq wall qps p99_ms;
+  { Exp_chaos.qps; p99_ms; wall }
+
+(* One duel: profiled and unprofiled servers race the identical workload
+   through the same wall-clock window, with a live consumer pulling
+   folded stacks from the profiled side. *)
+let run_duel ~note_failure ~t30_sorted ~t120_sorted ~count_below () =
+  let on_srv = Exp_chaos.start_server ~config:profile_on_config ~phase:"p_on" in
+  let off_srv =
+    Exp_chaos.start_server ~config:profile_off_config ~phase:"p_off"
+  in
+  let stop_poll = Atomic.make false in
+  let poller =
+    Thread.create
+      (fun () ->
+        match Server.Client.connect (fst on_srv) with
+        | exception Unix.Unix_error _ -> ()
+        | c ->
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              while not (Atomic.get stop_poll) do
+                ignore (Server.Client.profile c);
+                Thread.delay 0.2
+              done))
+      ()
+  in
+  let measure socket_path out =
+    Thread.create
+      (fun () ->
+        out :=
+          Some
+            (Exp_chaos.run_clients ~note_failure ~t30_sorted ~t120_sorted
+               ~count_below socket_path))
+      ()
+  in
+  let on_out = ref None and off_out = ref None in
+  let t_on = measure (fst on_srv) on_out in
+  let t_off = measure (fst off_srv) off_out in
+  Thread.join t_on;
+  Thread.join t_off;
+  Atomic.set stop_poll true;
+  Thread.join poller;
+  Exp_chaos.stop_server on_srv;
+  Exp_chaos.stop_server off_srv;
+  ( result_of ~phase:"on" (Option.get !on_out),
+    result_of ~phase:"off" (Option.get !off_out) )
+
+let e28 () =
+  Bench_util.header "e28 — resource profiler overhead"
+    "profiled server (GC sampling, copy accounting, polled folded stacks) \
+     vs unprofiled, same-window duel; plus disabled-cost assert";
+  assert_disabled_cost ();
+  let oracle_db = Bench_util.db_q30 () in
+  Raw_db.register_csv oracle_db ~name:"t120" ~path:(Bench_util.q120_csv ())
+    ~columns:(Bench_util.colnames_mixed Bench_util.q120_dtypes) ();
+  let t30_sorted = Exp_serve.sorted_col0 oracle_db "t30" in
+  let t120_sorted = Exp_serve.sorted_col0 oracle_db "t120" in
+  let count_below = Exp_serve.count_below in
+  let failures = ref 0 in
+  let fail_mutex = Mutex.create () in
+  let note_failure msg =
+    Mutex.protect fail_mutex (fun () ->
+        incr failures;
+        if !failures <= 5 then Printf.eprintf "  e28 FAIL: %s\n%!" msg)
+  in
+  let duel = run_duel ~note_failure ~t30_sorted ~t120_sorted ~count_below in
+  (* same gate statistic as e26/e27: a real profiler cost depresses the
+     profiled side of EVERY duel; scheduling noise only has to come out
+     even once *)
+  let best = ref (duel ()) in
+  let ratio (on, off) = on.Exp_chaos.qps /. off.Exp_chaos.qps in
+  for _ = 2 to duels do
+    let d = duel () in
+    if ratio d > ratio !best then best := d
+  done;
+  if ratio !best < gate_fraction then begin
+    Printf.printf
+      "  best duel ratio %.3f below gate %.2f; re-measuring one duel\n%!"
+      (ratio !best) gate_fraction;
+    let d = duel () in
+    if ratio d > ratio !best then best := d
+  end;
+  let on_best, off_best = !best in
+  if on_best.Exp_chaos.qps < gate_fraction *. off_best.Exp_chaos.qps then begin
+    Printf.eprintf
+      "e28: profiled throughput %.1f q/s is below %.0f%% of unprofiled %.1f \
+       q/s in every same-window duel — the resource profiler is taxing the \
+       hot path\n\
+       %!"
+      on_best.Exp_chaos.qps
+      (100. *. gate_fraction)
+      off_best.Exp_chaos.qps;
+    exit 1
+  end;
+  Printf.printf
+    "  gate ok: profiled %.1f q/s >= %.0f%% of unprofiled %.1f in a duel\n%!"
+    on_best.Exp_chaos.qps
+    (100. *. gate_fraction)
+    off_best.Exp_chaos.qps;
+  Bench_util.record_metric ~name:"serve.profile_on.qps" on_best.Exp_chaos.qps;
+  Bench_util.record_metric ~name:"serve.profile_on.p99_ms"
+    on_best.Exp_chaos.p99_ms;
+  Bench_util.record_metric ~name:"serve.profile_off.qps" off_best.Exp_chaos.qps;
+  Bench_util.record_metric ~name:"serve.profile_off.p99_ms"
+    off_best.Exp_chaos.p99_ms;
+  Bench_util.record_metric ~name:"serve.profile.duel_ratio" (ratio !best);
+  let nq = Exp_chaos.sessions * Exp_chaos.queries_per_client in
+  Bench_util.record_raw_sample ~label:"serve profile=on"
+    ~wall_seconds:on_best.Exp_chaos.wall ~result_rows:nq ();
+  Bench_util.record_raw_sample ~label:"serve profile=off"
+    ~wall_seconds:off_best.Exp_chaos.wall ~result_rows:nq ();
+  if !failures > 0 then begin
+    Printf.eprintf "e28: %d wrong or failed response(s)\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf
+    "  all well-formed responses verified against one-shot oracle\n%!"

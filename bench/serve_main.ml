@@ -1,12 +1,12 @@
-(* Entry point for the serving benches (e24, e26, e27). It is a separate
-   executable because it links threads.posix for the client sessions, and
-   the systhreads runtime perturbs the millisecond-scale warm-query
-   timings of the single-threaded experiments in main.exe (see
+(* Entry point for the serving benches (e24, e26, e27, e28). It is a
+   separate executable because it links threads.posix for the client
+   sessions, and the systhreads runtime perturbs the millisecond-scale
+   warm-query timings of the single-threaded experiments in main.exe (see
    bench/dune). Run it with the same RAW_BENCH_SCALE / RAW_BENCH_OUT
-   environment as main.exe; it writes BENCH_e24.json, BENCH_e26.json and
-   BENCH_e27.json next to the other results. e24 must run first: e26
-   gates its chaos-off pass against e24's 32-session cold throughput from
-   this process. *)
+   environment as main.exe; it writes BENCH_e24.json, BENCH_e26.json,
+   BENCH_e27.json and BENCH_e28.json next to the other results. e24 must
+   run first: e26 gates its chaos-off pass against e24's 32-session cold
+   throughput from this process. *)
 
 let () =
   Printf.printf
@@ -20,4 +20,6 @@ let () =
     Exp_chaos.e26;
   Bench_util.with_experiment ~id:"e27"
     ~title:"extension — continuous telemetry overhead" Exp_telemetry.e27;
+  Bench_util.with_experiment ~id:"e28"
+    ~title:"extension — resource profiler overhead" Exp_profile.e28;
   Printf.printf "\nall done in %.1fs\n" (Unix.gettimeofday () -. t0)

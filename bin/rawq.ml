@@ -100,7 +100,7 @@ let parse_bytes s =
    (3) from a blown deadline (4) from load shedding (5) without parsing
    stderr: 0 ok, 1 parse/bind, 2 usage/config, 3 malformed data under
    --on-error fail, 4 deadline exceeded, 5 rejected by admission control. *)
-let run_query db ~stats ~metrics ~trace_out sql =
+let run_query db ~stats ~metrics ~trace_out ~profile ~profile_out sql =
   match Raw_db.query db sql with
   | report ->
     Format.printf "%a@." Executor.pp_report report;
@@ -123,6 +123,24 @@ let run_query db ~stats ~metrics ~trace_out sql =
        Format.printf "-- trace written to %s (%d spans)@." path
          (List.length report.Executor.spans)
      | None -> ());
+    (* folded stacks over this query's span tree plus its per-query
+       copy-site deltas (report.counters is already the delta list) *)
+    if profile || profile_out <> None then begin
+      let folded =
+        Raw_obs.Prof.folded_of_spans report.Executor.spans
+        ^ Raw_obs.Prof.folded_of_copies report.Executor.counters
+      in
+      (match profile_out with
+       | Some path ->
+         let oc = open_out path in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> output_string oc folded);
+         Format.printf "-- profile written to %s (%d folded line(s))@." path
+           (List.length (Raw_obs.Prof.parse_folded folded))
+       | None -> ());
+      if profile then Format.printf "%a@." Raw_obs.Prof.pp_report folded
+    end;
     if metrics then print_string (Raw_obs.Export.prometheus ());
     0
   | exception Sql_binder.Bind_error msg ->
@@ -154,7 +172,7 @@ let run_query db ~stats ~metrics ~trace_out sql =
       limit;
     5
 
-let repl db ~stats ~metrics ~trace_out =
+let repl db ~stats ~metrics ~trace_out ~profile ~profile_out =
   Format.printf "rawq — adaptive query processing on raw data. \\q quits, \\tables lists, \\explain <sql> traces the plan.@.";
   Format.printf "tables: %s@." (String.concat ", " (Raw_db.tables db));
   let rec loop () =
@@ -176,7 +194,8 @@ let repl db ~stats ~metrics ~trace_out =
       loop ()
     | "" -> loop ()
     | line ->
-      (ignore : int -> unit) (run_query db ~stats ~metrics ~trace_out line);
+      (ignore : int -> unit)
+        (run_query db ~stats ~metrics ~trace_out ~profile ~profile_out line);
       loop ()
   in
   loop ()
@@ -223,7 +242,7 @@ let build_options ~mode ~shreds ~join_policy ~every =
   }
 
 let build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
-    ~observe ~history ~approx ~approx_seed ~chunk_rows =
+    ~observe ~profile ~history ~approx ~approx_seed ~chunk_rows =
   if par < 1 then failwith "--parallelism must be >= 1";
   let on_error =
     match Scan_errors.policy_of_string on_error with
@@ -239,6 +258,7 @@ let build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
     memory_budget = Option.map parse_bytes memory_budget;
     max_concurrent;
     observe;
+    profile;
     history_path = history;
     approx;
     approx_seed;
@@ -246,24 +266,26 @@ let build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
 
 let main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy every
     par on_error deadline memory_budget max_concurrent approx approx_seed
-    chunk_rows repl_flag stats metrics analyze trace_out history calibration
-    query =
+    chunk_rows repl_flag stats metrics analyze trace_out profile profile_out
+    history calibration query =
   try
     match calibration with
     | Some file -> print_calibration file
     | None ->
     let options = build_options ~mode ~shreds ~join_policy ~every in
+    let profiling = profile || profile_out <> None in
     let config =
       build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
         ~observe:(analyze || trace_out <> None)
-        ~history ~approx ~approx_seed ~chunk_rows
+        ~profile:profiling ~history ~approx ~approx_seed ~chunk_rows
     in
     let db = Raw_db.create ~config ~options () in
     register_tables db ~csv ~jsonl ~jsonl_array ~fwb ~ibx ~hep ~sep;
     (match query with
-     | Some q when not repl_flag -> run_query db ~stats ~metrics ~trace_out q
+     | Some q when not repl_flag ->
+       run_query db ~stats ~metrics ~trace_out ~profile ~profile_out q
      | _ ->
-       repl db ~stats ~metrics ~trace_out;
+       repl db ~stats ~metrics ~trace_out ~profile ~profile_out;
        0)
   with
   | Failure msg | Sys_error msg ->
@@ -419,6 +441,24 @@ let trace_out_arg =
                  FILE (load in chrome://tracing or Perfetto). Implies \
                  span recording.")
 
+let profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Profile the query's resource usage: GC/allocation deltas \
+                 at every span boundary, alloc.*/gc.* counters, and \
+                 bytes.copied.<site> accounting across the \
+                 scan->shred->column chain, ranked in a report after the \
+                 result. Results are bit-identical to unprofiled runs.")
+
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile-out" ] ~docv:"FILE"
+           ~doc:"Write the query's profile as folded stacks (one \
+                 'frames;joined;by;semicolons count' line each for \
+                 wall-microseconds, allocated words and copied bytes) to \
+                 FILE — the input format of flamegraph.pl and \
+                 $(b,rawq profile). Implies --profile.")
+
 let history_arg =
   Arg.(value & opt (some string) None
        & info [ "history" ] ~docv:"FILE"
@@ -462,6 +502,38 @@ let report_cmd =
          "Summarize a workload-history file: latency percentiles \
           (p50/p95/p99) per query shape and per access path, cache \
           hit-rate trends, and the most regressed shapes.")
+    Term.(const run $ file_arg)
+
+(* Pretty-print a folded-stack profile (from --profile-out or the
+   server's profile op) as a ranked hot-site report. *)
+let profile_cmd =
+  let run file =
+    match open_in_bin file with
+    | exception Sys_error msg ->
+      Format.eprintf "rawq profile: %s@." msg;
+      2
+    | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      Format.printf "%a@." Raw_obs.Prof.pp_report text;
+      0
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PROFILE.folded"
+             ~doc:"Folded-stack file written via --profile-out (or the \
+                   folded field of the server's profile op).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Render a folded-stack profile as a ranked report: per weight \
+          root (wall microseconds, allocated words, copied bytes), the \
+          hottest stacks with their share of the total. The same file \
+          feeds flamegraph.pl unchanged.")
     Term.(const run $ file_arg)
 
 (* ------------------------------------------------------------------ *)
@@ -532,16 +604,26 @@ let trace_retain_arg =
                  for the trace op (default 32; 0 disables request tracing \
                  entirely).")
 
+let serve_profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Run every query with resource profiling on: span \
+                 boundaries capture GC/allocation deltas and format \
+                 kernels charge bytes.copied.<site> counters, all \
+                 surfaced through the metrics and profile ops. Results \
+                 are bit-identical; scans pay the Gc.quick_stat \
+                 sampling cost.")
+
 let serve_main csv jsonl jsonl_array fwb ibx hep sep mode shreds join_policy
     every par on_error deadline memory_budget max_concurrent approx
-    approx_seed chunk_rows history socket batch_window no_result_cache
+    approx_seed chunk_rows profile history socket batch_window no_result_cache
     max_request_bytes request_timeout idle_timeout max_sessions telemetry_tick
     trace_retain =
   try
     let options = build_options ~mode ~shreds ~join_policy ~every in
     let config =
       build_config ~par ~on_error ~deadline ~memory_budget ~max_concurrent
-        ~observe:false ~history ~approx ~approx_seed ~chunk_rows
+        ~observe:false ~profile ~history ~approx ~approx_seed ~chunk_rows
     in
     let config =
       {
@@ -601,6 +683,7 @@ let serve_cmd =
       $ mode_arg $ shreds_arg $ join_arg $ every_arg $ parallelism_arg
       $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
       $ approx_arg $ approx_seed_arg $ chunk_rows_arg
+      $ serve_profile_arg
       $ history_arg $ socket_arg $ batch_window_arg $ no_result_cache_arg
       $ max_request_bytes_arg $ request_timeout_arg $ idle_timeout_arg
       $ max_sessions_arg $ telemetry_tick_arg $ trace_retain_arg)
@@ -637,6 +720,12 @@ let print_response ?(timing = false) j =
   | Some (J.Str "metrics"), _ ->
     (* the exposition is the payload: print it raw, ready to scrape *)
     (match J.member "exposition" j with
+     | Some (J.Str s) -> print_string s
+     | _ -> print_endline (J.to_string j))
+  | Some (J.Str "profile"), _ ->
+    (* folded stacks are the payload: raw output pipes into
+       flamegraph.pl or a file for rawq profile *)
+    (match J.member "folded" j with
      | Some (J.Str s) -> print_string s
      | _ -> print_endline (J.to_string j))
   | _, Some (J.List rows) ->
@@ -698,7 +787,7 @@ let print_response ?(timing = false) j =
   | _ -> print_endline (J.to_string j)
 
 let client_main socket connect_timeout request_timeout retry do_ping do_stats
-    do_metrics do_trace do_timing do_shutdown query =
+    do_metrics do_trace do_profile do_timing do_shutdown query =
   let module J = Raw_obs.Jsons in
   let one = function
     | Error (e : Server.Client.err) ->
@@ -731,12 +820,13 @@ let client_main socket connect_timeout request_timeout retry do_ping do_stats
     @ (if do_stats then [ `Stats ] else [])
     @ (if do_metrics then [ `Metrics ] else [])
     @ (if do_trace then [ `Trace ] else [])
+    @ (if do_profile then [ `Profile ] else [])
     @ if do_shutdown then [ `Shutdown ] else []
   in
   if actions = [] then begin
     Format.eprintf
       "rawq client: nothing to do (pass SQL, --ping, --stats, --metrics, \
-       --trace or --shutdown)@.";
+       --trace, --profile or --shutdown)@.";
     2
   end
   else begin
@@ -747,6 +837,7 @@ let client_main socket connect_timeout request_timeout retry do_ping do_stats
       | `Stats -> Server.Client.stats c
       | `Metrics -> Server.Client.metrics c
       | `Trace -> Server.Client.trace c
+      | `Profile -> Server.Client.profile c
       | `Shutdown -> Server.Client.shutdown c
     in
     if retry > 0 then
@@ -801,6 +892,14 @@ let client_trace_arg =
            ~doc:"Fetch the server's retained slowest request traces \
                  (Chrome trace-event JSON; the {\"op\":\"trace\"} op).")
 
+let client_profile_arg =
+  Arg.(value & flag
+       & info [ "profile" ]
+           ~doc:"Fetch the server's retained request traces as folded \
+                 flamegraph stacks plus copy-site counters and print \
+                 them raw (the {\"op\":\"profile\"} op) — pipe into \
+                 flamegraph.pl or save for $(b,rawq profile).")
+
 let client_timing_arg =
   Arg.(value & flag
        & info [ "timing" ]
@@ -845,8 +944,8 @@ let client_cmd =
     Term.(
       const client_main $ socket_arg $ connect_timeout_arg
       $ client_request_timeout_arg $ retry_arg $ ping_arg $ client_stats_arg
-      $ client_metrics_arg $ client_trace_arg $ client_timing_arg
-      $ shutdown_arg $ query_arg)
+      $ client_metrics_arg $ client_trace_arg $ client_profile_arg
+      $ client_timing_arg $ shutdown_arg $ query_arg)
 
 (* ------------------------------------------------------------------ *)
 (* top: a refreshing one-screen live view over the stats op (PR 9)     *)
@@ -943,40 +1042,63 @@ let top_main socket interval iterations no_clear =
      | _ -> print_endline "armor     (no recent decisions)");
     flush stdout
   in
-  match
-    Server.Client.connect ~connect_timeout:5. ~request_timeout:10. socket
-  with
-  | exception Unix.Unix_error (e, _, _) ->
-    Format.eprintf "rawq top: cannot reach %s: %s@." socket
-      (Unix.error_message e);
-    3
-  | c ->
-    Fun.protect
-      ~finally:(fun () -> Server.Client.close c)
-      (fun () ->
-        let rec poll i prev =
-          match Server.Client.stats c with
-          | Error e ->
-            Format.eprintf "rawq top: %s@." (Server.Client.err_to_string e);
-            3
-          | Ok j ->
-            let now = Unix.gettimeofday () in
-            let requests = num (counters j) "server.requests" in
-            let poll_qps =
-              match prev with
-              | Some (t0, r0) when now > t0 ->
-                (* single-snapshot stats makes this delta non-negative *)
-                Some ((requests -. r0) /. (now -. t0))
-              | _ -> None
-            in
-            render j ~poll_qps;
-            if iterations > 0 && i + 1 >= iterations then 0
-            else begin
-              Unix.sleepf interval;
-              poll (i + 1) (Some (now, requests))
-            end
-        in
-        poll 0 None)
+  (* Reconnect-per-failure polling: a server restart or disappearance
+     mid-poll must never surface as an uncaught exception — each failed
+     tick prints one clean line, drops the connection, and the next tick
+     dials a fresh one. With --iterations the loop still stops on
+     schedule (exit 3 if the final tick failed); without it, top keeps
+     watching for the server to come back until interrupted. *)
+  let connect () =
+    match
+      Server.Client.connect ~connect_timeout:5. ~request_timeout:10. socket
+    with
+    | c -> Some c
+    | exception Unix.Unix_error (e, _, _) ->
+      Format.eprintf "rawq top: cannot reach %s: %s (retrying in %gs)@."
+        socket (Unix.error_message e) interval;
+      None
+  in
+  let drop c = try Server.Client.close c with _ -> () in
+  let rec poll i conn prev =
+    let conn = match conn with Some _ -> conn | None -> connect () in
+    let conn, prev, rc =
+      match conn with
+      | None -> (None, None, 3)
+      | Some c -> (
+        match Server.Client.stats c with
+        | Error e ->
+          Format.eprintf "rawq top: lost %s: %s (retrying in %gs)@." socket
+            (Server.Client.err_to_string e) interval;
+          drop c;
+          (None, None, 3)
+        | exception Unix.Unix_error (e, _, _) ->
+          Format.eprintf "rawq top: lost %s: %s (retrying in %gs)@." socket
+            (Unix.error_message e) interval;
+          drop c;
+          (None, None, 3)
+        | Ok j ->
+          let now = Unix.gettimeofday () in
+          let requests = num (counters j) "server.requests" in
+          let poll_qps =
+            match prev with
+            | Some (t0, r0) when now > t0 ->
+              (* single-snapshot stats makes this delta non-negative *)
+              Some ((requests -. r0) /. (now -. t0))
+            | _ -> None
+          in
+          render j ~poll_qps;
+          (Some c, Some (now, requests), 0))
+    in
+    if iterations > 0 && i + 1 >= iterations then begin
+      Option.iter drop conn;
+      rc
+    end
+    else begin
+      Unix.sleepf interval;
+      poll (i + 1) conn prev
+    end
+  in
+  poll 0 None None
 
 let top_interval_arg =
   Arg.(value & opt float 2.0
@@ -1031,8 +1153,10 @@ let cmd =
       $ on_error_arg $ deadline_arg $ memory_budget_arg $ max_concurrent_arg
       $ approx_arg $ approx_seed_arg $ chunk_rows_arg
       $ repl_arg $ stats_arg $ metrics_arg $ analyze_arg $ trace_out_arg
+      $ profile_arg $ profile_out_arg
       $ history_arg $ calibration_arg $ query_arg)
   in
-  Cmd.group ~default info [ report_cmd; serve_cmd; client_cmd; top_cmd ]
+  Cmd.group ~default info
+    [ report_cmd; profile_cmd; serve_cmd; client_cmd; top_cmd ]
 
 let () = exit (Cmd.eval' cmd)

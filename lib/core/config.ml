@@ -13,6 +13,7 @@ type t = {
   memory_budget : int option;
   max_concurrent : int option;
   observe : bool;
+  profile : bool;
   history_path : string option;
   history_max_bytes : int;
   approx : float option;
@@ -39,6 +40,7 @@ let default =
     memory_budget = None;
     max_concurrent = None;
     observe = false;
+    profile = false;
     history_path = None;
     history_max_bytes = 16 * 1024 * 1024;
     approx = None;

@@ -55,6 +55,16 @@ type t = {
           [Executor.report.spans]/[.decisions]. [false] (default) leaves
           both at their no-op sinks: span sites cost one domain-local read
           and a branch. *)
+  profile : bool;
+      (** per-query resource profiling ({!Raw_obs.Prof}): raise the
+          domain-local {!Raw_storage.Prof_gate} for the query's duration,
+          so span boundaries capture {!Gc.quick_stat} deltas, the
+          [alloc.*]/[gc.*] metrics accumulate, and format kernels charge
+          [bytes.copied.<site>] counters. Implies span recording (a
+          profiled query gets a span tree even with [observe = false]).
+          [false] (default) leaves every instrumentation site at one
+          domain-local read and a branch; profiled results are
+          bit-identical to unprofiled ones. *)
   history_path : string option;
       (** append one {!Raw_obs.History} record per query (including failed
           and cancelled ones) to this JSONL file — the workload-history

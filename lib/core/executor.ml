@@ -159,7 +159,9 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
   List.iter Mmap_file.reset_counters (entry_files cat logical);
   ignore (Template_cache.take_charged_seconds (Catalog.templates cat));
   let trace_h =
-    if not cfg.Config.observe then None
+    (* profiling implies span recording: the folded export weights the
+       span tree, so a profiled query needs one even with observe off *)
+    if not (cfg.Config.observe || cfg.Config.profile) then None
     else begin
       (* anchor the trace at the earliest pre-timed phase (binding happens
          in Raw_db before this handle exists) so its spans fit the axis *)
@@ -194,9 +196,13 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
     | Some h ->
       Trace.with_handle h (fun () -> Trace.with_span ~cat:"query" "query" f)
   in
+  (* the coordinator's GC baseline; workers sample their own domains
+     inside Morsel, so the merged alloc.*/gc.* deltas are additive *)
+  let g0 = if cfg.Config.profile then Some (Raw_obs.Prof.sample ()) else None in
   let outcome, cpu_seconds =
     Timing.time (fun () ->
         Cancel.with_current cancel (fun () ->
+          Prof_gate.with_gate cfg.Config.profile (fun () ->
             with_obs (fun () ->
                 Cancel.check cancel;
                 let exact () =
@@ -230,8 +236,11 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
                     (chunk, schema, Some (Approx.finalize_exact info chunk))
                   | Approx.Ineligible _ ->
                     let chunk, schema = exact () in
-                    (chunk, schema, None)))))
+                    (chunk, schema, None))))))
   in
+  (* flush the coordinator's GC delta before any counter snapshot below
+     reads the alloc.*/gc.* keys (both success and failure paths) *)
+  (match g0 with Some g -> Raw_obs.Prof.record_since g | None -> ());
   (* accounting shared by the success and failure paths *)
   let io_seconds = io_of_files cat logical in
   let compile_seconds =
@@ -287,6 +296,20 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
            (cost_predicted, Some true, Some preferred_name)
          end)
   in
+  (* profiler columns: absent unless this query was profiled, so history
+     readers can tell "not profiled" from "profiled, allocated nothing" *)
+  let copied_delta () =
+    List.fold_left
+      (fun acc (k, v) ->
+        if String.starts_with ~prefix:"bytes.copied." k then
+          let v0 =
+            match List.assoc_opt k before with Some x -> x | None -> 0.
+          in
+          acc +. (v -. v0)
+        else acc)
+      0. (Io_stats.snapshot ())
+  in
+  let if_profiled v = if cfg.Config.profile then Some (v ()) else None in
   let append_history ~status ~result_rows ~degraded =
     match cfg.Config.history_path with
     | None -> ()
@@ -321,6 +344,17 @@ let run ?(options = Planner.default) ?cancel ?(pre_spans = []) cat logical =
           pool_misses = int_of_float (delta "pool.misses");
           degraded;
           errors_tolerated = (Scan_errors.snapshot ()).Scan_errors.total;
+          alloc_words =
+            if_profiled (fun () ->
+                delta (Metrics.id Metrics.alloc_minor_words)
+                +. delta (Metrics.id Metrics.alloc_major_words));
+          gc_minor =
+            if_profiled (fun () ->
+                int_of_float (delta (Metrics.id Metrics.gc_minor_collections)));
+          gc_major =
+            if_profiled (fun () ->
+                int_of_float (delta (Metrics.id Metrics.gc_major_collections)));
+          bytes_copied = if_profiled copied_delta;
         }
   in
   let chunk, schema, approx =

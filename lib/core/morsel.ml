@@ -57,8 +57,15 @@ let map_domains ?(cancel = Cancel.current ()) work items =
        with tid 1 + morsel index. *)
     let fp = Trace.fork () in
     let dfork = Raw_obs.Decisions.fork () in
+    (* the profiling gate is DLS too: mirror the coordinator's value so
+       worker-side copy sites and GC deltas are attributed; each worker
+       samples its own domain's Gc.quick_stat, so merged alloc counters
+       are additive across the join with no double counting *)
+    let prof = Prof_gate.on () in
     let run i item () =
       Cancel.set_current cancel;
+      Prof_gate.set prof;
+      let g0 = if prof then Some (Raw_obs.Prof.sample ()) else None in
       let with_obs f =
         let f =
           match dfork with
@@ -71,6 +78,9 @@ let map_domains ?(cancel = Cancel.current ()) work items =
       in
       let t0 = Timing.now () in
       let r = try Ok (with_obs (fun () -> timed_work item)) with e -> Error e in
+      (* flush this worker's GC delta into its own Io_stats shard before
+         the snapshot below, so the coordinator's merge carries it *)
+      (match g0 with Some g -> Raw_obs.Prof.record_since g | None -> ());
       (r, Io_stats.snapshot (), Scan_errors.snapshot (), Timing.now () -. t0)
     in
     let domains = List.mapi (fun i item -> Domain.spawn (run i item)) items in

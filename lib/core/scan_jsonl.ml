@@ -14,6 +14,14 @@ let type_clash what s =
   Scan_errors.fail ~offset:s ~field:(-1)
     ~cause:("json: string value in " ^ what ^ " column")
 
+(* copy-accounting site: unquoted/unescaped string values materialize via
+   Bytes.sub_string (escaped ones are charged inside Jsonl.unescape) *)
+let site_value = Prof_gate.site "jsonl.value"
+
+let sub_copy buf s l =
+  Prof_gate.copy site_value l;
+  Bytes.sub_string buf s l
+
 (* Under [Null_fill] every emitter is wrapped: a failed conversion records
    the error against its schema column and emits NULL instead (the parse
    raises before anything reaches the builder, so no rollback is needed).
@@ -56,10 +64,10 @@ let jit_emitters ~policy buf schema needed builders =
          | Dtype.String -> (
              fun kind s l ->
                match kind with
-               | Quoted false -> Builder.add_string b (Bytes.sub_string buf s l)
+               | Quoted false -> Builder.add_string b (sub_copy buf s l)
                | Quoted true -> Builder.add_string b (Jsonl.unescape buf s l)
                | Nul -> Builder.add_null b
-               | Scalar -> Builder.add_string b (Bytes.sub_string buf s l))))
+               | Scalar -> Builder.add_string b (sub_copy buf s l))))
     needed builders
 
 (* Interpreted: the payload is the slot index; every emitted value looks up
@@ -74,9 +82,9 @@ let interp_emit ~policy buf schema needed builders =
     | Dtype.Int, Scalar -> Builder.add_int b (Csv.parse_int buf s l)
     | Dtype.Float, Scalar -> Builder.add_float b (Csv.parse_float buf s l)
     | Dtype.Bool, Scalar -> Builder.add_bool b (Csv.parse_bool buf s l)
-    | Dtype.String, Quoted false -> Builder.add_string b (Bytes.sub_string buf s l)
+    | Dtype.String, Quoted false -> Builder.add_string b (sub_copy buf s l)
     | Dtype.String, Quoted true -> Builder.add_string b (Jsonl.unescape buf s l)
-    | Dtype.String, Scalar -> Builder.add_string b (Bytes.sub_string buf s l)
+    | Dtype.String, Scalar -> Builder.add_string b (sub_copy buf s l)
     | _, Quoted _ -> type_clash "non-string" s
   in
   match (policy : Scan_errors.policy) with

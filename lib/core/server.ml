@@ -17,6 +17,7 @@ module Jsons = Raw_obs.Jsons
 module Decisions = Raw_obs.Decisions
 module Trace = Raw_obs.Trace
 module Export = Raw_obs.Export
+module Prof = Raw_obs.Prof
 module Window = Raw_obs.Window
 
 (* ------------------------------------------------------------------ *)
@@ -811,6 +812,31 @@ let trace_response t id =
              (Trace_ring.snapshot t.traces ~now)) );
     ]
 
+(* Folded flamegraph stacks over the retained slowest request traces,
+   plus the process's cumulative copy-site counters. Each retained entry
+   folds separately (span ids clash across entries) and the outputs
+   concatenate: identical stacks from different requests stay separate
+   lines, which flamegraph tooling sums anyway. Useful even without
+   Config.profile — wall-time stacks come from request tracing alone;
+   allocation stacks appear once the server runs with profiling on. *)
+let profile_response t id =
+  let now = Timing.now () in
+  let folded =
+    String.concat ""
+      (List.map
+         (fun (e : Trace_ring.entry) -> Prof.folded_of_spans e.Trace_ring.spans)
+         (Trace_ring.snapshot t.traces ~now))
+    ^ Prof.folded_of_copies (Io_stats.snapshot ())
+  in
+  Jsons.Obj
+    [
+      ("id", id);
+      ("ok", Jsons.Bool true);
+      ("op", Jsons.Str "profile");
+      ("retain", Jsons.Int t.trace_retain);
+      ("folded", Jsons.Str folded);
+    ]
+
 (* Shut down: stop accepting, wake the batcher (it drains the queue and
    exits), and half-close every session socket so blocked reads return
    EOF. Responses in flight still go out: only the receive side is shut. *)
@@ -866,6 +892,8 @@ let handle_session t session_id fd =
       | Some (Jsons.Str "stats"), _ -> reply (stats_response t id) `Continue
       | Some (Jsons.Str "metrics"), _ -> reply (metrics_response id) `Continue
       | Some (Jsons.Str "trace"), _ -> reply (trace_response t id) `Continue
+      | Some (Jsons.Str "profile"), _ ->
+        reply (profile_response t id) `Continue
       | Some (Jsons.Str "shutdown"), _ -> (
         match
           send
@@ -1231,6 +1259,7 @@ module Client = struct
   let stats c = rpc c (Jsons.Obj [ ("op", Jsons.Str "stats") ])
   let metrics c = rpc c (Jsons.Obj [ ("op", Jsons.Str "metrics") ])
   let trace c = rpc c (Jsons.Obj [ ("op", Jsons.Str "trace") ])
+  let profile c = rpc c (Jsons.Obj [ ("op", Jsons.Str "profile") ])
   let shutdown c = rpc c (Jsons.Obj [ ("op", Jsons.Str "shutdown") ])
 
   let close c =

@@ -9,7 +9,7 @@
     {b Protocol.} Requests are single-line JSON objects:
     - [{"id": <any>, "sql": "SELECT ..."}] — run a query;
     - [{"op": "ping"}], [{"op": "stats"}], [{"op": "metrics"}],
-      [{"op": "trace"}], [{"op": "shutdown"}].
+      [{"op": "trace"}], [{"op": "profile"}], [{"op": "shutdown"}].
 
     A query response echoes ["id"] and carries ["ok"], ["columns"],
     ["types"], ["rows"] (row-major values), ["row_count"], ["seconds"],
@@ -90,6 +90,16 @@
       [{"traces": [{"sql", "session", "seconds", "age_s", "trace":
       <Chrome trace-event JSON, same exporter as --trace-out>}]}],
       slowest first.
+
+    [{"op": "profile"}] returns the same retained traces rendered as
+    flamegraph-compatible folded stacks ({!Raw_obs.Prof.folded_of_spans},
+    one fold per retained trace, concatenated), followed by the
+    process's cumulative copy-site counters
+    ({!Raw_obs.Prof.folded_of_copies}), in a ["folded"] string field.
+    Wall-time stacks come from request tracing alone; allocation-weighted
+    stacks and [copies;*] lines appear when the server runs with
+    [Config.profile]. Feed the field to [rawq profile] or any
+    [flamegraph.pl]-style renderer.
 
     [{"op": "metrics"}] returns the full Prometheus text exposition
     ({!Raw_obs.Export.prometheus_of_snapshot}) in an ["exposition"]
@@ -191,6 +201,10 @@ module Client : sig
   val trace : conn -> (Raw_obs.Jsons.t, err) result
   (** The [{"op": "trace"}] round trip: the retained slowest request
       traces as Chrome trace-event JSON. *)
+
+  val profile : conn -> (Raw_obs.Jsons.t, err) result
+  (** The [{"op": "profile"}] round trip: folded flamegraph stacks over
+      the retained traces plus copy-site counters, in ["folded"]. *)
 
   val shutdown : conn -> (Raw_obs.Jsons.t, err) result
   (** Ask the server to shut down (acknowledged before it stops). *)

@@ -46,6 +46,14 @@ let generate ~path ?(sep = ',') ~n_rows ~dtypes ~seed () =
    policy. Malformed data is user input, not a programmer error, so none
    of these paths use failwith/assert. *)
 
+(* copy-accounting sites, precomputed once so the profiled path does not
+   allocate; each Prof_gate.copy is one domain-local read + branch when
+   profiling is off. "csv.field" charges string materialization of parsed
+   fields; "csv.value" charges the slow-path numeric/bool decoders that
+   fall back to an intermediate string. *)
+let site_field = Prof_gate.site "csv.field"
+let site_value = Prof_gate.site "csv.value"
+
 let bad_int ~pos = Scan_errors.fail ~offset:pos ~field:(-1) ~cause:"bad int"
 let bad_float ~pos = Scan_errors.fail ~offset:pos ~field:(-1) ~cause:"bad float"
 let bad_bool ~pos = Scan_errors.fail ~offset:pos ~field:(-1) ~cause:"bad bool"
@@ -68,6 +76,7 @@ let pow10 = [| 1.; 1e1; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8; 1e9; 1e10; 1e11;
                1e12; 1e13; 1e14; 1e15 |]
 
 let parse_float_slow buf pos len =
+  Prof_gate.copy site_value len;
   match float_of_string_opt (Bytes.sub_string buf pos len) with
   | Some f -> f
   | None -> bad_float ~pos
@@ -118,13 +127,17 @@ let parse_bool buf pos len =
     | '1' | 't' | 'T' -> true
     | '0' | 'f' | 'F' -> false
     | _ -> bad_bool ~pos
-  else
+  else begin
+    Prof_gate.copy site_value len;
     match String.lowercase_ascii (Bytes.sub_string buf pos len) with
     | "true" -> true
     | "false" -> false
     | _ -> bad_bool ~pos
+  end
 
-let parse_string buf pos len = Bytes.sub_string buf pos len
+let parse_string buf pos len =
+  Prof_gate.copy site_field len;
+  Bytes.sub_string buf pos len
 
 (* ---------- navigation ---------- *)
 

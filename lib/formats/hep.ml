@@ -274,7 +274,12 @@ module Reader = struct
         (Printf.sprintf "Hep.Reader.read_particle_field: item %d/%d" item len);
     read_f64 t (start + (item * particle_size) + pfield_off f)
 
+  (* copy-accounting: deserialization duplicates each particle's bytes
+     into an OCaml record; charged per collection, not per field read *)
+  let site_particles = Prof_gate.site "hep.particles"
+
   let read_particles t start n =
+    Prof_gate.copy site_particles (n * particle_size);
     Array.init n (fun i ->
         let base = start + (i * particle_size) in
         { pt = read_f64 t base; eta = read_f64 t (base + 8);

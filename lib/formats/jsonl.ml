@@ -152,7 +152,12 @@ type json =
 
 let is_ws c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
 
+(* copy-accounting site: unescaping materializes the string through an
+   intermediate Buffer, so the input span counts as copied bytes *)
+let site_unescape = Prof_gate.site "jsonl.unescape"
+
 let unescape buf pos len =
+  Prof_gate.copy site_unescape len;
   let out = Buffer.create len in
   let stop = pos + len in
   let i = ref pos in

@@ -93,8 +93,23 @@ let escape_label_value s =
    buckets with sum and count, and any key the registry does not own is
    exposed untyped rather than dropped — the exposition is complete by
    construction. *)
+(* Build identity, exposed as the conventional *_build_info gauge: the
+   value is always 1, the interesting data rides in the labels — joinable
+   in PromQL against any other series to slice by deployed version. *)
+let build_version = "0.10"
+
+let build_info () =
+  Printf.sprintf
+    "# HELP rawq_build_info Build identity of the exposing binary \
+     (constant 1; data is in the labels).\n\
+     # TYPE rawq_build_info gauge\n\
+     rawq_build_info{version=\"%s\",ocaml=\"%s\"} 1\n"
+    (escape_label_value build_version)
+    (escape_label_value Sys.ocaml_version)
+
 let prometheus_of_snapshot snapshot =
   let buf = Buffer.create 4096 in
+  Buffer.add_string buf (build_info ());
   let lookup key =
     match List.assoc_opt key snapshot with Some v -> v | None -> 0.
   in

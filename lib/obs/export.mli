@@ -25,6 +25,14 @@ val prometheus : unit -> string
 val prometheus_of_snapshot : (string * float) list -> string
 (** Same, over an explicit snapshot (e.g. the merged post-query one). *)
 
+val build_version : string
+(** Version string stamped into {!build_info}. *)
+
+val build_info : unit -> string
+(** The [rawq_build_info] gauge family: constant value 1 with [version]
+    and [ocaml] labels, prepended to every exposition so dashboards can
+    join any series against the deployed build. *)
+
 val prom_name : string -> string
 (** [raw_] + the id with non-[[a-zA-Z0-9_:]] characters mapped to [_]. *)
 

@@ -28,6 +28,13 @@ type record = {
   pool_misses : int;
   degraded : string list;
   errors_tolerated : int;
+  (* resource-profiler columns (PR 10): present only for queries run
+     with Config.profile — absence distinguishes "not profiled" from
+     "profiled, allocated nothing" *)
+  alloc_words : float option;
+  gc_minor : int option;
+  gc_major : int option;
+  bytes_copied : float option;
 }
 
 let status_to_string = function
@@ -80,6 +87,10 @@ let to_json r =
              Jsons.List (List.map (fun s -> Jsons.Str s) r.degraded) );
            ("errors_tolerated", Jsons.Int r.errors_tolerated);
          ];
+         opt "alloc_words" (fun x -> Jsons.Float x) r.alloc_words;
+         opt "gc_minor" (fun n -> Jsons.Int n) r.gc_minor;
+         opt "gc_major" (fun n -> Jsons.Int n) r.gc_major;
+         opt "bytes_copied" (fun x -> Jsons.Float x) r.bytes_copied;
        ])
 
 let of_json j =
@@ -133,6 +144,10 @@ let of_json j =
       pool_misses = Option.value ~default:0 (int "pool_misses");
       degraded;
       errors_tolerated = Option.value ~default:0 (int "errors_tolerated");
+      alloc_words = flt "alloc_words";
+      gc_minor = int "gc_minor";
+      gc_major = int "gc_major";
+      bytes_copied = flt "bytes_copied";
     }
 
 (* ------------------------------------------------------------------ *)

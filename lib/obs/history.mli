@@ -63,6 +63,17 @@ type record = {
   pool_misses : int;
   degraded : string list;  (** governance degradation notes *)
   errors_tolerated : int;  (** malformed rows skipped/nulled *)
+  alloc_words : float option;
+      (** words allocated (minor + direct major) across every domain the
+          query touched. [Some] only for queries run with
+          [Config.profile]; absence distinguishes "not profiled" from
+          "profiled, allocated nothing". Not deterministic across
+          parallelism levels (domain spawn itself allocates). *)
+  gc_minor : int option;  (** minor collections during the query (profiled) *)
+  gc_major : int option;  (** major cycles during the query (profiled) *)
+  bytes_copied : float option;
+      (** total [bytes.copied.*] charged by the scan->shred->column chain
+          (profiled queries only) *)
 }
 
 val status_to_string : status -> string

@@ -381,6 +381,32 @@ let io_simulated_seconds =
   counter "io.simulated_seconds"
     ~help:"Simulated cold-read I/O seconds charged to queries (cost model)"
 
+let alloc_minor_words =
+  counter "alloc.minor_words"
+    ~help:"Words allocated on minor heaps during profiled queries (Gc.quick_stat delta)"
+
+let alloc_major_words =
+  counter "alloc.major_words"
+    ~help:"Words allocated directly on the major heap during profiled queries \
+           (promotions excluded)"
+
+let alloc_promoted_words =
+  counter "alloc.promoted_words"
+    ~help:"Words promoted from minor to major heaps during profiled queries"
+
+let gc_minor_collections =
+  counter "gc.minor_collections"
+    ~help:"Minor collections completed during profiled queries"
+
+let gc_major_collections =
+  counter "gc.major_collections"
+    ~help:"Major collection cycles completed during profiled queries"
+
+let bytes_copied =
+  counter "bytes.copied." ~family:true
+    ~help:"Bytes duplicated into intermediate buffers by the scan->shred->column \
+           chain, by named copy site (profiled queries only)"
+
 let latency_buckets =
   [ 0.0001; 0.0005; 0.001; 0.005; 0.01; 0.05; 0.1; 0.5; 1.; 5.; 10. ]
 

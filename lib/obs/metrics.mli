@@ -200,6 +200,33 @@ val par_domain : t
 val obs_decisions_dropped : t
 val io_simulated_seconds : t
 
+(** {2 Resource-profiler vocabulary (PR 10)}
+
+    Bumped only while the {!Raw_storage.Prof_gate} is up (a profiled
+    query); all zero otherwise. The [alloc.*]/[gc.*] counters come from
+    {!Gc.quick_stat} deltas around the query on every participating
+    domain, merged at morsel join; they are {e not} deterministic across
+    parallelism levels (domain spawn itself allocates). The
+    [bytes.copied.<site>] family counts bytes duplicated into
+    intermediate buffers; value-proportional sites (e.g.
+    [bytes.copied.csv.field]) are par==seq deterministic, capacity
+    sites (e.g. [bytes.copied.builder.grow]) are not. *)
+
+val alloc_minor_words : t
+val alloc_major_words : t
+
+val alloc_promoted_words : t
+(** Total allocated words for a query =
+    [alloc.minor_words + alloc.major_words] (promotions are counted in
+    [major_words] by the runtime and already excluded there — see
+    {!Prof.allocated_words}). *)
+
+val gc_minor_collections : t
+val gc_major_collections : t
+
+val bytes_copied : t
+(** Family: [bytes.copied.<site>]. *)
+
 val query_seconds : t
 (** End-to-end latency histogram. Bucket upper bounds (seconds):
     [1e-4], [5e-4], [1e-3], [5e-3], [1e-2], [5e-2], [0.1], [0.5], [1],

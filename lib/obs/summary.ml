@@ -20,14 +20,20 @@ type group = {
   p99 : float;
 }
 
-let group_by key_of records =
+(* Group an arbitrary per-record sample; records where the metric is
+   absent are skipped, so profiled-only columns (alloc_words) rank over
+   exactly the records that carry them. *)
+let group_vals metric key_of records =
   let tbl = Hashtbl.create 16 in
   List.iter
     (fun (r : History.record) ->
-      let k = key_of r in
-      Hashtbl.replace tbl k
-        (r.History.total_seconds
-         :: (match Hashtbl.find_opt tbl k with Some l -> l | None -> [])))
+      match metric r with
+      | None -> ()
+      | Some v ->
+        let k = key_of r in
+        Hashtbl.replace tbl k
+          (v
+           :: (match Hashtbl.find_opt tbl k with Some l -> l | None -> [])))
     records;
   Hashtbl.fold
     (fun key xs acc ->
@@ -45,8 +51,20 @@ let group_by key_of records =
     tbl []
   |> List.sort (fun a b -> String.compare a.key b.key)
 
+let group_by key_of records =
+  group_vals (fun (r : History.record) -> Some r.History.total_seconds)
+    key_of records
+
 let by_access = group_by (fun (r : History.record) -> r.History.access)
 let by_shape = group_by (fun (r : History.record) -> r.History.shape)
+
+(* allocation ranking: profiled records only, heaviest mean first *)
+let by_shape_alloc records =
+  group_vals
+    (fun (r : History.record) -> r.History.alloc_words)
+    (fun r -> r.History.shape)
+    records
+  |> List.sort (fun a b -> compare b.mean a.mean)
 
 let halves records =
   let n = List.length records in
@@ -96,15 +114,19 @@ let top_regressed ?(limit = 5) records =
 let truncate_key k =
   if String.length k <= 44 then k else String.sub k 0 41 ^ "..."
 
-let pp_groups ppf title groups =
+let pp_groups_with pp_val ppf title groups =
   Format.fprintf ppf "@,%s@," title;
   Format.fprintf ppf "  %-44s %5s %10s %10s %10s %10s@," "key" "n" "mean"
     "p50" "p95" "p99";
   List.iter
     (fun g ->
-      Format.fprintf ppf "  %-44s %5d %9.4fs %9.4fs %9.4fs %9.4fs@,"
-        (truncate_key g.key) g.n g.mean g.p50 g.p95 g.p99)
+      Format.fprintf ppf "  %-44s %5d %a %a %a %a@," (truncate_key g.key)
+        g.n pp_val g.mean pp_val g.p50 pp_val g.p95 pp_val g.p99)
     groups
+
+let pp_seconds ppf v = Format.fprintf ppf "%9.4fs" v
+let pp_words ppf v = Format.fprintf ppf "%10.0f" v
+let pp_groups ppf title groups = pp_groups_with pp_seconds ppf title groups
 
 let pp_report ppf records =
   Format.fprintf ppf "@[<v>";
@@ -126,6 +148,11 @@ let pp_report ppf records =
   if records <> [] then begin
     pp_groups ppf "latency by access path (seconds)" (by_access records);
     pp_groups ppf "latency by query shape (seconds)" (by_shape records);
+    (match by_shape_alloc records with
+    | [] -> () (* no profiled records in this window *)
+    | groups ->
+      pp_groups_with pp_words ppf
+        "allocation by query shape (words, profiled queries)" groups);
     Format.fprintf ppf "@,cache hit rates (first half -> second half)@,";
     List.iter
       (fun (name, a, b) ->

@@ -26,6 +26,12 @@ val by_access : History.record list -> group list
 val by_shape : History.record list -> group list
 (** One group per query-shape fingerprint, sorted by key. *)
 
+val by_shape_alloc : History.record list -> group list
+(** Allocation ranking: one group per query-shape fingerprint over
+    [alloc_words], restricted to records written by profiled queries
+    ([Config.profile]), sorted heaviest mean first. Empty when no record
+    in the window carries allocation data. *)
+
 val hit_rate_trend : History.record list -> (string * float option * float option) list
 (** [(cache, first_half_rate, second_half_rate)] for the template cache
     and the shred pool, splitting the history at its midpoint; [None] when

@@ -80,6 +80,27 @@ let fork () =
 let with_fork fp ~tid f =
   with_ctx { h = fp.fp_h; tid; base = fp.fp_parent; stack = [] } f
 
+(* GC attribution per span, behind the profiling gate. Gc.quick_stat is
+   per-domain in OCaml 5 and costs no minor collection, so sampling at
+   both span boundaries is cheap; the deltas are inclusive (they cover
+   the span's children too — the folded exporter subtracts). f_args is
+   in reverse order: consing minor, major, promoted, gc.minor, gc.major
+   leaves them at the tail of the final (List.rev'd) arg list in exactly
+   that order. *)
+let gc_args g0 (g1 : Gc.stat) args =
+  let w v = Printf.sprintf "%.0f" (Float.max 0. v) in
+  let promoted = g1.Gc.promoted_words -. g0.Gc.promoted_words in
+  (* alloc.major is direct major-heap allocation: the runtime counts
+     promotions into major_words, so subtract them back out; total words
+     allocated by the span is then alloc.minor + alloc.major *)
+  ("gc.major", string_of_int (g1.Gc.major_collections - g0.Gc.major_collections))
+  :: ("gc.minor",
+      string_of_int (g1.Gc.minor_collections - g0.Gc.minor_collections))
+  :: ("alloc.promoted", w promoted)
+  :: ("alloc.major", w (g1.Gc.major_words -. g0.Gc.major_words -. promoted))
+  :: ("alloc.minor", w (g1.Gc.minor_words -. g0.Gc.minor_words))
+  :: args
+
 let with_span ?(cat = "raw") ?(args = []) name f =
   match Domain.DLS.get key with
   | None -> f ()
@@ -87,6 +108,7 @@ let with_span ?(cat = "raw") ?(args = []) name f =
     let parent =
       match ctx.stack with fr :: _ -> Some fr.f_id | [] -> ctx.base
     in
+    let gc0 = if Prof_gate.on () then Some (Gc.quick_stat ()) else None in
     let fr =
       {
         f_id = fresh_id ctx.h;
@@ -101,6 +123,9 @@ let with_span ?(cat = "raw") ?(args = []) name f =
       ~finally:(fun () ->
         let now = Timing.now () in
         (match ctx.stack with _ :: rest -> ctx.stack <- rest | [] -> ());
+        (match gc0 with
+         | Some g0 -> fr.f_args <- gc_args g0 (Gc.quick_stat ()) fr.f_args
+         | None -> ());
         push ctx.h
           {
             id = fr.f_id;

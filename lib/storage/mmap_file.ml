@@ -68,6 +68,13 @@ module Fault = struct
         }
 end
 
+(* copy-accounting sites, precomputed so the profiled path allocates
+   nothing; Prof_gate.copy is one domain-local read and a branch when
+   profiling is off *)
+let site_open = Prof_gate.site "mmap.open"
+let site_inject = Prof_gate.site "mmap.inject"
+let site_fork = Prof_gate.site "mmap.fork_residency"
+
 type residency =
   | Bitmap of Bytes.t
   | Bounded of (int, unit) Lru.t
@@ -107,6 +114,7 @@ let inject fault ~page_size:ps data =
       min len (keep_pages * ps)
   in
   let data = Bytes.sub data 0 keep in
+  Prof_gate.copy site_inject keep;
   let flips = ref 0 in
   if fault.Fault.flip_per_page > 0. then begin
     let n_pages = (keep + ps - 1) / ps in
@@ -167,6 +175,7 @@ let open_file ?config ?fault path =
       let len = in_channel_length ic in
       let data = Bytes.create len in
       really_input ic data 0 len;
+      Prof_gate.copy site_open len;
       of_bytes ?config ?fault ~name:path data)
 
 let name t = t.name
@@ -218,7 +227,9 @@ let injected_truncated_bytes t = t.injected_truncated_bytes
 (* ---------- concurrent-read views ---------- *)
 
 let copy_residency = function
-  | Bitmap b -> Bitmap (Bytes.copy b)
+  | Bitmap b ->
+    Prof_gate.copy site_fork (Bytes.length b);
+    Bitmap (Bytes.copy b)
   | Bounded lru ->
     let copy =
       match Lru.capacity lru with

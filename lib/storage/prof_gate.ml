@@ -1,0 +1,24 @@
+(* The profiler's ambient on/off switch, domain-local like Io_stats so a
+   morsel worker inherits nothing implicitly: the coordinator reads the
+   gate before spawning and each worker re-installs it, exactly the
+   discipline Cancel and Trace already follow. The disabled path of
+   [copy] is one DLS read and a branch — no allocation, no lock — which
+   is what lets the format kernels carry instrumentation unconditionally.
+
+   [site] precomputes the full counter key at module-init time so the
+   enabled path does not concatenate strings per copy either. *)
+
+let key : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+let on () = Domain.DLS.get key
+let set v = Domain.DLS.set key v
+
+let with_gate v f =
+  let prev = on () in
+  set v;
+  Fun.protect ~finally:(fun () -> set prev) f
+
+type site = string
+
+let site name = "bytes.copied." ^ name
+let site_key s = s
+let copy s n = if on () then Io_stats.add s n

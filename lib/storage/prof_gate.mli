@@ -1,0 +1,35 @@
+(** Ambient switch for per-query resource profiling.
+
+    Domain-local, default off. The executor raises the gate for the
+    query's duration when {!Config.profile} is set; morsel workers
+    re-install the coordinator's value at spawn (DLS is not inherited).
+    Format kernels and buffer builders call {!copy} unconditionally at
+    every intermediate-copy site — the disabled cost is a single DLS
+    read plus a branch, asserted at ~ns scale by bench e28, so the
+    instrumentation can stay in the hot paths permanently. *)
+
+val on : unit -> bool
+(** Is profiling enabled on this domain right now? *)
+
+val set : bool -> unit
+(** Set this domain's gate (workers mirror the coordinator's value). *)
+
+val with_gate : bool -> (unit -> 'a) -> 'a
+(** Run [f] with the gate forced to the given value, restoring the
+    previous value on exit (including exceptional exit). *)
+
+type site
+(** A named copy site with its counter key precomputed, so the enabled
+    path allocates nothing per call. Declare sites at module init:
+    [let s = Prof_gate.site "csv.field"]. *)
+
+val site : string -> site
+(** [site name] names an intermediate-copy site; bytes reported against
+    it land in the [bytes.copied.<name>] counter. *)
+
+val site_key : site -> string
+(** The full [Io_stats] counter key ("bytes.copied." ^ name). *)
+
+val copy : site -> int -> unit
+(** [copy s n] charges [n] bytes to [s] when the gate is up; a no-op
+    (one DLS read + branch) when it is down. *)

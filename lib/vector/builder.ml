@@ -12,6 +12,15 @@ type t = {
 
 let initial_capacity = 64
 
+(* copy-accounting sites: "builder.column" is the final materialization
+   blit (deterministic: a pure function of the produced column), while
+   "builder.grow" is capacity-doubling churn (depends on morsel sizes, so
+   it varies across parallelism levels). Elements are charged at word
+   width — the in-memory cost of the blit, not the source encoding. *)
+let site_column = Raw_storage.Prof_gate.site "builder.column"
+let site_grow = Raw_storage.Prof_gate.site "builder.grow"
+let word_bytes = Sys.word_size / 8
+
 let create ?(capacity = initial_capacity) dt =
   let capacity = max capacity 1 in
   let buf =
@@ -42,6 +51,9 @@ let capacity t =
 let grow t =
   let cap = capacity t in
   let cap' = cap * 2 in
+  Raw_storage.Prof_gate.copy site_grow
+    ((cap * word_bytes)
+    + match t.nulls with Some b -> Bytes.length b | None -> 0);
   (match t.buf with
    | IB r ->
      let a = Array.make cap' 0 in
@@ -123,6 +135,8 @@ let add_value t (v : Value.t) =
   | Null -> add_null t
 
 let to_column t =
+  Raw_storage.Prof_gate.copy site_column
+    ((t.n * word_bytes) + match t.nulls with Some _ -> t.n | None -> 0);
   let data =
     match t.buf with
     | IB r -> Column.Int_data (Array.sub !r 0 t.n)

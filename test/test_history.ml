@@ -38,6 +38,10 @@ let sample_record =
     pool_misses = 1;
     degraded = [ "eviction pressure" ];
     errors_tolerated = 3;
+    alloc_words = Some 123_456.;
+    gc_minor = Some 7;
+    gc_major = Some 1;
+    bytes_copied = Some 65_536.;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -62,10 +66,16 @@ let store_suite =
             better = None;
             status = History.Failed "data";
             degraded = [];
+            alloc_words = None;
+            gc_minor = None;
+            gc_major = None;
+            bytes_copied = None;
           }
         in
         let line = Raw_obs.Jsons.to_string (History.to_json r) in
         Alcotest.(check bool) "no sel_est key" false (contains line "sel_est");
+        Alcotest.(check bool) "no alloc_words key" false
+          (contains line "alloc_words");
         Alcotest.(check bool) "status tagged" true (contains line "error:data");
         match History.of_json (History.to_json r) with
         | Ok r' -> Alcotest.(check bool) "identical" true (r' = r)

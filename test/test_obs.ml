@@ -378,6 +378,27 @@ let export_suite =
             "# TYPE raw_custom_key untyped";
             "raw_custom_key 1";
           ]);
+    Alcotest.test_case "build info gauge leads every exposition" `Quick
+      (fun () ->
+        let text = Export.prometheus () in
+        let lead = "# HELP rawq_build_info" in
+        Alcotest.(check string)
+          "exposition starts with the build info family" lead
+          (String.sub text 0 (String.length lead));
+        List.iter
+          (fun needle ->
+            Alcotest.(check bool) ("contains " ^ needle) true
+              (contains text needle))
+          [
+            "# TYPE rawq_build_info gauge";
+            Printf.sprintf "rawq_build_info{version=\"%s\",ocaml=\"%s\"} 1"
+              Export.build_version Sys.ocaml_version;
+          ];
+        (* the server's snapshot-based exposition carries it too *)
+        Alcotest.(check bool) "snapshot exposition carries it" true
+          (contains
+             (Export.prometheus_of_snapshot [ ("custom.key", 1.) ])
+             "rawq_build_info{"));
     Alcotest.test_case "prometheus escapes hostile help and label text"
       `Quick (fun () ->
         let text =
